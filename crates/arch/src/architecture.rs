@@ -1,0 +1,583 @@
+//! The [`Architecture`] type: a validated zoned neutral-atom machine layout.
+
+use crate::geometry::Point;
+use crate::model::{AodArray, Loc, SiteId, SlmArray, Zone, ZoneKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Validation error for an architecture description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// The architecture has no AOD array, so no qubit can ever move.
+    NoAod,
+    /// An entanglement zone has fewer than one SLM array.
+    EntanglementZoneWithoutSlm {
+        /// Index of the offending zone.
+        zone: usize,
+    },
+    /// The SLM arrays of an entanglement zone disagree on grid shape, so
+    /// Rydberg sites cannot be formed by zipping them.
+    MismatchedSiteGrids {
+        /// Index of the offending zone.
+        zone: usize,
+    },
+    /// An SLM array extends beyond its zone's boundary.
+    SlmOutsideZone {
+        /// Kind of the zone.
+        kind: ZoneKind,
+        /// Index of the zone within its kind.
+        zone: usize,
+        /// The offending SLM id.
+        slm_id: usize,
+    },
+    /// Two zones overlap.
+    OverlappingZones {
+        /// Kind and index of the first zone.
+        first: (ZoneKind, usize),
+        /// Kind and index of the second zone.
+        second: (ZoneKind, usize),
+    },
+    /// Two SLM arrays share an id.
+    DuplicateSlmId {
+        /// The repeated id.
+        slm_id: usize,
+    },
+    /// A referenced location does not exist in this architecture.
+    InvalidLoc {
+        /// The offending location.
+        loc: Loc,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoAod => write!(f, "architecture has no AOD array"),
+            Self::EntanglementZoneWithoutSlm { zone } => {
+                write!(f, "entanglement zone {zone} has no SLM array")
+            }
+            Self::MismatchedSiteGrids { zone } => {
+                write!(f, "entanglement zone {zone} has SLM arrays with different grid shapes")
+            }
+            Self::SlmOutsideZone { kind, zone, slm_id } => {
+                write!(f, "SLM {slm_id} extends outside {kind} zone {zone}")
+            }
+            Self::OverlappingZones { first, second } => write!(
+                f,
+                "{} zone {} overlaps {} zone {}",
+                first.0, first.1, second.0, second.1
+            ),
+            Self::DuplicateSlmId { slm_id } => write!(f, "duplicate SLM id {slm_id}"),
+            Self::InvalidLoc { loc } => write!(f, "invalid location {loc}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// A complete zoned architecture: AOD arrays plus storage, entanglement and
+/// readout zones (paper Sec. III, Fig. 3).
+///
+/// Construct with [`Architecture::new`] (validated) or use a preset such as
+/// [`Architecture::reference`].
+///
+/// # Example
+///
+/// ```
+/// use zac_arch::Architecture;
+/// let arch = Architecture::reference();
+/// assert_eq!(arch.num_sites(), 7 * 20);
+/// assert_eq!(arch.storage_capacity(), 100 * 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    name: String,
+    aods: Vec<AodArray>,
+    storage_zones: Vec<Zone>,
+    entanglement_zones: Vec<Zone>,
+    readout_zones: Vec<Zone>,
+}
+
+impl Architecture {
+    /// Creates and validates an architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArchError`] if the layout is inconsistent: no AOD, an
+    /// entanglement zone without SLMs or with mismatched site grids, SLMs
+    /// outside their zone, overlapping zones, or duplicate SLM ids.
+    pub fn new(
+        name: impl Into<String>,
+        aods: Vec<AodArray>,
+        storage_zones: Vec<Zone>,
+        entanglement_zones: Vec<Zone>,
+        readout_zones: Vec<Zone>,
+    ) -> Result<Self, ArchError> {
+        let arch = Self {
+            name: name.into(),
+            aods,
+            storage_zones,
+            entanglement_zones,
+            readout_zones,
+        };
+        arch.validate()?;
+        Ok(arch)
+    }
+
+    fn validate(&self) -> Result<(), ArchError> {
+        if self.aods.is_empty() {
+            return Err(ArchError::NoAod);
+        }
+        // Entanglement zones must host at least one SLM and consistent grids.
+        for (i, z) in self.entanglement_zones.iter().enumerate() {
+            if z.slms.is_empty() {
+                return Err(ArchError::EntanglementZoneWithoutSlm { zone: i });
+            }
+            let shape = (z.slms[0].num_row, z.slms[0].num_col);
+            if z.slms.iter().any(|s| (s.num_row, s.num_col) != shape) {
+                return Err(ArchError::MismatchedSiteGrids { zone: i });
+            }
+        }
+        // SLMs inside zones.
+        let zone_lists = [
+            (ZoneKind::Storage, &self.storage_zones),
+            (ZoneKind::Entanglement, &self.entanglement_zones),
+            (ZoneKind::Readout, &self.readout_zones),
+        ];
+        for (kind, zones) in zone_lists {
+            for (i, z) in zones.iter().enumerate() {
+                let zb = z.bounds();
+                for slm in &z.slms {
+                    let b = slm.bounds();
+                    let corner = Point::new(b.origin.x + b.width, b.origin.y + b.height);
+                    if !zb.contains(b.origin) || !zb.contains(corner) {
+                        return Err(ArchError::SlmOutsideZone { kind, zone: i, slm_id: slm.slm_id });
+                    }
+                }
+            }
+        }
+        // No overlapping zones.
+        let mut all: Vec<(ZoneKind, usize, &Zone)> = Vec::new();
+        for (kind, zones) in [
+            (ZoneKind::Storage, &self.storage_zones),
+            (ZoneKind::Entanglement, &self.entanglement_zones),
+            (ZoneKind::Readout, &self.readout_zones),
+        ] {
+            for (i, z) in zones.iter().enumerate() {
+                all.push((kind, i, z));
+            }
+        }
+        for a in 0..all.len() {
+            for b in (a + 1)..all.len() {
+                if all[a].2.bounds().intersects(&all[b].2.bounds()) {
+                    return Err(ArchError::OverlappingZones {
+                        first: (all[a].0, all[a].1),
+                        second: (all[b].0, all[b].1),
+                    });
+                }
+            }
+        }
+        // Unique SLM ids.
+        let mut ids = std::collections::HashSet::new();
+        for (_, _, z) in &all {
+            for slm in &z.slms {
+                if !ids.insert(slm.slm_id) {
+                    return Err(ArchError::DuplicateSlmId { slm_id: slm.slm_id });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The architecture's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The AOD arrays.
+    pub fn aods(&self) -> &[AodArray] {
+        &self.aods
+    }
+
+    /// The storage zones.
+    pub fn storage_zones(&self) -> &[Zone] {
+        &self.storage_zones
+    }
+
+    /// The entanglement zones.
+    pub fn entanglement_zones(&self) -> &[Zone] {
+        &self.entanglement_zones
+    }
+
+    /// The readout zones.
+    pub fn readout_zones(&self) -> &[Zone] {
+        &self.readout_zones
+    }
+
+    /// Returns a copy with `n` identical AODs (clones of the first).
+    ///
+    /// Used by the multi-AOD experiments (paper Sec. VII-G).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_num_aods(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one AOD is required");
+        let proto = self.aods[0].clone();
+        self.aods = (0..n)
+            .map(|i| AodArray { aod_id: i, ..proto.clone() })
+            .collect();
+        self
+    }
+
+    // ---- Rydberg sites -------------------------------------------------
+
+    /// Number of traps per Rydberg site in entanglement zone `zone`
+    /// (= number of SLM arrays in the zone; the reference architecture has 2).
+    pub fn site_capacity(&self, zone: usize) -> usize {
+        self.entanglement_zones[zone].slms.len()
+    }
+
+    /// `(rows, cols)` of the site grid of entanglement zone `zone`.
+    pub fn site_grid(&self, zone: usize) -> (usize, usize) {
+        let slm = &self.entanglement_zones[zone].slms[0];
+        (slm.num_row, slm.num_col)
+    }
+
+    /// Total number of Rydberg sites across all entanglement zones.
+    pub fn num_sites(&self) -> usize {
+        (0..self.entanglement_zones.len())
+            .map(|z| {
+                let (r, c) = self.site_grid(z);
+                r * c
+            })
+            .sum()
+    }
+
+    /// Iterates over every Rydberg site of the architecture.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.entanglement_zones.len()).flat_map(move |z| {
+            let (rows, cols) = self.site_grid(z);
+            (0..rows).flat_map(move |r| (0..cols).map(move |c| SiteId::new(z, r, c)))
+        })
+    }
+
+    /// Reference position of a site: its slot-0 (left) trap, per the paper's
+    /// convention ("we use the left trap in a Rydberg site as its reference
+    /// location").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site does not exist.
+    pub fn site_position(&self, site: SiteId) -> Point {
+        self.entanglement_zones[site.zone].slms[0].trap_position(site.row, site.col)
+    }
+
+    /// The Rydberg site whose reference position is nearest to `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture has no entanglement zone.
+    pub fn nearest_site(&self, p: Point) -> SiteId {
+        let mut best = None;
+        for (z, zone) in self.entanglement_zones.iter().enumerate() {
+            let slm = &zone.slms[0];
+            let (row, col) = slm.nearest_trap(p);
+            let cand = SiteId::new(z, row, col);
+            let d = self.site_position(cand).distance(p);
+            match best {
+                None => best = Some((cand, d)),
+                Some((_, bd)) if d < bd => best = Some((cand, d)),
+                _ => {}
+            }
+        }
+        best.expect("no entanglement zone").0
+    }
+
+    /// The site "in the middle" of two sites, used as a gate's nearest site
+    /// `ω_near` (paper Sec. V-A): row `⌊(r+r')/2⌋`, col `⌊(c+c')/2⌋`.
+    ///
+    /// If the two sites live in different zones, the first site's zone wins
+    /// (the middle is then computed within that zone).
+    pub fn middle_site(&self, a: SiteId, b: SiteId) -> SiteId {
+        if a.zone != b.zone {
+            return a;
+        }
+        SiteId::new(a.zone, (a.row + b.row) / 2, (a.col + b.col) / 2)
+    }
+
+    // ---- Storage traps -------------------------------------------------
+
+    /// Total number of storage traps across all storage zones (SLM 0 each).
+    pub fn storage_capacity(&self) -> usize {
+        self.storage_zones
+            .iter()
+            .flat_map(|z| z.slms.first())
+            .map(SlmArray::num_traps)
+            .sum()
+    }
+
+    /// `(rows, cols)` of the trap grid of storage zone `zone`.
+    pub fn storage_grid(&self, zone: usize) -> (usize, usize) {
+        let slm = &self.storage_zones[zone].slms[0];
+        (slm.num_row, slm.num_col)
+    }
+
+    /// The storage trap nearest to `p`, as a [`Loc::Storage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture has no storage zone.
+    pub fn nearest_storage_trap(&self, p: Point) -> Loc {
+        let mut best = None;
+        for (z, zone) in self.storage_zones.iter().enumerate() {
+            let slm = &zone.slms[0];
+            let (row, col) = slm.nearest_trap(p);
+            let cand = Loc::Storage { zone: z, row, col };
+            let d = self.position(cand).distance(p);
+            match best {
+                None => best = Some((cand, d)),
+                Some((_, bd)) if d < bd => best = Some((cand, d)),
+                _ => {}
+            }
+        }
+        best.expect("no storage zone").0
+    }
+
+    // ---- Locations -----------------------------------------------------
+
+    /// The physical position of a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location does not exist in this architecture.
+    pub fn position(&self, loc: Loc) -> Point {
+        match loc {
+            Loc::Storage { zone, row, col } => {
+                self.storage_zones[zone].slms[0].trap_position(row, col)
+            }
+            Loc::Site { zone, row, col, slot } => {
+                self.entanglement_zones[zone].slms[slot].trap_position(row, col)
+            }
+        }
+    }
+
+    /// Checks that a location exists.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::InvalidLoc`] if any index is out of range.
+    pub fn check_loc(&self, loc: Loc) -> Result<(), ArchError> {
+        let ok = match loc {
+            Loc::Storage { zone, row, col } => self
+                .storage_zones
+                .get(zone)
+                .and_then(|z| z.slms.first())
+                .is_some_and(|s| row < s.num_row && col < s.num_col),
+            Loc::Site { zone, row, col, slot } => self
+                .entanglement_zones
+                .get(zone)
+                .and_then(|z| z.slms.get(slot))
+                .is_some_and(|s| row < s.num_row && col < s.num_col),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ArchError::InvalidLoc { loc })
+        }
+    }
+
+    /// Translates a location to its `(slm_id, row, col)` triple, the
+    /// addressing ZAIR's `qloc` uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location does not exist.
+    pub fn loc_to_slm(&self, loc: Loc) -> (usize, usize, usize) {
+        match loc {
+            Loc::Storage { zone, row, col } => {
+                (self.storage_zones[zone].slms[0].slm_id, row, col)
+            }
+            Loc::Site { zone, row, col, slot } => {
+                (self.entanglement_zones[zone].slms[slot].slm_id, row, col)
+            }
+        }
+    }
+
+    /// Translates an `(slm_id, row, col)` triple back to a [`Loc`].
+    ///
+    /// Returns `None` if no SLM with that id exists or indices are out of
+    /// range.
+    pub fn slm_to_loc(&self, slm_id: usize, row: usize, col: usize) -> Option<Loc> {
+        for (z, zone) in self.storage_zones.iter().enumerate() {
+            for slm in &zone.slms {
+                if slm.slm_id == slm_id {
+                    return (row < slm.num_row && col < slm.num_col)
+                        .then_some(Loc::Storage { zone: z, row, col });
+                }
+            }
+        }
+        for (z, zone) in self.entanglement_zones.iter().enumerate() {
+            for (slot, slm) in zone.slms.iter().enumerate() {
+                if slm.slm_id == slm_id {
+                    return (row < slm.num_row && col < slm.num_col)
+                        .then_some(Loc::Site { zone: z, row, col, slot });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_architecture_is_valid() {
+        let arch = Architecture::reference();
+        assert_eq!(arch.aods().len(), 1);
+        assert_eq!(arch.num_sites(), 140);
+        assert_eq!(arch.site_capacity(0), 2);
+        assert_eq!(arch.storage_capacity(), 10_000);
+    }
+
+    #[test]
+    fn reference_geometry_matches_paper() {
+        // Paper Sec. III: entanglement SLMs at offsets (35,307) and (37,307),
+        // x sep = 12, y sep = 10; storage sep = 3.
+        let arch = Architecture::reference();
+        let w00 = arch.site_position(SiteId::new(0, 0, 0));
+        assert_eq!(w00, Point::new(35.0, 307.0));
+        let right = arch.position(Loc::Site { zone: 0, row: 0, col: 0, slot: 1 });
+        assert_eq!(right, Point::new(37.0, 307.0));
+        let w12 = arch.site_position(SiteId::new(0, 1, 2));
+        assert_eq!(w12, Point::new(35.0 + 24.0, 317.0));
+        let s = arch.position(Loc::Storage { zone: 0, row: 99, col: 1 });
+        assert_eq!(s, Point::new(3.0, 297.0));
+    }
+
+    #[test]
+    fn no_aod_rejected() {
+        let err = Architecture::new("x", vec![], vec![], vec![], vec![]).unwrap_err();
+        assert_eq!(err, ArchError::NoAod);
+    }
+
+    #[test]
+    fn mismatched_site_grids_rejected() {
+        let aod = AodArray::new(0, 2.0, 10, 10);
+        let z = Zone::new(
+            0,
+            Point::new(0.0, 0.0),
+            (100.0, 100.0),
+            vec![
+                SlmArray::new(0, (12.0, 10.0), 5, 5, Point::new(0.0, 0.0)),
+                SlmArray::new(1, (12.0, 10.0), 5, 4, Point::new(2.0, 0.0)),
+            ],
+        );
+        let err = Architecture::new("x", vec![aod], vec![], vec![z], vec![]).unwrap_err();
+        assert_eq!(err, ArchError::MismatchedSiteGrids { zone: 0 });
+    }
+
+    #[test]
+    fn slm_outside_zone_rejected() {
+        let aod = AodArray::new(0, 2.0, 10, 10);
+        let z = Zone::new(
+            0,
+            Point::new(0.0, 0.0),
+            (10.0, 10.0),
+            vec![SlmArray::new(0, (3.0, 3.0), 10, 10, Point::new(0.0, 0.0))],
+        );
+        let err = Architecture::new("x", vec![aod], vec![z], vec![], vec![]).unwrap_err();
+        assert!(matches!(err, ArchError::SlmOutsideZone { .. }));
+    }
+
+    #[test]
+    fn overlapping_zones_rejected() {
+        let aod = AodArray::new(0, 2.0, 10, 10);
+        let mk = |id| Zone::new(id, Point::new(0.0, 0.0), (10.0, 10.0), vec![]);
+        let err =
+            Architecture::new("x", vec![aod], vec![mk(0), mk(1)], vec![], vec![]).unwrap_err();
+        assert!(matches!(err, ArchError::OverlappingZones { .. }));
+    }
+
+    #[test]
+    fn duplicate_slm_id_rejected() {
+        let aod = AodArray::new(0, 2.0, 10, 10);
+        let s = Zone::new(
+            0,
+            Point::new(0.0, 0.0),
+            (30.0, 30.0),
+            vec![SlmArray::new(5, (3.0, 3.0), 5, 5, Point::new(0.0, 0.0))],
+        );
+        let e = Zone::new(
+            0,
+            Point::new(0.0, 50.0),
+            (30.0, 30.0),
+            vec![SlmArray::new(5, (12.0, 10.0), 3, 3, Point::new(0.0, 50.0))],
+        );
+        let err = Architecture::new("x", vec![aod], vec![s], vec![e], vec![]).unwrap_err();
+        assert_eq!(err, ArchError::DuplicateSlmId { slm_id: 5 });
+    }
+
+    #[test]
+    fn nearest_site_and_trap() {
+        let arch = Architecture::reference();
+        // A point right at w(0,0) maps to site (0,0).
+        let s = arch.nearest_site(Point::new(35.0, 307.0));
+        assert_eq!(s, SiteId::new(0, 0, 0));
+        // A point near the top of storage maps to a row-99 trap.
+        let t = arch.nearest_storage_trap(Point::new(3.0, 297.0));
+        assert_eq!(t, Loc::Storage { zone: 0, row: 99, col: 1 });
+    }
+
+    #[test]
+    fn middle_site_formula() {
+        let arch = Architecture::reference();
+        let a = SiteId::new(0, 0, 0);
+        let b = SiteId::new(0, 1, 3);
+        assert_eq!(arch.middle_site(a, b), SiteId::new(0, 0, 1));
+        // paper example: nearest sites rows 0,0 cols 0,1 → site (0,0).
+        let c = SiteId::new(0, 0, 1);
+        assert_eq!(arch.middle_site(a, c), SiteId::new(0, 0, 0));
+    }
+
+    #[test]
+    fn loc_slm_roundtrip() {
+        let arch = Architecture::reference();
+        for loc in [
+            Loc::Storage { zone: 0, row: 99, col: 13 },
+            Loc::Site { zone: 0, row: 1, col: 2, slot: 1 },
+            Loc::Site { zone: 0, row: 0, col: 0, slot: 0 },
+        ] {
+            let (id, r, c) = arch.loc_to_slm(loc);
+            assert_eq!(arch.slm_to_loc(id, r, c), Some(loc));
+        }
+        assert_eq!(arch.slm_to_loc(42, 0, 0), None);
+    }
+
+    #[test]
+    fn check_loc_bounds() {
+        let arch = Architecture::reference();
+        assert!(arch.check_loc(Loc::Storage { zone: 0, row: 99, col: 99 }).is_ok());
+        assert!(arch.check_loc(Loc::Storage { zone: 0, row: 100, col: 0 }).is_err());
+        assert!(arch.check_loc(Loc::Site { zone: 0, row: 6, col: 19, slot: 1 }).is_ok());
+        assert!(arch.check_loc(Loc::Site { zone: 0, row: 7, col: 0, slot: 0 }).is_err());
+        assert!(arch.check_loc(Loc::Site { zone: 0, row: 0, col: 0, slot: 2 }).is_err());
+    }
+
+    #[test]
+    fn with_num_aods() {
+        let arch = Architecture::reference().with_num_aods(4);
+        assert_eq!(arch.aods().len(), 4);
+        assert_eq!(arch.aods()[3].aod_id, 3);
+    }
+
+    #[test]
+    fn sites_iterator_covers_grid() {
+        let arch = Architecture::reference();
+        let sites: Vec<SiteId> = arch.sites().collect();
+        assert_eq!(sites.len(), 140);
+        assert!(sites.contains(&SiteId::new(0, 6, 19)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Planar geometry and the atom-movement timing law.
+//!
+//! All distances are micrometres (µm) and all times are microseconds (µs),
+//! matching the units the ZAC paper uses throughout.
+
+use serde::{Deserialize, Serialize};
+
+/// Movement acceleration constant: the paper uses `d/t² = 2750 m/s²`
+/// (Bluvstein et al. 2022), which is `2.75e-3 µm/µs²`.
+pub const MOVE_ACCEL_UM_PER_US2: f64 = 2.75e-3;
+
+/// Time (µs) to move an atom a distance `d_um` (µm) at the paper's speed law.
+///
+/// `t = sqrt(d / a)`: moving 10 µm (one zone separation) takes ≈ 60.3 µs.
+///
+/// # Example
+///
+/// ```
+/// use zac_arch::geometry::movement_time_us;
+/// let t = movement_time_us(10.0);
+/// assert!((t - 60.3).abs() < 0.1);
+/// assert_eq!(movement_time_us(0.0), 0.0);
+/// ```
+pub fn movement_time_us(d_um: f64) -> f64 {
+    debug_assert!(d_um >= 0.0, "negative distance");
+    (d_um / MOVE_ACCEL_UM_PER_US2).sqrt()
+}
+
+/// A point in the machine plane (µm).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (µm).
+    pub x: f64,
+    /// Vertical coordinate (µm).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other` (µm).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use zac_arch::geometry::Point;
+    /// let d = Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0));
+    /// assert_eq!(d, 5.0);
+    /// ```
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Movement time (µs) from `self` to `other` under the paper's speed law.
+    pub fn move_time(self, other: Point) -> f64 {
+        movement_time_us(self.distance(other))
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Self { x, y }
+    }
+}
+
+/// An axis-aligned rectangle: `origin` is the bottom-left corner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Bottom-left corner.
+    pub origin: Point,
+    /// Width (x extent, µm).
+    pub width: f64,
+    /// Height (y extent, µm).
+    pub height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its bottom-left corner and dimensions.
+    pub const fn new(origin: Point, width: f64, height: f64) -> Self {
+        Self { origin, width, height }
+    }
+
+    /// Whether `p` lies inside (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.origin.x
+            && p.x <= self.origin.x + self.width
+            && p.y >= self.origin.y
+            && p.y <= self.origin.y + self.height
+    }
+
+    /// Whether two rectangles overlap with positive area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.origin.x < other.origin.x + other.width
+            && other.origin.x < self.origin.x + self.width
+            && self.origin.y < other.origin.y + other.height
+            && other.origin.y < self.origin.y + self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movement_time_matches_paper_layer_duration() {
+        // Perfect-placement layer: 2*T_tran + sqrt(d_sep / a) with d_sep = 10um.
+        let t = movement_time_us(10.0);
+        assert!((t - 60.302).abs() < 1e-2, "got {t}");
+    }
+
+    #[test]
+    fn movement_time_is_monotone() {
+        let mut prev = 0.0;
+        for d in [0.0, 1.0, 2.0, 10.0, 100.0, 500.0] {
+            let t = movement_time_us(d);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn movement_time_sqrt_scaling() {
+        // 4x distance → 2x time.
+        let t1 = movement_time_us(25.0);
+        let t4 = movement_time_us(100.0);
+        assert!((t4 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_distance_symmetric() {
+        let a = Point::new(1.0, 9.0);
+        let b = Point::new(13.0, 19.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        // Example from the paper (Sec. V-A): d(w00, s3,4) = 16.40.
+        let w00 = Point::new(0.0, 19.0);
+        let s34 = Point::new(13.0, 9.0);
+        assert!((w00.distance(s34) - 16.401).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rect_contains_boundary() {
+        let r = Rect::new(Point::new(0.0, 0.0), 10.0, 5.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 5.0)));
+        assert!(!r.contains(Point::new(10.1, 5.0)));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(Point::new(0.0, 0.0), 10.0, 10.0);
+        let b = Rect::new(Point::new(5.0, 5.0), 10.0, 10.0);
+        let c = Rect::new(Point::new(10.0, 0.0), 5.0, 5.0); // touching edge only
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn triangle_inequality(ax in -1e3..1e3f64, ay in -1e3..1e3f64,
+                                   bx in -1e3..1e3f64, by in -1e3..1e3f64,
+                                   cx in -1e3..1e3f64, cy in -1e3..1e3f64) {
+                let a = Point::new(ax, ay);
+                let b = Point::new(bx, by);
+                let c = Point::new(cx, cy);
+                prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+            }
+
+            #[test]
+            fn move_time_nonnegative(d in 0.0..1e6f64) {
+                prop_assert!(movement_time_us(d) >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Zoned neutral-atom architecture specification (ZAC paper, Sec. III).
+//!
+//! A zoned architecture is described by four entity types, mirroring the
+//! paper's Fig. 3:
+//!
+//! * [`AodArray`] — a mobile trap grid (acousto-optic deflector);
+//! * [`SlmArray`] — a fixed trap grid (spatial light modulator);
+//! * [`Zone`] — a bounded region hosting SLM arrays, with a role
+//!   ([`ZoneKind`]): storage, entanglement, or readout;
+//! * [`Architecture`] — the validated whole: AODs + zones.
+//!
+//! Rydberg *sites* are formed inside entanglement zones by zipping the zone's
+//! SLM arrays position-wise: the reference architecture pairs two arrays
+//! offset by d_Ryd = 2 µm, so each site holds two traps ([`SiteId`],
+//! [`Architecture::site_position`]).
+//!
+//! The [`spec`] module reads and writes the paper's JSON architecture format
+//! (Fig. 20), and [`geometry`] provides the movement-time law
+//! (t = √(d/a), a = 2750 m/s²) used by every timing computation downstream.
+//!
+//! # Example
+//!
+//! ```
+//! use zac_arch::{Architecture, Loc};
+//!
+//! let arch = Architecture::reference();
+//! // Qubit 13's initial trap in the paper's bv_n14 example: (slm 0, row 99, col 13).
+//! let loc = Loc::Storage { zone: 0, row: 99, col: 13 };
+//! let p = arch.position(loc);
+//! assert_eq!((p.x, p.y), (39.0, 297.0));
+//! ```
+
+pub mod architecture;
+pub mod geometry;
+pub mod model;
+pub mod presets;
+pub mod spec;
+
+pub use architecture::{ArchError, Architecture};
+pub use geometry::{movement_time_us, Point, Rect, MOVE_ACCEL_UM_PER_US2};
+pub use model::{AodArray, Loc, SiteId, SlmArray, Zone, ZoneKind};

@@ -1,0 +1,278 @@
+//! Core entities of the zoned-architecture specification (paper Sec. III).
+//!
+//! The specification has four entity types — AOD arrays, SLM arrays, zones,
+//! and the architecture — mirroring Fig. 3 of the paper.
+
+use crate::geometry::{Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An acousto-optic deflector array: a grid of mobile traps formed by the
+/// intersections of activated row and column beams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AodArray {
+    /// Index of this AOD among the architecture's AODs.
+    pub aod_id: usize,
+    /// Minimum separation (µm) between any two rows / any two columns.
+    pub min_sep: f64,
+    /// Capacity of the column component.
+    pub max_num_col: usize,
+    /// Capacity of the row component.
+    pub max_num_row: usize,
+}
+
+impl AodArray {
+    /// Creates an AOD array description.
+    pub fn new(aod_id: usize, min_sep: f64, max_num_col: usize, max_num_row: usize) -> Self {
+        Self { aod_id, min_sep, max_num_col, max_num_row }
+    }
+}
+
+/// A spatial-light-modulator trap array: a fixed rectangular grid of traps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlmArray {
+    /// Global SLM identifier (unique across the whole architecture).
+    pub slm_id: usize,
+    /// `(x, y)` separations between neighboring traps (µm).
+    pub sep: (f64, f64),
+    /// Number of trap columns.
+    pub num_col: usize,
+    /// Number of trap rows.
+    pub num_row: usize,
+    /// Position of the bottom-left trap (µm).
+    pub offset: Point,
+}
+
+impl SlmArray {
+    /// Creates an SLM array description.
+    pub fn new(
+        slm_id: usize,
+        sep: (f64, f64),
+        num_col: usize,
+        num_row: usize,
+        offset: Point,
+    ) -> Self {
+        Self { slm_id, sep, num_col, num_row, offset }
+    }
+
+    /// Position of the trap at (`row`, `col`). Row 0 / col 0 is the
+    /// bottom-left trap; rows grow in +y, columns in +x.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn trap_position(&self, row: usize, col: usize) -> Point {
+        assert!(row < self.num_row && col < self.num_col, "trap ({row},{col}) out of range");
+        Point::new(
+            self.offset.x + col as f64 * self.sep.0,
+            self.offset.y + row as f64 * self.sep.1,
+        )
+    }
+
+    /// Total number of traps.
+    pub fn num_traps(&self) -> usize {
+        self.num_row * self.num_col
+    }
+
+    /// The trap (row, col) nearest to `p`, by clamped rounding.
+    pub fn nearest_trap(&self, p: Point) -> (usize, usize) {
+        let col = if self.sep.0 > 0.0 {
+            (((p.x - self.offset.x) / self.sep.0).round().max(0.0) as usize).min(self.num_col - 1)
+        } else {
+            0
+        };
+        let row = if self.sep.1 > 0.0 {
+            (((p.y - self.offset.y) / self.sep.1).round().max(0.0) as usize).min(self.num_row - 1)
+        } else {
+            0
+        };
+        (row, col)
+    }
+
+    /// Bounding rectangle covered by the traps.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(
+            self.offset,
+            (self.num_col.saturating_sub(1)) as f64 * self.sep.0,
+            (self.num_row.saturating_sub(1)) as f64 * self.sep.1,
+        )
+    }
+}
+
+/// The role a zone plays in the architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ZoneKind {
+    /// Shields idle qubits from Rydberg excitation.
+    Storage,
+    /// Covered by the global Rydberg laser; hosts Rydberg sites.
+    Entanglement,
+    /// Qubit measurement region (kept for completeness; not scheduled into).
+    Readout,
+}
+
+impl fmt::Display for ZoneKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Storage => write!(f, "storage"),
+            Self::Entanglement => write!(f, "entanglement"),
+            Self::Readout => write!(f, "readout"),
+        }
+    }
+}
+
+/// A physical region with boundaries containing zero or more SLM arrays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zone {
+    /// Zone identifier (unique within its kind).
+    pub zone_id: usize,
+    /// Bottom-left corner of the region (µm).
+    pub offset: Point,
+    /// `(width, height)` of the region (µm).
+    pub dimension: (f64, f64),
+    /// SLM arrays inside the zone.
+    pub slms: Vec<SlmArray>,
+}
+
+impl Zone {
+    /// Creates a zone.
+    pub fn new(zone_id: usize, offset: Point, dimension: (f64, f64), slms: Vec<SlmArray>) -> Self {
+        Self { zone_id, offset, dimension, slms }
+    }
+
+    /// The zone's bounding rectangle.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(self.offset, self.dimension.0, self.dimension.1)
+    }
+}
+
+/// Identifies one Rydberg site: `zone` indexes the architecture's
+/// entanglement zones; `(row, col)` index the site grid inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId {
+    /// Index into [`crate::Architecture::entanglement_zones`].
+    pub zone: usize,
+    /// Site row inside the zone.
+    pub row: usize,
+    /// Site column inside the zone.
+    pub col: usize,
+}
+
+impl SiteId {
+    /// Creates a site id.
+    pub const fn new(zone: usize, row: usize, col: usize) -> Self {
+        Self { zone, row, col }
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ω[z{}]({},{})", self.zone, self.row, self.col)
+    }
+}
+
+/// A qubit location: either a storage-zone trap or a slot of a Rydberg site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Loc {
+    /// Trap (`row`, `col`) of SLM 0 in storage zone `zone`.
+    Storage {
+        /// Index into [`crate::Architecture::storage_zones`].
+        zone: usize,
+        /// Trap row.
+        row: usize,
+        /// Trap column.
+        col: usize,
+    },
+    /// Slot `slot` (0 = left trap) of the Rydberg site at (`row`, `col`) of
+    /// entanglement zone `zone`.
+    Site {
+        /// Index into [`crate::Architecture::entanglement_zones`].
+        zone: usize,
+        /// Site row.
+        row: usize,
+        /// Site column.
+        col: usize,
+        /// Which trap of the site (0-based; 0 is the reference/left trap).
+        slot: usize,
+    },
+}
+
+impl Loc {
+    /// Whether this location is in a storage zone.
+    pub fn is_storage(&self) -> bool {
+        matches!(self, Loc::Storage { .. })
+    }
+
+    /// Whether this location is in an entanglement zone.
+    pub fn is_site(&self) -> bool {
+        matches!(self, Loc::Site { .. })
+    }
+
+    /// The site this location belongs to, if it is in an entanglement zone.
+    pub fn site(&self) -> Option<SiteId> {
+        match *self {
+            Loc::Site { zone, row, col, .. } => Some(SiteId::new(zone, row, col)),
+            Loc::Storage { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Loc::Storage { zone, row, col } => write!(f, "s[z{zone}]({row},{col})"),
+            Loc::Site { zone, row, col, slot } => write!(f, "ω[z{zone}]({row},{col})#{slot}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slm_trap_positions() {
+        let slm = SlmArray::new(0, (3.0, 3.0), 100, 100, Point::new(0.0, 0.0));
+        assert_eq!(slm.trap_position(0, 0), Point::new(0.0, 0.0));
+        assert_eq!(slm.trap_position(99, 13), Point::new(39.0, 297.0));
+        assert_eq!(slm.num_traps(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slm_trap_out_of_range_panics() {
+        let slm = SlmArray::new(0, (3.0, 3.0), 2, 2, Point::new(0.0, 0.0));
+        slm.trap_position(2, 0);
+    }
+
+    #[test]
+    fn nearest_trap_clamps() {
+        let slm = SlmArray::new(0, (3.0, 3.0), 10, 10, Point::new(0.0, 0.0));
+        assert_eq!(slm.nearest_trap(Point::new(-5.0, -5.0)), (0, 0));
+        assert_eq!(slm.nearest_trap(Point::new(1e4, 1e4)), (9, 9));
+        assert_eq!(slm.nearest_trap(Point::new(4.0, 7.9)), (3, 1));
+    }
+
+    #[test]
+    fn zone_bounds() {
+        let z = Zone::new(0, Point::new(35.0, 307.0), (240.0, 70.0), vec![]);
+        assert!(z.bounds().contains(Point::new(100.0, 350.0)));
+        assert!(!z.bounds().contains(Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn loc_accessors() {
+        let s = Loc::Storage { zone: 0, row: 1, col: 2 };
+        let w = Loc::Site { zone: 0, row: 3, col: 4, slot: 1 };
+        assert!(s.is_storage() && !s.is_site());
+        assert!(w.is_site() && !w.is_storage());
+        assert_eq!(w.site(), Some(SiteId::new(0, 3, 4)));
+        assert_eq!(s.site(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = Loc::Storage { zone: 0, row: 99, col: 1 };
+        assert_eq!(s.to_string(), "s[z0](99,1)");
+        assert_eq!(SiteId::new(0, 1, 2).to_string(), "ω[z0](1,2)");
+    }
+}

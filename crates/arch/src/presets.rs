@@ -1,0 +1,303 @@
+//! Preset architectures used throughout the paper's evaluation.
+
+use crate::architecture::Architecture;
+use crate::geometry::Point;
+use crate::model::{AodArray, SlmArray, Zone};
+
+impl Architecture {
+    /// The reference zoned architecture of Fig. 2 / Fig. 20:
+    ///
+    /// * storage zone: 100×100 traps, 3 µm pitch, at the origin;
+    /// * entanglement zone: 7×20 Rydberg sites (two SLM arrays offset by
+    ///   d_Ryd = 2 µm; site pitch 12 µm × 10 µm) starting at (35, 307);
+    /// * readout zone above the entanglement zone;
+    /// * one AOD with 100×100 capacity and 2 µm minimum separation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use zac_arch::Architecture;
+    /// let arch = Architecture::reference();
+    /// assert_eq!(arch.name(), "full_compute_store_architecture");
+    /// ```
+    pub fn reference() -> Self {
+        let storage = Zone::new(
+            0,
+            Point::new(0.0, 0.0),
+            (300.0, 300.0),
+            vec![SlmArray::new(0, (3.0, 3.0), 100, 100, Point::new(0.0, 0.0))],
+        );
+        let entangle = Zone::new(
+            0,
+            Point::new(35.0, 307.0),
+            (240.0, 70.0),
+            vec![
+                SlmArray::new(1, (12.0, 10.0), 20, 7, Point::new(35.0, 307.0)),
+                SlmArray::new(2, (12.0, 10.0), 20, 7, Point::new(37.0, 307.0)),
+            ],
+        );
+        let readout = Zone::new(0, Point::new(0.0, 387.0), (297.0, 15.0), vec![]);
+        Architecture::new(
+            "full_compute_store_architecture",
+            vec![AodArray::new(0, 2.0, 100, 100)],
+            vec![storage],
+            vec![entangle],
+            vec![readout],
+        )
+        .expect("reference architecture is valid")
+    }
+
+    /// The monolithic architecture of Sec. VII-A: a single entanglement zone
+    /// with `rows×cols` Rydberg sites (default comparison uses 10×10) and one
+    /// AOD; no storage zone, so every qubit is exposed to the Rydberg laser.
+    ///
+    /// Site geometry follows the reference entanglement zone (12 µm × 10 µm
+    /// pitch, paired traps 2 µm apart).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0 || cols == 0`.
+    pub fn monolithic(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "empty monolithic grid");
+        let width = (cols - 1) as f64 * 12.0 + 2.0;
+        let height = (rows.max(2) - 1) as f64 * 10.0;
+        let entangle = Zone::new(
+            0,
+            Point::new(0.0, 0.0),
+            (width, height),
+            vec![
+                SlmArray::new(0, (12.0, 10.0), cols, rows, Point::new(0.0, 0.0)),
+                SlmArray::new(1, (12.0, 10.0), cols, rows, Point::new(2.0, 0.0)),
+            ],
+        );
+        Architecture::new(
+            "monolithic_architecture",
+            vec![AodArray::new(0, 2.0, rows.max(cols), rows.max(cols))],
+            vec![],
+            vec![entangle],
+            vec![],
+        )
+        .expect("monolithic architecture is valid")
+    }
+
+    /// Arch1 of Sec. VII-H: a small zoned architecture with 3×40 storage
+    /// traps and one entanglement zone of 6×10 sites.
+    pub fn arch1_small() -> Self {
+        let storage = Zone::new(
+            0,
+            Point::new(0.0, 0.0),
+            (120.0, 7.0),
+            vec![SlmArray::new(0, (3.0, 3.0), 40, 3, Point::new(0.0, 0.0))],
+        );
+        let entangle = Zone::new(
+            0,
+            Point::new(0.0, 17.0),
+            (112.0, 51.0),
+            vec![
+                SlmArray::new(1, (12.0, 10.0), 10, 6, Point::new(0.0, 17.0)),
+                SlmArray::new(2, (12.0, 10.0), 10, 6, Point::new(2.0, 17.0)),
+            ],
+        );
+        Architecture::new(
+            "arch1_single_entanglement",
+            vec![AodArray::new(0, 2.0, 100, 100)],
+            vec![storage],
+            vec![entangle],
+            vec![],
+        )
+        .expect("arch1 is valid")
+    }
+
+    /// Arch2 of Sec. VII-H: same storage as [`Architecture::arch1_small`]
+    /// but two entanglement zones of 3×10 sites each, placed below and above
+    /// the storage zone, halving the distance to the rear site rows.
+    pub fn arch2_two_zones() -> Self {
+        let below = Zone::new(
+            0,
+            Point::new(0.0, 0.0),
+            (112.0, 21.0),
+            vec![
+                SlmArray::new(1, (12.0, 10.0), 10, 3, Point::new(0.0, 0.0)),
+                SlmArray::new(2, (12.0, 10.0), 10, 3, Point::new(2.0, 0.0)),
+            ],
+        );
+        let storage = Zone::new(
+            0,
+            Point::new(0.0, 31.0),
+            (120.0, 7.0),
+            vec![SlmArray::new(0, (3.0, 3.0), 40, 3, Point::new(0.0, 31.0))],
+        );
+        let above = Zone::new(
+            1,
+            Point::new(0.0, 48.0),
+            (112.0, 21.0),
+            vec![
+                SlmArray::new(3, (12.0, 10.0), 10, 3, Point::new(0.0, 48.0)),
+                SlmArray::new(4, (12.0, 10.0), 10, 3, Point::new(2.0, 48.0)),
+            ],
+        );
+        Architecture::new(
+            "arch2_double_entanglement",
+            vec![AodArray::new(0, 2.0, 100, 100)],
+            vec![storage],
+            vec![below, above],
+            vec![],
+        )
+        .expect("arch2 is valid")
+    }
+
+    /// A parameterized zoned architecture for design-space exploration:
+    /// a `storage_rows×storage_cols` storage zone (3 µm pitch) below an
+    /// entanglement zone with `site_rows×site_cols` Rydberg sites
+    /// (12 µm × 10 µm pitch, paired traps 2 µm apart), separated by the
+    /// reference 10 µm gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zoned_custom(
+        storage_rows: usize,
+        storage_cols: usize,
+        site_rows: usize,
+        site_cols: usize,
+    ) -> Self {
+        assert!(
+            storage_rows > 0 && storage_cols > 0 && site_rows > 0 && site_cols > 0,
+            "architecture dimensions must be positive"
+        );
+        let s_w = (storage_cols - 1) as f64 * 3.0;
+        let s_h = (storage_rows - 1) as f64 * 3.0;
+        let storage = Zone::new(
+            0,
+            Point::new(0.0, 0.0),
+            (s_w.max(1.0), s_h.max(1.0)),
+            vec![SlmArray::new(0, (3.0, 3.0), storage_cols, storage_rows, Point::new(0.0, 0.0))],
+        );
+        let e_y = s_h + 10.0;
+        let e_w = (site_cols - 1) as f64 * 12.0 + 2.0;
+        let e_h = (site_rows - 1) as f64 * 10.0;
+        let entangle = Zone::new(
+            0,
+            Point::new(0.0, e_y),
+            (e_w.max(1.0), e_h.max(1.0)),
+            vec![
+                SlmArray::new(1, (12.0, 10.0), site_cols, site_rows, Point::new(0.0, e_y)),
+                SlmArray::new(2, (12.0, 10.0), site_cols, site_rows, Point::new(2.0, e_y)),
+            ],
+        );
+        let cap = storage_rows.max(storage_cols).max(site_rows.max(site_cols));
+        Architecture::new(
+            format!("zoned_{storage_rows}x{storage_cols}_sites_{site_rows}x{site_cols}"),
+            vec![AodArray::new(0, 2.0, cap, cap)],
+            vec![storage],
+            vec![entangle],
+            vec![],
+        )
+        .expect("custom zoned architecture is valid")
+    }
+
+    /// The logical-level architecture for the FTQC case study (Sec. VIII):
+    /// each [[8,3,2]] block occupies 2×4 physical sites, so the 7×20 physical
+    /// entanglement zone supports ⌊7/2⌋ × ⌊20/4⌋ = 3×5 logical sites, and the
+    /// storage zone holds logical blocks at a 12 µm × 6 µm pitch.
+    pub fn ftqc_logical() -> Self {
+        // Storage: 128 blocks fit in 8 rows × 16 cols with margin.
+        let storage = Zone::new(
+            0,
+            Point::new(0.0, 0.0),
+            (300.0, 96.0),
+            vec![SlmArray::new(0, (12.0, 6.0), 25, 16, Point::new(0.0, 0.0))],
+        );
+        // Logical sites: pitch = 4 physical cols (48 µm) × 2 physical rows (20 µm).
+        let entangle = Zone::new(
+            0,
+            Point::new(35.0, 106.0),
+            (240.0, 60.0),
+            vec![
+                SlmArray::new(1, (48.0, 20.0), 5, 3, Point::new(35.0, 106.0)),
+                SlmArray::new(2, (48.0, 20.0), 5, 3, Point::new(37.0, 106.0)),
+            ],
+        );
+        Architecture::new(
+            "ftqc_logical_architecture",
+            vec![AodArray::new(0, 2.0, 100, 100)],
+            vec![storage],
+            vec![entangle],
+            vec![],
+        )
+        .expect("ftqc logical architecture is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SiteId;
+
+    #[test]
+    fn monolithic_10x10() {
+        let arch = Architecture::monolithic(10, 10);
+        assert_eq!(arch.num_sites(), 100);
+        assert!(arch.storage_zones().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty monolithic grid")]
+    fn monolithic_zero_panics() {
+        Architecture::monolithic(0, 10);
+    }
+
+    #[test]
+    fn arch1_shape() {
+        let arch = Architecture::arch1_small();
+        assert_eq!(arch.num_sites(), 60);
+        assert_eq!(arch.storage_grid(0), (3, 40));
+    }
+
+    #[test]
+    fn arch2_has_two_zones_of_30_sites() {
+        let arch = Architecture::arch2_two_zones();
+        assert_eq!(arch.entanglement_zones().len(), 2);
+        assert_eq!(arch.num_sites(), 60);
+        // Same number of sites as arch1, per the paper's fair comparison.
+        assert_eq!(arch.num_sites(), Architecture::arch1_small().num_sites());
+    }
+
+    #[test]
+    fn arch2_reduces_rear_row_distance() {
+        // The farthest site row from storage should be closer on arch2.
+        let a1 = Architecture::arch1_small();
+        let a2 = Architecture::arch2_two_zones();
+        let storage_top = a1.position(crate::Loc::Storage { zone: 0, row: 2, col: 20 });
+        let far1 = a1.site_position(SiteId::new(0, 5, 5)).distance(storage_top);
+        let storage_mid = a2.position(crate::Loc::Storage { zone: 0, row: 1, col: 20 });
+        let far2a = a2.site_position(SiteId::new(0, 0, 5)).distance(storage_mid);
+        let far2b = a2.site_position(SiteId::new(1, 2, 5)).distance(storage_mid);
+        assert!(far2a.max(far2b) < far1);
+    }
+
+    #[test]
+    fn zoned_custom_shapes() {
+        let arch = Architecture::zoned_custom(5, 30, 4, 8);
+        assert_eq!(arch.storage_grid(0), (5, 30));
+        assert_eq!(arch.site_grid(0), (4, 8));
+        assert_eq!(arch.num_sites(), 32);
+        // Zone separation is the reference 10 µm.
+        let top_storage = arch.position(crate::Loc::Storage { zone: 0, row: 4, col: 0 });
+        let bottom_site = arch.site_position(SiteId::new(0, 0, 0));
+        assert!((bottom_site.y - top_storage.y - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zoned_custom_rejects_zero() {
+        Architecture::zoned_custom(0, 10, 2, 2);
+    }
+
+    #[test]
+    fn ftqc_logical_shape() {
+        let arch = Architecture::ftqc_logical();
+        assert_eq!(arch.site_grid(0), (3, 5));
+        assert!(arch.storage_capacity() >= 128);
+    }
+}

@@ -1,0 +1,407 @@
+//! The paper's JSON architecture-specification format (Fig. 20).
+//!
+//! The ZAC artifact describes architectures in a JSON document with zone,
+//! SLM and AOD entries plus hardware operation parameters. This module parses
+//! and emits that exact format (including the artifact's misspelled keys
+//! `site_seperation` and `dimenstion`, which are accepted as aliases).
+
+use crate::architecture::{ArchError, Architecture};
+use crate::geometry::Point;
+use crate::model::{AodArray, SlmArray, Zone};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operation durations (µs) as carried in the spec file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecDurations {
+    /// Rydberg (CZ) gate duration.
+    pub rydberg: f64,
+    /// 1Q gate duration.
+    #[serde(rename = "1qGate")]
+    pub one_q_gate: f64,
+    /// Atom transfer (pickup or drop-off) duration.
+    pub atom_transfer: f64,
+}
+
+/// Operation fidelities as carried in the spec file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecFidelities {
+    /// 2Q (CZ) gate fidelity.
+    pub two_qubit_gate: f64,
+    /// 1Q gate fidelity.
+    pub single_qubit_gate: f64,
+    /// Atom transfer fidelity.
+    pub atom_transfer: f64,
+}
+
+/// Qubit coherence spec (`T` is T2, in µs, matching the artifact's 1.5e6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecQubit {
+    /// Coherence time T2 in µs.
+    #[serde(rename = "T")]
+    pub t2_us: f64,
+}
+
+/// A number that may appear as a scalar or an `[x, y]` pair in the spec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ScalarOrPair {
+    /// Single value used for both axes.
+    Scalar(f64),
+    /// Distinct x/y values.
+    Pair(f64, f64),
+}
+
+impl ScalarOrPair {
+    /// The `(x, y)` pair this value denotes.
+    pub fn as_pair(self) -> (f64, f64) {
+        match self {
+            Self::Scalar(v) => (v, v),
+            Self::Pair(x, y) => (x, y),
+        }
+    }
+}
+
+/// SLM entry in the spec format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecSlm {
+    /// Global SLM id.
+    pub id: usize,
+    /// Trap separation; the artifact spells the key `site_seperation`.
+    #[serde(rename = "site_seperation", alias = "site_separation")]
+    pub site_separation: ScalarOrPair,
+    /// Number of rows.
+    pub r: usize,
+    /// Number of columns.
+    pub c: usize,
+    /// Bottom-left trap position.
+    pub location: (f64, f64),
+}
+
+/// Zone entry in the spec format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecZone {
+    /// Zone id.
+    pub zone_id: usize,
+    /// SLM arrays inside the zone.
+    #[serde(default)]
+    pub slms: Vec<SpecSlm>,
+    /// Bottom-left corner of the zone.
+    pub offset: (f64, f64),
+    /// Width/height; the artifact sometimes spells the key `dimenstion`.
+    #[serde(rename = "dimension", alias = "dimenstion")]
+    pub dimension: (f64, f64),
+}
+
+/// AOD entry in the spec format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecAod {
+    /// AOD id.
+    pub id: usize,
+    /// Minimum row/column separation.
+    #[serde(rename = "site_seperation", alias = "site_separation")]
+    pub site_separation: ScalarOrPair,
+    /// Row capacity.
+    pub r: usize,
+    /// Column capacity.
+    pub c: usize,
+}
+
+/// The full architecture specification document (paper Fig. 20).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Architecture name.
+    pub name: String,
+    /// Operation durations, if present.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub operation_duration: Option<SpecDurations>,
+    /// Operation fidelities, if present.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub operation_fidelity: Option<SpecFidelities>,
+    /// Qubit coherence spec, if present.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub qubit_spec: Option<SpecQubit>,
+    /// Storage zones.
+    #[serde(default)]
+    pub storage_zones: Vec<SpecZone>,
+    /// Entanglement zones.
+    #[serde(default)]
+    pub entanglement_zones: Vec<SpecZone>,
+    /// Readout zones.
+    #[serde(default)]
+    pub readout_zones: Vec<SpecZone>,
+    /// AOD arrays.
+    pub aods: Vec<SpecAod>,
+    /// Overall architecture extent `[[x0,y0],[x1,y1]]`, informational.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub arch_range: Option<Vec<(f64, f64)>>,
+    /// Rydberg-laser coverage ranges, informational.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rydberg_range: Option<Vec<Vec<(f64, f64)>>>,
+}
+
+/// Error parsing or validating a spec document.
+#[derive(Debug)]
+pub enum SpecError {
+    /// The JSON was malformed.
+    Json(serde_json::Error),
+    /// The described architecture failed validation.
+    Arch(ArchError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "malformed architecture spec: {e}"),
+            Self::Arch(e) => write!(f, "invalid architecture: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Json(e) => Some(e),
+            Self::Arch(e) => Some(e),
+        }
+    }
+}
+
+impl From<serde_json::Error> for SpecError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+impl From<ArchError> for SpecError {
+    fn from(e: ArchError) -> Self {
+        Self::Arch(e)
+    }
+}
+
+fn zone_from_spec(spec: &SpecZone) -> Zone {
+    let slms = spec
+        .slms
+        .iter()
+        .map(|s| {
+            SlmArray::new(
+                s.id,
+                s.site_separation.as_pair(),
+                s.c,
+                s.r,
+                Point::new(s.location.0, s.location.1),
+            )
+        })
+        .collect();
+    Zone::new(
+        spec.zone_id,
+        Point::new(spec.offset.0, spec.offset.1),
+        spec.dimension,
+        slms,
+    )
+}
+
+fn zone_to_spec(zone: &Zone) -> SpecZone {
+    SpecZone {
+        zone_id: zone.zone_id,
+        slms: zone
+            .slms
+            .iter()
+            .map(|s| SpecSlm {
+                id: s.slm_id,
+                site_separation: ScalarOrPair::Pair(s.sep.0, s.sep.1),
+                r: s.num_row,
+                c: s.num_col,
+                location: (s.offset.x, s.offset.y),
+            })
+            .collect(),
+        offset: (zone.offset.x, zone.offset.y),
+        dimension: zone.dimension,
+    }
+}
+
+impl ArchSpec {
+    /// Parses a spec document from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Json`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, SpecError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Serializes the spec document to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization cannot fail")
+    }
+
+    /// Builds the validated [`Architecture`] this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Arch`] if the layout is inconsistent.
+    pub fn build(&self) -> Result<Architecture, SpecError> {
+        let aods = self
+            .aods
+            .iter()
+            .map(|a| AodArray::new(a.id, a.site_separation.as_pair().0, a.c, a.r))
+            .collect();
+        Ok(Architecture::new(
+            self.name.clone(),
+            aods,
+            self.storage_zones.iter().map(zone_from_spec).collect(),
+            self.entanglement_zones.iter().map(zone_from_spec).collect(),
+            self.readout_zones.iter().map(zone_from_spec).collect(),
+        )?)
+    }
+
+    /// Builds a spec document from an [`Architecture`] (without hardware
+    /// parameters; attach them with the public fields if needed).
+    pub fn from_architecture(arch: &Architecture) -> Self {
+        Self {
+            name: arch.name().to_owned(),
+            operation_duration: None,
+            operation_fidelity: None,
+            qubit_spec: None,
+            storage_zones: arch.storage_zones().iter().map(zone_to_spec).collect(),
+            entanglement_zones: arch.entanglement_zones().iter().map(zone_to_spec).collect(),
+            readout_zones: arch.readout_zones().iter().map(zone_to_spec).collect(),
+            aods: arch
+                .aods()
+                .iter()
+                .map(|a| SpecAod {
+                    id: a.aod_id,
+                    site_separation: ScalarOrPair::Scalar(a.min_sep),
+                    r: a.max_num_row,
+                    c: a.max_num_col,
+                })
+                .collect(),
+            arch_range: None,
+            rydberg_range: None,
+        }
+    }
+}
+
+impl Architecture {
+    /// Parses an architecture from the paper's JSON spec format (Fig. 20).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on malformed JSON or inconsistent layout.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use zac_arch::Architecture;
+    /// let json = zac_arch::spec::ArchSpec::from_architecture(
+    ///     &Architecture::reference()).to_json();
+    /// let arch = Architecture::from_spec_json(&json)?;
+    /// assert_eq!(arch.num_sites(), 140);
+    /// # Ok::<(), zac_arch::spec::SpecError>(())
+    /// ```
+    pub fn from_spec_json(json: &str) -> Result<Self, SpecError> {
+        ArchSpec::from_json(json)?.build()
+    }
+
+    /// Serializes this architecture in the paper's JSON spec format.
+    pub fn to_spec_json(&self) -> String {
+        ArchSpec::from_architecture(self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact document of paper Fig. 20 (with the artifact's typos).
+    const PAPER_SPEC: &str = r#"{
+      "name": "full_compute_store_architecture",
+      "operation_duration": {"rydberg": 0.36, "1qGate": 52, "atom_transfer": 15},
+      "operation_fidelity": {"two_qubit_gate": 0.995, "single_qubit_gate": 0.9997, "atom_transfer": 0.999},
+      "qubit_spec": {"T": 1.5e6},
+      "storage_zones": [{
+        "zone_id": 0,
+        "slms": [{"id": 0, "site_seperation": [3, 3], "r": 100, "c": 100, "location": [0, 0]}],
+        "offset": [0, 0],
+        "dimenstion": [300, 300]
+      }],
+      "entanglement_zones": [{
+        "zone_id": 0,
+        "slms": [
+          {"id": 1, "site_seperation": [12, 10], "r": 7, "c": 20, "location": [35, 307]},
+          {"id": 2, "site_seperation": [12, 10], "r": 7, "c": 20, "location": [37, 307]}
+        ],
+        "offset": [35, 307],
+        "dimension": [240, 70]
+      }],
+      "aods": [{"id": 0, "site_seperation": 2, "r": 100, "c": 100}],
+      "arch_range": [[0, 0], [297, 402]],
+      "rydberg_range": [[[5, 305], [292, 402]]]
+    }"#;
+
+    #[test]
+    fn parses_paper_fig20_spec() {
+        let arch = Architecture::from_spec_json(PAPER_SPEC).unwrap();
+        assert_eq!(arch.name(), "full_compute_store_architecture");
+        assert_eq!(arch.num_sites(), 140);
+        assert_eq!(arch.storage_capacity(), 10_000);
+        assert_eq!(arch.aods().len(), 1);
+        assert_eq!(arch.aods()[0].min_sep, 2.0);
+    }
+
+    #[test]
+    fn paper_spec_matches_reference_preset() {
+        let from_spec = Architecture::from_spec_json(PAPER_SPEC).unwrap();
+        let reference = Architecture::reference();
+        // Zones and AODs coincide; the preset adds a readout zone.
+        assert_eq!(from_spec.storage_zones(), reference.storage_zones());
+        assert_eq!(from_spec.entanglement_zones(), reference.entanglement_zones());
+        assert_eq!(from_spec.aods(), reference.aods());
+    }
+
+    #[test]
+    fn spec_carries_operation_parameters() {
+        let spec = ArchSpec::from_json(PAPER_SPEC).unwrap();
+        let dur = spec.operation_duration.unwrap();
+        assert_eq!(dur.rydberg, 0.36);
+        assert_eq!(dur.one_q_gate, 52.0);
+        assert_eq!(dur.atom_transfer, 15.0);
+        let fid = spec.operation_fidelity.unwrap();
+        assert_eq!(fid.two_qubit_gate, 0.995);
+        assert_eq!(spec.qubit_spec.unwrap().t2_us, 1.5e6);
+    }
+
+    #[test]
+    fn roundtrip_through_spec_json() {
+        for arch in [
+            Architecture::reference(),
+            Architecture::monolithic(10, 10),
+            Architecture::arch2_two_zones(),
+        ] {
+            let json = arch.to_spec_json();
+            let back = Architecture::from_spec_json(&json).unwrap();
+            assert_eq!(arch, back);
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        let err = Architecture::from_spec_json("{not json").unwrap_err();
+        assert!(matches!(err, SpecError::Json(_)));
+        assert!(err.to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn invalid_layout_is_reported() {
+        // No AODs → validation error.
+        let json = r#"{"name": "x", "aods": []}"#;
+        let err = Architecture::from_spec_json(json).unwrap_err();
+        assert!(matches!(err, SpecError::Arch(ArchError::NoAod)));
+    }
+
+    #[test]
+    fn scalar_or_pair_forms() {
+        assert_eq!(ScalarOrPair::Scalar(2.0).as_pair(), (2.0, 2.0));
+        assert_eq!(ScalarOrPair::Pair(3.0, 4.0).as_pair(), (3.0, 4.0));
+    }
+}

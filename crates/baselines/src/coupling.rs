@@ -1,0 +1,245 @@
+//! Superconducting coupling graphs: IBM Heron heavy-hex (127 qubits) and an
+//! 11×11 grid (Google Sycamore style), per paper Sec. VII-A.
+
+/// An undirected coupling graph over physical qubits.
+#[derive(Debug, Clone)]
+pub struct CouplingGraph {
+    num_qubits: usize,
+    adj: Vec<Vec<usize>>,
+    /// A precomputed long simple path used for line-friendly initial layout.
+    line: Vec<usize>,
+}
+
+impl CouplingGraph {
+    /// Builds a graph from undirected edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or self-loop edges.
+    pub fn new(num_qubits: usize, edges: &[(usize, usize)], line: Vec<usize>) -> Self {
+        let mut adj = vec![Vec::new(); num_qubits];
+        for &(a, b) in edges {
+            assert!(a < num_qubits && b < num_qubits && a != b, "bad edge ({a},{b})");
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        for l in &adj {
+            debug_assert!(!l.is_empty() || num_qubits == 1);
+        }
+        // Validate the line is a simple path in the graph.
+        for w in line.windows(2) {
+            assert!(adj[w[0]].contains(&w[1]), "line not a path at {}-{}", w[0], w[1]);
+        }
+        Self { num_qubits, adj, line }
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Neighbors of `q`.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adj[q]
+    }
+
+    /// Whether `a` and `b` are directly coupled.
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        self.adj[a].contains(&b)
+    }
+
+    /// The precomputed long simple path (for chain-friendly layouts).
+    pub fn line(&self) -> &[usize] {
+        &self.line
+    }
+
+    /// BFS shortest path from `a` to `b` (inclusive of both endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is unreachable (coupling graphs are connected).
+    pub fn shortest_path(&self, a: usize, b: usize) -> Vec<usize> {
+        if a == b {
+            return vec![a];
+        }
+        let mut prev = vec![usize::MAX; self.num_qubits];
+        let mut queue = std::collections::VecDeque::new();
+        prev[a] = a;
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if prev[v] == usize::MAX {
+                    prev[v] = u;
+                    if v == b {
+                        let mut path = vec![b];
+                        let mut cur = b;
+                        while cur != a {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return path;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        panic!("qubit {b} unreachable from {a}");
+    }
+
+    /// The IBM 127-qubit heavy-hexagon lattice (Eagle/Heron layout): seven
+    /// 15-qubit rows (14 at the ends) joined by four connector qubits between
+    /// consecutive rows.
+    pub fn heavy_hex_127() -> Self {
+        let mut edges = Vec::new();
+        // Row chains.
+        let rows: [(usize, usize); 7] = [
+            (0, 13),
+            (18, 32),
+            (37, 51),
+            (56, 70),
+            (75, 89),
+            (94, 108),
+            (113, 126),
+        ];
+        for &(lo, hi) in &rows {
+            for q in lo..hi {
+                edges.push((q, q + 1));
+            }
+        }
+        // Connectors: (connector, upper, lower).
+        let connectors: [(usize, usize, usize); 24] = [
+            (14, 0, 18),
+            (15, 4, 22),
+            (16, 8, 26),
+            (17, 12, 30),
+            (33, 20, 39),
+            (34, 24, 43),
+            (35, 28, 47),
+            (36, 32, 51),
+            (52, 37, 56),
+            (53, 41, 60),
+            (54, 45, 64),
+            (55, 49, 68),
+            (71, 58, 77),
+            (72, 62, 81),
+            (73, 66, 85),
+            (74, 70, 89),
+            (90, 75, 94),
+            (91, 79, 98),
+            (92, 83, 102),
+            (93, 87, 106),
+            (109, 96, 114),
+            (110, 100, 118),
+            (111, 104, 122),
+            (112, 108, 126),
+        ];
+        for &(c, up, down) in &connectors {
+            edges.push((c, up));
+            edges.push((c, down));
+        }
+        // A 109-qubit simple path threading the lattice (chain-friendly).
+        let mut line = Vec::new();
+        line.extend((0..=13).rev()); // 13..0
+        line.push(14);
+        line.extend(18..=32);
+        line.push(36);
+        line.extend((37..=51).rev());
+        line.push(52);
+        line.extend(56..=70);
+        line.push(74);
+        line.extend((75..=89).rev());
+        line.push(90);
+        line.extend(94..=108);
+        line.push(112);
+        line.extend((113..=126).rev());
+        Self::new(127, &edges, line)
+    }
+
+    /// An `n×n` grid with 4-neighbor coupling; the line is the row snake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn grid(n: usize) -> Self {
+        assert!(n > 0, "empty grid");
+        let idx = |r: usize, c: usize| r * n + c;
+        let mut edges = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if c + 1 < n {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < n {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        let mut line = Vec::new();
+        for r in 0..n {
+            if r % 2 == 0 {
+                line.extend((0..n).map(|c| idx(r, c)));
+            } else {
+                line.extend((0..n).rev().map(|c| idx(r, c)));
+            }
+        }
+        Self::new(n * n, &edges, line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_hex_shape() {
+        let g = CouplingGraph::heavy_hex_127();
+        assert_eq!(g.num_qubits(), 127);
+        // Heavy-hex degree bound is 3.
+        for q in 0..127 {
+            assert!(g.neighbors(q).len() <= 3, "qubit {q} has degree > 3");
+            assert!(!g.neighbors(q).is_empty(), "qubit {q} isolated");
+        }
+        // 127-qubit Eagle has 144 edges.
+        let total: usize = (0..127).map(|q| g.neighbors(q).len()).sum();
+        assert_eq!(total / 2, 144);
+    }
+
+    #[test]
+    fn heavy_hex_line_is_long_simple_path() {
+        let g = CouplingGraph::heavy_hex_127();
+        let line = g.line();
+        assert!(line.len() >= 98, "line must host ising_n98, got {}", line.len());
+        let set: std::collections::HashSet<_> = line.iter().collect();
+        assert_eq!(set.len(), line.len(), "line revisits a qubit");
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = CouplingGraph::grid(11);
+        assert_eq!(g.num_qubits(), 121);
+        assert_eq!(g.line().len(), 121);
+        // Corner degree 2, center degree 4.
+        assert_eq!(g.neighbors(0).len(), 2);
+        assert_eq!(g.neighbors(60).len(), 4);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let g = CouplingGraph::grid(5);
+        let p = g.shortest_path(0, 24);
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 24);
+        assert_eq!(p.len(), 9); // Manhattan distance 8 → 9 nodes
+        for w in p.windows(2) {
+            assert!(g.adjacent(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_trivial() {
+        let g = CouplingGraph::grid(3);
+        assert_eq!(g.shortest_path(4, 4), vec![4]);
+        assert_eq!(g.shortest_path(0, 1).len(), 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! Enola baseline: monolithic architecture with near-optimal stage count
+//! (paper Sec. II / VII-A).
+//!
+//! Enola schedules entangling gates into a near-optimal number of Rydberg
+//! stages and realizes each stage with rounds of parallel qubit movements
+//! found by a maximal-independent-set pass over the movement compatibility
+//! graph. The defining cost of the monolithic architecture is that the
+//! global Rydberg laser excites **every** idle qubit at every exposure.
+//!
+//! This reimplementation keeps those structural properties: ASAP staging
+//! (optimal under dependencies, matching the paper's "optimal number of
+//! Rydberg exposures"), MIS movement rounds, per-stage round trips for the
+//! moving qubit of each gate, and the full idle-excitation penalty.
+
+use std::time::Instant;
+use zac_arch::{Architecture, Loc};
+use zac_circuit::StagedCircuit;
+use zac_fidelity::{evaluate_neutral_atom, ExecutionSummary, FidelityReport, NeutralAtomParams};
+use zac_graph::mis::partition_into_independent_sets;
+use zac_zair::{moves_compatible, MoveSpec};
+
+/// Enola compilation result.
+#[derive(Debug, Clone)]
+pub struct EnolaOutput {
+    /// Execution summary.
+    pub summary: ExecutionSummary,
+    /// Fidelity report.
+    pub report: FidelityReport,
+    /// Total movement rounds across all stages.
+    pub movement_rounds: usize,
+    /// Compile wall time.
+    pub compile_time: std::time::Duration,
+}
+
+/// Error: circuit larger than the monolithic array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayTooSmall {
+    /// Required qubits.
+    pub needed: usize,
+    /// Available sites.
+    pub sites: usize,
+}
+
+impl std::fmt::Display for ArrayTooSmall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "circuit needs {} qubits, array has {} sites", self.needed, self.sites)
+    }
+}
+
+impl std::error::Error for ArrayTooSmall {}
+
+/// Compiles a staged circuit for a `rows×cols`-site monolithic array
+/// (the paper compares against 10×10).
+///
+/// # Errors
+///
+/// [`ArrayTooSmall`] if the circuit has more qubits than sites.
+pub fn compile_enola(
+    staged: &StagedCircuit,
+    rows: usize,
+    cols: usize,
+    params: &NeutralAtomParams,
+) -> Result<EnolaOutput, ArrayTooSmall> {
+    let start = Instant::now();
+    let arch = Architecture::monolithic(rows, cols);
+    let n = staged.num_qubits;
+    if n > rows * cols {
+        return Err(ArrayTooSmall { needed: n, sites: rows * cols });
+    }
+
+    // Home site of qubit i: row-major, slot 0.
+    let home = |q: usize| -> Loc {
+        Loc::Site { zone: 0, row: q / cols, col: q % cols, slot: 0 }
+    };
+
+    let mut duration = 0.0f64;
+    let mut busy = vec![0.0f64; n];
+    let mut g1 = 0usize;
+    let mut g2 = 0usize;
+    let mut n_exc = 0usize;
+    let mut n_tran = 0usize;
+    let mut movement_rounds = 0usize;
+
+    for stage in &staged.stages {
+        // 1Q gates: sequential Raman pulses.
+        for op in &stage.pre_1q {
+            duration += params.t_1q_us;
+            busy[op.qubit] += params.t_1q_us;
+            g1 += 1;
+        }
+
+        // One mover per gate travels to its partner's site (slot 1).
+        let moves: Vec<MoveSpec> = stage
+            .gates
+            .iter()
+            .map(|g| {
+                let target = match home(g.b) {
+                    Loc::Site { zone, row, col, .. } => Loc::Site { zone, row, col, slot: 1 },
+                    _ => unreachable!("monolithic homes are sites"),
+                };
+                MoveSpec::new(g.a, home(g.a), target)
+            })
+            .collect();
+
+        // MIS rounds over the AOD-compatibility conflict graph.
+        let adj: Vec<Vec<usize>> = (0..moves.len())
+            .map(|i| {
+                (0..moves.len())
+                    .filter(|&j| j != i && !moves_compatible(&arch, &moves[i], &moves[j]))
+                    .collect()
+            })
+            .collect();
+        let rounds = partition_into_independent_sets(&adj);
+        movement_rounds += rounds.len();
+        for round in &rounds {
+            let max_d = round
+                .iter()
+                .map(|&i| {
+                    arch.position(moves[i].from).distance(arch.position(moves[i].to))
+                })
+                .fold(0.0, f64::max);
+            // Outbound trip for this round.
+            duration += 2.0 * params.t_tran_us + zac_arch::movement_time_us(max_d);
+            for &i in round {
+                busy[moves[i].qubit] += 2.0 * params.t_tran_us;
+                n_tran += 2;
+            }
+        }
+
+        // One global exposure: gates fire, every other qubit is excited.
+        duration += params.t_2q_us;
+        g2 += stage.gates.len();
+        n_exc += n - 2 * stage.gates.len();
+        for g in &stage.gates {
+            busy[g.a] += params.t_2q_us;
+            busy[g.b] += params.t_2q_us;
+        }
+
+        // Return trips (same rounds in reverse).
+        for round in &rounds {
+            let max_d = round
+                .iter()
+                .map(|&i| {
+                    arch.position(moves[i].from).distance(arch.position(moves[i].to))
+                })
+                .fold(0.0, f64::max);
+            duration += 2.0 * params.t_tran_us + zac_arch::movement_time_us(max_d);
+            for &i in round {
+                busy[moves[i].qubit] += 2.0 * params.t_tran_us;
+                n_tran += 2;
+            }
+        }
+    }
+    for op in &staged.trailing_1q {
+        duration += params.t_1q_us;
+        busy[op.qubit] += params.t_1q_us;
+        g1 += 1;
+    }
+
+    let idle_us: Vec<f64> = busy.iter().map(|b| (duration - b).max(0.0)).collect();
+    let summary = ExecutionSummary {
+        name: staged.name.clone(),
+        num_qubits: n,
+        duration_us: duration,
+        g1,
+        g2,
+        n_exc,
+        n_tran,
+        idle_us,
+    };
+    let report = evaluate_neutral_atom(&summary, params);
+    Ok(EnolaOutput { summary, report, movement_rounds, compile_time: start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zac_circuit::{bench_circuits, preprocess};
+
+    fn params() -> NeutralAtomParams {
+        NeutralAtomParams::reference()
+    }
+
+    #[test]
+    fn ghz_counts() {
+        let staged = preprocess(&bench_circuits::ghz(10));
+        let out = compile_enola(&staged, 10, 10, &params()).unwrap();
+        assert_eq!(out.summary.g2, 9);
+        // 9 sequential stages, each exciting the 8 idle qubits.
+        assert_eq!(out.summary.n_exc, 9 * 8);
+        assert!(out.summary.n_tran >= 9 * 4, "each gate's mover round-trips");
+    }
+
+    #[test]
+    fn too_small_array_rejected() {
+        let staged = preprocess(&bench_circuits::ghz(101));
+        let err = compile_enola(&staged, 10, 10, &params()).unwrap_err();
+        assert_eq!(err, ArrayTooSmall { needed: 101, sites: 100 });
+    }
+
+    #[test]
+    fn excitation_errors_dominate_for_deep_circuits() {
+        // Fig. 1c: side-effect excitation is the dominant monolithic error.
+        let staged = preprocess(&bench_circuits::bv(70, 36));
+        let out = compile_enola(&staged, 10, 10, &params()).unwrap();
+        let p = params();
+        let exc_component = p.f_exc.powi(out.summary.n_exc as i32);
+        let gate_component = p.f_2q.powi(out.summary.g2 as i32);
+        assert!(
+            exc_component < gate_component,
+            "excitation {exc_component} should dominate gates {gate_component}"
+        );
+    }
+
+    #[test]
+    fn parallel_stage_uses_few_rounds() {
+        let staged = preprocess(&bench_circuits::ising(20));
+        let out = compile_enola(&staged, 10, 10, &params()).unwrap();
+        // 4 stages for one Trotter step (2 per ZZ layer); rounds stay small.
+        assert!(out.movement_rounds <= 4 * staged.num_stages());
+    }
+
+    #[test]
+    fn fidelity_in_unit_interval() {
+        for staged in [
+            preprocess(&bench_circuits::ghz(23)),
+            preprocess(&bench_circuits::qft(10)),
+        ] {
+            let out = compile_enola(&staged, 10, 10, &params()).unwrap();
+            let f = out.report.total();
+            assert!((0.0..=1.0).contains(&f), "{}: {f}", staged.name);
+        }
+    }
+}

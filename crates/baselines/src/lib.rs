@@ -1,0 +1,59 @@
+//! Baseline compilers the ZAC paper evaluates against (Sec. VII-A).
+//!
+//! Four faithful-shape reimplementations (see DESIGN.md §2 for the
+//! substitution rationale):
+//!
+//! * [`enola`] — monolithic architecture, near-optimal stage count, MIS
+//!   movement rounds, full idle-excitation penalty;
+//! * [`atomique`] — monolithic hybrid SLM/AOD arrays, whole-array alignment
+//!   rounds, SWAP-tripled intra-array gates, zero atom transfers;
+//! * [`nalac`] — zoned row-sliding compiler whose stay-in-zone reuse exposes
+//!   idle residents to the Rydberg laser;
+//! * [`sc`] — superconducting SWAP routing on the IBM Heron heavy-hex (127
+//!   qubits) and an 11×11 grid, over the [`coupling`] substrate.
+//!
+//! Every baseline produces a [`zac_fidelity::ExecutionSummary`] and a
+//! [`zac_fidelity::FidelityReport`], so the experiment harness compares all
+//! compilers under one model.
+
+pub mod atomique;
+pub mod coupling;
+pub mod enola;
+pub mod nalac;
+pub mod sc;
+
+pub use atomique::{compile_atomique, AtomiqueOutput};
+pub use coupling::CouplingGraph;
+pub use enola::{compile_enola, EnolaOutput};
+pub use nalac::{compile_nalac, NalacOutput};
+pub use sc::{compile_sc, ScMachine, ScOutput};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zac_circuit::{bench_circuits, preprocess};
+    use zac_fidelity::NeutralAtomParams;
+
+    /// The paper's headline ordering on a deep sequential circuit:
+    /// Atomique ≤ Enola < NALAC (zoned beats monolithic).
+    #[test]
+    fn compiler_ordering_on_sequential_circuit() {
+        let staged = preprocess(&bench_circuits::bv(70, 36));
+        let p = NeutralAtomParams::reference();
+        let enola = compile_enola(&staged, 10, 10, &p).unwrap().report.total();
+        let atomique = compile_atomique(&staged, 10, 10, &p).report.total();
+        let nalac = compile_nalac(&staged, 20, &p).report.total();
+        assert!(atomique <= enola + 1e-12, "atomique {atomique} > enola {enola}");
+        assert!(nalac > enola, "zoned NALAC {nalac} should beat monolithic {enola}");
+    }
+
+    /// Superconducting platforms beat everything on very short circuits.
+    #[test]
+    fn sc_wins_on_shallow_parallel_circuits() {
+        let staged = preprocess(&bench_circuits::ising(42));
+        let p = NeutralAtomParams::reference();
+        let heron = sc::compile_sc(&staged, ScMachine::Heron).unwrap().report.total();
+        let enola = compile_enola(&staged, 10, 10, &p).unwrap().report.total();
+        assert!(heron > enola);
+    }
+}

@@ -1,0 +1,282 @@
+//! Superconducting-qubit baseline: SWAP routing + ASAP timing
+//! (paper Sec. VII-A: Qiskit/Sabre on Heron heavy-hex and an 11×11 grid).
+//!
+//! The router places logical qubits along a precomputed long path of the
+//! coupling graph (so linear circuits route swap-free, as Sabre achieves) and
+//! inserts SWAPs (3 CX each) along shortest paths for non-adjacent gates —
+//! a lookahead-free Sabre-flavoured heuristic (deviation noted in DESIGN.md).
+
+use crate::coupling::CouplingGraph;
+use std::time::Instant;
+use zac_circuit::StagedCircuit;
+use zac_fidelity::{
+    evaluate_superconducting, ExecutionSummary, FidelityReport, SuperconductingParams,
+};
+
+/// Which superconducting machine to target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScMachine {
+    /// IBM Heron, 127-qubit heavy-hex.
+    Heron,
+    /// 11×11 grid (Google Sycamore style).
+    Grid,
+}
+
+impl ScMachine {
+    /// The machine's coupling graph.
+    pub fn coupling(&self) -> CouplingGraph {
+        match self {
+            Self::Heron => CouplingGraph::heavy_hex_127(),
+            Self::Grid => CouplingGraph::grid(11),
+        }
+    }
+
+    /// The machine's hardware parameters (Table I).
+    pub fn params(&self) -> SuperconductingParams {
+        match self {
+            Self::Heron => SuperconductingParams::heron(),
+            Self::Grid => SuperconductingParams::grid(),
+        }
+    }
+}
+
+/// Routing + evaluation result.
+#[derive(Debug, Clone)]
+pub struct ScOutput {
+    /// Execution summary (g2 includes inserted SWAP gates: 3 CX each).
+    pub summary: ExecutionSummary,
+    /// Fidelity under the machine's parameters.
+    pub report: FidelityReport,
+    /// SWAPs inserted by routing.
+    pub swaps: usize,
+    /// Compilation wall time.
+    pub compile_time: std::time::Duration,
+}
+
+/// Routing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooManyQubits {
+    /// Required logical qubits.
+    pub needed: usize,
+    /// Physical qubits available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for TooManyQubits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "circuit needs {} qubits, machine has {}", self.needed, self.available)
+    }
+}
+
+impl std::error::Error for TooManyQubits {}
+
+/// Compiles a staged circuit for a superconducting machine.
+///
+/// # Errors
+///
+/// [`TooManyQubits`] if the circuit exceeds the machine size.
+///
+/// # Example
+///
+/// ```
+/// use zac_baselines::sc::{compile_sc, ScMachine};
+/// use zac_circuit::{bench_circuits, preprocess};
+///
+/// let staged = preprocess(&bench_circuits::ghz(23));
+/// let out = compile_sc(&staged, ScMachine::Heron)?;
+/// assert_eq!(out.swaps, 0, "chains route swap-free on the line layout");
+/// # Ok::<(), zac_baselines::sc::TooManyQubits>(())
+/// ```
+pub fn compile_sc(staged: &StagedCircuit, machine: ScMachine) -> Result<ScOutput, TooManyQubits> {
+    let start = Instant::now();
+    let graph = machine.coupling();
+    let params = machine.params();
+    let n = staged.num_qubits;
+    if n > graph.num_qubits() {
+        return Err(TooManyQubits { needed: n, available: graph.num_qubits() });
+    }
+
+    // Initial layout: along the precomputed line, then any leftover qubits.
+    let mut phys_of: Vec<usize> = Vec::with_capacity(n);
+    let line = graph.line();
+    if n <= line.len() {
+        phys_of.extend_from_slice(&line[..n]);
+    } else {
+        phys_of.extend_from_slice(line);
+        for q in 0..graph.num_qubits() {
+            if phys_of.len() == n {
+                break;
+            }
+            if !phys_of.contains(&q) {
+                phys_of.push(q);
+            }
+        }
+    }
+    // logical_at[p] = logical qubit on physical p (or MAX).
+    let mut logical_at = vec![usize::MAX; graph.num_qubits()];
+    for (l, &p) in phys_of.iter().enumerate() {
+        logical_at[p] = l;
+    }
+
+    // ASAP timing over physical execution.
+    let mut avail = vec![0.0f64; n];
+    let mut busy = vec![0.0f64; n];
+    let mut g1 = 0usize;
+    let mut g2 = 0usize;
+    let mut swaps = 0usize;
+
+    // Sabre-flavoured mover choice: the endpoint with more remaining gates
+    // travels, so hub qubits (e.g. the BV ancilla) end up sitting amid
+    // their future partners instead of being fetched repeatedly.
+    let mut remaining = vec![0usize; n];
+    for (_, g) in staged.gates_with_stage() {
+        remaining[g.a] += 1;
+        remaining[g.b] += 1;
+    }
+
+    let do_2q = |a: usize, b: Option<usize>, avail: &mut [f64], busy: &mut [f64], g2: &mut usize| {
+        // `b = None` swaps with an unused physical qubit: the gates are real
+        // (the device has a qubit there) but carry no logical timing state.
+        let t = match b {
+            Some(b) => {
+                let t = avail[a].max(avail[b]) + params.t_2q_us;
+                avail[b] = t;
+                busy[b] += params.t_2q_us;
+                t
+            }
+            None => avail[a] + params.t_2q_us,
+        };
+        avail[a] = t;
+        busy[a] += params.t_2q_us;
+        *g2 += 1;
+    };
+
+    for stage in &staged.stages {
+        for op in &stage.pre_1q {
+            avail[op.qubit] += params.t_1q_us;
+            busy[op.qubit] += params.t_1q_us;
+            g1 += 1;
+        }
+        for gate in &stage.gates {
+            // Route: bring the two logical qubits adjacent by swapping the
+            // busier endpoint along the shortest physical path.
+            let (mover, target) = if remaining[gate.a] >= remaining[gate.b] {
+                (gate.a, gate.b)
+            } else {
+                (gate.b, gate.a)
+            };
+            let pm = phys_of[mover];
+            let pt = phys_of[target];
+            if !graph.adjacent(pm, pt) && pm != pt {
+                let path = graph.shortest_path(pm, pt);
+                for w in path.windows(2).take(path.len().saturating_sub(2)) {
+                    let (from, to) = (w[0], w[1]);
+                    let la = logical_at[from];
+                    let lb = logical_at[to];
+                    debug_assert_eq!(la, mover);
+                    // A SWAP is 3 CX.
+                    swaps += 1;
+                    if lb != usize::MAX {
+                        for _ in 0..3 {
+                            do_2q(la, Some(lb), &mut avail, &mut busy, &mut g2);
+                        }
+                        phys_of[lb] = from;
+                    } else {
+                        for _ in 0..3 {
+                            do_2q(la, None, &mut avail, &mut busy, &mut g2);
+                        }
+                    }
+                    phys_of[la] = to;
+                    logical_at[from] = lb;
+                    logical_at[to] = la;
+                }
+            }
+            do_2q(gate.a, Some(gate.b), &mut avail, &mut busy, &mut g2);
+            remaining[gate.a] -= 1;
+            remaining[gate.b] -= 1;
+        }
+    }
+    for op in &staged.trailing_1q {
+        avail[op.qubit] += params.t_1q_us;
+        busy[op.qubit] += params.t_1q_us;
+        g1 += 1;
+    }
+
+    let duration = avail.iter().copied().fold(0.0, f64::max);
+    let idle_us: Vec<f64> = busy.iter().map(|b| (duration - b).max(0.0)).collect();
+    let summary = ExecutionSummary {
+        name: staged.name.clone(),
+        num_qubits: n,
+        duration_us: duration,
+        g1,
+        g2,
+        n_exc: 0,
+        n_tran: 0,
+        idle_us,
+    };
+    let report = evaluate_superconducting(&summary, &params);
+    Ok(ScOutput { summary, report, swaps, compile_time: start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zac_circuit::{bench_circuits, preprocess};
+
+    #[test]
+    fn chain_circuits_route_swap_free() {
+        for staged in [
+            preprocess(&bench_circuits::ghz(40)),
+            preprocess(&bench_circuits::ising(42)),
+        ] {
+            let out = compile_sc(&staged, ScMachine::Heron).unwrap();
+            assert_eq!(out.swaps, 0, "{}", staged.name);
+            assert_eq!(out.summary.g2, staged.num_2q_gates());
+        }
+    }
+
+    #[test]
+    fn bv_routes_with_sabre_like_swap_count() {
+        // BV couples every data qubit to one ancilla. Moving the hub ancilla
+        // (the busier endpoint) keeps swap counts linear, like Sabre.
+        let staged = preprocess(&bench_circuits::bv(14, 13));
+        let out = compile_sc(&staged, ScMachine::Heron).unwrap();
+        assert!(out.swaps > 0);
+        assert!(out.swaps <= 2 * 14, "swap count {} should be ~linear", out.swaps);
+        assert_eq!(out.summary.g2, staged.num_2q_gates() + 3 * out.swaps);
+    }
+
+    #[test]
+    fn qft_needs_swaps() {
+        let staged = preprocess(&bench_circuits::qft(18));
+        let out = compile_sc(&staged, ScMachine::Heron).unwrap();
+        assert!(out.swaps > 0, "all-to-all circuit must swap");
+        assert_eq!(out.summary.g2, staged.num_2q_gates() + 3 * out.swaps);
+    }
+
+    #[test]
+    fn ising_duration_is_microseconds() {
+        // Paper: ising_n42 runs in ~2 us on Heron, ~650 ns on the grid.
+        let staged = preprocess(&bench_circuits::ising(42));
+        let h = compile_sc(&staged, ScMachine::Heron).unwrap();
+        let g = compile_sc(&staged, ScMachine::Grid).unwrap();
+        assert!(h.summary.duration_us < 10.0, "Heron {} us", h.summary.duration_us);
+        assert!(g.summary.duration_us < h.summary.duration_us);
+        assert!(h.report.total() > 0.3 && h.report.total() < 1.0);
+    }
+
+    #[test]
+    fn too_many_qubits_rejected() {
+        let staged = preprocess(&bench_circuits::ghz(122));
+        let err = compile_sc(&staged, ScMachine::Grid).unwrap_err();
+        assert_eq!(err, TooManyQubits { needed: 122, available: 121 });
+    }
+
+    #[test]
+    fn grid_decoheres_faster_for_long_circuits() {
+        let staged = preprocess(&bench_circuits::qft(18));
+        let h = compile_sc(&staged, ScMachine::Heron).unwrap();
+        let g = compile_sc(&staged, ScMachine::Grid).unwrap();
+        assert!(g.report.decoherence <= h.report.decoherence + 1e-12);
+    }
+}

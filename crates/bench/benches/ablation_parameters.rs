@@ -1,0 +1,74 @@
+//! Extended ablation: sweeps of ZAC's internal design parameters.
+//!
+//! The paper fixes SA at 1000 iterations, the Eq.-3 lookahead at α = 0.1,
+//! and uses small candidate windows; this bench quantifies those choices by
+//! sweeping each knob with the others held at their defaults.
+
+use zac_arch::Architecture;
+use zac_bench::{geomean, print_header};
+use zac_circuit::{bench_circuits, preprocess, StagedCircuit};
+use zac_core::{Zac, ZacConfig};
+
+fn subset() -> Vec<StagedCircuit> {
+    [
+        bench_circuits::bv(30, 18),
+        bench_circuits::ghz(40),
+        bench_circuits::ising(42),
+        bench_circuits::qft(18),
+        bench_circuits::wstate(27),
+    ]
+    .iter()
+    .map(preprocess)
+    .collect()
+}
+
+fn gmean_fidelity(circuits: &[StagedCircuit], cfg: &ZacConfig) -> f64 {
+    let arch = Architecture::reference();
+    let fids: Vec<f64> = circuits
+        .iter()
+        .filter_map(|s| {
+            Zac::with_config(arch.clone(), cfg.clone())
+                .compile_staged(s)
+                .ok()
+                .map(|o| o.total_fidelity())
+        })
+        .collect();
+    geomean(&fids)
+}
+
+fn main() {
+    print_header(
+        "Extended ablation — design-parameter sweeps",
+        "paper defaults: SA = 1000 iterations, lookahead α = 0.1, window δ = 2, k = 2",
+    );
+    let circuits = subset();
+
+    println!("\nSA iteration budget (fidelity geomean over 5-circuit subset):");
+    for iters in [0usize, 100, 300, 1000, 3000] {
+        let mut cfg = ZacConfig::full();
+        cfg.placement.use_sa = iters > 0;
+        cfg.placement.sa_iterations = iters.max(1);
+        println!("  {iters:>6} iters: {:.4}", gmean_fidelity(&circuits, &cfg));
+    }
+
+    println!("\nEq.-3 lookahead weight α:");
+    for alpha in [0.0, 0.05, 0.1, 0.3, 1.0] {
+        let mut cfg = ZacConfig::full();
+        cfg.placement.lookahead_alpha = alpha;
+        println!("  α = {alpha:<5}: {:.4}", gmean_fidelity(&circuits, &cfg));
+    }
+
+    println!("\ncandidate window expansion δ (gate placement):");
+    for delta in [1usize, 2, 4, 8] {
+        let mut cfg = ZacConfig::full();
+        cfg.placement.window_expansion = delta;
+        println!("  δ = {delta:<3}: {:.4}", gmean_fidelity(&circuits, &cfg));
+    }
+
+    println!("\nreturn-trap neighborhood k:");
+    for k in [0usize, 1, 2, 4, 8] {
+        let mut cfg = ZacConfig::full();
+        cfg.placement.neighbor_k = k;
+        println!("  k = {k:<3}: {:.4}", gmean_fidelity(&circuits, &cfg));
+    }
+}

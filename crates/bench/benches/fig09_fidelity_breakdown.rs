@@ -1,0 +1,71 @@
+//! Fig. 9: fidelity breakdown (2Q gate / atom transfer / decoherence) for
+//! the four neutral-atom compilers.
+//!
+//! Paper claims: ZAC's 2Q component is 1.37× better than NALAC and 14×
+//! better than Enola; transfer fidelity 1.03× better than Enola; decoherence
+//! 1.36× better than Atomique.
+
+use zac_bench::{compiler_geomean, print_header, run_architecture_comparison};
+
+const NA: [&str; 4] = ["Monolithic-Atomique", "Monolithic-Enola", "Zoned-NALAC", "Zoned-ZAC"];
+
+fn main() {
+    print_header(
+        "Fig. 9 — Fidelity breakdown (neutral-atom compilers)",
+        "2Q: ZAC 1.37x vs NALAC, 14x vs Enola; transfer: 1.03x vs Enola; \
+         decoherence: 1.36x vs Atomique",
+    );
+    let rows = run_architecture_comparison();
+
+    for (title, f) in [
+        ("2Q gate fidelity (f2^g2 * fexc^Nexc)", 0usize),
+        ("atom transfer fidelity (ftran^Ntran)", 1usize),
+        ("decoherence fidelity", 2usize),
+    ] {
+        println!("\n--- {title} ---");
+        print!("{:<22}", "circuit");
+        for c in NA {
+            print!("{c:>22}");
+        }
+        println!();
+        let component = |r: &zac_bench::RunResult| match f {
+            0 => r.report.two_q,
+            1 => r.report.transfer,
+            _ => r.report.decoherence,
+        };
+        for row in &rows {
+            print!("{:<22}", row.name);
+            for c in NA {
+                match row.result(c) {
+                    Some(r) => print!("{:>22.4e}", component(r)),
+                    None => print!("{:>22}", "-"),
+                }
+            }
+            println!();
+        }
+        print!("{:<22}", "GMean");
+        for c in NA {
+            print!("{:>22.4e}", compiler_geomean(&rows, c, component));
+        }
+        println!();
+    }
+
+    // Headline ratios.
+    let g2 = |c: &str| compiler_geomean(&rows, c, |r| r.report.two_q);
+    let tr = |c: &str| compiler_geomean(&rows, c, |r| r.report.transfer);
+    let de = |c: &str| compiler_geomean(&rows, c, |r| r.report.decoherence);
+    println!("\nheadline ratios (paper in parentheses):");
+    println!(
+        "  2Q:   ZAC/NALAC = {:.2}x (1.37x), ZAC/Enola = {:.1}x (14x)",
+        g2("Zoned-ZAC") / g2("Zoned-NALAC").max(1e-300),
+        g2("Zoned-ZAC") / g2("Monolithic-Enola").max(1e-300)
+    );
+    println!(
+        "  tran: ZAC/Enola = {:.3}x (1.03x)",
+        tr("Zoned-ZAC") / tr("Monolithic-Enola").max(1e-300)
+    );
+    println!(
+        "  deco: ZAC/Atomique = {:.2}x (1.36x)",
+        de("Zoned-ZAC") / de("Monolithic-Atomique").max(1e-300)
+    );
+}

@@ -1,0 +1,49 @@
+//! Fig. 10: circuit duration for the neutral-atom compilers.
+//!
+//! Paper claims: ZAC achieves 10% and 55% shorter circuit duration than
+//! Atomique and NALAC respectively; NALAC's duration blows up on large
+//! circuits.
+
+use zac_bench::{compiler_geomean, print_header, run_architecture_comparison};
+
+const NA: [&str; 4] = ["Monolithic-Atomique", "Monolithic-Enola", "Zoned-NALAC", "Zoned-ZAC"];
+
+fn main() {
+    print_header(
+        "Fig. 10 — Circuit duration (ms)",
+        "ZAC: 10% shorter than Atomique, 55% shorter than NALAC (geomean)",
+    );
+    let rows = run_architecture_comparison();
+
+    print!("{:<22}", "circuit");
+    for c in NA {
+        print!("{c:>22}");
+    }
+    println!();
+    for row in &rows {
+        print!("{:<22}", row.name);
+        for c in NA {
+            match row.result(c) {
+                Some(r) => print!("{:>22.3}", r.report.duration_us / 1000.0),
+                None => print!("{:>22}", "-"),
+            }
+        }
+        println!();
+    }
+    print!("{:<22}", "GMean");
+    for c in NA {
+        print!("{:>22.3}", compiler_geomean(&rows, c, |r| r.report.duration_us) / 1000.0);
+    }
+    println!();
+
+    let d = |c: &str| compiler_geomean(&rows, c, |r| r.report.duration_us);
+    println!("\nheadline ratios (paper in parentheses):");
+    println!(
+        "  ZAC vs Atomique: {:.0}% shorter (10%)",
+        (1.0 - d("Zoned-ZAC") / d("Monolithic-Atomique")) * 100.0
+    );
+    println!(
+        "  ZAC vs NALAC:    {:.0}% shorter (55%)",
+        (1.0 - d("Zoned-ZAC") / d("Zoned-NALAC")) * 100.0
+    );
+}

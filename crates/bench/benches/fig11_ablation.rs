@@ -1,0 +1,63 @@
+//! Fig. 11: ablation of ZAC's placement techniques.
+//!
+//! Paper claims: dynPlace gives ~5% over Vanilla; +reuse gives ~46% over
+//! dynPlace; +SA adds ~0.4% on average (up to ~4% on qft_n18, since most
+//! circuits fit one storage row).
+
+use zac_arch::Architecture;
+use zac_bench::{geomean, print_header};
+use zac_circuit::{bench_circuits, preprocess};
+use zac_core::{Zac, ZacConfig};
+
+const ARMS: [&str; 4] = ["Vanilla", "dynPlace", "dynPlace+reuse", "SA+dynPlace+reuse"];
+
+fn config_for(arm: &str) -> ZacConfig {
+    match arm {
+        "Vanilla" => ZacConfig::vanilla(),
+        "dynPlace" => ZacConfig::dyn_place(),
+        "dynPlace+reuse" => ZacConfig::dyn_place_reuse(),
+        _ => ZacConfig::full(),
+    }
+}
+
+fn main() {
+    print_header(
+        "Fig. 11 — Technique comparison (ZAC ablation)",
+        "dynPlace +5% over Vanilla; +reuse +46% over dynPlace; +SA +0.4% avg",
+    );
+
+    print!("{:<22}", "circuit");
+    for arm in ARMS {
+        print!("{arm:>22}");
+    }
+    println!();
+
+    let mut per_arm: Vec<Vec<f64>> = vec![Vec::new(); ARMS.len()];
+    for entry in bench_circuits::paper_suite() {
+        let staged = preprocess(&entry.circuit);
+        print!("{:<22}", entry.circuit.name());
+        for (i, arm) in ARMS.iter().enumerate() {
+            let zac = Zac::with_config(Architecture::reference(), config_for(arm));
+            match zac.compile_staged(&staged) {
+                Ok(out) => {
+                    per_arm[i].push(out.total_fidelity());
+                    print!("{:>22.4e}", out.total_fidelity());
+                }
+                Err(_) => print!("{:>22}", "-"),
+            }
+        }
+        println!();
+    }
+
+    print!("{:<22}", "GMean");
+    let gms: Vec<f64> = per_arm.iter().map(|v| geomean(v)).collect();
+    for g in &gms {
+        print!("{g:>22.4e}");
+    }
+    println!();
+
+    println!("\nincremental gains (paper in parentheses):");
+    println!("  dynPlace / Vanilla:            {:.1}% (5%)", (gms[1] / gms[0] - 1.0) * 100.0);
+    println!("  +reuse / dynPlace:             {:.1}% (46%)", (gms[2] / gms[1] - 1.0) * 100.0);
+    println!("  +SA / dynPlace+reuse:          {:.2}% (0.4%)", (gms[3] / gms[2] - 1.0) * 100.0);
+}

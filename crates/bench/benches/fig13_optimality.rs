@@ -1,0 +1,68 @@
+//! Fig. 13: optimality analysis against idealized upper bounds.
+//!
+//! Paper claims: ZAC is within 3% of perfect movement, 7% of perfect
+//! placement, and 10% of perfect reuse (geomean fidelity gaps).
+
+use zac_arch::Architecture;
+use zac_bench::{geomean, print_header};
+use zac_circuit::{bench_circuits, preprocess};
+use zac_core::{ideal_summary, IdealLevel, Zac, ZacConfig};
+use zac_fidelity::{evaluate_neutral_atom, NeutralAtomParams};
+
+fn main() {
+    print_header(
+        "Fig. 13 — Optimality analysis",
+        "ZAC gaps: 3% vs perfect movement, 7% vs perfect placement, \
+         10% vs perfect reuse",
+    );
+    let params = NeutralAtomParams::reference();
+    let arch = Architecture::reference();
+
+    println!(
+        "{:<22}{:>16}{:>16}{:>16}{:>16}",
+        "circuit", "PerfectReuse", "PerfectPlace", "PerfectMove", "ZAC"
+    );
+    let mut zac_f = Vec::new();
+    let mut move_f = Vec::new();
+    let mut place_f = Vec::new();
+    let mut reuse_f = Vec::new();
+    for entry in bench_circuits::paper_suite() {
+        let staged = preprocess(&entry.circuit);
+        let zac = Zac::with_config(arch.clone(), ZacConfig::full());
+        let Ok(out) = zac.compile_staged(&staged) else {
+            continue;
+        };
+        // Ideal models operate on the auto-split staging ZAC itself used.
+        let split = if staged.max_parallelism() > arch.num_sites() {
+            staged.with_max_stage_width(arch.num_sites())
+        } else {
+            staged.clone()
+        };
+        let fid = |level| {
+            let s = ideal_summary(&arch, &split, &out.plan, &params, level);
+            evaluate_neutral_atom(&s, &params).total()
+        };
+        let fm = fid(IdealLevel::PerfectMovement);
+        let fp = fid(IdealLevel::PerfectPlacement);
+        let fr = fid(IdealLevel::PerfectReuse);
+        println!(
+            "{:<22}{fr:>16.4}{fp:>16.4}{fm:>16.4}{:>16.4}",
+            entry.circuit.name(),
+            out.total_fidelity()
+        );
+        zac_f.push(out.total_fidelity());
+        move_f.push(fm);
+        place_f.push(fp);
+        reuse_f.push(fr);
+    }
+
+    let (z, m, p, r) = (geomean(&zac_f), geomean(&move_f), geomean(&place_f), geomean(&reuse_f));
+    println!(
+        "{:<22}{r:>16.4}{p:>16.4}{m:>16.4}{z:>16.4}",
+        "GMean"
+    );
+    println!("\noptimality gaps (paper in parentheses):");
+    println!("  vs perfect movement:  {:.1}% (3%)", (1.0 - z / m) * 100.0);
+    println!("  vs perfect placement: {:.1}% (7%)", (1.0 - z / p) * 100.0);
+    println!("  vs perfect reuse:     {:.1}% (10%)", (1.0 - z / r) * 100.0);
+}

@@ -1,0 +1,51 @@
+//! Fig. 14: circuit fidelity with 1–4 AODs.
+//!
+//! Paper claims: two AODs give ~10% fidelity improvement; the third and
+//! fourth add only ~2% because rearrangement parallelism saturates.
+
+use zac_arch::Architecture;
+use zac_bench::{geomean, print_header};
+use zac_circuit::{bench_circuits, preprocess};
+use zac_core::{Zac, ZacConfig};
+
+fn main() {
+    print_header(
+        "Fig. 14 — AOD number comparison",
+        "2 AODs: +10% fidelity; 3rd and 4th AOD: +2% more",
+    );
+
+    print!("{:<22}", "circuit");
+    for k in 1..=4 {
+        print!("{:>18}", format!("{k}AOD"));
+    }
+    println!();
+
+    let mut per_k: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for entry in bench_circuits::paper_suite() {
+        let staged = preprocess(&entry.circuit);
+        print!("{:<22}", entry.circuit.name());
+        for k in 1..=4usize {
+            let arch = Architecture::reference().with_num_aods(k);
+            let zac = Zac::with_config(arch, ZacConfig::full());
+            match zac.compile_staged(&staged) {
+                Ok(out) => {
+                    per_k[k - 1].push(out.total_fidelity());
+                    print!("{:>18.4e}", out.total_fidelity());
+                }
+                Err(_) => print!("{:>18}", "-"),
+            }
+        }
+        println!();
+    }
+
+    print!("{:<22}", "GMean");
+    let gms: Vec<f64> = per_k.iter().map(|v| geomean(v)).collect();
+    for g in &gms {
+        print!("{g:>18.4e}");
+    }
+    println!();
+    println!("\ngains over 1 AOD (paper in parentheses):");
+    println!("  2 AODs: {:+.1}% (+10%)", (gms[1] / gms[0] - 1.0) * 100.0);
+    println!("  3 AODs: {:+.1}%", (gms[2] / gms[0] - 1.0) * 100.0);
+    println!("  4 AODs: {:+.1}% (2 AOD +2%)", (gms[3] / gms[0] - 1.0) * 100.0);
+}

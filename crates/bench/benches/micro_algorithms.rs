@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks for the core combinatorial routines: bipartite
+//! matching (Hopcroft–Karp), the assignment solver (Jonker–Volgenant),
+//! maximal-independent-set partitioning, and the SA placement inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zac_arch::Architecture;
+use zac_circuit::{bench_circuits, preprocess};
+use zac_graph::mis::partition_into_independent_sets;
+use zac_graph::{max_bipartite_matching, min_weight_full_matching, CostMatrix};
+use zac_place::sa_initial_placement;
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    for &n in &[32usize, 128, 512] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|_| (0..8).map(|_| rng.gen_range(0..n)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &adj, |b, adj| {
+            b.iter(|| max_bipartite_matching(adj, n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jonker_volgenant");
+    for &n in &[16usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut cost = CostMatrix::new(n, n + 16, 0.0);
+        for r in 0..n {
+            for col in 0..n + 16 {
+                cost.set(r, col, rng.gen_range(0.0..100.0));
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
+            b.iter(|| min_weight_full_matching(cost).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis_partition");
+    for &n in &[32usize, 128] {
+        let mut rng = StdRng::seed_from_u64(23);
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|_| (0..n / 8).map(|_| rng.gen_range(0..n)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &adj, |b, adj| {
+            b.iter(|| partition_into_independent_sets(adj));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sa(c: &mut Criterion) {
+    let arch = Architecture::reference();
+    let staged = preprocess(&bench_circuits::qft(12));
+    c.bench_function("sa_initial_placement_1000_iters", |b| {
+        b.iter(|| sa_initial_placement(&arch, &staged, 1000, 5).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hopcroft_karp, bench_assignment, bench_mis, bench_sa
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Sec. VIII: ZAC in fault-tolerant quantum computing.
+//!
+//! Paper claims: the 128-block hIQP circuit (384 logical qubits, 448
+//! transversal gates) compiles to 35 Rydberg stages with a physical duration
+//! of 117.847 ms, using all 15 logical sites (the hand-crafted heuristic of
+//! Bluvstein et al. uses only 8).
+
+use zac_bench::print_header;
+use zac_ftqc::compile_hiqp;
+
+fn main() {
+    print_header(
+        "Sec. VIII — FTQC hIQP compilation ([[8,3,2]] blocks)",
+        "128 blocks / 384 logical qubits / 448 transversal gates → \
+         35 Rydberg stages, 117.847 ms",
+    );
+    println!(
+        "{:>8}{:>10}{:>14}{:>12}{:>14}{:>12}",
+        "blocks", "logical", "transversal", "stages", "duration", "fidelity"
+    );
+    for blocks in [16, 32, 64, 128] {
+        let r = compile_hiqp(blocks).expect("hIQP compiles");
+        println!(
+            "{:>8}{:>10}{:>14}{:>12}{:>12.2}ms{:>12.4}",
+            r.num_blocks,
+            r.logical_qubits,
+            r.transversal_gates,
+            r.rydberg_stages,
+            r.duration_ms,
+            r.output.total_fidelity()
+        );
+    }
+    println!(
+        "\npaper reference at 128 blocks: 35 stages, 117.847 ms \
+         (fidelity not reported at block level)"
+    );
+}

@@ -1,0 +1,43 @@
+//! Table I: hardware parameters used throughout the evaluation.
+
+use zac_bench::print_header;
+use zac_fidelity::{NeutralAtomParams, SuperconductingParams};
+
+fn main() {
+    print_header(
+        "Table I — Hardware parameters",
+        "f2 / f1 / T1q / T2q / T2 per platform",
+    );
+    println!(
+        "{:<16}{:>8}{:>9}{:>12}{:>12}{:>12}",
+        "Platform", "f2", "f1", "T1q", "T2q", "T2"
+    );
+    let na = NeutralAtomParams::reference();
+    println!(
+        "{:<16}{:>8}{:>9}{:>12}{:>12}{:>12}",
+        "Neutral Atom",
+        na.f_2q,
+        na.f_1q,
+        format!("{}us", na.t_1q_us),
+        format!("{}ns", na.t_2q_us * 1000.0),
+        format!("{}s", na.t2_us / 1e6)
+    );
+    for (name, p) in [
+        ("SC Heron", SuperconductingParams::heron()),
+        ("SC Grid", SuperconductingParams::grid()),
+    ] {
+        println!(
+            "{:<16}{:>8}{:>9}{:>12}{:>12}{:>12}",
+            name,
+            p.f_2q,
+            p.f_1q,
+            format!("{}ns", p.t_1q_us * 1000.0),
+            format!("{}ns", p.t_2q_us * 1000.0),
+            format!("{}us", p.t2_us)
+        );
+    }
+    println!(
+        "\nauxiliary neutral-atom constants: f_exc = {}, f_tran = {}, T_tran = {}us",
+        na.f_exc, na.f_tran, na.t_tran_us
+    );
+}

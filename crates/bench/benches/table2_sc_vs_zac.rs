@@ -1,0 +1,40 @@
+//! Table II: fidelity breakdown and average circuit duration, SC vs ZAC.
+//!
+//! Paper reference row (SC grid): 2Q 0.8451, 1Q 0.9008, decoherence 0.3102,
+//! total 0.2362, avg duration 9.1 µs. ZAC row: 2Q 0.6977, 1Q 0.9721,
+//! transfer 0.7814, decoherence 0.7003, total 0.3689, avg 13.8 ms.
+
+use zac_bench::{compiler_geomean, print_header, run_architecture_comparison};
+
+fn main() {
+    print_header(
+        "Table II — Fidelity breakdown & avg duration: SC grid vs ZAC",
+        "SC: 0.8451/0.9008/-/0.3102 → 0.2362 @ 9.1us; \
+         ZAC: 0.6977/0.9721/0.7814/0.7003 → 0.3689 @ 13.8ms",
+    );
+    let rows = run_architecture_comparison();
+
+    println!(
+        "{:<12}{:>10}{:>10}{:>10}{:>10}{:>10}{:>16}",
+        "", "2Q", "1Q", "Tran.", "Decohe.", "Total", "Avg duration"
+    );
+    for (label, compiler) in [("SC", "SC-Grid"), ("ZAC", "Zoned-ZAC")] {
+        let g2 = compiler_geomean(&rows, compiler, |r| r.report.two_q);
+        let g1 = compiler_geomean(&rows, compiler, |r| r.report.one_q);
+        let tr = compiler_geomean(&rows, compiler, |r| r.report.transfer);
+        let de = compiler_geomean(&rows, compiler, |r| r.report.decoherence);
+        let tot = compiler_geomean(&rows, compiler, |r| r.fidelity());
+        let durs: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.result(compiler).map(|x| x.report.duration_us))
+            .collect();
+        let avg = durs.iter().sum::<f64>() / durs.len().max(1) as f64;
+        let dur_str = if avg > 1000.0 {
+            format!("{:.1}ms", avg / 1000.0)
+        } else {
+            format!("{avg:.1}us")
+        };
+        let tr_str = if compiler.starts_with("SC") { "N/A".to_string() } else { format!("{tr:.4}") };
+        println!("{label:<12}{g2:>10.4}{g1:>10.4}{tr_str:>10}{de:>10.4}{tot:>10.4}{dur_str:>16}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Architecture exploration: how entanglement-zone size affects fidelity.
+//!
+//! Extends the paper's Sec. VII-H direction: for a fixed storage zone, sweep
+//! the number of Rydberg sites. Too few sites force stage splitting (extra
+//! exposures and trips); beyond the circuit's parallelism, extra sites only
+//! lengthen movements. The sweet spot tracks each workload's max stage width.
+
+use zac_arch::Architecture;
+use zac_bench::print_header;
+use zac_circuit::{bench_circuits, preprocess};
+use zac_core::{Zac, ZacConfig};
+
+fn main() {
+    print_header(
+        "Zone-size sweep (extension of Sec. VII-H)",
+        "fidelity peaks once the zone covers the circuit's max parallel stage",
+    );
+    let workloads =
+        [preprocess(&bench_circuits::ising(42)), preprocess(&bench_circuits::qft(18))];
+
+    for staged in &workloads {
+        println!(
+            "\n{} (max stage width {}):",
+            staged.name,
+            staged.max_parallelism()
+        );
+        println!("{:>14}{:>10}{:>14}{:>14}{:>12}", "sites", "stages", "fidelity", "duration", "transfers");
+        for (rows, cols) in [(1usize, 10usize), (2, 10), (3, 10), (4, 12), (7, 20)] {
+            let arch = Architecture::zoned_custom(3, 40, rows, cols);
+            let mut cfg = ZacConfig::full();
+            cfg.placement.sa_iterations = 300;
+            match Zac::with_config(arch, cfg).compile_staged(staged) {
+                Ok(out) => {
+                    let stages = out.plan.stages.len();
+                    println!(
+                        "{:>10}x{:<3}{stages:>10}{:>14.4}{:>12.2}ms{:>12}",
+                        rows,
+                        cols,
+                        out.total_fidelity(),
+                        out.summary.duration_us / 1000.0,
+                        out.summary.n_tran
+                    );
+                }
+                Err(e) => println!("{rows:>10}x{cols:<3}  failed: {e}"),
+            }
+        }
+    }
+}

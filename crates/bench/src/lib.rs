@@ -1,0 +1,217 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Every `benches/*.rs` target (plain binaries, `harness = false`) uses this
+//! crate to run the compilers over the paper's benchmark suite and print the
+//! same rows/series the paper reports. See EXPERIMENTS.md for the recorded
+//! paper-vs-measured comparison.
+
+use zac_arch::Architecture;
+use zac_baselines::{compile_atomique, compile_enola, compile_nalac, compile_sc, ScMachine};
+use zac_circuit::{bench_circuits, preprocess, StagedCircuit};
+use zac_core::{Zac, ZacConfig};
+use zac_fidelity::{FidelityReport, NeutralAtomParams};
+
+/// One compiler's results on one circuit.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Compiler label as used in the paper's legends.
+    pub compiler: &'static str,
+    /// Fidelity report.
+    pub report: FidelityReport,
+    /// Counters: (g1, g2, n_exc, n_tran).
+    pub counts: (usize, usize, usize, usize),
+    /// Compile wall time in seconds.
+    pub compile_secs: f64,
+}
+
+impl RunResult {
+    /// Total fidelity.
+    pub fn fidelity(&self) -> f64 {
+        self.report.total()
+    }
+}
+
+/// All compilers' results on one circuit.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Circuit name (paper naming, e.g. `bv_n14`).
+    pub name: String,
+    /// Qubit count.
+    pub qubits: usize,
+    /// (2Q, 1Q) gate counts after our preprocessing.
+    pub gates: (usize, usize),
+    /// (2Q, 1Q) gate counts the paper reports.
+    pub paper_gates: (usize, usize),
+    /// Results keyed by compiler label.
+    pub results: Vec<RunResult>,
+}
+
+impl ComparisonRow {
+    /// Looks up a compiler's result by label.
+    pub fn result(&self, compiler: &str) -> Option<&RunResult> {
+        self.results.iter().find(|r| r.compiler == compiler)
+    }
+}
+
+/// Compiler labels in the paper's Fig. 8 legend order.
+pub const COMPILERS: [&str; 6] = [
+    "SC-Heron",
+    "SC-Grid",
+    "Monolithic-Atomique",
+    "Monolithic-Enola",
+    "Zoned-NALAC",
+    "Zoned-ZAC",
+];
+
+/// The harness's ZAC configuration (SA budget matching the paper's 1000
+/// iterations).
+pub fn zac_config() -> ZacConfig {
+    ZacConfig::full()
+}
+
+fn to_run(
+    compiler: &'static str,
+    report: FidelityReport,
+    counts: (usize, usize, usize, usize),
+    secs: f64,
+) -> RunResult {
+    RunResult { compiler, report, counts, compile_secs: secs }
+}
+
+/// Runs every compiler of Fig. 8 on one staged circuit.
+pub fn compare_all(staged: &StagedCircuit) -> Vec<RunResult> {
+    let params = NeutralAtomParams::reference();
+    let mut out = Vec::new();
+
+    if let Ok(r) = compile_sc(staged, ScMachine::Heron) {
+        let s = &r.summary;
+        out.push(to_run(
+            "SC-Heron",
+            r.report,
+            (s.g1, s.g2, s.n_exc, s.n_tran),
+            r.compile_time.as_secs_f64(),
+        ));
+    }
+    if let Ok(r) = compile_sc(staged, ScMachine::Grid) {
+        let s = &r.summary;
+        out.push(to_run(
+            "SC-Grid",
+            r.report,
+            (s.g1, s.g2, s.n_exc, s.n_tran),
+            r.compile_time.as_secs_f64(),
+        ));
+    }
+    {
+        let r = compile_atomique(staged, 10, 10, &params);
+        let s = &r.summary;
+        out.push(to_run(
+            "Monolithic-Atomique",
+            r.report,
+            (s.g1, s.g2, s.n_exc, s.n_tran),
+            r.compile_time.as_secs_f64(),
+        ));
+    }
+    if let Ok(r) = compile_enola(staged, 10, 10, &params) {
+        let s = &r.summary;
+        out.push(to_run(
+            "Monolithic-Enola",
+            r.report,
+            (s.g1, s.g2, s.n_exc, s.n_tran),
+            r.compile_time.as_secs_f64(),
+        ));
+    }
+    {
+        let r = compile_nalac(staged, 20, &params);
+        let s = &r.summary;
+        out.push(to_run(
+            "Zoned-NALAC",
+            r.report,
+            (s.g1, s.g2, s.n_exc, s.n_tran),
+            r.compile_time.as_secs_f64(),
+        ));
+    }
+    {
+        let zac = Zac::with_config(Architecture::reference(), zac_config());
+        if let Ok(r) = zac.compile_staged(staged) {
+            let s = &r.summary;
+            out.push(to_run(
+                "Zoned-ZAC",
+                r.report,
+                (s.g1, s.g2, s.n_exc, s.n_tran),
+                r.compile_time.as_secs_f64(),
+            ));
+        }
+    }
+    out
+}
+
+/// Runs the full Fig. 8 comparison over the paper's 17-circuit suite.
+pub fn run_architecture_comparison() -> Vec<ComparisonRow> {
+    bench_circuits::paper_suite()
+        .into_iter()
+        .map(|entry| {
+            let staged = preprocess(&entry.circuit);
+            ComparisonRow {
+                name: entry.circuit.name().to_owned(),
+                qubits: entry.circuit.num_qubits(),
+                gates: (staged.num_2q_gates(), staged.num_1q_gates()),
+                paper_gates: (entry.paper_2q, entry.paper_1q),
+                results: compare_all(&staged),
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean over positive values (0 if any ≤ 0; panics when empty).
+pub fn geomean(values: &[f64]) -> f64 {
+    zac_fidelity::geometric_mean(values)
+}
+
+/// Geometric mean of one metric across rows for one compiler (skipping
+/// circuits the compiler could not handle).
+pub fn compiler_geomean(
+    rows: &[ComparisonRow],
+    compiler: &str,
+    f: impl Fn(&RunResult) -> f64,
+) -> f64 {
+    let vals: Vec<f64> = rows.iter().filter_map(|r| r.result(compiler).map(&f)).collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        geomean(&vals)
+    }
+}
+
+/// Prints a header line for a bench report.
+pub fn print_header(title: &str, paper_claim: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_all_covers_six_compilers_on_small_circuit() {
+        let staged = preprocess(&bench_circuits::ghz(10));
+        let results = compare_all(&staged);
+        assert_eq!(results.len(), 6);
+        for r in &results {
+            assert!(COMPILERS.contains(&r.compiler));
+            assert!((0.0..=1.0).contains(&r.fidelity()), "{}: {}", r.compiler, r.fidelity());
+        }
+    }
+
+    #[test]
+    fn zac_beats_monolithic_on_ghz() {
+        let staged = preprocess(&bench_circuits::ghz(23));
+        let results = compare_all(&staged);
+        let get =
+            |label: &str| results.iter().find(|r| r.compiler == label).unwrap().fidelity();
+        assert!(get("Zoned-ZAC") > get("Monolithic-Enola"));
+        assert!(get("Zoned-ZAC") > get("Monolithic-Atomique"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Gate definitions for the input circuit language.
+//!
+//! Input circuits may use the common textbook gates; preprocessing lowers
+//! everything to the hardware set {CZ, U3} (paper Sec. IV, Fig. 4).
+
+use crate::complex::{c64, C64, Mat2};
+
+/// A single-qubit gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OneQGate {
+    /// Hadamard.
+    H,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Phase gate S = √Z.
+    S,
+    /// S†.
+    Sdg,
+    /// T = ⁴√Z.
+    T,
+    /// T†.
+    Tdg,
+    /// Rotation about X by the given angle (radians).
+    Rx(f64),
+    /// Rotation about Y by the given angle (radians).
+    Ry(f64),
+    /// Rotation about Z by the given angle (radians).
+    Rz(f64),
+    /// Phase gate `diag(1, e^{iθ})`.
+    Phase(f64),
+    /// The generic hardware 1Q gate `U3(θ, φ, λ)`.
+    U3 {
+        /// Polar rotation angle.
+        theta: f64,
+        /// Phase of the |1⟩ row.
+        phi: f64,
+        /// Phase of the |1⟩ column.
+        lambda: f64,
+    },
+}
+
+impl OneQGate {
+    /// The gate's 2×2 unitary matrix.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use zac_circuit::gate::OneQGate;
+    /// let u = OneQGate::X.matrix();
+    /// assert!(u.is_unitary(1e-12));
+    /// ```
+    pub fn matrix(self) -> Mat2 {
+        use std::f64::consts::FRAC_1_SQRT_2 as S;
+        match self {
+            Self::H => Mat2::new(c64(S, 0.0), c64(S, 0.0), c64(S, 0.0), c64(-S, 0.0)),
+            Self::X => Mat2::new(C64::ZERO, C64::ONE, C64::ONE, C64::ZERO),
+            Self::Y => Mat2::new(C64::ZERO, -C64::I, C64::I, C64::ZERO),
+            Self::Z => Mat2::new(C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE),
+            Self::S => Mat2::new(C64::ONE, C64::ZERO, C64::ZERO, C64::I),
+            Self::Sdg => Mat2::new(C64::ONE, C64::ZERO, C64::ZERO, -C64::I),
+            Self::T => Mat2::new(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(std::f64::consts::FRAC_PI_4)),
+            Self::Tdg => Mat2::new(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(-std::f64::consts::FRAC_PI_4)),
+            Self::Rx(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                Mat2::new(c64(c, 0.0), c64(0.0, -s), c64(0.0, -s), c64(c, 0.0))
+            }
+            Self::Ry(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                Mat2::new(c64(c, 0.0), c64(-s, 0.0), c64(s, 0.0), c64(c, 0.0))
+            }
+            Self::Rz(t) => Mat2::new(
+                C64::cis(-t / 2.0),
+                C64::ZERO,
+                C64::ZERO,
+                C64::cis(t / 2.0),
+            ),
+            Self::Phase(t) => Mat2::new(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(t)),
+            Self::U3 { theta, phi, lambda } => u3_matrix(theta, phi, lambda),
+        }
+    }
+}
+
+/// The matrix of `U3(θ, φ, λ)` in the OpenQASM convention:
+///
+/// ```text
+/// [ cos(θ/2)              -e^{iλ}   sin(θ/2) ]
+/// [ e^{iφ} sin(θ/2)        e^{i(φ+λ)} cos(θ/2) ]
+/// ```
+pub fn u3_matrix(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Mat2::new(
+        c64(c, 0.0),
+        -(C64::cis(lambda).scale(s)),
+        C64::cis(phi).scale(s),
+        C64::cis(phi + lambda).scale(c),
+    )
+}
+
+/// Decomposes a 2×2 unitary as `e^{iγ} · U3(θ, φ, λ)`.
+///
+/// Returns `(theta, phi, lambda, gamma)`.
+///
+/// # Panics
+///
+/// Panics (debug) if `u` is not unitary to 1e-6.
+///
+/// # Example
+///
+/// ```
+/// use zac_circuit::gate::{u3_matrix, decompose_u3, OneQGate};
+/// let (t, p, l, _g) = decompose_u3(OneQGate::H.matrix());
+/// assert!(u3_matrix(t, p, l).approx_eq_up_to_phase(OneQGate::H.matrix(), 1e-9));
+/// ```
+pub fn decompose_u3(u: Mat2) -> (f64, f64, f64, f64) {
+    debug_assert!(u.is_unitary(1e-6), "decompose_u3 requires a unitary input");
+    let a = u.m[0][0];
+    let b = u.m[0][1];
+    let c = u.m[1][0];
+    let d = u.m[1][1];
+    let theta = 2.0 * c.norm().atan2(a.norm());
+    const EPS: f64 = 1e-12;
+    if c.norm() < EPS {
+        // Diagonal: λ absorbs the full relative phase.
+        let gamma = a.arg();
+        let lambda = d.arg() - a.arg();
+        (0.0, 0.0, lambda, gamma)
+    } else if a.norm() < EPS {
+        // Anti-diagonal: θ = π; set λ = 0.
+        let gamma = c.arg();
+        let phi = 0.0;
+        let lambda = (-b).arg() - c.arg() + phi;
+        (std::f64::consts::PI, phi, lambda, gamma)
+    } else {
+        let gamma = a.arg();
+        let phi = c.arg() - gamma;
+        let lambda = (-b).arg() - gamma;
+        (theta, phi, lambda, gamma)
+    }
+}
+
+/// A two-qubit gate kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TwoQKind {
+    /// Controlled-X (control is the first operand).
+    Cx,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// Controlled-phase by the given angle (symmetric).
+    Cp(f64),
+    /// Swap.
+    Swap,
+}
+
+/// One gate application in an input circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// A single-qubit gate on `qubit`.
+    OneQ {
+        /// The gate.
+        gate: OneQGate,
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// A two-qubit gate on `(a, b)`; for controlled gates `a` is the control.
+    TwoQ {
+        /// The gate kind.
+        kind: TwoQKind,
+        /// First operand (control where applicable).
+        a: usize,
+        /// Second operand (target where applicable).
+        b: usize,
+    },
+}
+
+impl Gate {
+    /// The qubits this gate touches (1 or 2 entries).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::OneQ { qubit, .. } => vec![qubit],
+            Gate::TwoQ { a, b, .. } => vec![a, b],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_named_gates_are_unitary() {
+        let gates = [
+            OneQGate::H,
+            OneQGate::X,
+            OneQGate::Y,
+            OneQGate::Z,
+            OneQGate::S,
+            OneQGate::Sdg,
+            OneQGate::T,
+            OneQGate::Tdg,
+            OneQGate::Rx(0.7),
+            OneQGate::Ry(-1.3),
+            OneQGate::Rz(2.9),
+            OneQGate::Phase(0.4),
+            OneQGate::U3 { theta: 1.0, phi: 2.0, lambda: 3.0 },
+        ];
+        for g in gates {
+            assert!(g.matrix().is_unitary(1e-12), "{g:?} not unitary");
+        }
+    }
+
+    #[test]
+    fn s_is_t_squared() {
+        let t2 = OneQGate::T.matrix().mul(OneQGate::T.matrix());
+        assert!(t2.distance(OneQGate::S.matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn hzh_is_x() {
+        let h = OneQGate::H.matrix();
+        let z = OneQGate::Z.matrix();
+        let x = h.mul(z).mul(h);
+        assert!(x.distance(OneQGate::X.matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn u3_reproduces_named_gates() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        // H = U3(π/2, 0, π) up to phase; X = U3(π, 0, π).
+        let h = u3_matrix(FRAC_PI_2, 0.0, PI);
+        assert!(h.approx_eq_up_to_phase(OneQGate::H.matrix(), 1e-12));
+        let x = u3_matrix(PI, 0.0, PI);
+        assert!(x.approx_eq_up_to_phase(OneQGate::X.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn decompose_roundtrips_named_gates() {
+        for g in [
+            OneQGate::H,
+            OneQGate::X,
+            OneQGate::Y,
+            OneQGate::Z,
+            OneQGate::S,
+            OneQGate::T,
+            OneQGate::Rz(0.123),
+            OneQGate::Rx(2.5),
+            OneQGate::Ry(-0.9),
+            OneQGate::Phase(1.1),
+        ] {
+            let u = g.matrix();
+            let (t, p, l, gamma) = decompose_u3(u);
+            let mut rec = u3_matrix(t, p, l);
+            let ph = C64::cis(gamma);
+            for i in 0..2 {
+                for j in 0..2 {
+                    rec.m[i][j] = rec.m[i][j] * ph;
+                }
+            }
+            assert!(rec.distance(u) < 1e-9, "{g:?}: distance {}", rec.distance(u));
+        }
+    }
+
+    #[test]
+    fn gate_qubits() {
+        let g1 = Gate::OneQ { gate: OneQGate::H, qubit: 3 };
+        let g2 = Gate::TwoQ { kind: TwoQKind::Cx, a: 1, b: 2 };
+        assert_eq!(g1.qubits(), vec![3]);
+        assert_eq!(g2.qubits(), vec![1, 2]);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn decompose_roundtrips_random_products(
+                angles in proptest::collection::vec((-3.14..3.14f64, -3.14..3.14f64, -3.14..3.14f64), 1..5)
+            ) {
+                // Random products of U3s are generic unitaries.
+                let mut u = Mat2::IDENTITY;
+                for (t, p, l) in angles {
+                    u = u3_matrix(t, p, l).mul(u);
+                }
+                let (t, p, l, gamma) = decompose_u3(u);
+                let mut rec = u3_matrix(t, p, l);
+                let ph = C64::cis(gamma);
+                for i in 0..2 {
+                    for j in 0..2 {
+                        rec.m[i][j] = rec.m[i][j] * ph;
+                    }
+                }
+                prop_assert!(rec.distance(u) < 1e-8);
+            }
+        }
+    }
+}

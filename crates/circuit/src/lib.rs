@@ -1,0 +1,38 @@
+//! Quantum-circuit substrate for the ZAC reproduction.
+//!
+//! This crate provides everything the compilers consume:
+//!
+//! * [`Circuit`] — the input circuit language (common textbook gates);
+//! * [`preprocess::preprocess`] — resynthesis to the hardware set {CZ, U3},
+//!   single-qubit gate merging, and ASAP Rydberg-stage scheduling
+//!   (paper Sec. IV, Fig. 4);
+//! * [`stages::StagedCircuit`] — the preprocessed form every compiler works
+//!   on;
+//! * [`bench_circuits`] — generators for the paper's 17-circuit QASMBench
+//!   evaluation suite;
+//! * [`complex`] / [`gate`] — the small linear-algebra layer used to merge
+//!   and re-decompose 1Q unitaries.
+//!
+//! # Example
+//!
+//! ```
+//! use zac_circuit::{bench_circuits, preprocess::preprocess};
+//!
+//! let circuit = bench_circuits::ghz(23);
+//! let staged = preprocess(&circuit);
+//! assert_eq!(staged.num_2q_gates(), 22);
+//! assert_eq!(staged.num_stages(), 22); // a CX chain is fully sequential
+//! ```
+
+pub mod bench_circuits;
+pub mod circuit;
+pub mod complex;
+pub mod gate;
+pub mod preprocess;
+pub mod qasm;
+pub mod stages;
+
+pub use circuit::{Circuit, CircuitError};
+pub use gate::{Gate, OneQGate, TwoQKind};
+pub use preprocess::preprocess;
+pub use stages::{Gate2, RydbergStage, StageError, StagedCircuit, U3Op};

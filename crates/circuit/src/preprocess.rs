@@ -1,0 +1,302 @@
+//! Preprocessing: resynthesis to {CZ, U3}, 1Q optimization, ASAP staging.
+//!
+//! This reproduces the paper's preprocessing step (Sec. IV, Fig. 4):
+//!
+//! 1. **Resynthesis** — every input gate is lowered to the hardware set
+//!    {CZ, U3}: CX becomes H·CZ·H, SWAP becomes three CX, controlled-phase
+//!    becomes two CX plus phases.
+//! 2. **1Q optimization** — runs of adjacent single-qubit gates are merged by
+//!    multiplying their 2×2 unitaries; the product is emitted as one U3 (or
+//!    dropped entirely when it is the identity up to global phase).
+//! 3. **ASAP scheduling** — each CZ is assigned the earliest Rydberg stage
+//!    after all its dependencies, so each qubit joins at most one gate per
+//!    stage.
+
+use crate::circuit::Circuit;
+use crate::complex::Mat2;
+use crate::gate::{decompose_u3, Gate, OneQGate, TwoQKind};
+use crate::stages::{Gate2, RydbergStage, StagedCircuit, U3Op};
+
+/// Tolerance below which a merged 1Q unitary counts as the identity.
+const IDENTITY_TOL: f64 = 1e-9;
+
+/// A gate lowered to the {1Q-unitary, CZ} set.
+#[derive(Debug, Clone, Copy)]
+enum Lowered {
+    OneQ { gate: OneQGate, qubit: usize },
+    Cz { a: usize, b: usize },
+}
+
+fn lower(circuit: &Circuit) -> Vec<Lowered> {
+    let mut out = Vec::with_capacity(circuit.num_gates() * 2);
+    for g in circuit.gates() {
+        match *g {
+            Gate::OneQ { gate, qubit } => out.push(Lowered::OneQ { gate, qubit }),
+            Gate::TwoQ { kind, a, b } => lower_2q(kind, a, b, &mut out),
+        }
+    }
+    out
+}
+
+fn lower_2q(kind: TwoQKind, a: usize, b: usize, out: &mut Vec<Lowered>) {
+    match kind {
+        TwoQKind::Cz => out.push(Lowered::Cz { a, b }),
+        TwoQKind::Cx => {
+            // CX(a→b) = H(b) · CZ(a,b) · H(b).
+            out.push(Lowered::OneQ { gate: OneQGate::H, qubit: b });
+            out.push(Lowered::Cz { a, b });
+            out.push(Lowered::OneQ { gate: OneQGate::H, qubit: b });
+        }
+        TwoQKind::Swap => {
+            // SWAP = CX(a,b) CX(b,a) CX(a,b).
+            lower_2q(TwoQKind::Cx, a, b, out);
+            lower_2q(TwoQKind::Cx, b, a, out);
+            lower_2q(TwoQKind::Cx, a, b, out);
+        }
+        TwoQKind::Cp(theta) => {
+            // CP(θ) = P(θ/2)@a · CX(a,b) · P(-θ/2)@b · CX(a,b) · P(θ/2)@b.
+            out.push(Lowered::OneQ { gate: OneQGate::Phase(theta / 2.0), qubit: a });
+            lower_2q(TwoQKind::Cx, a, b, out);
+            out.push(Lowered::OneQ { gate: OneQGate::Phase(-theta / 2.0), qubit: b });
+            lower_2q(TwoQKind::Cx, a, b, out);
+            out.push(Lowered::OneQ { gate: OneQGate::Phase(theta / 2.0), qubit: b });
+        }
+    }
+}
+
+/// Preprocesses a circuit into a [`StagedCircuit`] over {CZ, U3}.
+///
+/// The output satisfies [`StagedCircuit::validate`] by construction, and its
+/// unitary equals the input's up to global phase (verified end-to-end by the
+/// `zac-sim` test-suite).
+///
+/// # Example
+///
+/// ```
+/// use zac_circuit::{preprocess::preprocess, Circuit};
+/// let mut c = Circuit::new("bell", 2);
+/// c.h(0).cx(0, 1);
+/// let staged = preprocess(&c);
+/// assert_eq!(staged.num_stages(), 1);
+/// assert_eq!(staged.num_2q_gates(), 1);
+/// // H(0) and the CX's basis-change H(1) merge into the stage's pre-1Q list.
+/// assert_eq!(staged.stages[0].pre_1q.len(), 2);
+/// ```
+pub fn preprocess(circuit: &Circuit) -> StagedCircuit {
+    let n = circuit.num_qubits();
+    let lowered = lower(circuit);
+
+    let mut pending: Vec<Mat2> = vec![Mat2::IDENTITY; n];
+    let mut stage_avail: Vec<usize> = vec![0; n];
+    let mut stages: Vec<RydbergStage> = Vec::new();
+    let mut next_id = 0usize;
+
+    let flush = |q: usize, pending: &mut Vec<Mat2>| -> Option<U3Op> {
+        let u = pending[q];
+        pending[q] = Mat2::IDENTITY;
+        if u.approx_eq_up_to_phase(Mat2::IDENTITY, IDENTITY_TOL) {
+            return None;
+        }
+        let (theta, phi, lambda, _gamma) = decompose_u3(u);
+        Some(U3Op { qubit: q, theta, phi, lambda })
+    };
+
+    for lg in lowered {
+        match lg {
+            Lowered::OneQ { gate, qubit } => {
+                pending[qubit] = gate.matrix().mul(pending[qubit]);
+            }
+            Lowered::Cz { a, b } => {
+                let t = stage_avail[a].max(stage_avail[b]);
+                while stages.len() <= t {
+                    stages.push(RydbergStage::default());
+                }
+                for q in [a, b] {
+                    if let Some(op) = flush(q, &mut pending) {
+                        stages[t].pre_1q.push(op);
+                    }
+                }
+                let (lo, hi) = (a.min(b), a.max(b));
+                stages[t].gates.push(Gate2 { id: next_id, a: lo, b: hi });
+                next_id += 1;
+                stage_avail[a] = t + 1;
+                stage_avail[b] = t + 1;
+            }
+        }
+    }
+
+    let mut trailing_1q = Vec::new();
+    for q in 0..n {
+        if let Some(op) = flush(q, &mut pending) {
+            trailing_1q.push(op);
+        }
+    }
+
+    let staged = StagedCircuit {
+        name: circuit.name().to_owned(),
+        num_qubits: n,
+        stages,
+        trailing_1q,
+    };
+    debug_assert!(staged.validate().is_ok());
+    staged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_circuit() {
+        let mut c = Circuit::new("bell", 2);
+        c.h(0).cx(0, 1);
+        let s = preprocess(&c);
+        assert_eq!(s.num_stages(), 1);
+        assert_eq!(s.num_2q_gates(), 1);
+        // H(0) stays; H(1) pre; trailing H(1) after CZ.
+        assert_eq!(s.stages[0].pre_1q.len(), 2);
+        assert_eq!(s.trailing_1q.len(), 1);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn adjacent_inverse_gates_cancel() {
+        let mut c = Circuit::new("cancel", 2);
+        c.h(0).h(0).x(1).x(1).cz(0, 1);
+        let s = preprocess(&c);
+        assert_eq!(s.num_1q_gates(), 0, "H·H and X·X are identity");
+        assert_eq!(s.num_2q_gates(), 1);
+    }
+
+    #[test]
+    fn hh_between_sequential_cx_cancels() {
+        // Two CX with the same target: the basis-change H's between the CZs
+        // cancel pairwise, a key 1Q-count optimization.
+        let mut c = Circuit::new("chain", 3);
+        c.cx(0, 2).cx(1, 2);
+        let s = preprocess(&c);
+        assert_eq!(s.num_2q_gates(), 2);
+        // H(2) before first CZ, H·H between cancels, H(2) after second.
+        assert_eq!(s.num_1q_gates(), 2);
+        assert_eq!(s.num_stages(), 2);
+    }
+
+    #[test]
+    fn asap_packs_disjoint_gates() {
+        let mut c = Circuit::new("par", 4);
+        c.cz(0, 1).cz(2, 3).cz(1, 2);
+        let s = preprocess(&c);
+        assert_eq!(s.num_stages(), 2);
+        assert_eq!(s.stages[0].gates.len(), 2);
+        assert_eq!(s.stages[1].gates.len(), 1);
+    }
+
+    #[test]
+    fn asap_respects_dependencies() {
+        let mut c = Circuit::new("dep", 3);
+        c.cz(0, 1).cz(0, 1).cz(0, 2);
+        let s = preprocess(&c);
+        assert_eq!(s.num_stages(), 3, "same-pair gates cannot share a stage");
+    }
+
+    #[test]
+    fn swap_lowering_gate_count() {
+        let mut c = Circuit::new("swap", 2);
+        c.swap(0, 1);
+        let s = preprocess(&c);
+        assert_eq!(s.num_2q_gates(), 3);
+        assert_eq!(s.num_stages(), 3);
+    }
+
+    #[test]
+    fn cp_lowering_gate_count() {
+        let mut c = Circuit::new("cp", 2);
+        c.cp(0.7, 0, 1);
+        let s = preprocess(&c);
+        assert_eq!(s.num_2q_gates(), 2);
+    }
+
+    #[test]
+    fn running_example_from_paper_fig4() {
+        // Fig. 4/5: stages l2 = {(q0,q1), (q3,q4)}, l4 = {(q1,q2), (q3,q5), (q0,q4)}.
+        let mut c = Circuit::new("fig4", 6);
+        c.cz(0, 1).cz(3, 4).cz(1, 2).cz(3, 5).cz(0, 4);
+        let s = preprocess(&c);
+        assert_eq!(s.num_stages(), 2);
+        let stage0: Vec<(usize, usize)> = s.stages[0].gates.iter().map(|g| (g.a, g.b)).collect();
+        let stage1: Vec<(usize, usize)> = s.stages[1].gates.iter().map(|g| (g.a, g.b)).collect();
+        assert_eq!(stage0, vec![(0, 1), (3, 4)]);
+        assert_eq!(stage1, vec![(1, 2), (3, 5), (0, 4)]);
+    }
+
+    #[test]
+    fn gate_ids_are_sequential() {
+        let mut c = Circuit::new("ids", 4);
+        c.cz(0, 1).cz(2, 3).cz(0, 2);
+        let s = preprocess(&c);
+        let mut ids: Vec<usize> = s.gates_with_stage().map(|(_, g)| g.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn trailing_rotations_collected() {
+        let mut c = Circuit::new("trail", 2);
+        c.cz(0, 1).rz(0.3, 0).rx(0.2, 1);
+        let s = preprocess(&c);
+        assert_eq!(s.trailing_1q.len(), 2);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_circuit() -> impl Strategy<Value = Circuit> {
+            (2usize..5).prop_flat_map(|n| {
+                let gate = prop_oneof![
+                    (0..n).prop_map(|q| (0usize, q, 0usize)),       // H
+                    (0..n).prop_map(|q| (1usize, q, 0usize)),       // T
+                    (0..n, 0..n).prop_map(|(a, b)| (2usize, a, b)), // CX
+                    (0..n, 0..n).prop_map(|(a, b)| (3usize, a, b)), // CZ
+                ];
+                proptest::collection::vec(gate, 0..20).prop_map(move |ops| {
+                    let mut c = Circuit::new("rand", n);
+                    for (k, a, b) in ops {
+                        match k {
+                            0 => {
+                                c.h(a);
+                            }
+                            1 => {
+                                c.t(a);
+                            }
+                            2 if a != b => {
+                                c.cx(a, b);
+                            }
+                            3 if a != b => {
+                                c.cz(a, b);
+                            }
+                            _ => {}
+                        }
+                    }
+                    c
+                })
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn staged_output_always_valid(c in arb_circuit()) {
+                let s = preprocess(&c);
+                prop_assert!(s.validate().is_ok());
+                // CZ count is preserved by lowering CX→CZ 1:1.
+                prop_assert_eq!(s.num_2q_gates(), c.num_2q_gates());
+            }
+
+            #[test]
+            fn stage_count_is_at_most_gate_count(c in arb_circuit()) {
+                let s = preprocess(&c);
+                prop_assert!(s.num_stages() <= c.num_2q_gates().max(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! OpenQASM 2.0 import/export.
+//!
+//! QASMBench — the paper's benchmark source — ships OpenQASM 2.0 files, so
+//! this module provides the real-world input path: a parser covering the
+//! `qelib1.inc` gate vocabulary the suite uses (with Toffoli/Fredkin lowered
+//! through the standard decompositions) and an emitter that round-trips any
+//! [`Circuit`].
+//!
+//! Supported statements: `OPENQASM 2.0;`, `include`, `qreg`, `creg`, gate
+//! applications on explicit qubit operands, `barrier` (ignored), `measure`
+//! (ignored — the paper's flow compiles the unitary part). Gate definitions
+//! (`gate ... { }`) and classical control are not supported and produce a
+//! clear error.
+
+use crate::circuit::Circuit;
+use crate::gate::OneQGate;
+use crate::Gate;
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// Parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QasmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+fn err(line: usize, message: impl Into<String>) -> QasmError {
+    QasmError { line, message: message.into() }
+}
+
+/// A tiny expression evaluator for gate parameters: numbers, `pi`, unary
+/// minus, `+ - * /`, and parentheses.
+fn eval_expr(src: &str, line: usize) -> Result<f64, QasmError> {
+    struct P<'a> {
+        s: &'a [u8],
+        i: usize,
+        line: usize,
+    }
+    impl P<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.s.get(self.i).copied()
+        }
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+                self.i += 1;
+            }
+        }
+        fn expr(&mut self) -> Result<f64, QasmError> {
+            let mut v = self.term()?;
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b'+') => {
+                        self.i += 1;
+                        v += self.term()?;
+                    }
+                    Some(b'-') => {
+                        self.i += 1;
+                        v -= self.term()?;
+                    }
+                    _ => return Ok(v),
+                }
+            }
+        }
+        fn term(&mut self) -> Result<f64, QasmError> {
+            let mut v = self.factor()?;
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b'*') => {
+                        self.i += 1;
+                        v *= self.factor()?;
+                    }
+                    Some(b'/') => {
+                        self.i += 1;
+                        v /= self.factor()?;
+                    }
+                    _ => return Ok(v),
+                }
+            }
+        }
+        fn factor(&mut self) -> Result<f64, QasmError> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'-') => {
+                    self.i += 1;
+                    Ok(-self.factor()?)
+                }
+                Some(b'+') => {
+                    self.i += 1;
+                    self.factor()
+                }
+                Some(b'(') => {
+                    self.i += 1;
+                    let v = self.expr()?;
+                    self.skip_ws();
+                    if self.peek() == Some(b')') {
+                        self.i += 1;
+                        Ok(v)
+                    } else {
+                        Err(err(self.line, "missing ')' in expression"))
+                    }
+                }
+                Some(c) if c == b'p' || c == b'P' => {
+                    if self.s[self.i..].len() >= 2
+                        && self.s[self.i + 1].eq_ignore_ascii_case(&b'i')
+                    {
+                        self.i += 2;
+                        Ok(PI)
+                    } else {
+                        Err(err(self.line, "unknown identifier in expression"))
+                    }
+                }
+                Some(c) if c.is_ascii_digit() || c == b'.' => {
+                    let start = self.i;
+                    while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E')
+                    {
+                        self.i += 1;
+                        // Allow exponent signs.
+                        if matches!(self.s.get(self.i.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+                            && matches!(self.peek(), Some(b'+') | Some(b'-'))
+                        {
+                            self.i += 1;
+                        }
+                    }
+                    std::str::from_utf8(&self.s[start..self.i])
+                        .ok()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(self.line, "malformed number"))
+                }
+                _ => Err(err(self.line, "malformed expression")),
+            }
+        }
+    }
+    let mut p = P { s: src.as_bytes(), i: 0, line };
+    let v = p.expr()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(err(line, format!("trailing characters in expression '{src}'")));
+    }
+    Ok(v)
+}
+
+/// Parses an OpenQASM 2.0 program into a [`Circuit`].
+///
+/// # Errors
+///
+/// [`QasmError`] with the offending line on unsupported or malformed input.
+///
+/// # Example
+///
+/// ```
+/// let qasm = r#"
+///     OPENQASM 2.0;
+///     include "qelib1.inc";
+///     qreg q[2];
+///     h q[0];
+///     cx q[0], q[1];
+/// "#;
+/// let c = zac_circuit::qasm::parse_qasm(qasm, "bell")?;
+/// assert_eq!(c.num_qubits(), 2);
+/// assert_eq!(c.num_2q_gates(), 1);
+/// # Ok::<(), zac_circuit::qasm::QasmError>(())
+/// ```
+pub fn parse_qasm(source: &str, name: &str) -> Result<Circuit, QasmError> {
+    // Register name → (offset, size).
+    let mut regs: HashMap<String, (usize, usize)> = HashMap::new();
+    let mut total_qubits = 0usize;
+    let mut ops: Vec<(usize, String)> = Vec::new(); // (line, statement)
+
+    // Strip comments, split on ';'.
+    let mut cleaned = String::new();
+    for (ln, raw) in source.lines().enumerate() {
+        let line = match raw.find("//") {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        cleaned.push_str(line);
+        // Keep a line marker so statements know their origin.
+        cleaned.push_str(&format!("\u{0}{}\u{0}", ln + 1));
+    }
+    let mut current_line = 1usize;
+    for stmt in cleaned.split(';') {
+        let mut text = String::new();
+        for piece in stmt.split('\u{0}') {
+            if let Ok(n) = piece.trim().parse::<usize>() {
+                // A marker for line n sits at the end of line n, so content
+                // after it belongs to line n+1.
+                if text.trim().is_empty() {
+                    current_line = n + 1;
+                }
+                // Markers inside a statement are skipped either way.
+                continue;
+            }
+            text.push_str(piece);
+            text.push(' ');
+        }
+        let text = text.trim().to_string();
+        if !text.is_empty() {
+            ops.push((current_line, text));
+        }
+    }
+
+    // First pass: registers.
+    for (line, stmt) in &ops {
+        let stmt = stmt.trim();
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            let rest = rest.trim();
+            let (rname, size) = parse_reg_decl(rest, *line)?;
+            regs.insert(rname, (total_qubits, size));
+            total_qubits += size;
+        }
+    }
+    if total_qubits == 0 {
+        return Err(err(1, "no qreg declaration found"));
+    }
+
+    let mut circuit = Circuit::new(name, total_qubits);
+    let resolve = |operand: &str, line: usize, regs: &HashMap<String, (usize, usize)>| -> Result<usize, QasmError> {
+        let operand = operand.trim();
+        let open = operand
+            .find('[')
+            .ok_or_else(|| err(line, format!("expected indexed operand, got '{operand}'")))?;
+        let close = operand
+            .find(']')
+            .ok_or_else(|| err(line, "missing ']' in operand"))?;
+        let rname = operand[..open].trim();
+        let idx: usize = operand[open + 1..close]
+            .trim()
+            .parse()
+            .map_err(|_| err(line, "malformed qubit index"))?;
+        let &(offset, size) = regs
+            .get(rname)
+            .ok_or_else(|| err(line, format!("unknown register '{rname}'")))?;
+        if idx >= size {
+            return Err(err(line, format!("index {idx} out of range for {rname}[{size}]")));
+        }
+        Ok(offset + idx)
+    };
+
+    for (line, stmt) in &ops {
+        let line = *line;
+        let stmt = stmt.trim();
+        let lower = stmt.to_ascii_lowercase();
+        if lower.starts_with("openqasm")
+            || lower.starts_with("include")
+            || lower.starts_with("qreg")
+            || lower.starts_with("creg")
+            || lower.starts_with("barrier")
+            || lower.starts_with("measure")
+            || stmt.is_empty()
+        {
+            continue;
+        }
+        if lower.starts_with("gate ") || lower.starts_with("if") || lower.starts_with("reset") {
+            return Err(err(line, format!("unsupported statement: '{stmt}'")));
+        }
+
+        // gate_name[(params)] operand[, operand...]
+        let (head, operands_str) = match stmt.find(|c: char| c.is_whitespace()) {
+            Some(p) if !stmt[..p].contains('(') || stmt[..p].contains(')') => {
+                (&stmt[..p], &stmt[p..])
+            }
+            _ => {
+                // Parameterized gate: split after the closing paren.
+                let close = stmt
+                    .find(')')
+                    .ok_or_else(|| err(line, "missing ')' in gate parameters"))?;
+                (&stmt[..=close], &stmt[close + 1..])
+            }
+        };
+        let (gate_name, params) = match head.find('(') {
+            Some(p) => {
+                let close =
+                    head.rfind(')').ok_or_else(|| err(line, "missing ')' in parameters"))?;
+                let list = &head[p + 1..close];
+                let vals: Result<Vec<f64>, _> =
+                    list.split(',').map(|e| eval_expr(e.trim(), line)).collect();
+                (head[..p].trim(), vals?)
+            }
+            None => (head.trim(), Vec::new()),
+        };
+        let qubits: Result<Vec<usize>, _> = operands_str
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|o| resolve(o, line, &regs))
+            .collect();
+        let qubits = qubits?;
+
+        apply_gate(&mut circuit, gate_name, &params, &qubits, line)?;
+    }
+    Ok(circuit)
+}
+
+fn parse_reg_decl(rest: &str, line: usize) -> Result<(String, usize), QasmError> {
+    let open = rest.find('[').ok_or_else(|| err(line, "malformed qreg"))?;
+    let close = rest.find(']').ok_or_else(|| err(line, "malformed qreg"))?;
+    let name = rest[..open].trim().to_string();
+    let size: usize =
+        rest[open + 1..close].trim().parse().map_err(|_| err(line, "malformed qreg size"))?;
+    if name.is_empty() || size == 0 {
+        return Err(err(line, "malformed qreg declaration"));
+    }
+    Ok((name, size))
+}
+
+fn one(qubits: &[usize], line: usize) -> Result<usize, QasmError> {
+    if qubits.len() == 1 {
+        Ok(qubits[0])
+    } else {
+        Err(err(line, format!("expected 1 operand, got {}", qubits.len())))
+    }
+}
+
+fn two(qubits: &[usize], line: usize) -> Result<(usize, usize), QasmError> {
+    if qubits.len() == 2 {
+        Ok((qubits[0], qubits[1]))
+    } else {
+        Err(err(line, format!("expected 2 operands, got {}", qubits.len())))
+    }
+}
+
+fn three(qubits: &[usize], line: usize) -> Result<(usize, usize, usize), QasmError> {
+    if qubits.len() == 3 {
+        Ok((qubits[0], qubits[1], qubits[2]))
+    } else {
+        Err(err(line, format!("expected 3 operands, got {}", qubits.len())))
+    }
+}
+
+fn param(params: &[f64], k: usize, line: usize, gate: &str) -> Result<f64, QasmError> {
+    params
+        .get(k)
+        .copied()
+        .ok_or_else(|| err(line, format!("{gate} needs {} parameter(s)", k + 1)))
+}
+
+fn apply_gate(
+    c: &mut Circuit,
+    gate: &str,
+    params: &[f64],
+    qubits: &[usize],
+    line: usize,
+) -> Result<(), QasmError> {
+    match gate.to_ascii_lowercase().as_str() {
+        "h" => c.h(one(qubits, line)?),
+        "x" => c.x(one(qubits, line)?),
+        "y" => c.one_q(OneQGate::Y, one(qubits, line)?),
+        "z" => c.z(one(qubits, line)?),
+        "s" => c.one_q(OneQGate::S, one(qubits, line)?),
+        "sdg" => c.one_q(OneQGate::Sdg, one(qubits, line)?),
+        "t" => c.t(one(qubits, line)?),
+        "tdg" => c.tdg(one(qubits, line)?),
+        "id" | "u0" => c, // identity
+        "rx" => c.rx(param(params, 0, line, "rx")?, one(qubits, line)?),
+        "ry" => c.ry(param(params, 0, line, "ry")?, one(qubits, line)?),
+        "rz" => c.rz(param(params, 0, line, "rz")?, one(qubits, line)?),
+        "p" | "u1" => c.one_q(OneQGate::Phase(param(params, 0, line, "u1")?), one(qubits, line)?),
+        "u2" => {
+            let phi = param(params, 0, line, "u2")?;
+            let lambda = param(params, 1, line, "u2")?;
+            c.one_q(
+                OneQGate::U3 { theta: PI / 2.0, phi, lambda },
+                one(qubits, line)?,
+            )
+        }
+        "u3" | "u" => {
+            let theta = param(params, 0, line, "u3")?;
+            let phi = param(params, 1, line, "u3")?;
+            let lambda = param(params, 2, line, "u3")?;
+            c.one_q(OneQGate::U3 { theta, phi, lambda }, one(qubits, line)?)
+        }
+        "cx" | "cnot" => {
+            let (a, b) = two(qubits, line)?;
+            c.cx(a, b)
+        }
+        "cz" => {
+            let (a, b) = two(qubits, line)?;
+            c.cz(a, b)
+        }
+        "cp" | "cu1" => {
+            let (a, b) = two(qubits, line)?;
+            c.cp(param(params, 0, line, "cp")?, a, b)
+        }
+        "swap" => {
+            let (a, b) = two(qubits, line)?;
+            c.swap(a, b)
+        }
+        "ccx" | "toffoli" => {
+            let (a, b, t) = three(qubits, line)?;
+            c.ccx_decomposed(a, b, t)
+        }
+        "cswap" | "fredkin" => {
+            let (a, b, t) = three(qubits, line)?;
+            c.cswap_decomposed(a, b, t)
+        }
+        other => return Err(err(line, format!("unsupported gate '{other}'"))),
+    };
+    Ok(())
+}
+
+/// Emits a [`Circuit`] as OpenQASM 2.0.
+///
+/// # Example
+///
+/// ```
+/// use zac_circuit::Circuit;
+/// let mut c = Circuit::new("bell", 2);
+/// c.h(0).cx(0, 1);
+/// let qasm = zac_circuit::qasm::to_qasm(&c);
+/// assert!(qasm.contains("cx q[0], q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits()));
+    for g in circuit.gates() {
+        match *g {
+            Gate::OneQ { gate, qubit } => {
+                let stmt = match gate {
+                    OneQGate::H => "h".to_string(),
+                    OneQGate::X => "x".to_string(),
+                    OneQGate::Y => "y".to_string(),
+                    OneQGate::Z => "z".to_string(),
+                    OneQGate::S => "s".to_string(),
+                    OneQGate::Sdg => "sdg".to_string(),
+                    OneQGate::T => "t".to_string(),
+                    OneQGate::Tdg => "tdg".to_string(),
+                    OneQGate::Rx(t) => format!("rx({t})"),
+                    OneQGate::Ry(t) => format!("ry({t})"),
+                    OneQGate::Rz(t) => format!("rz({t})"),
+                    OneQGate::Phase(t) => format!("u1({t})"),
+                    OneQGate::U3 { theta, phi, lambda } => {
+                        format!("u3({theta},{phi},{lambda})")
+                    }
+                };
+                out.push_str(&format!("{stmt} q[{qubit}];\n"));
+            }
+            Gate::TwoQ { kind, a, b } => {
+                let stmt = match kind {
+                    crate::TwoQKind::Cx => format!("cx q[{a}], q[{b}];"),
+                    crate::TwoQKind::Cz => format!("cz q[{a}], q[{b}];"),
+                    crate::TwoQKind::Cp(t) => format!("cu1({t}) q[{a}], q[{b}];"),
+                    crate::TwoQKind::Swap => format!("swap q[{a}], q[{b}];"),
+                };
+                out.push_str(&stmt);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bell() {
+        let c = parse_qasm(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+            "bell",
+        )
+        .unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.num_1q_gates(), 1);
+        assert_eq!(c.num_2q_gates(), 1);
+    }
+
+    #[test]
+    fn parse_multiple_registers() {
+        let c = parse_qasm(
+            "OPENQASM 2.0; qreg a[2]; qreg b[3]; cx a[1], b[0]; x b[2];",
+            "regs",
+        )
+        .unwrap();
+        assert_eq!(c.num_qubits(), 5);
+        // a[1] = global 1, b[0] = global 2, b[2] = global 4.
+        assert_eq!(c.interaction_pairs(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn parse_parameterized_gates() {
+        let c = parse_qasm(
+            "OPENQASM 2.0; qreg q[2]; rz(pi/4) q[0]; u3(1.5, -0.25, 2e-1) q[1]; cu1(pi/2) q[0], q[1];",
+            "params",
+        )
+        .unwrap();
+        assert_eq!(c.num_1q_gates(), 2);
+        assert_eq!(c.num_2q_gates(), 1);
+        match c.gates()[0] {
+            Gate::OneQ { gate: OneQGate::Rz(t), .. } => {
+                assert!((t - PI / 4.0).abs() < 1e-12)
+            }
+            ref g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_expression_arithmetic() {
+        assert!((eval_expr("pi/2", 1).unwrap() - PI / 2.0).abs() < 1e-12);
+        assert!((eval_expr("-pi*3/4", 1).unwrap() + 3.0 * PI / 4.0).abs() < 1e-12);
+        assert!((eval_expr("(1+2)*3", 1).unwrap() - 9.0).abs() < 1e-12);
+        assert!((eval_expr("2e-1", 1).unwrap() - 0.2).abs() < 1e-12);
+        assert!(eval_expr("pi+", 1).is_err());
+        assert!(eval_expr("(1", 1).is_err());
+    }
+
+    #[test]
+    fn comments_and_barriers_ignored() {
+        let c = parse_qasm(
+            "OPENQASM 2.0; // header\nqreg q[2];\nh q[0]; // do H\nbarrier q[0];\ncreg c[2];\nmeasure q[0] -> c[0];\n",
+            "comments",
+        )
+        .unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn ccx_lowered_on_parse() {
+        let c = parse_qasm("OPENQASM 2.0; qreg q[3]; ccx q[0],q[1],q[2];", "ccx").unwrap();
+        assert_eq!(c.num_2q_gates(), 6);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_qasm("OPENQASM 2.0;\nqreg q[2];\nbogus q[0];", "bad").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse_qasm("OPENQASM 2.0;\nqreg q[1];\nh q[4];", "oob").unwrap_err();
+        assert!(e.message.contains("out of range"));
+
+        let e = parse_qasm("OPENQASM 2.0;\nh q[0];", "noreg").unwrap_err();
+        assert!(e.message.contains("no qreg"));
+    }
+
+    #[test]
+    fn unsupported_statements_rejected() {
+        let e = parse_qasm(
+            "OPENQASM 2.0; qreg q[1]; gate foo a { x a; } foo q[0];",
+            "custom",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unsupported"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_gates() {
+        let mut c = Circuit::new("rt", 3);
+        c.h(0).t(1).rz(0.7, 2).cx(0, 1).cz(1, 2).cp(0.3, 0, 2).swap(0, 2);
+        let qasm = to_qasm(&c);
+        let back = parse_qasm(&qasm, "rt").unwrap();
+        assert_eq!(back.num_qubits(), c.num_qubits());
+        assert_eq!(back.num_gates(), c.num_gates());
+        assert_eq!(back.interaction_pairs(), c.interaction_pairs());
+    }
+
+    #[test]
+    fn roundtrip_is_semantically_exact() {
+        // The emitted QASM re-parses to the same gate list.
+        let mut c = Circuit::new("exact", 2);
+        c.one_q(OneQGate::U3 { theta: 0.1, phi: 0.2, lambda: 0.3 }, 0);
+        c.one_q(OneQGate::Sdg, 1);
+        c.cx(1, 0);
+        let back = parse_qasm(&to_qasm(&c), "exact").unwrap();
+        assert_eq!(back.gates(), c.gates());
+    }
+
+    #[test]
+    fn suite_circuits_roundtrip_through_qasm() {
+        for entry in crate::bench_circuits::paper_suite().into_iter().take(6) {
+            let qasm = to_qasm(&entry.circuit);
+            let back = parse_qasm(&qasm, entry.circuit.name()).unwrap();
+            assert_eq!(back.num_2q_gates(), entry.circuit.num_2q_gates());
+            assert_eq!(back.num_1q_gates(), entry.circuit.num_1q_gates());
+        }
+    }
+}

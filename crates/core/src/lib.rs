@@ -1,0 +1,33 @@
+//! ZAC — the zoned-architecture compiler (paper Secs. IV–VI).
+//!
+//! This crate ties the workspace together into the compiler the paper
+//! evaluates:
+//!
+//! * [`Zac`] — the pipeline: preprocess (`zac-circuit`) → reuse-aware
+//!   placement (`zac-place`) → load-balanced scheduling (`zac-schedule`) →
+//!   validated ZAIR (`zac-zair`) → fidelity report (`zac-fidelity`);
+//! * [`ZacConfig`] — configuration, with presets matching the paper's
+//!   ablation arms (Fig. 11): `vanilla`, `dyn_place`, `dyn_place_reuse`,
+//!   `full`;
+//! * [`ideal`] — the optimality-study upper bounds (Sec. VII-F): perfect
+//!   movement, perfect placement and perfect reuse.
+//!
+//! # Example
+//!
+//! ```
+//! use zac_arch::Architecture;
+//! use zac_circuit::bench_circuits;
+//! use zac_core::{Zac, ZacConfig};
+//!
+//! let zac = Zac::with_config(Architecture::reference(), ZacConfig::full());
+//! let out = zac.compile(&bench_circuits::bv(14, 13))?;
+//! println!("fidelity {:.3}, duration {:.1} us",
+//!          out.total_fidelity(), out.summary.duration_us);
+//! # Ok::<(), zac_core::ZacError>(())
+//! ```
+
+pub mod compiler;
+pub mod ideal;
+
+pub use compiler::{CompileOutput, Zac, ZacConfig, ZacError};
+pub use ideal::{ideal_summary, zone_separation_um, IdealLevel};

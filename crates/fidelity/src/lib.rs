@@ -1,0 +1,22 @@
+//! Fidelity and timing models for the ZAC evaluation (paper Sec. VII-B).
+//!
+//! * [`params`] — the hardware parameter sets of Table I: neutral atom,
+//!   IBM Heron (heavy-hex) and Google-style grid superconducting machines.
+//! * [`model`] — the product fidelity model
+//!   `f = f1^g1 · f2^g2 · f_exc^Nexc · f_tran^Ntran · Π(1 − t_q/T2)` with the
+//!   paper's Fig. 9 component grouping, plus geometric-mean helpers used by
+//!   the experiment harness.
+//!
+//! Neutral-atom compilers feed a ZAIR [`zac_zair::Analysis`] into
+//! [`ExecutionSummary::from_analysis`]; superconducting baselines construct
+//! the summary directly.
+
+pub mod model;
+pub mod monte_carlo;
+pub mod params;
+
+pub use model::{
+    decoherence_product, evaluate_neutral_atom, evaluate_superconducting, geometric_mean,
+    ExecutionSummary, FidelityReport,
+};
+pub use params::{NeutralAtomParams, SuperconductingParams};

@@ -1,0 +1,256 @@
+//! The circuit fidelity model (paper Sec. VII-B).
+//!
+//! Total fidelity is the product of four independent components:
+//!
+//! ```text
+//! f = f1^g1 · [f2^g2 · f_exc^N_exc] · f_tran^N_tran · Π_q (1 − t_q/T2)
+//!     \_1Q_/  \_______2Q_________/   \_transfer___/   \_decoherence_/
+//! ```
+//!
+//! where `t_q` is qubit `q`'s idle time — the time it spends neither gated
+//! nor held by a tweezer transfer (movement counts as idling). The grouping
+//! matches the paper's Fig. 9 breakdown: idle-qubit Rydberg excitations are
+//! folded into the 2Q component.
+
+use crate::params::{NeutralAtomParams, SuperconductingParams};
+use zac_zair::Analysis;
+
+/// Everything the fidelity model needs to know about one compiled execution.
+///
+/// Neutral-atom compilers derive this from a ZAIR [`Analysis`] via
+/// [`ExecutionSummary::from_analysis`]; the superconducting baselines build
+/// it directly from their routed circuits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionSummary {
+    /// Circuit name.
+    pub name: String,
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Total execution time (µs).
+    pub duration_us: f64,
+    /// Executed 1Q gates.
+    pub g1: usize,
+    /// Executed 2Q gates.
+    pub g2: usize,
+    /// Idle qubits excited by a Rydberg exposure.
+    pub n_exc: usize,
+    /// Atom transfers.
+    pub n_tran: usize,
+    /// Per-qubit idle time (µs).
+    pub idle_us: Vec<f64>,
+}
+
+impl ExecutionSummary {
+    /// Builds a summary from a validated ZAIR analysis.
+    pub fn from_analysis(name: impl Into<String>, analysis: &Analysis) -> Self {
+        Self {
+            name: name.into(),
+            num_qubits: analysis.num_qubits,
+            duration_us: analysis.total_duration_us,
+            g1: analysis.g1,
+            g2: analysis.g2,
+            n_exc: analysis.n_exc,
+            n_tran: analysis.n_tran,
+            idle_us: analysis.idle_us(),
+        }
+    }
+}
+
+/// A fidelity estimate broken down into the paper's four components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// `f1^g1`.
+    pub one_q: f64,
+    /// `f2^g2 · f_exc^N_exc` (excitations folded in, as in Fig. 9).
+    pub two_q: f64,
+    /// `f_tran^N_tran` (1.0 for platforms without atom transfer).
+    pub transfer: f64,
+    /// `Π_q (1 − t_q/T2)`, clamped at 0.
+    pub decoherence: f64,
+    /// Execution duration (µs).
+    pub duration_us: f64,
+}
+
+impl FidelityReport {
+    /// The total circuit fidelity: the product of all components.
+    pub fn total(&self) -> f64 {
+        self.one_q * self.two_q * self.transfer * self.decoherence
+    }
+}
+
+/// Evaluates the fidelity of a neutral-atom execution.
+///
+/// # Example
+///
+/// ```
+/// use zac_fidelity::{evaluate_neutral_atom, ExecutionSummary, NeutralAtomParams};
+/// let summary = ExecutionSummary {
+///     name: "demo".into(),
+///     num_qubits: 2,
+///     duration_us: 1000.0,
+///     g1: 2, g2: 1, n_exc: 0, n_tran: 4,
+///     idle_us: vec![900.0, 900.0],
+/// };
+/// let report = evaluate_neutral_atom(&summary, &NeutralAtomParams::reference());
+/// assert!(report.total() > 0.98 && report.total() < 1.0);
+/// ```
+pub fn evaluate_neutral_atom(
+    summary: &ExecutionSummary,
+    params: &NeutralAtomParams,
+) -> FidelityReport {
+    FidelityReport {
+        one_q: params.f_1q.powi(summary.g1 as i32),
+        two_q: params.f_2q.powi(summary.g2 as i32) * params.f_exc.powi(summary.n_exc as i32),
+        transfer: params.f_tran.powi(summary.n_tran as i32),
+        decoherence: decoherence_product(&summary.idle_us, params.t2_us),
+        duration_us: summary.duration_us,
+    }
+}
+
+/// Evaluates the fidelity of a superconducting execution (no atom transfer).
+pub fn evaluate_superconducting(
+    summary: &ExecutionSummary,
+    params: &SuperconductingParams,
+) -> FidelityReport {
+    FidelityReport {
+        one_q: params.f_1q.powi(summary.g1 as i32),
+        two_q: params.f_2q.powi(summary.g2 as i32),
+        transfer: 1.0,
+        decoherence: decoherence_product(&summary.idle_us, params.t2_us),
+        duration_us: summary.duration_us,
+    }
+}
+
+/// `Π_q max(0, 1 − t_q/T2)`: the linear decoherence model.
+pub fn decoherence_product(idle_us: &[f64], t2_us: f64) -> f64 {
+    idle_us.iter().map(|t| (1.0 - t / t2_us).max(0.0)).product()
+}
+
+/// Geometric mean of positive values; 0 if any value is 0.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty slice");
+    if values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(g1: usize, g2: usize, n_exc: usize, n_tran: usize, idle: Vec<f64>) -> ExecutionSummary {
+        ExecutionSummary {
+            name: "t".into(),
+            num_qubits: idle.len(),
+            duration_us: 1000.0,
+            g1,
+            g2,
+            n_exc,
+            n_tran,
+            idle_us: idle,
+        }
+    }
+
+    #[test]
+    fn perfect_execution_has_unit_fidelity() {
+        let s = summary(0, 0, 0, 0, vec![0.0, 0.0]);
+        let r = evaluate_neutral_atom(&s, &NeutralAtomParams::reference());
+        assert_eq!(r.total(), 1.0);
+    }
+
+    #[test]
+    fn components_multiply() {
+        let s = summary(3, 2, 1, 4, vec![1000.0, 500.0]);
+        let p = NeutralAtomParams::reference();
+        let r = evaluate_neutral_atom(&s, &p);
+        let expect_1q = p.f_1q.powi(3);
+        let expect_2q = p.f_2q.powi(2) * p.f_exc;
+        let expect_tr = p.f_tran.powi(4);
+        let expect_de = (1.0 - 1000.0 / p.t2_us) * (1.0 - 500.0 / p.t2_us);
+        assert!((r.one_q - expect_1q).abs() < 1e-12);
+        assert!((r.two_q - expect_2q).abs() < 1e-12);
+        assert!((r.transfer - expect_tr).abs() < 1e-12);
+        assert!((r.decoherence - expect_de).abs() < 1e-12);
+        assert!((r.total() - expect_1q * expect_2q * expect_tr * expect_de).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excitations_hurt_two_q_component() {
+        let p = NeutralAtomParams::reference();
+        let clean = evaluate_neutral_atom(&summary(0, 5, 0, 0, vec![0.0]), &p);
+        let noisy = evaluate_neutral_atom(&summary(0, 5, 10, 0, vec![0.0]), &p);
+        assert!(noisy.two_q < clean.two_q);
+        assert!((noisy.two_q / clean.two_q - p.f_exc.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decoherence_clamps_at_zero() {
+        let d = decoherence_product(&[2e6], 1.5e6); // idle > T2
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn sc_has_no_transfer_component() {
+        let s = summary(2, 2, 0, 99, vec![10.0]);
+        let r = evaluate_superconducting(&s, &SuperconductingParams::heron());
+        assert_eq!(r.transfer, 1.0);
+    }
+
+    #[test]
+    fn sc_grid_decoheres_faster_than_heron() {
+        let s = summary(0, 0, 0, 0, vec![50.0, 50.0]);
+        let h = evaluate_superconducting(&s, &SuperconductingParams::heron());
+        let g = evaluate_superconducting(&s, &SuperconductingParams::grid());
+        assert!(g.decoherence < h.decoherence);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[0.5, 0.0]), 0.0);
+        assert!((geometric_mean(&[7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn geometric_mean_empty_panics() {
+        geometric_mean(&[]);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn fidelity_always_in_unit_interval(
+                g1 in 0usize..500, g2 in 0usize..500,
+                n_exc in 0usize..500, n_tran in 0usize..2000,
+                idle in proptest::collection::vec(0.0..1e7f64, 1..20)
+            ) {
+                let s = summary(g1, g2, n_exc, n_tran, idle);
+                let r = evaluate_neutral_atom(&s, &NeutralAtomParams::reference());
+                prop_assert!(r.total() >= 0.0 && r.total() <= 1.0);
+                for c in [r.one_q, r.two_q, r.transfer, r.decoherence] {
+                    prop_assert!((0.0..=1.0).contains(&c));
+                }
+            }
+
+            #[test]
+            fn more_errors_never_increase_fidelity(
+                g2 in 0usize..100, extra in 1usize..50
+            ) {
+                let p = NeutralAtomParams::reference();
+                let base = evaluate_neutral_atom(&summary(0, g2, 0, 0, vec![0.0]), &p);
+                let worse = evaluate_neutral_atom(&summary(0, g2 + extra, 0, 0, vec![0.0]), &p);
+                prop_assert!(worse.total() <= base.total());
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Monte Carlo validation of the analytic fidelity model.
+//!
+//! The paper evaluates fidelity analytically (Sec. VII-B). This module
+//! cross-checks that model by *sampling*: each shot draws independent
+//! success events for every gate, excitation, transfer and per-qubit
+//! decoherence window; the empirical success rate converges to the analytic
+//! product. This gives the test-suite a second, independent implementation
+//! of the error model to validate against, and gives users shot-level error
+//! statistics (e.g. which error class kills a given circuit).
+
+use crate::model::ExecutionSummary;
+use crate::params::NeutralAtomParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error-class attribution of failed shots.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorBudget {
+    /// Shots lost to 1Q gate errors.
+    pub one_q: u64,
+    /// Shots lost to CZ gate errors.
+    pub two_q: u64,
+    /// Shots lost to idle-qubit Rydberg excitation.
+    pub excitation: u64,
+    /// Shots lost to atom-transfer errors.
+    pub transfer: u64,
+    /// Shots lost to idling decoherence.
+    pub decoherence: u64,
+}
+
+impl ErrorBudget {
+    /// Total failed shots.
+    pub fn total_failures(&self) -> u64 {
+        self.one_q + self.two_q + self.excitation + self.transfer + self.decoherence
+    }
+
+    /// The dominant error class as a static label.
+    pub fn dominant(&self) -> &'static str {
+        let classes = [
+            (self.one_q, "1Q"),
+            (self.two_q, "2Q"),
+            (self.excitation, "excitation"),
+            (self.transfer, "transfer"),
+            (self.decoherence, "decoherence"),
+        ];
+        classes.iter().max_by_key(|(n, _)| *n).map(|(_, l)| *l).unwrap_or("none")
+    }
+}
+
+/// Result of a Monte Carlo fidelity estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloEstimate {
+    /// Shots sampled.
+    pub shots: u64,
+    /// Shots with no error at all.
+    pub successes: u64,
+    /// Attribution of the *first* error in each failed shot.
+    pub budget: ErrorBudget,
+}
+
+impl MonteCarloEstimate {
+    /// Empirical fidelity `successes / shots`.
+    pub fn fidelity(&self) -> f64 {
+        self.successes as f64 / self.shots as f64
+    }
+
+    /// Standard error of the estimate: `sqrt(p(1-p)/shots)`.
+    pub fn std_error(&self) -> f64 {
+        let p = self.fidelity();
+        (p * (1.0 - p) / self.shots as f64).sqrt()
+    }
+}
+
+/// Samples the error model `shots` times; deterministic per `seed`.
+///
+/// Each shot draws, in order: every 1Q gate (success probability `f1`),
+/// every 2Q gate (`f2`), every excitation event (`f_exc`), every transfer
+/// (`f_tran`), and one decoherence trial per qubit (probability
+/// `max(0, 1 − t_q/T2)`). The shot succeeds iff every draw succeeds — which
+/// makes the success probability exactly the analytic product fidelity.
+///
+/// # Panics
+///
+/// Panics if `shots == 0`.
+///
+/// # Example
+///
+/// ```
+/// use zac_fidelity::{monte_carlo::sample_fidelity, ExecutionSummary, NeutralAtomParams};
+/// let s = ExecutionSummary {
+///     name: "demo".into(), num_qubits: 2, duration_us: 1000.0,
+///     g1: 4, g2: 2, n_exc: 1, n_tran: 8, idle_us: vec![800.0, 900.0],
+/// };
+/// let est = sample_fidelity(&s, &NeutralAtomParams::reference(), 2000, 7);
+/// assert!(est.fidelity() > 0.9);
+/// ```
+pub fn sample_fidelity(
+    summary: &ExecutionSummary,
+    params: &NeutralAtomParams,
+    shots: u64,
+    seed: u64,
+) -> MonteCarloEstimate {
+    assert!(shots > 0, "at least one shot required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut successes = 0u64;
+    let mut budget = ErrorBudget::default();
+
+    let decoherence_survive: Vec<f64> = summary
+        .idle_us
+        .iter()
+        .map(|t| (1.0 - t / params.t2_us).max(0.0))
+        .collect();
+
+    'shot: for _ in 0..shots {
+        for _ in 0..summary.g1 {
+            if rng.gen::<f64>() >= params.f_1q {
+                budget.one_q += 1;
+                continue 'shot;
+            }
+        }
+        for _ in 0..summary.g2 {
+            if rng.gen::<f64>() >= params.f_2q {
+                budget.two_q += 1;
+                continue 'shot;
+            }
+        }
+        for _ in 0..summary.n_exc {
+            if rng.gen::<f64>() >= params.f_exc {
+                budget.excitation += 1;
+                continue 'shot;
+            }
+        }
+        for _ in 0..summary.n_tran {
+            if rng.gen::<f64>() >= params.f_tran {
+                budget.transfer += 1;
+                continue 'shot;
+            }
+        }
+        for &p in &decoherence_survive {
+            if rng.gen::<f64>() >= p {
+                budget.decoherence += 1;
+                continue 'shot;
+            }
+        }
+        successes += 1;
+    }
+
+    MonteCarloEstimate { shots, successes, budget }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::evaluate_neutral_atom;
+
+    fn summary(g1: usize, g2: usize, n_exc: usize, n_tran: usize, idle: Vec<f64>) -> ExecutionSummary {
+        ExecutionSummary {
+            name: "mc".into(),
+            num_qubits: idle.len(),
+            duration_us: 1000.0,
+            g1,
+            g2,
+            n_exc,
+            n_tran,
+            idle_us: idle,
+        }
+    }
+
+    #[test]
+    fn perfect_execution_always_succeeds() {
+        let s = summary(0, 0, 0, 0, vec![0.0; 3]);
+        let est = sample_fidelity(&s, &NeutralAtomParams::reference(), 500, 1);
+        assert_eq!(est.successes, 500);
+        assert_eq!(est.fidelity(), 1.0);
+        assert_eq!(est.budget.total_failures(), 0);
+    }
+
+    #[test]
+    fn estimate_matches_analytic_model_within_4_sigma() {
+        let p = NeutralAtomParams::reference();
+        let s = summary(30, 20, 10, 60, vec![2e4, 3e4, 1e4]);
+        let analytic = evaluate_neutral_atom(&s, &p).total();
+        let est = sample_fidelity(&s, &p, 40_000, 42);
+        let sigma = est.std_error().max(1e-4);
+        assert!(
+            (est.fidelity() - analytic).abs() < 4.0 * sigma,
+            "MC {} vs analytic {analytic} (sigma {sigma})",
+            est.fidelity()
+        );
+    }
+
+    #[test]
+    fn failure_attribution_finds_the_dominant_class() {
+        let p = NeutralAtomParams::reference();
+        // Many excitations, nothing else: failures must be excitation.
+        let s = summary(0, 0, 800, 0, vec![0.0]);
+        let est = sample_fidelity(&s, &p, 4000, 3);
+        assert!(est.budget.excitation > 0);
+        assert_eq!(est.budget.dominant(), "excitation");
+        assert_eq!(est.budget.two_q, 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = NeutralAtomParams::reference();
+        let s = summary(5, 5, 5, 5, vec![1e3, 1e3]);
+        let a = sample_fidelity(&s, &p, 1000, 9);
+        let b = sample_fidelity(&s, &p, 1000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accounting_is_conserved() {
+        let p = NeutralAtomParams::reference();
+        let s = summary(50, 50, 50, 200, vec![5e5, 5e5]);
+        let est = sample_fidelity(&s, &p, 5000, 11);
+        assert_eq!(est.successes + est.budget.total_failures(), est.shots);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn zero_shots_panics() {
+        let s = summary(0, 0, 0, 0, vec![]);
+        sample_fidelity(&s, &NeutralAtomParams::reference(), 0, 0);
+    }
+}

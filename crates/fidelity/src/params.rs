@@ -1,0 +1,98 @@
+//! Hardware parameter sets (paper Table I and Sec. VII-B).
+
+/// Neutral-atom hardware parameters (Bluvstein et al. 2024/2022).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeutralAtomParams {
+    /// CZ gate fidelity (`f2` = 99.5%).
+    pub f_2q: f64,
+    /// 1Q gate fidelity (`f1` = 99.97%).
+    pub f_1q: f64,
+    /// Fidelity of an idle qubit excited by the Rydberg laser
+    /// (`f_exc` = 99.75%).
+    pub f_exc: f64,
+    /// Atom-transfer fidelity (`f_tran` = 99.9%).
+    pub f_tran: f64,
+    /// CZ duration in µs (`T_Ryd` = 0.36 µs).
+    pub t_2q_us: f64,
+    /// 1Q gate duration in µs (`T_1q` = 52 µs, conservative pulse budget).
+    pub t_1q_us: f64,
+    /// Atom-transfer duration in µs (`T_tran` = 15 µs).
+    pub t_tran_us: f64,
+    /// Coherence time in µs (`T2` = 1.5 s).
+    pub t2_us: f64,
+}
+
+impl NeutralAtomParams {
+    /// The reference parameters of Table I ("Neutral Atom" row).
+    pub const fn reference() -> Self {
+        Self {
+            f_2q: 0.995,
+            f_1q: 0.9997,
+            f_exc: 0.9975,
+            f_tran: 0.999,
+            t_2q_us: 0.36,
+            t_1q_us: 52.0,
+            t_tran_us: 15.0,
+            t2_us: 1.5e6,
+        }
+    }
+}
+
+impl Default for NeutralAtomParams {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// Superconducting-qubit hardware parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuperconductingParams {
+    /// 2Q gate fidelity.
+    pub f_2q: f64,
+    /// 1Q gate fidelity.
+    pub f_1q: f64,
+    /// 2Q gate duration (µs).
+    pub t_2q_us: f64,
+    /// 1Q gate duration (µs).
+    pub t_1q_us: f64,
+    /// Coherence time T2 (µs).
+    pub t2_us: f64,
+}
+
+impl SuperconductingParams {
+    /// IBM Heron (ibm_torino) parameters: Table I "SC Heron" row.
+    pub const fn heron() -> Self {
+        Self { f_2q: 0.999, f_1q: 0.9997, t_2q_us: 0.068, t_1q_us: 0.025, t2_us: 311.0 }
+    }
+
+    /// Google Sycamore-style grid parameters: Table I "SC Grid" row.
+    pub const fn grid() -> Self {
+        Self { f_2q: 0.999, f_1q: 0.9997, t_2q_us: 0.042, t_1q_us: 0.025, t2_us: 89.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let na = NeutralAtomParams::reference();
+        assert_eq!(na.f_2q, 0.995);
+        assert_eq!(na.f_1q, 0.9997);
+        assert_eq!(na.t_1q_us, 52.0);
+        assert_eq!(na.t_2q_us, 0.36);
+        assert_eq!(na.t2_us, 1.5e6);
+        let heron = SuperconductingParams::heron();
+        assert_eq!(heron.t2_us, 311.0);
+        assert_eq!(heron.t_2q_us, 0.068);
+        let grid = SuperconductingParams::grid();
+        assert_eq!(grid.t2_us, 89.0);
+        assert_eq!(grid.t_2q_us, 0.042);
+    }
+
+    #[test]
+    fn default_is_reference() {
+        assert_eq!(NeutralAtomParams::default(), NeutralAtomParams::reference());
+    }
+}

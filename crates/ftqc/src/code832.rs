@@ -1,0 +1,215 @@
+//! The [[8,3,2]] color code (paper Sec. VIII, Fig. 16a).
+//!
+//! Eight physical qubits on the vertices of a cube encode three logical
+//! qubits at distance 2 (Vasmer & Kubica). The stabilizer group is generated
+//! by X on all eight vertices plus Z on four independent faces; logical X
+//! operators are X on the three coordinate faces through vertex 0, logical Z
+//! operators are Z on the three edges through vertex 0.
+//!
+//! Transversal gates: physical T† on all eight qubits realizes a logical
+//! CCZ·CZ·Z combination ("in-block gate"), and qubit-wise CNOT between two
+//! blocks realizes logical CNOTs on corresponding logical qubits
+//! ("inter-block gate"). The latter is *verified here* by Pauli propagation.
+
+use crate::pauli::{Pauli, StabilizerGroup};
+
+/// Number of physical qubits per block.
+pub const PHYSICAL_QUBITS: usize = 8;
+/// Number of logical qubits per block.
+pub const LOGICAL_QUBITS: usize = 3;
+/// Code distance.
+pub const DISTANCE: usize = 2;
+/// Physical block footprint (rows, cols) on the atom array (paper: 2×4).
+pub const BLOCK_SHAPE: (usize, usize) = (2, 4);
+
+/// Vertices of the cube, indexed by their 3-bit coordinates (x, y, z).
+fn face(axis: usize, value: usize) -> Vec<usize> {
+    (0..8).filter(|v| (v >> axis) & 1 == value).collect()
+}
+
+/// The [[8,3,2]] code block.
+#[derive(Debug, Clone)]
+pub struct Code832 {
+    stabilizers: StabilizerGroup,
+    logical_x: [Pauli; 3],
+    logical_z: [Pauli; 3],
+}
+
+impl Default for Code832 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Code832 {
+    /// Constructs the code with its standard generators.
+    pub fn new() -> Self {
+        let sx = Pauli::xs(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let sz: Vec<Pauli> = [
+            face(0, 0), // x = 0 face
+            face(1, 0), // y = 0 face
+            face(2, 0), // z = 0 face
+            face(2, 1), // z = 1 face
+        ]
+        .iter()
+        .map(|f| Pauli::zs(f))
+        .collect();
+        let mut gens = vec![sx];
+        gens.extend(sz);
+        let stabilizers = StabilizerGroup::new(gens);
+
+        let logical_x = [
+            Pauli::xs(&face(0, 0)),
+            Pauli::xs(&face(1, 0)),
+            Pauli::xs(&face(2, 0)),
+        ];
+        // Edges through vertex 0 along each axis.
+        let logical_z = [
+            Pauli::zs(&[0, 1]), // x edge
+            Pauli::zs(&[0, 2]), // y edge
+            Pauli::zs(&[0, 4]), // z edge
+        ];
+        Self { stabilizers, logical_x, logical_z }
+    }
+
+    /// The stabilizer group.
+    pub fn stabilizers(&self) -> &StabilizerGroup {
+        &self.stabilizers
+    }
+
+    /// Logical X operator of logical qubit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 3`.
+    pub fn logical_x(&self, i: usize) -> Pauli {
+        self.logical_x[i]
+    }
+
+    /// Logical Z operator of logical qubit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 3`.
+    pub fn logical_z(&self, i: usize) -> Pauli {
+        self.logical_z[i]
+    }
+
+    /// The qubit-wise CNOT list of the transversal inter-block CNOT, acting
+    /// on a 16-qubit register: block A on qubits `0..8`, block B on `8..16`.
+    pub fn transversal_cnot_pairs() -> Vec<(usize, usize)> {
+        (0..PHYSICAL_QUBITS).map(|q| (q, q + PHYSICAL_QUBITS)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn propagate(p: Pauli, pairs: &[(usize, usize)]) -> Pauli {
+        pairs.iter().fold(p, |acc, &(c, t)| acc.through_cnot(c, t))
+    }
+
+    #[test]
+    fn parameters() {
+        let code = Code832::new();
+        assert_eq!(code.stabilizers().rank(), PHYSICAL_QUBITS - LOGICAL_QUBITS);
+        assert_eq!(PHYSICAL_QUBITS, 8);
+        assert_eq!(LOGICAL_QUBITS, 3);
+        assert_eq!(DISTANCE, 2);
+    }
+
+    #[test]
+    fn stabilizers_commute_pairwise() {
+        let code = Code832::new();
+        let gens = code.stabilizers().generators();
+        for (i, a) in gens.iter().enumerate() {
+            for b in &gens[i + 1..] {
+                assert!(a.commutes_with(*b));
+            }
+        }
+    }
+
+    #[test]
+    fn logicals_commute_with_stabilizers() {
+        let code = Code832::new();
+        for i in 0..3 {
+            assert!(code.stabilizers().commutes_with(code.logical_x(i)));
+            assert!(code.stabilizers().commutes_with(code.logical_z(i)));
+        }
+    }
+
+    #[test]
+    fn logicals_have_canonical_commutation() {
+        let code = Code832::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                let commute = code.logical_x(i).commutes_with(code.logical_z(j));
+                assert_eq!(commute, i != j, "X̄{i} vs Z̄{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn logicals_are_not_stabilizers() {
+        let code = Code832::new();
+        for i in 0..3 {
+            assert!(!code.stabilizers().contains(code.logical_x(i)));
+            assert!(!code.stabilizers().contains(code.logical_z(i)));
+        }
+    }
+
+    #[test]
+    fn distance_two_logical_z() {
+        let code = Code832::new();
+        for i in 0..3 {
+            assert_eq!(code.logical_z(i).weight(), 2);
+        }
+    }
+
+    /// The headline FTQC property: qubit-wise CNOT between two blocks
+    /// (a) preserves the two-block stabilizer group and (b) acts as logical
+    /// CNOT on each corresponding logical pair.
+    #[test]
+    fn transversal_cnot_is_logical_cnot() {
+        let code = Code832::new();
+        let pairs = Code832::transversal_cnot_pairs();
+
+        // Two-block stabilizer group: block A generators + shifted block B.
+        let mut gens: Vec<Pauli> = code.stabilizers().generators().to_vec();
+        gens.extend(code.stabilizers().generators().iter().map(|g| g.shifted(8)));
+        let group = StabilizerGroup::new(gens.clone());
+
+        // (a) stabilizer preservation.
+        for g in &gens {
+            let image = propagate(*g, &pairs);
+            assert!(group.contains(image), "stabilizer image left the group");
+        }
+
+        // (b) logical action: X̄_i^A → X̄_i^A X̄_i^B and Z̄_i^B → Z̄_i^A Z̄_i^B,
+        // modulo stabilizers.
+        for i in 0..3 {
+            let xa = code.logical_x(i);
+            let image = propagate(xa, &pairs);
+            let expect = xa.mul(code.logical_x(i).shifted(8));
+            assert!(
+                group.contains(image.mul(expect)),
+                "X̄{i} image differs from logical-CNOT action"
+            );
+
+            let zb = code.logical_z(i).shifted(8);
+            let image = propagate(zb, &pairs);
+            let expect = code.logical_z(i).mul(zb);
+            assert!(
+                group.contains(image.mul(expect)),
+                "Z̄{i} image differs from logical-CNOT action"
+            );
+
+            // Control-side Z and target-side X are untouched (mod stabilizers).
+            let za = code.logical_z(i);
+            assert!(group.contains(propagate(za, &pairs).mul(za)));
+            let xb = code.logical_x(i).shifted(8);
+            assert!(group.contains(propagate(xb, &pairs).mul(xb)));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Hypercube IQP circuits and their block-level compilation with ZAC
+//! (paper Sec. VIII, Fig. 16b).
+//!
+//! The workload is a scaled-up version of the 48-qubit experiment of
+//! Bluvstein et al.: `B` [[8,3,2]] blocks (`3·B` logical qubits) run eight
+//! in-block gate layers interleaved with seven transversal-CNOT layers whose
+//! stride doubles each time, generating hypercube connectivity. ZAC treats
+//! each *block* as one movable unit and compiles the block movements; the
+//! physical qubits of a block ride along in the same rearrangement job.
+
+use crate::code832::{Code832, LOGICAL_QUBITS};
+use zac_arch::Architecture;
+use zac_circuit::{preprocess, Circuit};
+use zac_core::{CompileOutput, Zac, ZacConfig, ZacError};
+
+/// Builds the block-level hIQP circuit: each circuit "qubit" is one
+/// [[8,3,2]] block.
+///
+/// In-block gate layers appear as one 1Q gate per block (the transversal T†
+/// wall); CNOT layers connect blocks `(i, i+2^k)` for every `i` whose k-th
+/// bit is 0, with the stride doubling layer by layer.
+///
+/// # Panics
+///
+/// Panics unless `num_blocks` is a power of two with at least 2 blocks.
+pub fn hiqp_block_circuit(num_blocks: usize) -> Circuit {
+    assert!(
+        num_blocks >= 2 && num_blocks.is_power_of_two(),
+        "hIQP needs a power-of-two block count"
+    );
+    let layers = num_blocks.trailing_zeros() as usize; // log2(B) CNOT layers
+    let mut c = Circuit::new(format!("hiqp_b{num_blocks}"), num_blocks);
+    // Initial in-block layer.
+    for b in 0..num_blocks {
+        c.rz(std::f64::consts::FRAC_PI_4, b);
+    }
+    for k in 0..layers {
+        let stride = 1usize << k;
+        for i in 0..num_blocks {
+            if i & stride == 0 {
+                c.cx(i, i + stride);
+            }
+        }
+        // In-block layer after every CNOT layer.
+        for b in 0..num_blocks {
+            c.rz(std::f64::consts::FRAC_PI_4, b);
+        }
+    }
+    c
+}
+
+/// Result of compiling the hIQP workload with ZAC.
+#[derive(Debug, Clone)]
+pub struct HiqpResult {
+    /// The block-level compilation output (one "qubit" = one block).
+    pub output: CompileOutput,
+    /// Number of code blocks.
+    pub num_blocks: usize,
+    /// Logical qubit count (3 per block).
+    pub logical_qubits: usize,
+    /// Transversal inter-block gates in the workload.
+    pub transversal_gates: usize,
+    /// Rydberg stages in the compiled schedule.
+    pub rydberg_stages: usize,
+    /// Physical circuit duration in milliseconds.
+    pub duration_ms: f64,
+}
+
+/// Compiles the `num_blocks`-block hIQP circuit onto the logical-level
+/// architecture (3×5 block sites, paper Sec. VIII).
+///
+/// CNOT layers have `B/2` parallel gates; with 15 logical sites the layers
+/// split into ⌈(B/2)/15⌉ exposures each — 35 stages for B = 128.
+///
+/// # Errors
+///
+/// Propagates [`ZacError`] from the underlying compilation.
+///
+/// # Panics
+///
+/// Panics unless `num_blocks` is a power of two with at least 2 blocks.
+pub fn compile_hiqp(num_blocks: usize) -> Result<HiqpResult, ZacError> {
+    let arch = Architecture::ftqc_logical();
+    let circuit = hiqp_block_circuit(num_blocks);
+    let transversal_gates = circuit.num_2q_gates();
+    let staged = preprocess(&circuit);
+    let mut cfg = ZacConfig::full();
+    cfg.placement.sa_iterations = 300;
+    let zac = Zac::with_config(arch, cfg);
+    let output = zac.compile_staged(&staged)?;
+    let rydberg_stages = output
+        .program
+        .instructions
+        .iter()
+        .filter(|i| matches!(i, zac_zair::Instruction::Rydberg { .. }))
+        .count();
+    Ok(HiqpResult {
+        num_blocks,
+        logical_qubits: LOGICAL_QUBITS * num_blocks,
+        transversal_gates,
+        rydberg_stages,
+        duration_ms: output.summary.duration_us / 1000.0,
+        output,
+    })
+}
+
+/// Expands a block-level circuit into the physical-qubit circuit: each
+/// block-level CX becomes the 8 transversal CNOTs of [`Code832`]; each
+/// block-level 1Q gate becomes the 8-qubit T† wall.
+pub fn expand_to_physical(block_circuit: &Circuit) -> Circuit {
+    use zac_circuit::gate::Gate;
+    let n_phys = block_circuit.num_qubits() * crate::code832::PHYSICAL_QUBITS;
+    let mut c = Circuit::new(format!("{}_physical", block_circuit.name()), n_phys);
+    let base = |b: usize| b * crate::code832::PHYSICAL_QUBITS;
+    for g in block_circuit.gates() {
+        match *g {
+            Gate::OneQ { qubit, .. } => {
+                for q in 0..crate::code832::PHYSICAL_QUBITS {
+                    c.tdg(base(qubit) + q);
+                }
+            }
+            Gate::TwoQ { a, b, .. } => {
+                for (qa, qb) in Code832::transversal_cnot_pairs() {
+                    c.cx(base(a) + qa, base(b) + qb - crate::code832::PHYSICAL_QUBITS);
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_circuit_shape_128() {
+        let c = hiqp_block_circuit(128);
+        // 7 CNOT layers × 64 gates = 448 transversal gates (paper).
+        assert_eq!(c.num_2q_gates(), 448);
+        // 8 in-block layers × 128 blocks.
+        assert_eq!(c.num_1q_gates(), 8 * 128);
+    }
+
+    #[test]
+    fn stride_doubles_each_layer() {
+        let c = hiqp_block_circuit(8);
+        let pairs = c.interaction_pairs();
+        // Layer 1: stride 1 → (0,1); layer 2: stride 2 → (0,2); layer 3: (0,4).
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(0, 4)));
+        assert_eq!(pairs.len(), 3 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        hiqp_block_circuit(6);
+    }
+
+    #[test]
+    fn physical_expansion_counts() {
+        let c = hiqp_block_circuit(4);
+        let phys = expand_to_physical(&c);
+        assert_eq!(phys.num_qubits(), 32);
+        assert_eq!(phys.num_2q_gates(), c.num_2q_gates() * 8);
+        assert_eq!(phys.num_1q_gates(), c.num_1q_gates() * 8);
+    }
+
+    #[test]
+    fn compile_small_hiqp() {
+        let r = compile_hiqp(16).unwrap();
+        assert_eq!(r.logical_qubits, 48);
+        assert_eq!(r.transversal_gates, 4 * 8);
+        assert!(r.rydberg_stages >= 4, "stages {}", r.rydberg_stages);
+        assert!(r.duration_ms > 0.0);
+        assert_eq!(r.output.summary.n_exc, 0);
+    }
+
+    #[test]
+    fn compile_paper_scale_hiqp_splits_layers() {
+        let r = compile_hiqp(128).unwrap();
+        // 64-gate layers on 15 sites → 5 exposures per layer, 7 layers = 35.
+        assert_eq!(r.rydberg_stages, 35);
+        assert_eq!(r.logical_qubits, 384);
+        assert_eq!(r.transversal_gates, 448);
+        // Paper: 117.847 ms; the shape (order of 100 ms) must hold.
+        assert!(
+            r.duration_ms > 20.0 && r.duration_ms < 500.0,
+            "duration {} ms",
+            r.duration_ms
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Fault-tolerant quantum computing support for ZAC (paper Sec. VIII).
+//!
+//! * [`pauli`] — phaseless Pauli strings with Clifford conjugation and GF(2)
+//!   stabilizer-group membership, the verification substrate;
+//! * [`code832`] — the [[8,3,2]] cube color code: stabilizers, logical
+//!   operators, and a *machine-checked proof* (by Pauli propagation) that
+//!   qubit-wise CNOT between blocks acts as transversal logical CNOT;
+//! * [`hiqp`] — the hypercube IQP workload: 128 blocks / 384 logical qubits
+//!   with doubling-stride CNOT layers, compiled at block level with ZAC on
+//!   the 3×5-site logical architecture (35 Rydberg stages at paper scale).
+//!
+//! # Example
+//!
+//! ```
+//! use zac_ftqc::hiqp::hiqp_block_circuit;
+//! let c = hiqp_block_circuit(128);
+//! assert_eq!(c.num_2q_gates(), 448); // the paper's transversal gate count
+//! ```
+
+pub mod code832;
+pub mod hiqp;
+pub mod pauli;
+
+pub use code832::Code832;
+pub use hiqp::{compile_hiqp, expand_to_physical, hiqp_block_circuit, HiqpResult};
+pub use pauli::{Pauli, StabilizerGroup};

@@ -1,0 +1,388 @@
+//! Minimum-weight full matching (rectangular linear assignment).
+//!
+//! ZAC places 2Q gates onto candidate Rydberg sites and non-reuse qubits onto
+//! candidate storage traps by solving a minimum-weight *full* matching: every
+//! left vertex (gate or qubit) must be assigned a distinct right vertex (site
+//! or trap) while the summed movement cost is minimized (paper Sec. V-B.2/3).
+//!
+//! The implementation is the shortest-augmenting-path algorithm with dual
+//! potentials, the same algorithm family as Jonker–Volgenant and SciPy's
+//! `linear_sum_assignment` (Crouse, 2016). Complexity is `O(R²·C)` for an
+//! `R×C` cost matrix with `R ≤ C`. Forbidden pairs are expressed with
+//! [`f64::INFINITY`] entries.
+
+use std::fmt;
+
+/// A dense row-major cost matrix for the assignment problem.
+///
+/// Entries may be [`f64::INFINITY`] to forbid a pairing. `rows ≤ cols` is
+/// required when solving for a full matching of the rows.
+///
+/// # Example
+///
+/// ```
+/// use zac_graph::CostMatrix;
+/// let m = CostMatrix::from_rows(&[vec![1.0, 2.0], vec![0.5, 9.0]]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.at(1, 0), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Creates a matrix filled with `fill`.
+    pub fn new(rows: usize, cols: usize, fill: f64) -> Self {
+        Self { rows, cols, data: vec![fill; rows * cols] }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nc = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|r| r.len() == nc), "ragged cost matrix");
+        Self { rows: rows.len(), cols: nc, data: rows.concat() }
+    }
+
+    /// Number of rows (left vertices).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (right vertices).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cost of pairing row `r` with column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the cost of pairing row `r` with column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+}
+
+/// Error returned by [`min_weight_full_matching`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignmentError {
+    /// More rows than columns: a full matching of the rows cannot exist.
+    MoreRowsThanColumns,
+    /// No feasible full matching exists (infinite entries block all options).
+    Infeasible,
+    /// The matrix contains NaN entries.
+    NanCost,
+}
+
+impl fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MoreRowsThanColumns => write!(f, "cost matrix has more rows than columns"),
+            Self::Infeasible => write!(f, "no feasible full matching exists"),
+            Self::NanCost => write!(f, "cost matrix contains NaN"),
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
+/// Solves the minimum-weight full matching of the rows of `cost`.
+///
+/// Returns `(assignment, total)` where `assignment[r]` is the column matched
+/// to row `r` and `total` is the summed cost.
+///
+/// # Errors
+///
+/// * [`AssignmentError::MoreRowsThanColumns`] if `rows > cols`.
+/// * [`AssignmentError::Infeasible`] if infinite entries make a full matching
+///   impossible.
+/// * [`AssignmentError::NanCost`] if any entry is NaN.
+///
+/// # Example
+///
+/// ```
+/// use zac_graph::{min_weight_full_matching, CostMatrix};
+/// let cost = CostMatrix::from_rows(&[vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0]]);
+/// let (assign, total) = min_weight_full_matching(&cost)?;
+/// assert_eq!(assign.len(), 2);
+/// assert_eq!(total, 3.0); // e.g. row0→col1 (1.0) + row1→col0 (2.0)
+/// # Ok::<(), zac_graph::AssignmentError>(())
+/// ```
+pub fn min_weight_full_matching(cost: &CostMatrix) -> Result<(Vec<usize>, f64), AssignmentError> {
+    let nr = cost.rows();
+    let nc = cost.cols();
+    if nr > nc {
+        return Err(AssignmentError::MoreRowsThanColumns);
+    }
+    if cost.data.iter().any(|v| v.is_nan()) {
+        return Err(AssignmentError::NanCost);
+    }
+    if nr == 0 {
+        return Ok((Vec::new(), 0.0));
+    }
+
+    const NONE: usize = usize::MAX;
+    let mut u = vec![0.0f64; nr]; // row potentials
+    let mut v = vec![0.0f64; nc]; // column potentials
+    let mut row4col = vec![NONE; nc];
+    let mut col4row = vec![NONE; nr];
+    let mut path = vec![NONE; nc];
+    let mut shortest = vec![f64::INFINITY; nc];
+    let mut sr = vec![false; nr];
+    let mut sc = vec![false; nc];
+    let mut remaining: Vec<usize> = Vec::with_capacity(nc);
+
+    for cur_row in 0..nr {
+        // Dijkstra over the alternating tree rooted at `cur_row`.
+        sr.iter_mut().for_each(|x| *x = false);
+        sc.iter_mut().for_each(|x| *x = false);
+        shortest.iter_mut().for_each(|x| *x = f64::INFINITY);
+        remaining.clear();
+        remaining.extend(0..nc);
+
+        let mut min_val = 0.0f64;
+        let mut i = cur_row;
+        let mut sink = NONE;
+        while sink == NONE {
+            sr[i] = true;
+            let mut lowest = f64::INFINITY;
+            let mut index = NONE;
+            for (it, &j) in remaining.iter().enumerate() {
+                let c = cost.at(i, j);
+                if c.is_finite() {
+                    let r = min_val + c - u[i] - v[j];
+                    if r < shortest[j] {
+                        path[j] = i;
+                        shortest[j] = r;
+                    }
+                }
+                // Tie-break toward unmatched columns so we terminate earlier.
+                if shortest[j] < lowest || (shortest[j] == lowest && row4col[j] == NONE) {
+                    lowest = shortest[j];
+                    index = it;
+                }
+            }
+            min_val = lowest;
+            if !min_val.is_finite() {
+                return Err(AssignmentError::Infeasible);
+            }
+            let j = remaining[index];
+            if row4col[j] == NONE {
+                sink = j;
+            } else {
+                i = row4col[j];
+            }
+            sc[j] = true;
+            remaining.swap_remove(index);
+        }
+
+        // Update dual potentials.
+        u[cur_row] += min_val;
+        for r in 0..nr {
+            if sr[r] && r != cur_row {
+                u[r] += min_val - shortest[col4row[r]];
+            }
+        }
+        for (c, scanned) in sc.iter().enumerate() {
+            if *scanned {
+                v[c] -= min_val - shortest[c];
+            }
+        }
+
+        // Augment along the found path.
+        let mut j = sink;
+        loop {
+            let r = path[j];
+            row4col[j] = r;
+            std::mem::swap(&mut col4row[r], &mut j);
+            if r == cur_row {
+                break;
+            }
+        }
+    }
+
+    let total = col4row
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost.at(r, c))
+        .sum();
+    Ok((col4row, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::brute_force_assignment;
+
+    const INF: f64 = f64::INFINITY;
+
+    fn assert_valid(cost: &CostMatrix, assign: &[usize], total: f64) {
+        let mut seen = std::collections::HashSet::new();
+        let mut sum = 0.0;
+        for (r, &c) in assign.iter().enumerate() {
+            assert!(c < cost.cols());
+            assert!(seen.insert(c), "column {c} used twice");
+            assert!(cost.at(r, c).is_finite(), "assigned a forbidden pair");
+            sum += cost.at(r, c);
+        }
+        assert!((sum - total).abs() < 1e-9, "reported total mismatch");
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let cost = CostMatrix::new(0, 0, 0.0);
+        let (assign, total) = min_weight_full_matching(&cost).unwrap();
+        assert!(assign.is_empty());
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn single_cell() {
+        let cost = CostMatrix::from_rows(&[vec![7.5]]);
+        let (assign, total) = min_weight_full_matching(&cost).unwrap();
+        assert_eq!(assign, vec![0]);
+        assert_eq!(total, 7.5);
+    }
+
+    #[test]
+    fn square_classic() {
+        let cost = CostMatrix::from_rows(&[
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ]);
+        let (assign, total) = min_weight_full_matching(&cost).unwrap();
+        assert_valid(&cost, &assign, total);
+        assert_eq!(total, 5.0); // 1 + 2 + 2
+    }
+
+    #[test]
+    fn rectangular_prefers_cheap_columns() {
+        let cost = CostMatrix::from_rows(&[vec![10.0, 1.0, 10.0, 10.0]]);
+        let (assign, total) = min_weight_full_matching(&cost).unwrap();
+        assert_eq!(assign, vec![1]);
+        assert_eq!(total, 1.0);
+    }
+
+    #[test]
+    fn more_rows_than_cols_errors() {
+        let cost = CostMatrix::new(3, 2, 1.0);
+        assert_eq!(
+            min_weight_full_matching(&cost).unwrap_err(),
+            AssignmentError::MoreRowsThanColumns
+        );
+    }
+
+    #[test]
+    fn infeasible_when_row_all_forbidden() {
+        let cost = CostMatrix::from_rows(&[vec![1.0, 2.0], vec![INF, INF]]);
+        assert_eq!(
+            min_weight_full_matching(&cost).unwrap_err(),
+            AssignmentError::Infeasible
+        );
+    }
+
+    #[test]
+    fn infeasible_by_structure() {
+        // Both rows can only use column 0.
+        let cost = CostMatrix::from_rows(&[vec![1.0, INF], vec![1.0, INF]]);
+        assert_eq!(
+            min_weight_full_matching(&cost).unwrap_err(),
+            AssignmentError::Infeasible
+        );
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let cost = CostMatrix::from_rows(&[vec![f64::NAN]]);
+        assert_eq!(min_weight_full_matching(&cost).unwrap_err(), AssignmentError::NanCost);
+    }
+
+    #[test]
+    fn forbidden_entries_force_detour() {
+        let cost = CostMatrix::from_rows(&[
+            vec![1.0, 2.0, INF],
+            vec![1.0, INF, INF],
+            vec![INF, 3.0, 10.0],
+        ]);
+        let (assign, total) = min_weight_full_matching(&cost).unwrap();
+        assert_valid(&cost, &assign, total);
+        // Row1 must take col0, row0 then col1, row2 col2 → 2 + 1 + 10 = 13…
+        // but row0→col1(2), row2→col1 impossible twice; optimum is 13.
+        assert_eq!(total, 13.0);
+    }
+
+    #[test]
+    fn negative_costs_supported() {
+        let cost = CostMatrix::from_rows(&[vec![-5.0, 0.0], vec![0.0, -5.0]]);
+        let (assign, total) = min_weight_full_matching(&cost).unwrap();
+        assert_valid(&cost, &assign, total);
+        assert_eq!(total, -10.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_cases() {
+        let cases = vec![
+            CostMatrix::from_rows(&[vec![3.0, 8.0, 1.0], vec![4.0, 7.0, 2.0], vec![5.0, 6.0, 9.0]]),
+            CostMatrix::from_rows(&[vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]]),
+            CostMatrix::from_rows(&[vec![0.0, INF], vec![0.0, 4.0]]),
+        ];
+        for cost in cases {
+            let (assign, total) = min_weight_full_matching(&cost).unwrap();
+            assert_valid(&cost, &assign, total);
+            let best = brute_force_assignment(&cost).unwrap();
+            assert!((total - best).abs() < 1e-9, "total={total} best={best}");
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_cost() -> impl Strategy<Value = CostMatrix> {
+            (1usize..5, 0usize..5).prop_flat_map(|(nr, extra)| {
+                let nc = nr + extra;
+                proptest::collection::vec(
+                    proptest::collection::vec(
+                        prop_oneof![4 => 0.0..100.0f64, 1 => Just(f64::INFINITY)],
+                        nc..=nc,
+                    ),
+                    nr..=nr,
+                )
+                .prop_map(|rows| CostMatrix::from_rows(&rows))
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn jv_matches_brute_force(cost in arb_cost()) {
+                match (min_weight_full_matching(&cost), brute_force_assignment(&cost)) {
+                    (Ok((assign, total)), Some(best)) => {
+                        assert_valid(&cost, &assign, total);
+                        prop_assert!((total - best).abs() < 1e-6);
+                    }
+                    (Err(AssignmentError::Infeasible), None) => {}
+                    (got, want) => prop_assert!(false, "mismatch: got={got:?} want={want:?}"),
+                }
+            }
+        }
+    }
+}

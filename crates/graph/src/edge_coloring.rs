@@ -1,0 +1,389 @@
+//! Edge coloring for Rydberg-stage scheduling.
+//!
+//! The Enola baseline (paper Sec. II) schedules entangling gates with an edge
+//! coloring of the interaction graph: vertices are qubits, edges are 2Q gates,
+//! and each color class becomes one Rydberg stage. For *simple* graphs the
+//! Misra–Gries algorithm achieves the near-optimal bound of Δ+1 colors; for
+//! circuits that apply several gates to the same qubit pair the interaction
+//! graph is a multigraph and a greedy pass is used instead.
+
+const NONE: usize = usize::MAX;
+
+/// Colors the edges of a simple graph with at most Δ+1 colors (Misra–Gries).
+///
+/// `edges` are undirected pairs over vertices `0..n`. Returns one color per
+/// edge (colors are `0..=Δ`), such that no two edges sharing a vertex receive
+/// the same color.
+///
+/// # Panics
+///
+/// Panics if an edge is a self-loop, references a vertex `>= n`, or if the
+/// same pair appears twice (use [`greedy_multigraph_edge_coloring`] for
+/// multigraphs).
+///
+/// # Example
+///
+/// ```
+/// use zac_graph::misra_gries_edge_coloring;
+/// // A triangle needs 3 colors (Δ = 2, so Δ+1 = 3).
+/// let colors = misra_gries_edge_coloring(3, &[(0, 1), (1, 2), (2, 0)]);
+/// assert_eq!(colors.len(), 3);
+/// let mut sorted = colors.clone();
+/// sorted.sort_unstable();
+/// sorted.dedup();
+/// assert_eq!(sorted.len(), 3);
+/// ```
+pub fn misra_gries_edge_coloring(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    // Validate.
+    {
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop ({a},{b}) not allowed");
+            let key = (a.min(b), a.max(b));
+            assert!(seen.insert(key), "duplicate edge ({a},{b}); use the multigraph variant");
+        }
+    }
+
+    let mut degree = vec![0usize; n];
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n]; // edge ids
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        degree[a] += 1;
+        degree[b] += 1;
+        incident[a].push(e);
+        incident[b].push(e);
+    }
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let num_colors = max_deg + 1;
+
+    let mut color = vec![NONE; edges.len()];
+    // used[v][c] = edge id colored c incident to v, or NONE.
+    let mut used: Vec<Vec<usize>> = vec![vec![NONE; num_colors]; n];
+
+    let other = |e: usize, v: usize| -> usize {
+        let (a, b) = edges[e];
+        if a == v {
+            b
+        } else {
+            a
+        }
+    };
+
+    let free_color = |used: &[Vec<usize>], v: usize| -> usize {
+        (0..num_colors).find(|&c| used[v][c] == NONE).expect("Δ+1 colors guarantee a free one")
+    };
+
+    for e0 in 0..edges.len() {
+        let (u, v) = edges[e0];
+
+        // Build a maximal fan of u starting at v.
+        let mut fan: Vec<usize> = vec![v];
+        let mut fan_edges: Vec<usize> = vec![e0];
+        let mut in_fan = std::collections::HashSet::new();
+        in_fan.insert(v);
+        loop {
+            let last = *fan.last().unwrap();
+            let mut extended = false;
+            for &e in &incident[u] {
+                if color[e] == NONE {
+                    continue;
+                }
+                let x = other(e, u);
+                if in_fan.contains(&x) {
+                    continue;
+                }
+                // color(u, x) must be free on the current last fan vertex.
+                if used[last][color[e]] == NONE {
+                    fan.push(x);
+                    fan_edges.push(e);
+                    in_fan.insert(x);
+                    extended = true;
+                    break;
+                }
+            }
+            if !extended {
+                break;
+            }
+        }
+
+        let c = free_color(&used, u);
+        let d = free_color(&used, *fan.last().unwrap());
+
+        if c != d {
+            // Invert the cd-path starting at u (alternates d, c, d, ...).
+            // First walk the path with the colors *before* inversion (flipping
+            // while walking would immediately re-find the flipped edge), then
+            // swap colors in two passes (clear, then set) so a middle vertex's
+            // two path edges don't clobber each other's `used` entries.
+            let mut path_edges = Vec::new();
+            let mut cur = u;
+            let mut col = d;
+            loop {
+                let e = used[cur][col];
+                if e == NONE {
+                    break;
+                }
+                path_edges.push(e);
+                cur = other(e, cur);
+                col = if col == c { d } else { c };
+            }
+            for &e in &path_edges {
+                let old = color[e];
+                let (a1, b1) = edges[e];
+                used[a1][old] = NONE;
+                used[b1][old] = NONE;
+            }
+            for &e in &path_edges {
+                let new = if color[e] == c { d } else { c };
+                let (a1, b1) = edges[e];
+                color[e] = new;
+                used[a1][new] = e;
+                used[b1][new] = e;
+            }
+        }
+
+        // Find w in the fan such that the prefix is still a fan and d is free
+        // at w; rotate the prefix and color (u, w) with d.
+        let mut w_index = None;
+        'search: for i in 0..fan.len() {
+            if used[fan[i]][d] != NONE {
+                continue;
+            }
+            // Verify the prefix [0..=i] is a fan under current colors.
+            for j in 1..=i {
+                let ce = color[fan_edges[j]];
+                if ce == NONE || used[fan[j - 1]][ce] != NONE {
+                    continue 'search;
+                }
+            }
+            w_index = Some(i);
+            break;
+        }
+        let w_index = w_index.expect("Misra–Gries invariant: a rotatable fan prefix exists");
+
+        // Rotate: shift colors down the fan prefix.
+        for j in 0..w_index {
+            let e_from = fan_edges[j + 1];
+            let e_to = fan_edges[j];
+            let ce = color[e_from];
+            // Un-color e_from.
+            let (a1, b1) = edges[e_from];
+            used[a1][ce] = NONE;
+            used[b1][ce] = NONE;
+            color[e_from] = NONE;
+            // Color e_to (previous color of e_to, if any, was already shifted
+            // away in the prior iteration or it is e0 which is uncolored).
+            if color[e_to] != NONE {
+                let old = color[e_to];
+                let (a2, b2) = edges[e_to];
+                used[a2][old] = NONE;
+                used[b2][old] = NONE;
+            }
+            let (a2, b2) = edges[e_to];
+            color[e_to] = ce;
+            used[a2][ce] = e_to;
+            used[b2][ce] = e_to;
+        }
+        // Assign d to the last prefix edge.
+        let e_w = fan_edges[w_index];
+        if color[e_w] != NONE {
+            let old = color[e_w];
+            let (a2, b2) = edges[e_w];
+            used[a2][old] = NONE;
+            used[b2][old] = NONE;
+        }
+        let (a2, b2) = edges[e_w];
+        color[e_w] = d;
+        used[a2][d] = e_w;
+        used[b2][d] = e_w;
+    }
+
+    color
+}
+
+/// Greedy edge coloring that tolerates multigraphs (repeated qubit pairs).
+///
+/// Each edge gets the smallest color unused at both endpoints; at most
+/// `2Δ - 1` colors are produced. This is the scheduling fallback for circuits
+/// whose interaction graph repeats pairs (e.g. QFT-style circuits once
+/// lowered), where [`misra_gries_edge_coloring`] does not apply.
+///
+/// # Example
+///
+/// ```
+/// use zac_graph::greedy_multigraph_edge_coloring;
+/// let colors = greedy_multigraph_edge_coloring(2, &[(0, 1), (0, 1)]);
+/// assert_ne!(colors[0], colors[1]);
+/// ```
+pub fn greedy_multigraph_edge_coloring(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut used: Vec<Vec<bool>> = vec![Vec::new(); n];
+    let mut colors = Vec::with_capacity(edges.len());
+    for &(a, b) in edges {
+        assert!(a < n && b < n, "edge ({a},{b}) out of range");
+        assert_ne!(a, b, "self-loop ({a},{b}) not allowed");
+        let mut c = 0;
+        loop {
+            let a_used = used[a].get(c).copied().unwrap_or(false);
+            let b_used = used[b].get(c).copied().unwrap_or(false);
+            if !a_used && !b_used {
+                break;
+            }
+            c += 1;
+        }
+        for v in [a, b] {
+            if used[v].len() <= c {
+                used[v].resize(c + 1, false);
+            }
+            used[v][c] = true;
+        }
+        colors.push(c);
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_proper(n: usize, edges: &[(usize, usize)], colors: &[usize]) {
+        assert_eq!(edges.len(), colors.len());
+        let mut seen = std::collections::HashSet::new();
+        for (e, &(a, b)) in edges.iter().enumerate() {
+            for v in [a, b] {
+                assert!(
+                    seen.insert((v, colors[e], e)),
+                    "sanity: unique tuples"
+                );
+            }
+            let _ = n;
+        }
+        // No two edges sharing a vertex may share a color.
+        for i in 0..edges.len() {
+            for j in (i + 1)..edges.len() {
+                let (a, b) = edges[i];
+                let (c, d) = edges[j];
+                if a == c || a == d || b == c || b == d {
+                    assert_ne!(colors[i], colors[j], "edges {i} and {j} conflict");
+                }
+            }
+        }
+    }
+
+    fn max_degree(n: usize, edges: &[(usize, usize)]) -> usize {
+        let mut deg = vec![0usize; n];
+        for &(a, b) in edges {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        deg.into_iter().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let colors = misra_gries_edge_coloring(0, &[]);
+        assert!(colors.is_empty());
+    }
+
+    #[test]
+    fn single_edge_uses_one_color() {
+        let colors = misra_gries_edge_coloring(2, &[(0, 1)]);
+        assert_eq!(colors, vec![0]);
+    }
+
+    #[test]
+    fn path_uses_two_colors() {
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        let colors = misra_gries_edge_coloring(4, &edges);
+        assert_proper(4, &edges, &colors);
+        assert!(colors.iter().max().unwrap() <= &2);
+    }
+
+    #[test]
+    fn triangle_needs_three() {
+        let edges = [(0, 1), (1, 2), (2, 0)];
+        let colors = misra_gries_edge_coloring(3, &edges);
+        assert_proper(3, &edges, &colors);
+    }
+
+    #[test]
+    fn complete_graph_k5_within_bound() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let colors = misra_gries_edge_coloring(5, &edges);
+        assert_proper(5, &edges, &colors);
+        let delta = max_degree(5, &edges);
+        assert!(*colors.iter().max().unwrap() <= delta, "K5 is class 2, ≤ Δ+1 colors");
+    }
+
+    #[test]
+    fn star_uses_exactly_delta_colors() {
+        let edges: Vec<(usize, usize)> = (1..8).map(|i| (0, i)).collect();
+        let colors = misra_gries_edge_coloring(8, &edges);
+        assert_proper(8, &edges, &colors);
+        let mut uniq = colors.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_panics() {
+        misra_gries_edge_coloring(2, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        misra_gries_edge_coloring(2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn greedy_multigraph_proper_and_bounded() {
+        let edges = [(0, 1), (0, 1), (0, 1), (1, 2), (1, 2)];
+        let colors = greedy_multigraph_edge_coloring(3, &edges);
+        assert_proper(3, &edges, &colors);
+        let delta = max_degree(3, &edges);
+        assert!(*colors.iter().max().unwrap() < 2 * delta);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_simple_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+            (2usize..10).prop_flat_map(|n| {
+                let all_edges: Vec<(usize, usize)> = (0..n)
+                    .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                    .collect();
+                let m = all_edges.len();
+                (Just(n), proptest::sample::subsequence(all_edges, 0..=m))
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn misra_gries_is_proper_and_bounded((n, edges) in arb_simple_graph()) {
+                let colors = misra_gries_edge_coloring(n, &edges);
+                assert_proper(n, &edges, &colors);
+                let delta = max_degree(n, &edges);
+                if !edges.is_empty() {
+                    prop_assert!(*colors.iter().max().unwrap() <= delta, "more than Δ+1 colors");
+                }
+            }
+
+            #[test]
+            fn greedy_is_proper((n, mut edges) in arb_simple_graph()) {
+                // Duplicate some edges to exercise the multigraph path.
+                let dup: Vec<_> = edges.iter().copied().take(3).collect();
+                edges.extend(dup);
+                let colors = greedy_multigraph_edge_coloring(n, &edges);
+                assert_proper(n, &edges, &colors);
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching.
+//!
+//! The ZAC placement stage models qubit reuse between two consecutive Rydberg
+//! stages as a bipartite graph: left vertices are gates of stage *t*, right
+//! vertices are gates of stage *t+1*, and an edge connects two gates that share
+//! a qubit. A maximum matching then selects the largest conflict-free set of
+//! reuses (paper Sec. V-B.1). Hopcroft–Karp runs in `O(|E|·sqrt(|V|))`.
+
+/// Computes a maximum-cardinality matching of a bipartite graph.
+///
+/// `adj[u]` lists the right-side neighbors of left vertex `u`; right vertices
+/// are `0..num_right`. Returns `match_left` where `match_left[u]` is the right
+/// vertex matched to `u` (or `None`).
+///
+/// Duplicate entries in an adjacency list are tolerated.
+///
+/// # Example
+///
+/// ```
+/// use zac_graph::hopcroft_karp::max_bipartite_matching;
+/// let adj = vec![vec![0], vec![0, 1], vec![1]];
+/// let m = max_bipartite_matching(&adj, 2);
+/// // Only two right vertices exist, so at most 2 pairs can match.
+/// assert_eq!(m.iter().filter(|x| x.is_some()).count(), 2);
+/// ```
+pub fn max_bipartite_matching(adj: &[Vec<usize>], num_right: usize) -> Vec<Option<usize>> {
+    let num_left = adj.len();
+    debug_assert!(
+        adj.iter().flatten().all(|&v| v < num_right),
+        "adjacency list references right vertex out of range"
+    );
+
+    const NIL: usize = usize::MAX;
+    let mut match_left = vec![NIL; num_left];
+    let mut match_right = vec![NIL; num_right];
+    let mut dist = vec![0u32; num_left];
+    let mut queue = Vec::with_capacity(num_left);
+
+    // BFS builds the layered graph; returns true if an augmenting path exists.
+    let bfs = |match_left: &[usize], match_right: &[usize], dist: &mut [u32], queue: &mut Vec<usize>| -> bool {
+        const INF: u32 = u32::MAX;
+        queue.clear();
+        for u in 0..num_left {
+            if match_left[u] == NIL {
+                dist[u] = 0;
+                queue.push(u);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in &adj[u] {
+                let w = match_right[v];
+                if w == NIL {
+                    found = true;
+                } else if dist[w] == INF {
+                    dist[w] = dist[u] + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        found
+    };
+
+    fn dfs(
+        u: usize,
+        adj: &[Vec<usize>],
+        match_left: &mut [usize],
+        match_right: &mut [usize],
+        dist: &mut [u32],
+    ) -> bool {
+        const NIL: usize = usize::MAX;
+        for i in 0..adj[u].len() {
+            let v = adj[u][i];
+            let w = match_right[v];
+            if w == NIL || (dist[w] == dist[u] + 1 && dfs(w, adj, match_left, match_right, dist)) {
+                match_left[u] = v;
+                match_right[v] = u;
+                return true;
+            }
+        }
+        dist[u] = u32::MAX;
+        false
+    }
+
+    while bfs(&match_left, &match_right, &mut dist, &mut queue) {
+        for u in 0..num_left {
+            if match_left[u] == NIL {
+                dfs(u, adj, &mut match_left, &mut match_right, &mut dist);
+            }
+        }
+    }
+
+    match_left
+        .into_iter()
+        .map(|v| if v == NIL { None } else { Some(v) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::brute_force_max_matching;
+
+    fn matching_size(m: &[Option<usize>]) -> usize {
+        m.iter().filter(|x| x.is_some()).count()
+    }
+
+    fn assert_valid(adj: &[Vec<usize>], m: &[Option<usize>]) {
+        let mut used = std::collections::HashSet::new();
+        for (u, v) in m.iter().enumerate() {
+            if let Some(v) = v {
+                assert!(adj[u].contains(v), "matched pair ({u},{v}) is not an edge");
+                assert!(used.insert(*v), "right vertex {v} matched twice");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = max_bipartite_matching(&[], 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn no_edges() {
+        let adj = vec![vec![], vec![]];
+        let m = max_bipartite_matching(&adj, 3);
+        assert_eq!(matching_size(&m), 0);
+    }
+
+    #[test]
+    fn perfect_matching_on_cycle() {
+        // C4 as bipartite: left {0,1}, right {0,1}, edges 0-0, 0-1, 1-0, 1-1.
+        let adj = vec![vec![0, 1], vec![0, 1]];
+        let m = max_bipartite_matching(&adj, 2);
+        assert_eq!(matching_size(&m), 2);
+        assert_valid(&adj, &m);
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // Greedy left-to-right would match 0-0 and block vertex 1.
+        let adj = vec![vec![0], vec![0, 1]];
+        let m = max_bipartite_matching(&adj, 2);
+        assert_eq!(matching_size(&m), 2);
+        assert_valid(&adj, &m);
+    }
+
+    #[test]
+    fn long_augmenting_chain() {
+        // Chain forcing multiple phases: li matched to ri only after reshuffle.
+        let adj = vec![vec![0], vec![0, 1], vec![1, 2], vec![2, 3]];
+        let m = max_bipartite_matching(&adj, 4);
+        assert_eq!(matching_size(&m), 4);
+        assert_valid(&adj, &m);
+    }
+
+    #[test]
+    fn duplicate_edges_tolerated() {
+        let adj = vec![vec![0, 0, 0], vec![0, 1, 1]];
+        let m = max_bipartite_matching(&adj, 2);
+        assert_eq!(matching_size(&m), 2);
+        assert_valid(&adj, &m);
+    }
+
+    #[test]
+    fn unbalanced_sides() {
+        let adj = vec![vec![0, 1, 2, 3, 4]];
+        let m = max_bipartite_matching(&adj, 5);
+        assert_eq!(matching_size(&m), 1);
+        assert_valid(&adj, &m);
+    }
+
+    #[test]
+    fn star_graph() {
+        // All left vertices want right vertex 0: only one can have it.
+        let adj = vec![vec![0]; 6];
+        let m = max_bipartite_matching(&adj, 1);
+        assert_eq!(matching_size(&m), 1);
+        assert_valid(&adj, &m);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_cases() {
+        let cases: Vec<(Vec<Vec<usize>>, usize)> = vec![
+            (vec![vec![0, 2], vec![1], vec![0, 1], vec![2, 3]], 4),
+            (vec![vec![1, 2], vec![2], vec![2]], 3),
+            (vec![vec![0], vec![0], vec![0, 1]], 2),
+        ];
+        for (adj, nr) in cases {
+            let hk = max_bipartite_matching(&adj, nr);
+            let bf = brute_force_max_matching(&adj, nr);
+            assert_eq!(matching_size(&hk), bf, "adj={adj:?}");
+            assert_valid(&adj, &hk);
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_bipartite() -> impl Strategy<Value = (Vec<Vec<usize>>, usize)> {
+            (1usize..7, 1usize..7).prop_flat_map(|(nl, nr)| {
+                (
+                    proptest::collection::vec(
+                        proptest::collection::vec(0..nr, 0..=nr),
+                        nl..=nl,
+                    ),
+                    Just(nr),
+                )
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn hk_matches_brute_force((adj, nr) in arb_bipartite()) {
+                let hk = max_bipartite_matching(&adj, nr);
+                let bf = brute_force_max_matching(&adj, nr);
+                prop_assert_eq!(matching_size(&hk), bf);
+                assert_valid(&adj, &hk);
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Greedy maximal independent set.
+//!
+//! Rearrangement-job generation (paper Sec. VI) follows Enola: build a
+//! conflict graph whose vertices are pending qubit movements and whose edges
+//! connect movements that cannot be executed by one AOD simultaneously, then
+//! repeatedly extract a maximal independent set — each set becomes one
+//! rearrangement job. The greedy min-degree heuristic gives large sets in
+//! `O(n² log n)` overall, matching the complexity the paper quotes.
+
+/// Computes a maximal independent set of the graph given by `adj`.
+///
+/// Vertices are `0..adj.len()`; `adj[v]` lists the neighbors of `v` (the
+/// graph is treated as undirected: an edge may appear in either or both
+/// lists). Vertices are visited in order of ascending degree, a classic
+/// greedy heuristic that tends to produce large sets.
+///
+/// The result is sorted ascending and is guaranteed *maximal*: no vertex can
+/// be added without breaking independence.
+///
+/// # Example
+///
+/// ```
+/// use zac_graph::greedy_maximal_independent_set;
+/// // Path 0-1-2: the unique maximum independent set is {0, 2}.
+/// let adj = vec![vec![1], vec![0, 2], vec![1]];
+/// assert_eq!(greedy_maximal_independent_set(&adj), vec![0, 2]);
+/// ```
+pub fn greedy_maximal_independent_set(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    // Symmetrize: an edge may be listed on one side only.
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, list) in adj.iter().enumerate() {
+        for &v in list {
+            debug_assert!(v < n, "neighbor out of range");
+            if v != u {
+                neighbors[u].push(v);
+                neighbors[v].push(u);
+            }
+        }
+    }
+    for list in &mut neighbors {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| (neighbors[v].len(), v));
+
+    let mut blocked = vec![false; n];
+    let mut chosen = vec![false; n];
+    for &v in &order {
+        if !blocked[v] {
+            chosen[v] = true;
+            blocked[v] = true;
+            for &w in &neighbors[v] {
+                blocked[w] = true;
+            }
+        }
+    }
+    (0..n).filter(|&v| chosen[v]).collect()
+}
+
+/// Partitions all vertices into maximal independent sets by repeatedly
+/// extracting a MIS from the remaining graph.
+///
+/// This is exactly how Enola (and ZAC's scheduler) turns a movement conflict
+/// graph into a sequence of rearrangement jobs. Returns the list of sets, in
+/// extraction order; their union is `0..adj.len()` and they are disjoint.
+///
+/// # Example
+///
+/// ```
+/// use zac_graph::mis::partition_into_independent_sets;
+/// // Triangle: every MIS is a single vertex, so 3 rounds.
+/// let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+/// let sets = partition_into_independent_sets(&adj);
+/// assert_eq!(sets.len(), 3);
+/// ```
+pub fn partition_into_independent_sets(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut alive: Vec<usize> = (0..n).collect(); // original ids still unassigned
+    let mut result = Vec::new();
+    while !alive.is_empty() {
+        // Build the induced subgraph on `alive`.
+        let mut index_of = vec![usize::MAX; n];
+        for (i, &v) in alive.iter().enumerate() {
+            index_of[v] = i;
+        }
+        let sub_adj: Vec<Vec<usize>> = alive
+            .iter()
+            .map(|&v| {
+                adj[v]
+                    .iter()
+                    .filter_map(|&w| {
+                        let i = index_of[w];
+                        (i != usize::MAX).then_some(i)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mis = greedy_maximal_independent_set(&sub_adj);
+        let set: Vec<usize> = mis.iter().map(|&i| alive[i]).collect();
+        let in_set: std::collections::HashSet<usize> = set.iter().copied().collect();
+        alive.retain(|v| !in_set.contains(v));
+        result.push(set);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_independent(adj: &[Vec<usize>], set: &[usize]) -> bool {
+        let s: std::collections::HashSet<usize> = set.iter().copied().collect();
+        for &v in set {
+            for &w in &adj[v] {
+                if w != v && s.contains(&w) {
+                    return false;
+                }
+            }
+        }
+        // also check reverse direction (one-sided edge lists)
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                if u != v && s.contains(&u) && s.contains(&v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn is_maximal(adj: &[Vec<usize>], set: &[usize]) -> bool {
+        let s: std::collections::HashSet<usize> = set.iter().copied().collect();
+        'outer: for v in 0..adj.len() {
+            if s.contains(&v) {
+                continue;
+            }
+            for &w in &adj[v] {
+                if s.contains(&w) {
+                    continue 'outer;
+                }
+            }
+            for (u, list) in adj.iter().enumerate() {
+                if s.contains(&u) && list.contains(&v) {
+                    continue 'outer;
+                }
+            }
+            return false; // v could be added
+        }
+        true
+    }
+
+    #[test]
+    fn empty() {
+        assert!(greedy_maximal_independent_set(&[]).is_empty());
+    }
+
+    #[test]
+    fn edgeless_graph_takes_everything() {
+        let adj = vec![vec![], vec![], vec![]];
+        assert_eq!(greedy_maximal_independent_set(&adj), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn path_graph_optimal() {
+        let adj = vec![vec![1], vec![0, 2], vec![1]];
+        assert_eq!(greedy_maximal_independent_set(&adj), vec![0, 2]);
+    }
+
+    #[test]
+    fn star_prefers_leaves() {
+        // Center 0 connected to 1..5; min-degree ordering picks the leaves.
+        let adj = vec![vec![1, 2, 3, 4, 5], vec![], vec![], vec![], vec![], vec![]];
+        let mis = greedy_maximal_independent_set(&adj);
+        assert_eq!(mis, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn one_sided_edges_are_symmetrized() {
+        // Edge 0-1 listed only on vertex 0's list.
+        let adj = vec![vec![1], vec![]];
+        let mis = greedy_maximal_independent_set(&adj);
+        assert_eq!(mis.len(), 1);
+        assert!(is_independent(&adj, &mis));
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let adj = vec![vec![0], vec![1]];
+        let mis = greedy_maximal_independent_set(&adj);
+        assert_eq!(mis, vec![0, 1]);
+    }
+
+    #[test]
+    fn partition_covers_all_vertices_disjointly() {
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1], vec![4], vec![3]];
+        let sets = partition_into_independent_sets(&adj);
+        let mut all: Vec<usize> = sets.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        for set in &sets {
+            assert!(is_independent(&adj, set));
+        }
+    }
+
+    #[test]
+    fn partition_of_triangle_needs_three_rounds() {
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        assert_eq!(partition_into_independent_sets(&adj).len(), 3);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_graph() -> impl Strategy<Value = Vec<Vec<usize>>> {
+            (1usize..10).prop_flat_map(|n| {
+                proptest::collection::vec(
+                    proptest::collection::vec(0..n, 0..n),
+                    n..=n,
+                )
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn mis_is_independent_and_maximal(adj in arb_graph()) {
+                let mis = greedy_maximal_independent_set(&adj);
+                prop_assert!(is_independent(&adj, &mis));
+                prop_assert!(is_maximal(&adj, &mis));
+            }
+
+            #[test]
+            fn partition_is_exact_cover(adj in arb_graph()) {
+                let sets = partition_into_independent_sets(&adj);
+                let mut all: Vec<usize> = sets.concat();
+                all.sort_unstable();
+                let expect: Vec<usize> = (0..adj.len()).collect();
+                prop_assert_eq!(all, expect);
+                for set in &sets {
+                    prop_assert!(is_independent(&adj, set));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Brute-force reference implementations.
+//!
+//! These exponential-time routines exist so the production algorithms in this
+//! crate can be validated exhaustively on small instances by unit and
+//! property-based tests. They are exported (rather than `#[cfg(test)]`) so
+//! downstream crates can reuse them in their own tests.
+
+use crate::assignment::CostMatrix;
+
+/// Size of a maximum bipartite matching, by exhaustive augmentation.
+///
+/// `adj[u]` lists right-side neighbors of left vertex `u`. Intended for
+/// `adj.len() <= ~10`.
+pub fn brute_force_max_matching(adj: &[Vec<usize>], num_right: usize) -> usize {
+    fn go(u: usize, adj: &[Vec<usize>], taken: &mut Vec<bool>) -> usize {
+        if u == adj.len() {
+            return 0;
+        }
+        // Option 1: leave u unmatched.
+        let mut best = go(u + 1, adj, taken);
+        // Option 2: match u to any free neighbor.
+        for &v in &adj[u] {
+            if !taken[v] {
+                taken[v] = true;
+                best = best.max(1 + go(u + 1, adj, taken));
+                taken[v] = false;
+            }
+        }
+        best
+    }
+    let mut taken = vec![false; num_right];
+    go(0, adj, &mut taken)
+}
+
+/// Minimum total cost of a full matching of the rows, or `None` if infeasible.
+///
+/// Explores all column choices recursively; intended for matrices with at most
+/// ~6 rows.
+pub fn brute_force_assignment(cost: &CostMatrix) -> Option<f64> {
+    if cost.rows() > cost.cols() {
+        return None;
+    }
+    fn go(r: usize, cost: &CostMatrix, taken: &mut Vec<bool>) -> Option<f64> {
+        if r == cost.rows() {
+            return Some(0.0);
+        }
+        let mut best: Option<f64> = None;
+        for c in 0..cost.cols() {
+            if taken[c] || !cost.at(r, c).is_finite() {
+                continue;
+            }
+            taken[c] = true;
+            if let Some(rest) = go(r + 1, cost, taken) {
+                let total = cost.at(r, c) + rest;
+                best = Some(match best {
+                    Some(b) if b <= total => b,
+                    _ => total,
+                });
+            }
+            taken[c] = false;
+        }
+        best
+    }
+    let mut taken = vec![false; cost.cols()];
+    go(0, cost, &mut taken)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_on_tiny_graph() {
+        let adj = vec![vec![0, 1], vec![0]];
+        assert_eq!(brute_force_max_matching(&adj, 2), 2);
+    }
+
+    #[test]
+    fn matching_with_contention() {
+        let adj = vec![vec![0], vec![0], vec![0]];
+        assert_eq!(brute_force_max_matching(&adj, 1), 1);
+    }
+
+    #[test]
+    fn assignment_simple() {
+        let cost = CostMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert_eq!(brute_force_assignment(&cost), Some(2.0));
+    }
+
+    #[test]
+    fn assignment_infeasible() {
+        let cost = CostMatrix::from_rows(&[vec![f64::INFINITY, f64::INFINITY]]);
+        assert_eq!(brute_force_assignment(&cost), None);
+    }
+
+    #[test]
+    fn assignment_too_many_rows() {
+        let cost = CostMatrix::new(2, 1, 1.0);
+        assert_eq!(brute_force_assignment(&cost), None);
+    }
+}

@@ -1,0 +1,183 @@
+//! Movement-cost model for placement (paper Eq. 1–2).
+//!
+//! The cost of performing gate `g(q, q′)` at Rydberg site ω approximates the
+//! rearrangement duration: movement time scales with √distance, and two
+//! pickups from the *same SLM row* ride one AOD row and move in parallel
+//! (cost = max), while pickups from different rows must be sequential
+//! (cost = sum) because AOD rows cannot stack on one drop-off row.
+
+use zac_arch::{Architecture, Loc, Point, SiteId};
+use zac_circuit::Gate2;
+
+/// Vertical-coordinate tolerance for "same SLM row".
+const ROW_EPS: f64 = 1e-6;
+
+/// Movement cost `√d(ω, m_q)` of bringing a qubit at `from` to site `site`.
+pub fn qubit_to_site_cost(arch: &Architecture, from: Point, site: SiteId) -> f64 {
+    arch.site_position(site).distance(from).sqrt()
+}
+
+/// Eq. 1: the cost of gate `g` executing at `site` given qubit positions.
+///
+/// If the two qubits sit in the same row (equal y), the movements bundle
+/// into one rearrangement job: cost is the max of the two √distances;
+/// otherwise they are sequential: cost is the sum.
+///
+/// # Example
+///
+/// ```
+/// use zac_arch::{Architecture, Point, SiteId};
+/// use zac_place::cost::gate_cost;
+///
+/// let arch = Architecture::reference();
+/// // Two qubits in the same storage row: their movements bundle into one
+/// // AOD row, so the gate cost is the *max* of the two √distances (Eq. 1).
+/// let (a, b) = (Point::new(13.0, 297.0), Point::new(1.0, 297.0));
+/// let w = arch.site_position(SiteId::new(0, 0, 0));
+/// let c = gate_cost(&arch, a, b, SiteId::new(0, 0, 0));
+/// let expect = w.distance(a).sqrt().max(w.distance(b).sqrt());
+/// assert!((c - expect).abs() < 1e-9, "same row → max of the two costs");
+/// ```
+pub fn gate_cost(arch: &Architecture, q_pos: Point, q2_pos: Point, site: SiteId) -> f64 {
+    let c1 = qubit_to_site_cost(arch, q_pos, site);
+    let c2 = qubit_to_site_cost(arch, q2_pos, site);
+    if (q_pos.y - q2_pos.y).abs() < ROW_EPS {
+        c1.max(c2)
+    } else {
+        c1 + c2
+    }
+}
+
+/// The gate's *nearest site* ω_near (paper Sec. V-A): find each target
+/// qubit's nearest Rydberg site, then take the middle site
+/// (⌊(r+r′)/2⌋, ⌊(c+c′)/2⌋) within the first qubit's zone.
+pub fn nearest_gate_site(arch: &Architecture, q_pos: Point, q2_pos: Point) -> SiteId {
+    let s1 = arch.nearest_site(q_pos);
+    let s2 = arch.nearest_site(q2_pos);
+    arch.middle_site(s1, s2)
+}
+
+/// Stage-decay weight `w_g = max(0.1, 1 − 0.1·(t−1))` for a gate scheduled
+/// at Rydberg stage `t` (1-based in the paper; pass the 0-based index).
+pub fn stage_weight(stage_index: usize) -> f64 {
+    (1.0 - 0.1 * stage_index as f64).max(0.1)
+}
+
+/// Eq. 2: the total weighted cost of an initial placement.
+///
+/// `placement[q]` is each qubit's storage trap; `gates` pairs each CZ with
+/// its 0-based stage index.
+pub fn initial_placement_cost(
+    arch: &Architecture,
+    placement: &[Loc],
+    gates: &[(usize, Gate2)],
+) -> f64 {
+    gates
+        .iter()
+        .map(|&(stage, g)| {
+            let pa = arch.position(placement[g.a]);
+            let pb = arch.position(placement[g.b]);
+            let site = nearest_gate_site(arch, pa, pb);
+            stage_weight(stage) * gate_cost(arch, pa, pb, site)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> Architecture {
+        Architecture::reference()
+    }
+
+    #[test]
+    fn same_row_uses_max() {
+        let arch = arch();
+        let a = Point::new(3.0, 297.0);
+        let b = Point::new(30.0, 297.0);
+        let s = SiteId::new(0, 0, 0);
+        let c = gate_cost(&arch, a, b, s);
+        let ca = qubit_to_site_cost(&arch, a, s);
+        let cb = qubit_to_site_cost(&arch, b, s);
+        assert!((c - ca.max(cb)).abs() < 1e-12);
+        assert!(c < ca + cb);
+    }
+
+    #[test]
+    fn different_rows_use_sum() {
+        let arch = arch();
+        let a = Point::new(3.0, 297.0);
+        let b = Point::new(3.0, 294.0);
+        let s = SiteId::new(0, 0, 0);
+        let c = gate_cost(&arch, a, b, s);
+        let ca = qubit_to_site_cost(&arch, a, s);
+        let cb = qubit_to_site_cost(&arch, b, s);
+        assert!((c - (ca + cb)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_distances() {
+        // Sec. V-A: d(ω00, s3,4) = 16.40, d(ω00, s3,0) = 10.05 in the toy
+        // frame; cost = max(√16.40, √10.05) = 4.05.
+        let w = Point::new(0.0, 19.0);
+        let q0 = Point::new(13.0, 9.0);
+        let q1 = Point::new(1.0, 9.0);
+        let d0 = w.distance(q0);
+        let d1 = w.distance(q1);
+        assert!((d0 - 16.401).abs() < 1e-2);
+        assert!((d1 - 10.049).abs() < 1e-2);
+        let cost = d0.sqrt().max(d1.sqrt());
+        assert!((cost - 4.05).abs() < 1e-2);
+    }
+
+    #[test]
+    fn stage_weights_decay_and_floor() {
+        assert_eq!(stage_weight(0), 1.0);
+        assert!((stage_weight(1) - 0.9).abs() < 1e-12);
+        assert!((stage_weight(5) - 0.5).abs() < 1e-12);
+        assert_eq!(stage_weight(20), 0.1);
+        assert_eq!(stage_weight(100), 0.1);
+    }
+
+    #[test]
+    fn nearest_gate_site_is_middle() {
+        let arch = arch();
+        // Two qubits below columns 0 and 4 of the site grid.
+        let a = Point::new(35.0, 297.0);
+        let b = Point::new(35.0 + 4.0 * 12.0, 297.0);
+        let s = nearest_gate_site(&arch, a, b);
+        assert_eq!(s, SiteId::new(0, 0, 2));
+    }
+
+    #[test]
+    fn initial_cost_prefers_front_row() {
+        let arch = arch();
+        let near = vec![
+            Loc::Storage { zone: 0, row: 99, col: 10 },
+            Loc::Storage { zone: 0, row: 99, col: 11 },
+        ];
+        let far = vec![
+            Loc::Storage { zone: 0, row: 0, col: 10 },
+            Loc::Storage { zone: 0, row: 0, col: 11 },
+        ];
+        let gates = vec![(0usize, Gate2 { id: 0, a: 0, b: 1 })];
+        let c_near = initial_placement_cost(&arch, &near, &gates);
+        let c_far = initial_placement_cost(&arch, &far, &gates);
+        assert!(c_near < c_far);
+    }
+
+    #[test]
+    fn later_stages_weigh_less() {
+        let arch = arch();
+        let placement = vec![
+            Loc::Storage { zone: 0, row: 99, col: 10 },
+            Loc::Storage { zone: 0, row: 99, col: 11 },
+        ];
+        let early = vec![(0usize, Gate2 { id: 0, a: 0, b: 1 })];
+        let late = vec![(5usize, Gate2 { id: 0, a: 0, b: 1 })];
+        let ce = initial_placement_cost(&arch, &placement, &early);
+        let cl = initial_placement_cost(&arch, &placement, &late);
+        assert!((cl / ce - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,854 @@
+//! Reuse-aware dynamic placement (paper Sec. V-B).
+//!
+//! For each Rydberg stage the planner:
+//!
+//! 1. identifies **qubit reuse** between consecutive stages with a maximum
+//!    bipartite matching (Hopcroft–Karp) over gates sharing a qubit —
+//!    matched gates stay pinned at their predecessor's Rydberg site;
+//! 2. places the remaining gates with a **minimum-weight full matching**
+//!    (Jonker–Volgenant) from gates to candidate sites around each gate's
+//!    nearest site `ω_near`, with a lookahead term pulling the site toward
+//!    next-stage partners;
+//! 3. returns idle qubits to the storage zone with a second min-weight
+//!    matching over candidate traps (original home, neighbors of the nearest
+//!    trap, nearest trap to the *related* next-stage partner — Eq. 3);
+//! 4. builds both a reuse and a no-reuse solution and **commits the cheaper**
+//!    (paper Sec. V-B: "we commit to the better solution between the two").
+
+use crate::cost::{gate_cost, nearest_gate_site, qubit_to_site_cost};
+use crate::{PlaceError, PlacementConfig};
+use std::collections::{HashMap, HashSet};
+use zac_arch::{Architecture, Loc, Point, SiteId};
+use zac_circuit::{Gate2, StagedCircuit};
+use zac_graph::{max_bipartite_matching, min_weight_full_matching, AssignmentError, CostMatrix};
+
+/// Placement decisions for one Rydberg stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagePlan {
+    /// Each gate of the stage with the Rydberg site it executes at.
+    pub gate_sites: Vec<(Gate2, SiteId)>,
+    /// Without reuse, every entanglement-zone resident first returns to
+    /// storage (the paper's non-reuse round trip); this intermediate
+    /// all-in-storage snapshot precedes the stage's fetches.
+    pub pre_returns: Option<Vec<Loc>>,
+    /// Location of every qubit *during* the stage's exposure.
+    pub during: Vec<Loc>,
+    /// Whether this stage committed the reuse solution.
+    pub used_reuse: bool,
+    /// Number of qubits that stayed at their site (reused in place).
+    pub reused_qubits: usize,
+}
+
+/// The full placement plan: initial placement plus one [`StagePlan`] per
+/// Rydberg stage. Consecutive `during` snapshots define the rearrangement
+/// the scheduler must realize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementPlan {
+    /// Initial storage placement (the `init` ZAIR instruction).
+    pub initial: Vec<Loc>,
+    /// Per-stage placements.
+    pub stages: Vec<StagePlan>,
+}
+
+impl PlacementPlan {
+    /// Total count of in-place qubit reuses across all stages.
+    pub fn total_reused_qubits(&self) -> usize {
+        self.stages.iter().map(|s| s.reused_qubits).sum()
+    }
+
+    /// Checks the plan's invariants against the architecture and circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::Invalid`] describing the first violation: duplicate
+    /// traps, a gate's qubits not co-located at its site, or an idle qubit
+    /// left inside an entanglement zone during an exposure.
+    pub fn validate(
+        &self,
+        arch: &Architecture,
+        staged: &StagedCircuit,
+    ) -> Result<(), PlaceError> {
+        let check_distinct = |p: &[Loc], what: &str| -> Result<(), PlaceError> {
+            let set: HashSet<&Loc> = p.iter().collect();
+            if set.len() != p.len() {
+                return Err(PlaceError::Invalid(format!("duplicate trap in {what}")));
+            }
+            for &loc in p {
+                arch.check_loc(loc)
+                    .map_err(|e| PlaceError::Invalid(format!("{what}: {e}")))?;
+            }
+            Ok(())
+        };
+        check_distinct(&self.initial, "initial placement")?;
+        if !self.initial.iter().all(Loc::is_storage) {
+            return Err(PlaceError::Invalid("initial placement not in storage".into()));
+        }
+        if self.stages.len() != staged.stages.len() {
+            return Err(PlaceError::Invalid("stage count mismatch".into()));
+        }
+        for (t, plan) in self.stages.iter().enumerate() {
+            if let Some(pre) = &plan.pre_returns {
+                check_distinct(pre, &format!("stage {t} pre-returns"))?;
+                if !pre.iter().all(Loc::is_storage) {
+                    return Err(PlaceError::Invalid(format!(
+                        "stage {t}: pre-return snapshot leaves a qubit in the zone"
+                    )));
+                }
+            }
+            check_distinct(&plan.during, &format!("stage {t}"))?;
+            let mut gate_qubits = HashSet::new();
+            for (g, site) in &plan.gate_sites {
+                for q in [g.a, g.b] {
+                    gate_qubits.insert(q);
+                    match plan.during[q] {
+                        Loc::Site { zone, row, col, .. }
+                            if SiteId::new(zone, row, col) == *site => {}
+                        other => {
+                            return Err(PlaceError::Invalid(format!(
+                                "stage {t}: qubit {q} of gate {} at {other}, expected site {site}",
+                                g.id
+                            )))
+                        }
+                    }
+                }
+            }
+            for (q, loc) in plan.during.iter().enumerate() {
+                if loc.is_site() && !gate_qubits.contains(&q) {
+                    return Err(PlaceError::Invalid(format!(
+                        "stage {t}: idle qubit {q} left in entanglement zone"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One candidate solution for a stage, before committing.
+struct StageSolution {
+    gate_sites: Vec<(Gate2, SiteId)>,
+    pre_returns: Option<Vec<Loc>>,
+    during: Vec<Loc>,
+    transition_cost: f64,
+    reused_qubits: usize,
+}
+
+/// Plans placement for the whole circuit.
+///
+/// # Errors
+///
+/// * [`PlaceError::StorageFull`] if the qubits don't fit in storage.
+/// * [`PlaceError::TooManyGates`] if a stage has more gates than sites.
+pub fn plan_placement(
+    arch: &Architecture,
+    staged: &StagedCircuit,
+    cfg: &PlacementConfig,
+) -> Result<PlacementPlan, PlaceError> {
+    let initial = if cfg.use_sa {
+        crate::initial::sa_initial_placement(arch, staged, cfg.sa_iterations, cfg.seed)?
+    } else {
+        crate::initial::trivial_initial_placement(arch, staged.num_qubits)?
+    };
+
+    let mut current = initial.clone();
+    let mut home = initial.clone();
+    let mut prev_gates: Vec<(Gate2, SiteId)> = Vec::new();
+    let mut plans = Vec::with_capacity(staged.stages.len());
+
+    for (t, stage) in staged.stages.iter().enumerate() {
+        let next_gates = staged.stages.get(t + 1).map(|s| s.gates.as_slice());
+        let plain = solve_stage(
+            arch, &current, &home, &prev_gates, &stage.gates, next_gates, cfg, false,
+        )?;
+        let (solution, used_reuse) = if cfg.reuse && !prev_gates.is_empty() {
+            let reuse = solve_stage(
+                arch, &current, &home, &prev_gates, &stage.gates, next_gates, cfg, true,
+            )?;
+            if reuse.transition_cost <= plain.transition_cost {
+                (reuse, true)
+            } else {
+                (plain, false)
+            }
+        } else {
+            (plain, false)
+        };
+
+        if let Some(pre) = &solution.pre_returns {
+            for (q, loc) in pre.iter().enumerate() {
+                if loc.is_storage() {
+                    home[q] = *loc;
+                }
+            }
+        }
+        for (q, loc) in solution.during.iter().enumerate() {
+            if loc.is_storage() {
+                home[q] = *loc;
+            }
+        }
+        current = solution.during.clone();
+        prev_gates = solution.gate_sites.clone();
+        plans.push(StagePlan {
+            gate_sites: solution.gate_sites,
+            pre_returns: solution.pre_returns,
+            during: solution.during,
+            used_reuse,
+            reused_qubits: solution.reused_qubits,
+        });
+    }
+
+    let plan = PlacementPlan { initial, stages: plans };
+    debug_assert!(plan.validate(arch, staged).is_ok());
+    Ok(plan)
+}
+
+/// All sites within Chebyshev radius `delta` of the per-zone projection of
+/// point `p` (the δ-expanded neighborhood Ω_near of the paper).
+fn neighborhood_sites(arch: &Architecture, center: SiteId, delta: usize) -> Vec<SiteId> {
+    let mut out = Vec::new();
+    for z in 0..arch.entanglement_zones().len() {
+        let (rows, cols) = arch.site_grid(z);
+        if z == center.zone {
+            let r0 = center.row.saturating_sub(delta);
+            let r1 = (center.row + delta).min(rows - 1);
+            let c0 = center.col.saturating_sub(delta);
+            let c1 = (center.col + delta).min(cols - 1);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    out.push(SiteId::new(z, r, c));
+                }
+            }
+        } else if delta > 0 {
+            // Other zones join the candidate pool once expansion starts, so
+            // multi-zone architectures can spill over.
+            let scaled = delta.min(rows.max(cols));
+            for r in 0..rows.min(scaled * 2) {
+                for c in 0..cols.min(scaled * 2) {
+                    out.push(SiteId::new(z, r, c));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_stage(
+    arch: &Architecture,
+    current: &[Loc],
+    home: &[Loc],
+    prev_gates: &[(Gate2, SiteId)],
+    gates: &[Gate2],
+    next_gates: Option<&[Gate2]>,
+    cfg: &PlacementConfig,
+    use_reuse: bool,
+) -> Result<StageSolution, PlaceError> {
+    let n = current.len();
+
+    // Related qubit in the next stage (for lookahead and Eq. 3).
+    let related: HashMap<usize, usize> = next_gates
+        .map(|ng| {
+            let mut m = HashMap::new();
+            for g in ng {
+                m.insert(g.a, g.b);
+                m.insert(g.b, g.a);
+            }
+            m
+        })
+        .unwrap_or_default();
+
+    // Without reuse, the paper's pipeline returns *every* zone resident to
+    // storage before placing this stage's gates (the non-reuse round trip).
+    // The "related qubit" for these returns is the partner in THIS stage.
+    let pre_returns: Option<Vec<Loc>> = if !use_reuse {
+        let residents: Vec<usize> = (0..n).filter(|&q| current[q].is_site()).collect();
+        if residents.is_empty() {
+            None
+        } else {
+            let mut snapshot = current.to_vec();
+            if cfg.dynamic {
+                let this_stage_related: HashMap<usize, usize> = {
+                    let mut m = HashMap::new();
+                    for g in gates {
+                        m.insert(g.a, g.b);
+                        m.insert(g.b, g.a);
+                    }
+                    m
+                };
+                place_returns(
+                    arch,
+                    &mut snapshot,
+                    current,
+                    home,
+                    &residents,
+                    &this_stage_related,
+                    cfg,
+                )?;
+            } else {
+                for &q in &residents {
+                    snapshot[q] = home[q];
+                }
+            }
+            Some(snapshot)
+        }
+    } else {
+        None
+    };
+    // All placement decisions below see the post-return configuration.
+    let working: Vec<Loc> = pre_returns.clone().unwrap_or_else(|| current.to_vec());
+    let pos = |q: usize| -> Point { arch.position(working[q]) };
+
+    // ---- 1. reuse matching --------------------------------------------
+    let mut pinned: HashMap<usize, SiteId> = HashMap::new(); // gate idx → site
+    let mut reused_qubits_of: HashMap<usize, Vec<usize>> = HashMap::new();
+    if use_reuse && !prev_gates.is_empty() {
+        let adj: Vec<Vec<usize>> = prev_gates
+            .iter()
+            .map(|(pg, _)| {
+                gates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| {
+                        g.touches(pg.a) || g.touches(pg.b)
+                    })
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        let matching = max_bipartite_matching(&adj, gates.len());
+        for (pi, m) in matching.iter().enumerate() {
+            if let Some(gi) = m {
+                let (pg, site) = &prev_gates[pi];
+                let g = &gates[*gi];
+                let shared: Vec<usize> = [g.a, g.b]
+                    .into_iter()
+                    .filter(|&q| pg.touches(q))
+                    .collect();
+                if !shared.is_empty() {
+                    pinned.insert(*gi, *site);
+                    reused_qubits_of.insert(*gi, shared);
+                }
+            }
+        }
+    }
+    let reused_qubits: usize = reused_qubits_of.values().map(Vec::len).sum();
+
+    // ---- 2. gate placement for unpinned gates --------------------------
+    let unpinned: Vec<usize> =
+        (0..gates.len()).filter(|i| !pinned.contains_key(i)).collect();
+    let pinned_sites: HashSet<SiteId> = pinned.values().copied().collect();
+    let total_sites = arch.num_sites();
+    if gates.len() > total_sites {
+        return Err(PlaceError::TooManyGates { gates: gates.len(), sites: total_sites });
+    }
+
+    let mut assignment: HashMap<usize, SiteId> = pinned.clone();
+    if !unpinned.is_empty() {
+        let centers: Vec<SiteId> = unpinned
+            .iter()
+            .map(|&gi| {
+                let g = &gates[gi];
+                nearest_gate_site(arch, pos(g.a), pos(g.b))
+            })
+            .collect();
+        let max_dim = arch
+            .entanglement_zones()
+            .iter()
+            .enumerate()
+            .map(|(z, _)| {
+                let (r, c) = arch.site_grid(z);
+                r.max(c)
+            })
+            .max()
+            .unwrap_or(1);
+        let mut delta = cfg.window_expansion.max(1);
+        loop {
+            // Collect the candidate-site union.
+            let mut site_index: HashMap<SiteId, usize> = HashMap::new();
+            let mut sites: Vec<SiteId> = Vec::new();
+            let mut per_gate: Vec<Vec<usize>> = Vec::with_capacity(unpinned.len());
+            for center in &centers {
+                let cand = neighborhood_sites(arch, *center, delta);
+                let mut cols = Vec::new();
+                for s in cand {
+                    if pinned_sites.contains(&s) {
+                        continue;
+                    }
+                    let idx = *site_index.entry(s).or_insert_with(|| {
+                        sites.push(s);
+                        sites.len() - 1
+                    });
+                    cols.push(idx);
+                }
+                per_gate.push(cols);
+            }
+            if sites.len() >= unpinned.len() {
+                let mut cost = CostMatrix::new(unpinned.len(), sites.len(), f64::INFINITY);
+                for (row, &gi) in unpinned.iter().enumerate() {
+                    let g = &gates[gi];
+                    for &col in &per_gate[row] {
+                        let site = sites[col];
+                        let mut c = gate_cost(arch, pos(g.a), pos(g.b), site);
+                        // Lookahead (Sec. V-B.2): if this gate is reused by
+                        // g'(q, q'') next stage, add the cost of moving q''
+                        // to this site.
+                        for q in [g.a, g.b] {
+                            if let Some(&q2) = related.get(&q) {
+                                if !gates[gi].touches(q2) {
+                                    c += qubit_to_site_cost(arch, pos(q2), site);
+                                    break;
+                                }
+                            }
+                        }
+                        cost.set(row, col, c);
+                    }
+                }
+                match min_weight_full_matching(&cost) {
+                    Ok((cols, _)) => {
+                        for (row, &gi) in unpinned.iter().enumerate() {
+                            assignment.insert(gi, sites[cols[row]]);
+                        }
+                        break;
+                    }
+                    Err(AssignmentError::Infeasible | AssignmentError::MoreRowsThanColumns) => {}
+                    Err(e) => return Err(PlaceError::Invalid(format!("gate matching: {e}"))),
+                }
+            }
+            if delta > max_dim * 2 {
+                return Err(PlaceError::TooManyGates {
+                    gates: gates.len(),
+                    sites: total_sites,
+                });
+            }
+            delta *= 2;
+        }
+    }
+
+    // ---- 3. build `during`: gate qubits to site slots ------------------
+    let mut during = working.clone();
+    for (gi, g) in gates.iter().enumerate() {
+        let site = assignment[&gi];
+        let cap = arch.site_capacity(site.zone);
+        // Reused qubits keep their slot.
+        let mut taken: Vec<usize> = Vec::new();
+        let reused = reused_qubits_of.get(&gi);
+        for &q in [g.a, g.b].iter() {
+            if let Some(list) = reused {
+                if list.contains(&q) {
+                    if let Loc::Site { slot, .. } = working[q] {
+                        during[q] = Loc::Site { zone: site.zone, row: site.row, col: site.col, slot };
+                        taken.push(slot);
+                        continue;
+                    }
+                }
+            }
+        }
+        // Remaining qubits: order by current x for deterministic slots.
+        let mut rest: Vec<usize> = [g.a, g.b]
+            .into_iter()
+            .filter(|&q| !reused.is_some_and(|l| l.contains(&q)))
+            .collect();
+        rest.sort_by(|&x, &y| pos(x).x.total_cmp(&pos(y).x).then(x.cmp(&y)));
+        let mut next_slot = 0usize;
+        for q in rest {
+            while taken.contains(&next_slot) {
+                next_slot += 1;
+            }
+            if next_slot >= cap {
+                return Err(PlaceError::Invalid(format!(
+                    "site {site} slot overflow for gate {}",
+                    g.id
+                )));
+            }
+            during[q] = Loc::Site { zone: site.zone, row: site.row, col: site.col, slot: next_slot };
+            taken.push(next_slot);
+        }
+    }
+
+    // ---- 4. return idle zone qubits to storage --------------------------
+    let gate_qubit_set: HashSet<usize> =
+        gates.iter().flat_map(|g| [g.a, g.b]).collect();
+    let returning: Vec<usize> = (0..n)
+        .filter(|&q| working[q].is_site() && !gate_qubit_set.contains(&q))
+        .collect();
+
+    if !returning.is_empty() {
+        if cfg.dynamic {
+            place_returns(arch, &mut during, &working, home, &returning, &related, cfg)?;
+        } else {
+            for &q in &returning {
+                during[q] = home[q];
+            }
+        }
+    }
+
+    // ---- 5. transition cost ---------------------------------------------
+    let return_leg: f64 = (0..n)
+        .filter(|&q| working[q] != current[q])
+        .map(|q| arch.position(working[q]).distance(arch.position(current[q])).sqrt())
+        .sum();
+    let fetch_leg: f64 = (0..n)
+        .filter(|&q| during[q] != working[q])
+        .map(|q| arch.position(during[q]).distance(arch.position(working[q])).sqrt())
+        .sum();
+    let transition_cost = return_leg + fetch_leg;
+
+    let gate_sites: Vec<(Gate2, SiteId)> = gates
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| (*g, assignment[&gi]))
+        .collect();
+
+    Ok(StageSolution { gate_sites, pre_returns, during, transition_cost, reused_qubits })
+}
+
+/// Eq. 3: assign returning qubits to candidate storage traps by min-weight
+/// full matching.
+fn place_returns(
+    arch: &Architecture,
+    during: &mut [Loc],
+    current: &[Loc],
+    home: &[Loc],
+    returning: &[usize],
+    related: &HashMap<usize, usize>,
+    cfg: &PlacementConfig,
+) -> Result<(), PlaceError> {
+    let n = during.len();
+    // Storage occupancy after gate fetches: qubits whose `during` is storage.
+    let occupied: HashSet<Loc> = (0..n)
+        .filter(|&q| !returning.contains(&q) && during[q].is_storage())
+        .map(|q| during[q])
+        .collect();
+    // Homes of qubits staying in the zone stay reserved; homes of returning
+    // qubits are private to their owner.
+    let reserved: HashSet<Loc> = (0..n)
+        .filter(|&q| during[q].is_site() || returning.contains(&q))
+        .map(|q| home[q])
+        .collect();
+
+    // Collect candidates per qubit.
+    let mut trap_index: HashMap<Loc, usize> = HashMap::new();
+    let mut traps: Vec<Loc> = Vec::new();
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(returning.len());
+    for &q in returning {
+        let q_pos = arch.position(current[q]);
+        let related_pos = related.get(&q).map(|&q2| arch.position(current[q2]));
+        let cands = return_candidates(
+            arch, q, q_pos, related_pos, home[q], &occupied, &reserved, cfg.neighbor_k,
+        );
+        let mut row = Vec::with_capacity(cands.len());
+        for trap in cands {
+            let idx = *trap_index.entry(trap).or_insert_with(|| {
+                traps.push(trap);
+                traps.len() - 1
+            });
+            let trap_pos = arch.position(trap);
+            let mut c = trap_pos.distance(q_pos).sqrt();
+            if let Some(rp) = related_pos {
+                c += cfg.lookahead_alpha * trap_pos.distance(rp).sqrt();
+            }
+            row.push((idx, c));
+        }
+        rows.push(row);
+    }
+
+    let mut cost = CostMatrix::new(returning.len(), traps.len(), f64::INFINITY);
+    for (r, row) in rows.iter().enumerate() {
+        for &(c, v) in row {
+            cost.set(r, c, v);
+        }
+    }
+    // Private homes: forbid other qubits from taking a returner's home.
+    for (r, &q) in returning.iter().enumerate() {
+        for (r2, &q2) in returning.iter().enumerate() {
+            if r != r2 {
+                if let Some(&ci) = trap_index.get(&home[q]) {
+                    let _ = q2;
+                    cost.set(r2, ci, f64::INFINITY);
+                }
+            }
+        }
+    }
+
+    let (cols, _) = min_weight_full_matching(&cost)
+        .map_err(|e| PlaceError::Invalid(format!("return matching: {e}")))?;
+    for (r, &q) in returning.iter().enumerate() {
+        during[q] = traps[cols[r]];
+    }
+    Ok(())
+}
+
+/// Candidate storage traps for a returning qubit (paper Sec. V-B.3): the
+/// bounding box over (a) its home trap, (b) the k-neighborhood of the
+/// nearest trap to its current site, and (c) the nearest trap to its related
+/// qubit — restricted to empty, unreserved traps (its own home always
+/// included).
+#[allow(clippy::too_many_arguments)]
+fn return_candidates(
+    arch: &Architecture,
+    _q: usize,
+    q_pos: Point,
+    related_pos: Option<Point>,
+    home: Loc,
+    occupied: &HashSet<Loc>,
+    reserved: &HashSet<Loc>,
+    k: usize,
+) -> Vec<Loc> {
+    let mut anchor_traps: Vec<Loc> = vec![home];
+    let nearest = arch.nearest_storage_trap(q_pos);
+    anchor_traps.push(nearest);
+    if let Loc::Storage { zone, row, col } = nearest {
+        let (rows, cols) = arch.storage_grid(zone);
+        for i in 1..=k {
+            if col + i < cols {
+                anchor_traps.push(Loc::Storage { zone, row, col: col + i });
+            }
+            if col >= i {
+                anchor_traps.push(Loc::Storage { zone, row, col: col - i });
+            }
+            if row + i < rows {
+                anchor_traps.push(Loc::Storage { zone, row: row + i, col });
+            }
+            if row >= i {
+                anchor_traps.push(Loc::Storage { zone, row: row - i, col });
+            }
+        }
+    }
+    if let Some(rp) = related_pos {
+        anchor_traps.push(arch.nearest_storage_trap(rp));
+    }
+
+    // Bounding box per storage zone (anchors may span zones).
+    let mut out: Vec<Loc> = Vec::new();
+    for z in 0..arch.storage_zones().len() {
+        let zone_anchors: Vec<(usize, usize)> = anchor_traps
+            .iter()
+            .filter_map(|l| match *l {
+                Loc::Storage { zone, row, col } if zone == z => Some((row, col)),
+                _ => None,
+            })
+            .collect();
+        if zone_anchors.is_empty() {
+            continue;
+        }
+        let r0 = zone_anchors.iter().map(|a| a.0).min().unwrap();
+        let r1 = zone_anchors.iter().map(|a| a.0).max().unwrap();
+        let c0 = zone_anchors.iter().map(|a| a.1).min().unwrap();
+        let c1 = zone_anchors.iter().map(|a| a.1).max().unwrap();
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                let trap = Loc::Storage { zone: z, row, col };
+                if trap == home || (!occupied.contains(&trap) && !reserved.contains(&trap)) {
+                    out.push(trap);
+                }
+            }
+        }
+    }
+    if !out.contains(&home) {
+        out.push(home);
+    }
+    // Cap the candidate set, keeping the nearest traps (home always kept).
+    const CAP: usize = 400;
+    if out.len() > CAP {
+        out.sort_by(|a, b| {
+            arch.position(*a)
+                .distance(q_pos)
+                .total_cmp(&arch.position(*b).distance(q_pos))
+        });
+        out.truncate(CAP);
+        if !out.contains(&home) {
+            out.push(home);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zac_circuit::{bench_circuits, preprocess, Circuit};
+
+    fn arch() -> Architecture {
+        Architecture::reference()
+    }
+
+    fn cfg(reuse: bool) -> PlacementConfig {
+        PlacementConfig {
+            use_sa: false,
+            dynamic: true,
+            reuse,
+            sa_iterations: 200,
+            seed: 1,
+            window_expansion: 2,
+            neighbor_k: 1,
+            lookahead_alpha: 0.1,
+        }
+    }
+
+    #[test]
+    fn fig4_running_example_plans_two_stages() {
+        let mut c = Circuit::new("fig4", 6);
+        c.cz(0, 1).cz(3, 4).cz(1, 2).cz(3, 5).cz(0, 4);
+        let staged = preprocess(&c);
+        let arch = arch();
+        let plan = plan_placement(&arch, &staged, &cfg(true)).unwrap();
+        plan.validate(&arch, &staged).unwrap();
+        assert_eq!(plan.stages.len(), 2);
+        // All five qubits of stage 2 are reusable in the paper's example:
+        // matching pairs (g0,g2),(g1,g3) or similar → at least 2 reuses.
+        assert!(plan.stages[1].reused_qubits >= 2 || !plan.stages[1].used_reuse);
+    }
+
+    #[test]
+    fn plan_validates_for_suite_circuits() {
+        let arch = arch();
+        for circ in [
+            bench_circuits::ghz(10),
+            bench_circuits::ising(12),
+            bench_circuits::qft(6),
+        ] {
+            let staged = preprocess(&circ);
+            for reuse in [false, true] {
+                let plan = plan_placement(&arch, &staged, &cfg(reuse)).unwrap();
+                plan.validate(&arch, &staged)
+                    .unwrap_or_else(|e| panic!("{} reuse={reuse}: {e}", circ.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_keeps_chain_qubit_in_zone() {
+        // GHZ chain: q_{t+1} participates in stages t and t+1 — with reuse
+        // it should stay in the zone between them.
+        let arch = arch();
+        let staged = preprocess(&bench_circuits::ghz(8));
+        let plan = plan_placement(&arch, &staged, &cfg(true)).unwrap();
+        assert!(plan.total_reused_qubits() > 0, "chain circuit must reuse");
+    }
+
+    #[test]
+    fn no_reuse_config_never_reuses() {
+        let arch = arch();
+        let staged = preprocess(&bench_circuits::ghz(8));
+        let plan = plan_placement(&arch, &staged, &cfg(false)).unwrap();
+        assert_eq!(plan.total_reused_qubits(), 0);
+    }
+
+    #[test]
+    fn static_mode_returns_home() {
+        let arch = arch();
+        let staged = preprocess(&bench_circuits::ghz(6));
+        let mut c = cfg(false);
+        c.dynamic = false;
+        let plan = plan_placement(&arch, &staged, &c).unwrap();
+        plan.validate(&arch, &staged).unwrap();
+        // After any stage, a qubit in storage must sit at its initial trap.
+        for stage in &plan.stages {
+            for (q, loc) in stage.during.iter().enumerate() {
+                if loc.is_storage() {
+                    assert_eq!(*loc, plan.initial[q], "static placement moved qubit {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idle_qubits_never_in_zone() {
+        let arch = arch();
+        let staged = preprocess(&bench_circuits::bv(10, 9));
+        let plan = plan_placement(&arch, &staged, &cfg(true)).unwrap();
+        for (t, stage) in plan.stages.iter().enumerate() {
+            let gate_qubits: HashSet<usize> =
+                staged.stages[t].gates.iter().flat_map(|g| [g.a, g.b]).collect();
+            for (q, loc) in stage.during.iter().enumerate() {
+                if !gate_qubits.contains(&q) {
+                    assert!(loc.is_storage(), "stage {t}: idle qubit {q} at {loc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_gates_detected() {
+        // Monolithic 2x2 = 4 sites; a stage with 5 parallel gates cannot fit.
+        let arch = Architecture::monolithic(2, 2);
+        let mut c = Circuit::new("wide", 10);
+        for i in 0..5 {
+            c.cz(2 * i, 2 * i + 1);
+        }
+        let staged = preprocess(&c);
+        // Monolithic has no storage; use a zoned arch with a tiny zone.
+        let _ = arch;
+        let small = small_zoned(2, 2);
+        let err = plan_placement(&small, &staged, &cfg(false)).unwrap_err();
+        assert!(matches!(err, PlaceError::TooManyGates { .. }), "{err:?}");
+    }
+
+    fn small_zoned(rows: usize, cols: usize) -> Architecture {
+        use zac_arch::{AodArray, Point, SlmArray, Zone};
+        let storage = Zone::new(
+            0,
+            Point::new(0.0, 0.0),
+            (100.0, 40.0),
+            vec![SlmArray::new(0, (3.0, 3.0), 30, 10, Point::new(0.0, 0.0))],
+        );
+        let width = (cols - 1).max(1) as f64 * 12.0 + 2.0;
+        let height = (rows - 1).max(1) as f64 * 10.0;
+        let ent = Zone::new(
+            0,
+            Point::new(0.0, 50.0),
+            (width, height.max(1.0)),
+            vec![
+                SlmArray::new(1, (12.0, 10.0), cols, rows, Point::new(0.0, 50.0)),
+                SlmArray::new(2, (12.0, 10.0), cols, rows, Point::new(2.0, 50.0)),
+            ],
+        );
+        Architecture::new("small", vec![AodArray::new(0, 2.0, 50, 50)], vec![storage], vec![ent], vec![])
+            .unwrap()
+    }
+
+    #[test]
+    fn ising_parallel_stage_fits_reference_zone() {
+        let arch = arch();
+        let staged = preprocess(&bench_circuits::ising(42));
+        let plan = plan_placement(&arch, &staged, &cfg(true)).unwrap();
+        plan.validate(&arch, &staged).unwrap();
+        // First Rydberg stage hosts 21 parallel gates.
+        assert_eq!(plan.stages[0].gate_sites.len(), 21);
+        let sites: HashSet<SiteId> =
+            plan.stages[0].gate_sites.iter().map(|(_, s)| *s).collect();
+        assert_eq!(sites.len(), 21, "gates at distinct sites");
+    }
+
+    #[test]
+    fn multi_zone_architecture_is_usable() {
+        let arch = Architecture::arch2_two_zones();
+        let staged = preprocess(&bench_circuits::ising(20));
+        let plan = plan_placement(&arch, &staged, &cfg(true)).unwrap();
+        plan.validate(&arch, &staged).unwrap();
+    }
+
+    #[test]
+    fn reuse_reduces_transition_distance_on_ghz() {
+        let arch = arch();
+        let staged = preprocess(&bench_circuits::ghz(12));
+        let with = plan_placement(&arch, &staged, &cfg(true)).unwrap();
+        let without = plan_placement(&arch, &staged, &cfg(false)).unwrap();
+        let dist = |plan: &PlacementPlan| -> f64 {
+            let mut cur = plan.initial.clone();
+            let mut total = 0.0;
+            for s in &plan.stages {
+                for q in 0..cur.len() {
+                    total += arch.position(cur[q]).distance(arch.position(s.during[q]));
+                }
+                cur = s.during.clone();
+            }
+            total
+        };
+        assert!(
+            dist(&with) < dist(&without),
+            "reuse {} !< no-reuse {}",
+            dist(&with),
+            dist(&without)
+        );
+    }
+}

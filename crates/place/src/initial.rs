@@ -1,0 +1,257 @@
+//! Initial qubit placement: trivial row-filling and simulated annealing
+//! (paper Sec. V-A).
+
+use crate::cost::initial_placement_cost;
+use crate::PlaceError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zac_arch::{Architecture, Loc};
+use zac_circuit::{Gate2, StagedCircuit};
+
+/// All storage traps ordered by proximity to the entanglement zones: rows
+/// closest to a zone first, then columns left to right. This is the fill
+/// order the paper's trivial ("Vanilla") placement uses.
+pub fn storage_traps_by_proximity(arch: &Architecture) -> Vec<Loc> {
+    let mut traps: Vec<(f64, Loc)> = Vec::new();
+    for (z, _zone) in arch.storage_zones().iter().enumerate() {
+        let (rows, cols) = arch.storage_grid(z);
+        for row in 0..rows {
+            // Distance from this row to the nearest entanglement zone, taken
+            // at the row's left edge (x plays no role row-to-row).
+            let probe = arch.position(Loc::Storage { zone: z, row, col: 0 });
+            let d = arch
+                .entanglement_zones()
+                .iter()
+                .enumerate()
+                .map(|(ez, _)| {
+                    let (srows, _) = arch.site_grid(ez);
+                    (0..srows)
+                        .map(|r| {
+                            arch.site_position(zac_arch::SiteId::new(ez, r, 0))
+                                .y
+                                .max(probe.y)
+                                - arch
+                                    .site_position(zac_arch::SiteId::new(ez, r, 0))
+                                    .y
+                                    .min(probe.y)
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .fold(f64::INFINITY, f64::min);
+            for col in 0..cols {
+                traps.push((d, Loc::Storage { zone: z, row, col }));
+            }
+        }
+    }
+    traps.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    traps.into_iter().map(|(_, l)| l).collect()
+}
+
+/// Trivial initial placement: qubits in index order filling the storage rows
+/// nearest to the entanglement zone.
+///
+/// # Errors
+///
+/// [`PlaceError::StorageFull`] if the circuit has more qubits than storage
+/// traps.
+pub fn trivial_initial_placement(
+    arch: &Architecture,
+    num_qubits: usize,
+) -> Result<Vec<Loc>, PlaceError> {
+    let traps = storage_traps_by_proximity(arch);
+    if num_qubits > traps.len() {
+        return Err(PlaceError::StorageFull { qubits: num_qubits, traps: traps.len() });
+    }
+    Ok(traps.into_iter().take(num_qubits).collect())
+}
+
+/// Simulated-annealing initial placement (paper Sec. V-A).
+///
+/// Minimizes the weighted Eq. 2 cost with qubit-swap and move-to-empty-trap
+/// neighborhood moves over `iterations` steps (the paper uses 1000), with a
+/// geometric temperature schedule. Deterministic for a fixed `seed`.
+///
+/// # Errors
+///
+/// [`PlaceError::StorageFull`] if the circuit does not fit in storage.
+pub fn sa_initial_placement(
+    arch: &Architecture,
+    staged: &StagedCircuit,
+    iterations: usize,
+    seed: u64,
+) -> Result<Vec<Loc>, PlaceError> {
+    let n = staged.num_qubits;
+    let mut placement = trivial_initial_placement(arch, n)?;
+    if n < 2 {
+        return Ok(placement);
+    }
+
+    let gates: Vec<(usize, Gate2)> =
+        staged.gates_with_stage().map(|(t, g)| (t, *g)).collect();
+    if gates.is_empty() {
+        return Ok(placement);
+    }
+
+    // Candidate empty traps: the nearest few rows beyond the occupied ones.
+    let all_traps = storage_traps_by_proximity(arch);
+    let pool_len = (n * 4).min(all_traps.len());
+    let pool: Vec<Loc> = all_traps.into_iter().take(pool_len).collect();
+    let mut occupied: std::collections::HashSet<Loc> = placement.iter().copied().collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cost = initial_placement_cost(arch, &placement, &gates);
+    let mut best = placement.clone();
+    let mut best_cost = cost;
+
+    let t0 = (cost / gates.len() as f64).max(1.0);
+    let t_end = 1e-3;
+    let alpha = (t_end / t0).powf(1.0 / iterations.max(1) as f64);
+    let mut temp = t0;
+
+    for _ in 0..iterations {
+        let q = rng.gen_range(0..n);
+        let old_loc = placement[q];
+        enum MoveKind {
+            Swap(usize),
+            Jump(Loc),
+        }
+        let kind = if rng.gen_bool(0.5) {
+            let mut other = rng.gen_range(0..n);
+            if other == q {
+                other = (other + 1) % n;
+            }
+            MoveKind::Swap(other)
+        } else {
+            let target = pool[rng.gen_range(0..pool.len())];
+            if occupied.contains(&target) {
+                temp *= alpha;
+                continue;
+            }
+            MoveKind::Jump(target)
+        };
+
+        match kind {
+            MoveKind::Swap(other) => {
+                placement.swap(q, other);
+            }
+            MoveKind::Jump(target) => {
+                placement[q] = target;
+            }
+        }
+        let new_cost = initial_placement_cost(arch, &placement, &gates);
+        let delta = new_cost - cost;
+        if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp() {
+            // Accept.
+            match kind {
+                MoveKind::Jump(target) => {
+                    occupied.remove(&old_loc);
+                    occupied.insert(target);
+                }
+                MoveKind::Swap(_) => {}
+            }
+            cost = new_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best = placement.clone();
+            }
+        } else {
+            // Revert.
+            match kind {
+                MoveKind::Swap(other) => {
+                    placement.swap(q, other);
+                }
+                MoveKind::Jump(_) => {
+                    placement[q] = old_loc;
+                }
+            }
+        }
+        temp *= alpha;
+    }
+
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zac_circuit::{bench_circuits, preprocess};
+
+    fn arch() -> Architecture {
+        Architecture::reference()
+    }
+
+    fn assert_distinct(placement: &[Loc]) {
+        let set: std::collections::HashSet<_> = placement.iter().collect();
+        assert_eq!(set.len(), placement.len(), "duplicate traps in placement");
+    }
+
+    #[test]
+    fn trivial_fills_nearest_row_first() {
+        let arch = arch();
+        let p = trivial_initial_placement(&arch, 14).unwrap();
+        assert_distinct(&p);
+        // Reference architecture: entanglement zone is above, so row 99 first.
+        assert_eq!(p[0], Loc::Storage { zone: 0, row: 99, col: 0 });
+        assert_eq!(p[13], Loc::Storage { zone: 0, row: 99, col: 13 });
+    }
+
+    #[test]
+    fn trivial_wraps_to_next_row() {
+        let arch = arch();
+        let p = trivial_initial_placement(&arch, 102).unwrap();
+        assert_distinct(&p);
+        assert_eq!(p[100], Loc::Storage { zone: 0, row: 98, col: 0 });
+    }
+
+    #[test]
+    fn storage_full_detected() {
+        let arch = Architecture::arch1_small(); // 120 traps
+        let err = trivial_initial_placement(&arch, 121).unwrap_err();
+        assert!(matches!(err, PlaceError::StorageFull { .. }));
+    }
+
+    #[test]
+    fn sa_never_worse_than_trivial() {
+        let arch = arch();
+        let staged = preprocess(&bench_circuits::qft(10));
+        let gates: Vec<(usize, Gate2)> =
+            staged.gates_with_stage().map(|(t, g)| (t, *g)).collect();
+        let trivial = trivial_initial_placement(&arch, staged.num_qubits).unwrap();
+        let sa = sa_initial_placement(&arch, &staged, 1000, 7).unwrap();
+        assert_distinct(&sa);
+        let c_trivial = initial_placement_cost(&arch, &trivial, &gates);
+        let c_sa = initial_placement_cost(&arch, &sa, &gates);
+        assert!(c_sa <= c_trivial + 1e-9, "SA {c_sa} worse than trivial {c_trivial}");
+    }
+
+    #[test]
+    fn sa_is_deterministic_for_fixed_seed() {
+        let arch = arch();
+        let staged = preprocess(&bench_circuits::ghz(12));
+        let a = sa_initial_placement(&arch, &staged, 300, 42).unwrap();
+        let b = sa_initial_placement(&arch, &staged, 300, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sa_keeps_qubits_in_storage() {
+        let arch = arch();
+        let staged = preprocess(&bench_circuits::ising(12));
+        let p = sa_initial_placement(&arch, &staged, 500, 1).unwrap();
+        assert!(p.iter().all(Loc::is_storage));
+        assert_distinct(&p);
+    }
+
+    #[test]
+    fn arch2_proximity_order_prefers_edge_rows() {
+        // Arch2 has entanglement zones above and below storage: the outer
+        // storage rows are closest.
+        let arch = Architecture::arch2_two_zones();
+        let traps = storage_traps_by_proximity(&arch);
+        let first_row = match traps[0] {
+            Loc::Storage { row, .. } => row,
+            _ => unreachable!(),
+        };
+        assert!(first_row == 0 || first_row == 2, "outer row first, got {first_row}");
+    }
+}

@@ -1,0 +1,463 @@
+//! Dense state-vector simulator.
+//!
+//! The paper relies on Qiskit to resynthesize circuits into the {CZ, U3}
+//! hardware gate set; this workspace implements that preprocessing itself
+//! (`zac-circuit`), and this crate provides the verification substrate: a
+//! small dense simulator used by the test-suite to prove that preprocessing
+//! preserves every circuit's unitary action up to global phase.
+//!
+//! Supports up to ~20 qubits comfortably (state is `2^n` complex amplitudes).
+//!
+//! # Example
+//!
+//! ```
+//! use zac_circuit::Circuit;
+//! use zac_sim::StateVector;
+//!
+//! let mut bell = Circuit::new("bell", 2);
+//! bell.h(0).cx(0, 1);
+//! let state = StateVector::run(&bell);
+//! // |00> and |11> each with probability 1/2.
+//! assert!((state.probability(0b00) - 0.5).abs() < 1e-12);
+//! assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
+//! ```
+
+use zac_circuit::complex::{C64, Mat2};
+use zac_circuit::gate::{u3_matrix, Gate, TwoQKind};
+use zac_circuit::stages::StagedCircuit;
+use zac_circuit::Circuit;
+
+/// A normalized quantum state over `n` qubits.
+///
+/// Qubit 0 is the least-significant bit of the basis-state index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state |0…0⟩.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 26` (state would exceed memory limits).
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 26, "state vector too large ({num_qubits} qubits)");
+        let mut amps = vec![C64::ZERO; 1 << num_qubits];
+        amps[0] = C64::ONE;
+        Self { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn amplitude(&self, index: usize) -> C64 {
+        self.amps[index]
+    }
+
+    /// The probability of measuring basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Applies a 2×2 unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_1q(&mut self, u: Mat2, q: usize) {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = u.m[0][0] * a0 + u.m[0][1] * a1;
+                self.amps[j] = u.m[1][0] * a0 + u.m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Applies CZ to qubits `a`, `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.num_qubits && b < self.num_qubits && a != b, "bad CZ operands");
+        let mask = (1usize << a) | (1usize << b);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & mask == mask {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Applies CX with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn apply_cx(&mut self, c: usize, t: usize) {
+        assert!(c < self.num_qubits && t < self.num_qubits && c != t, "bad CX operands");
+        let cbit = 1usize << c;
+        let tbit = 1usize << t;
+        for i in 0..self.amps.len() {
+            if i & cbit != 0 && i & tbit == 0 {
+                let j = i | tbit;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Applies a full controlled-phase of angle `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn apply_cp(&mut self, theta: f64, a: usize, b: usize) {
+        assert!(a < self.num_qubits && b < self.num_qubits && a != b, "bad CP operands");
+        let mask = (1usize << a) | (1usize << b);
+        let ph = C64::cis(theta);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & mask == mask {
+                *amp = *amp * ph;
+            }
+        }
+    }
+
+    /// Applies SWAP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.num_qubits && b < self.num_qubits && a != b, "bad SWAP operands");
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for i in 0..self.amps.len() {
+            if i & abit != 0 && i & bbit == 0 {
+                let j = (i & !abit) | bbit;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Applies one input-language gate.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::OneQ { gate, qubit } => self.apply_1q(gate.matrix(), qubit),
+            Gate::TwoQ { kind, a, b } => match kind {
+                TwoQKind::Cx => self.apply_cx(a, b),
+                TwoQKind::Cz => self.apply_cz(a, b),
+                TwoQKind::Cp(t) => self.apply_cp(t, a, b),
+                TwoQKind::Swap => self.apply_swap(a, b),
+            },
+        }
+    }
+
+    /// Runs an input circuit from |0…0⟩.
+    pub fn run(circuit: &Circuit) -> Self {
+        let mut sv = Self::zero(circuit.num_qubits());
+        for g in circuit.gates() {
+            sv.apply_gate(g);
+        }
+        sv
+    }
+
+    /// Runs a preprocessed (staged) circuit from |0…0⟩.
+    pub fn run_staged(staged: &StagedCircuit) -> Self {
+        let mut sv = Self::zero(staged.num_qubits);
+        for stage in &staged.stages {
+            for op in &stage.pre_1q {
+                sv.apply_1q(u3_matrix(op.theta, op.phi, op.lambda), op.qubit);
+            }
+            for g in &stage.gates {
+                sv.apply_cz(g.a, g.b);
+            }
+        }
+        for op in &staged.trailing_1q {
+            sv.apply_1q(u3_matrix(op.theta, op.phi, op.lambda), op.qubit);
+        }
+        sv
+    }
+
+    /// `|⟨self|other⟩|`: 1.0 iff the states are equal up to global phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit counts differ.
+    pub fn overlap(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        let mut acc = C64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc = acc + a.conj() * *b;
+        }
+        acc.norm()
+    }
+
+    /// Whether two states are equal up to global phase within `tol`.
+    pub fn approx_eq_up_to_phase(&self, other: &StateVector, tol: f64) -> bool {
+        (self.overlap(other) - 1.0).abs() < tol
+    }
+
+    /// Total probability (should be 1 for any valid evolution).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+}
+
+/// Convenience: checks that preprocessing preserved the circuit semantics.
+///
+/// Runs both the original and the staged circuit on |0…0⟩ **and** on a probe
+/// product state (so phase-only differences are caught too), returning true
+/// when both final states agree up to global phase.
+pub fn preprocessing_preserves_semantics(circuit: &Circuit, staged: &StagedCircuit) -> bool {
+    let a0 = StateVector::run(circuit);
+    let b0 = StateVector::run_staged(staged);
+    if !a0.approx_eq_up_to_phase(&b0, 1e-6) {
+        return false;
+    }
+    // Probe: prepend a layer of distinct rotations to break symmetry.
+    let mut probe = Circuit::new("probe", circuit.num_qubits());
+    for q in 0..circuit.num_qubits() {
+        probe.ry(0.37 + 0.11 * q as f64, q).rz(0.23 * (q + 1) as f64, q);
+    }
+    let mut a = StateVector::zero(circuit.num_qubits());
+    for g in probe.gates() {
+        a.apply_gate(g);
+    }
+    let mut b = a.clone();
+    for g in circuit.gates() {
+        a.apply_gate(g);
+    }
+    for stage in &staged.stages {
+        for op in &stage.pre_1q {
+            b.apply_1q(u3_matrix(op.theta, op.phi, op.lambda), op.qubit);
+        }
+        for g in &stage.gates {
+            b.apply_cz(g.a, g.b);
+        }
+    }
+    for op in &staged.trailing_1q {
+        b.apply_1q(u3_matrix(op.theta, op.phi, op.lambda), op.qubit);
+    }
+    a.approx_eq_up_to_phase(&b, 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zac_circuit::preprocess::preprocess;
+
+    #[test]
+    fn zero_state() {
+        let sv = StateVector::zero(3);
+        assert_eq!(sv.probability(0), 1.0);
+        assert_eq!(sv.num_qubits(), 3);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut c = Circuit::new("x", 1);
+        c.x(0);
+        let sv = StateVector::run(&c);
+        assert!((sv.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new("bell", 2);
+        c.h(0).cx(0, 1);
+        let sv = StateVector::run(&c);
+        assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(3) - 0.5).abs() < 1e-12);
+        assert!(sv.probability(1) < 1e-12);
+    }
+
+    #[test]
+    fn cz_phase() {
+        let mut c = Circuit::new("cz", 2);
+        c.x(0).x(1);
+        let mut sv = StateVector::run(&c);
+        sv.apply_cz(0, 1);
+        assert!((sv.amplitude(3).re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut c = Circuit::new("swap", 2);
+        c.x(0).swap(0, 1);
+        let sv = StateVector::run(&c);
+        assert!((sv.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cp_equals_its_decomposition() {
+        let mut direct = Circuit::new("d", 2);
+        direct.h(0).h(1).cp(0.9, 0, 1);
+        let staged = preprocess(&direct);
+        assert!(preprocessing_preserves_semantics(&direct, &staged));
+    }
+
+    #[test]
+    fn toffoli_decomposition_is_exact() {
+        // Check CCX decomposition on all 8 basis states via probe trick.
+        let mut c = Circuit::new("ccx", 3);
+        c.ccx_decomposed(0, 1, 2);
+        let staged = preprocess(&c);
+        assert!(preprocessing_preserves_semantics(&c, &staged));
+        // And functionally: |110> -> |111>.
+        let mut load = Circuit::new("l", 3);
+        load.x(0).x(1).ccx_decomposed(0, 1, 2);
+        let sv = StateVector::run(&load);
+        assert!((sv.probability(0b111) - 1.0).abs() < 1e-9);
+        // |100> unchanged.
+        let mut load2 = Circuit::new("l2", 3);
+        load2.x(0).ccx_decomposed(0, 1, 2);
+        let sv2 = StateVector::run(&load2);
+        assert!((sv2.probability(0b001) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cswap_decomposition_swaps_when_control_set() {
+        let mut c = Circuit::new("cswap", 3);
+        c.x(0).x(1).cswap_decomposed(0, 1, 2);
+        let sv = StateVector::run(&c);
+        assert!((sv.probability(0b101) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ghz_preprocessing_preserved() {
+        let c = zac_circuit::bench_circuits::ghz(6);
+        let staged = preprocess(&c);
+        assert!(preprocessing_preserves_semantics(&c, &staged));
+        let sv = StateVector::run_staged(&staged);
+        assert!((sv.probability(0) - 0.5).abs() < 1e-9);
+        assert!((sv.probability(0b111111) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qft_preprocessing_preserved() {
+        let c = zac_circuit::bench_circuits::qft(5);
+        let staged = preprocess(&c);
+        assert!(preprocessing_preserves_semantics(&c, &staged));
+    }
+
+    #[test]
+    fn bv_recovers_secret() {
+        // BV measures the secret string on the data qubits.
+        let c = zac_circuit::bench_circuits::bv(5, 2);
+        let staged = preprocess(&c);
+        assert!(preprocessing_preserves_semantics(&c, &staged));
+        let sv = StateVector::run(&c);
+        // Find the basis state with max probability, mask off the ancilla.
+        let (best, _) = (0..32)
+            .map(|i| (i, sv.probability(i)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let secret = best & 0b1111;
+        assert_eq!(secret.count_ones(), 2, "secret {secret:04b}");
+    }
+
+    #[test]
+    fn wstate_is_single_excitation_superposition() {
+        let c = zac_circuit::bench_circuits::wstate(4);
+        let sv = StateVector::run(&c);
+        let mut single = 0.0;
+        for i in 0..16usize {
+            if i.count_ones() == 1 {
+                single += sv.probability(i);
+            }
+        }
+        assert!((single - 1.0).abs() < 1e-9, "W state mass on single-excitation: {single}");
+        // Equal amplitudes.
+        for q in 0..4 {
+            assert!((sv.probability(1 << q) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_1q_out_of_range_panics() {
+        let mut sv = StateVector::zero(1);
+        sv.apply_1q(Mat2::IDENTITY, 1);
+    }
+
+    #[test]
+    fn norm_preserved_by_random_circuit() {
+        let c = zac_circuit::bench_circuits::swap_test(7);
+        let sv = StateVector::run(&c);
+        assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_circuit() -> impl Strategy<Value = Circuit> {
+            (2usize..5).prop_flat_map(|n| {
+                let gate = prop_oneof![
+                    (0..n, -3.0..3.0f64).prop_map(|(q, t)| (0usize, q, 0usize, t)),
+                    (0..n).prop_map(|q| (1usize, q, 0usize, 0.0)),
+                    (0..n, 0..n).prop_map(|(a, b)| (2usize, a, b, 0.0)),
+                    (0..n, 0..n, -3.0..3.0f64).prop_map(|(a, b, t)| (3usize, a, b, t)),
+                    (0..n, 0..n).prop_map(|(a, b)| (4usize, a, b, 0.0)),
+                ];
+                proptest::collection::vec(gate, 0..15).prop_map(move |ops| {
+                    let mut c = Circuit::new("rand", n);
+                    for (k, a, b, t) in ops {
+                        match k {
+                            0 => {
+                                c.rz(t, a).h(a);
+                            }
+                            1 => {
+                                c.t(a);
+                            }
+                            2 if a != b => {
+                                c.cx(a, b);
+                            }
+                            3 if a != b => {
+                                c.cp(t, a, b);
+                            }
+                            4 if a != b => {
+                                c.swap(a, b);
+                            }
+                            _ => {}
+                        }
+                    }
+                    c
+                })
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn preprocessing_always_preserves_semantics(c in arb_circuit()) {
+                let staged = preprocess(&c);
+                prop_assert!(preprocessing_preserves_semantics(&c, &staged));
+            }
+
+            #[test]
+            fn evolution_is_norm_preserving(c in arb_circuit()) {
+                let sv = StateVector::run(&c);
+                prop_assert!((sv.norm() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! ZAIR — the zoned-architecture intermediate representation (paper Sec. IX).
+//!
+//! ZAIR sits between the compiler and machine-level control: four instruction
+//! types ([`Instruction`]) — `init`, `1qGate`, `rydberg` and `rearrangeJob` —
+//! where each rearrangement job abstracts one AOD's pickup → transport →
+//! drop-off cycle and expands to machine-level [`AodInst`]s
+//! (`activate` / `move` / `deactivate`, including parking moves).
+//!
+//! * [`machine::build_job`] constructs a job from a set of compatible qubit
+//!   movements, generating its machine-level expansion and timing anatomy.
+//! * [`Program::analyze`] is a validating interpreter: it tracks every
+//!   qubit's location through the instruction stream, rejects inconsistent
+//!   programs, and extracts the execution summary ([`Analysis`]) consumed by
+//!   the fidelity model — gate counts, transfer counts, idle-qubit Rydberg
+//!   excitations and per-qubit busy time.
+//!
+//! # Example
+//!
+//! ```
+//! use zac_arch::{Architecture, Loc};
+//! use zac_zair::{machine::{build_job, MoveSpec}, Instruction, Program, QubitLoc};
+//!
+//! let arch = Architecture::reference();
+//! let s = Loc::Storage { zone: 0, row: 99, col: 0 };
+//! let w = Loc::Site { zone: 0, row: 0, col: 0, slot: 0 };
+//!
+//! let mut p = Program::new("demo", arch.name(), 1);
+//! let (slm, r, c) = arch.loc_to_slm(s);
+//! p.instructions.push(Instruction::Init { init_locs: vec![QubitLoc::new(0, slm, r, c)] });
+//! p.instructions.push(Instruction::RearrangeJob(build_job(
+//!     &arch, &[MoveSpec::new(0, s, w)], 15.0)?));
+//! let analysis = p.analyze(&arch).expect("valid program");
+//! assert_eq!(analysis.n_tran, 2);
+//! # Ok::<(), zac_zair::machine::JobError>(())
+//! ```
+
+pub mod inst;
+pub mod machine;
+pub mod program;
+pub mod render;
+pub mod verify;
+
+pub use inst::{AodInst, Instruction, QubitLoc, RearrangeJob, U3Application};
+pub use machine::{build_job, moves_compatible, shift_job, JobError, MoveSpec};
+pub use program::{Analysis, Program, ZairError, ZairStats};
+pub use verify::VerifyError;

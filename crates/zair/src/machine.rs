@@ -1,0 +1,564 @@
+//! Rearrangement-job construction and machine-level instruction generation.
+//!
+//! A job is valid for a single AOD only if the moved qubits preserve their
+//! relative row/column order (AOD rows and columns are physical beams that
+//! cannot cross or merge). The machine-level expansion follows the simple
+//! pickup strategy of OLSQ-DPQA adopted by the paper (Sec. IX, Fig. 18):
+//! activate the AOD row by row, inserting small *parking* moves between row
+//! activations when already-active columns would otherwise pick up unintended
+//! atoms.
+
+use crate::inst::{AodInst, QubitLoc, RearrangeJob};
+use std::fmt;
+use zac_arch::{movement_time_us, Architecture, Loc};
+
+/// Distance (µm) of a parking shift during pickup.
+const PARKING_SHIFT_UM: f64 = 0.5;
+
+/// One qubit movement to be bundled into a rearrangement job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveSpec {
+    /// The qubit being moved.
+    pub qubit: usize,
+    /// Current location.
+    pub from: Loc,
+    /// Destination.
+    pub to: Loc,
+}
+
+impl MoveSpec {
+    /// Creates a move spec.
+    pub fn new(qubit: usize, from: Loc, to: Loc) -> Self {
+        Self { qubit, from, to }
+    }
+}
+
+/// Error building a rearrangement job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// A job must move at least one qubit.
+    Empty,
+    /// The same qubit appears twice.
+    DuplicateQubit {
+        /// The repeated qubit.
+        qubit: usize,
+    },
+    /// Two moves end at the same trap.
+    TargetCollision {
+        /// First qubit.
+        q1: usize,
+        /// Second qubit.
+        q2: usize,
+    },
+    /// Two moves violate the AOD order-preservation constraint.
+    Incompatible {
+        /// First qubit.
+        q1: usize,
+        /// Second qubit.
+        q2: usize,
+    },
+    /// A location does not exist in the architecture.
+    InvalidLoc {
+        /// The qubit with the bad location.
+        qubit: usize,
+    },
+    /// The job needs more AOD rows or columns than the AOD provides.
+    CapacityExceeded {
+        /// Rows required.
+        rows: usize,
+        /// Columns required.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "rearrangement job moves no qubits"),
+            Self::DuplicateQubit { qubit } => write!(f, "qubit {qubit} moved twice in one job"),
+            Self::TargetCollision { q1, q2 } => {
+                write!(f, "qubits {q1} and {q2} target the same trap")
+            }
+            Self::Incompatible { q1, q2 } => {
+                write!(f, "moves of qubits {q1} and {q2} violate AOD ordering")
+            }
+            Self::InvalidLoc { qubit } => write!(f, "qubit {qubit} has an invalid location"),
+            Self::CapacityExceeded { rows, cols } => {
+                write!(f, "job needs {rows} rows x {cols} cols, exceeding the AOD capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+const POS_EPS: f64 = 1e-6;
+
+/// Checks whether two movements can share one AOD (order preservation in
+/// both axes: `x` order of pickups must match `x` order of drop-offs, and
+/// equal coordinates must map to equal coordinates; likewise for `y`).
+///
+/// This is the compatibility relation used to build the movement conflict
+/// graph (paper Sec. VI, following Enola).
+pub fn moves_compatible(arch: &Architecture, a: &MoveSpec, b: &MoveSpec) -> bool {
+    let (a0, a1) = (arch.position(a.from), arch.position(a.to));
+    let (b0, b1) = (arch.position(b.from), arch.position(b.to));
+    let axis_ok = |p: f64, q: f64, pe: f64, qe: f64| -> bool {
+        if (p - q).abs() < POS_EPS {
+            (pe - qe).abs() < POS_EPS
+        } else if p < q {
+            pe < qe - POS_EPS
+        } else {
+            pe > qe + POS_EPS
+        }
+    };
+    axis_ok(a0.x, b0.x, a1.x, b1.x) && axis_ok(a0.y, b0.y, a1.y, b1.y)
+}
+
+/// Builds a rearrangement job from a set of mutually compatible moves.
+///
+/// The job's `begin_time` is 0; the scheduler shifts it into place with
+/// [`shift_job`]. `transfer_time_us` is the atom-transfer time (15 µs for the
+/// reference hardware).
+///
+/// # Errors
+///
+/// Returns a [`JobError`] if the moves are not a valid single-AOD job.
+///
+/// # Example
+///
+/// ```
+/// use zac_arch::{Architecture, Loc};
+/// use zac_zair::machine::{build_job, MoveSpec};
+///
+/// let arch = Architecture::reference();
+/// let mv = MoveSpec::new(0,
+///     Loc::Storage { zone: 0, row: 99, col: 1 },
+///     Loc::Site { zone: 0, row: 0, col: 0, slot: 0 });
+/// let job = build_job(&arch, &[mv], 15.0)?;
+/// assert_eq!(job.num_qubits(), 1);
+/// assert!(job.move_duration > 0.0);
+/// # Ok::<(), zac_zair::machine::JobError>(())
+/// ```
+pub fn build_job(
+    arch: &Architecture,
+    moves: &[MoveSpec],
+    transfer_time_us: f64,
+) -> Result<RearrangeJob, JobError> {
+    if moves.is_empty() {
+        return Err(JobError::Empty);
+    }
+    // Validate locations and uniqueness.
+    let mut seen = std::collections::HashSet::new();
+    for m in moves {
+        if !seen.insert(m.qubit) {
+            return Err(JobError::DuplicateQubit { qubit: m.qubit });
+        }
+        for loc in [m.from, m.to] {
+            arch.check_loc(loc).map_err(|_| JobError::InvalidLoc { qubit: m.qubit })?;
+        }
+    }
+    for i in 0..moves.len() {
+        for j in (i + 1)..moves.len() {
+            if moves[i].to == moves[j].to {
+                return Err(JobError::TargetCollision { q1: moves[i].qubit, q2: moves[j].qubit });
+            }
+            if !moves_compatible(arch, &moves[i], &moves[j]) {
+                return Err(JobError::Incompatible { q1: moves[i].qubit, q2: moves[j].qubit });
+            }
+        }
+    }
+
+    // Group by begin y (AOD rows), ascending; sort each row by x.
+    let mut sorted: Vec<&MoveSpec> = moves.iter().collect();
+    sorted.sort_by(|a, b| {
+        let pa = arch.position(a.from);
+        let pb = arch.position(b.from);
+        pa.y.total_cmp(&pb.y).then(pa.x.total_cmp(&pb.x))
+    });
+    let mut row_groups: Vec<Vec<&MoveSpec>> = Vec::new();
+    for m in sorted {
+        let y = arch.position(m.from).y;
+        match row_groups.last() {
+            Some(last) if (arch.position(last[0].from).y - y).abs() < POS_EPS => {
+                row_groups.last_mut().unwrap().push(m);
+            }
+            _ => row_groups.push(vec![m]),
+        }
+    }
+
+    // Distinct begin columns, ascending.
+    let mut col_xs: Vec<f64> = moves.iter().map(|m| arch.position(m.from).x).collect();
+    col_xs.sort_by(f64::total_cmp);
+    col_xs.dedup_by(|a, b| (*a - *b).abs() < POS_EPS);
+
+    let num_rows = row_groups.len();
+    let num_cols = col_xs.len();
+    let aod = &arch.aods()[0];
+    if num_rows > aod.max_num_row || num_cols > aod.max_num_col {
+        return Err(JobError::CapacityExceeded { rows: num_rows, cols: num_cols });
+    }
+
+    let col_id_of = |x: f64| -> usize {
+        col_xs
+            .iter()
+            .position(|&cx| (cx - x).abs() < POS_EPS)
+            .expect("column x registered")
+    };
+
+    // --- machine-level expansion: row-by-row pickup with parking ---
+    let mut insts: Vec<AodInst> = Vec::new();
+    let mut active_cols: Vec<usize> = Vec::new();
+    let mut active_rows: Vec<usize> = Vec::new();
+    let mut num_parkings = 0usize;
+    for (row_id, group) in row_groups.iter().enumerate() {
+        let y = arch.position(group[0].from).y;
+        let needed: Vec<usize> =
+            group.iter().map(|m| col_id_of(arch.position(m.from).x)).collect();
+        let new_cols: Vec<usize> =
+            needed.iter().copied().filter(|c| !active_cols.contains(c)).collect();
+        let stale_cols_exist = active_cols.iter().any(|c| !needed.contains(c));
+        if !active_rows.is_empty() && (stale_cols_exist || !new_cols.is_empty()) {
+            // Parking: shift already-picked rows off the SLM grid so the next
+            // activation cannot capture unintended atoms (Fig. 18c).
+            insts.push(AodInst::Move {
+                row_id: active_rows.clone(),
+                row_y_begin: vec![f64::NAN; active_rows.len()],
+                row_y_end: vec![f64::NAN; active_rows.len()],
+                col_id: vec![],
+                col_x_begin: vec![],
+                col_x_end: vec![],
+            });
+            // NaN placeholders replaced below once exact y's are known; the
+            // shift itself is PARKING_SHIFT_UM.
+            num_parkings += 1;
+            if let Some(AodInst::Move { row_id, row_y_begin, row_y_end, .. }) = insts.last_mut() {
+                for (k, &r) in row_id.iter().enumerate() {
+                    let ry = arch.position(row_groups[r][0].from).y;
+                    row_y_begin[k] = ry;
+                    row_y_end[k] = ry + PARKING_SHIFT_UM;
+                }
+            }
+        }
+        insts.push(AodInst::Activate {
+            row_id: vec![row_id],
+            row_y: vec![y],
+            col_id: if new_cols.is_empty() { needed.clone() } else { new_cols.clone() },
+            col_x: if new_cols.is_empty() {
+                needed.iter().map(|&c| col_xs[c]).collect()
+            } else {
+                new_cols.iter().map(|&c| col_xs[c]).collect()
+            },
+        });
+        for c in needed {
+            if !active_cols.contains(&c) {
+                active_cols.push(c);
+            }
+        }
+        active_rows.push(row_id);
+    }
+    active_cols.sort_unstable();
+
+    // --- transport move ---
+    // Row/column targets are consistent by the compatibility check.
+    let mut row_y_begin = Vec::with_capacity(num_rows);
+    let mut row_y_end = Vec::with_capacity(num_rows);
+    for group in &row_groups {
+        row_y_begin.push(arch.position(group[0].from).y);
+        row_y_end.push(arch.position(group[0].to).y);
+    }
+    let mut col_x_begin = vec![f64::NAN; num_cols];
+    let mut col_x_end = vec![f64::NAN; num_cols];
+    for m in moves {
+        let c = col_id_of(arch.position(m.from).x);
+        col_x_begin[c] = arch.position(m.from).x;
+        col_x_end[c] = arch.position(m.to).x;
+    }
+    insts.push(AodInst::Move {
+        row_id: (0..num_rows).collect(),
+        row_y_begin: row_y_begin.clone(),
+        row_y_end,
+        col_id: (0..num_cols).collect(),
+        col_x_begin,
+        col_x_end,
+    });
+    insts.push(AodInst::Deactivate {
+        row_id: (0..num_rows).collect(),
+        col_id: (0..num_cols).collect(),
+    });
+
+    // --- timing ---
+    let pick_duration = num_rows as f64 * transfer_time_us
+        + num_parkings as f64 * movement_time_us(PARKING_SHIFT_UM);
+    let move_duration = moves
+        .iter()
+        .map(|m| arch.position(m.from).move_time(arch.position(m.to)))
+        .fold(0.0, f64::max);
+    let drop_duration = transfer_time_us;
+
+    let to_qloc = |m: &MoveSpec, loc: Loc| -> QubitLoc {
+        let (slm, r, c) = arch.loc_to_slm(loc);
+        QubitLoc::new(m.qubit, slm, r, c)
+    };
+    let begin_locs: Vec<Vec<QubitLoc>> = row_groups
+        .iter()
+        .map(|g| g.iter().map(|m| to_qloc(m, m.from)).collect())
+        .collect();
+    let end_locs: Vec<Vec<QubitLoc>> = row_groups
+        .iter()
+        .map(|g| g.iter().map(|m| to_qloc(m, m.to)).collect())
+        .collect();
+
+    Ok(RearrangeJob {
+        aod_id: 0,
+        begin_locs,
+        end_locs,
+        insts,
+        begin_time: 0.0,
+        end_time: pick_duration + move_duration + drop_duration,
+        pick_duration,
+        move_duration,
+        drop_duration,
+    })
+}
+
+/// Moves a job's time window so it begins at `begin_time`.
+pub fn shift_job(job: &mut RearrangeJob, begin_time: f64) {
+    let dur = job.end_time - job.begin_time;
+    job.begin_time = begin_time;
+    job.end_time = begin_time + dur;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zac_arch::SiteId;
+
+    fn arch() -> Architecture {
+        Architecture::reference()
+    }
+
+    fn storage(row: usize, col: usize) -> Loc {
+        Loc::Storage { zone: 0, row, col }
+    }
+
+    fn site(row: usize, col: usize, slot: usize) -> Loc {
+        Loc::Site { zone: 0, row, col, slot }
+    }
+
+    #[test]
+    fn paper_fig19_job_timing() {
+        // bv_n14 first CZ: q0 (99,1) → site(0,0) slot 0; q13 (99,13) → slot 1.
+        let arch = arch();
+        let moves = [
+            MoveSpec::new(0, storage(99, 1), site(0, 0, 0)),
+            MoveSpec::new(13, storage(99, 13), site(0, 0, 1)),
+        ];
+        let job = build_job(&arch, &moves, 15.0).unwrap();
+        assert_eq!(job.num_qubits(), 2);
+        // Longest movement: q0 travels from (3,297) to (35,307).
+        let d = ((35.0f64 - 3.0).powi(2) + 10.0f64.powi(2)).sqrt();
+        let expect = movement_time_us(d);
+        assert!((job.move_duration - expect).abs() < 1e-9);
+        // One row pickup + move + drop: 15 + ~110 + 15 ≈ 140 (paper: 140.41).
+        assert!((job.end_time - (30.0 + expect)).abs() < 1e-9);
+        assert!((job.end_time - 140.41).abs() < 0.5, "duration {}", job.end_time);
+    }
+
+    #[test]
+    fn square_block_moves_in_one_job() {
+        // Paper Fig. 2: qubits 0-3 in a 2x2 block move to sites ω(0,2), ω(1,2).
+        let arch = arch();
+        let moves = [
+            MoveSpec::new(0, storage(0, 0), site(0, 2, 0)),
+            MoveSpec::new(1, storage(0, 1), site(0, 2, 1)),
+            MoveSpec::new(2, storage(1, 0), site(1, 2, 0)),
+            MoveSpec::new(3, storage(1, 1), site(1, 2, 1)),
+        ];
+        let job = build_job(&arch, &moves, 15.0).unwrap();
+        assert_eq!(job.begin_locs.len(), 2, "two AOD rows");
+        assert_eq!(job.begin_locs[0].len(), 2);
+        // Machine insts: activates (2 rows, maybe parking), 1 transport, 1 deactivate.
+        let n_moves = job.insts.iter().filter(|i| i.is_move()).count();
+        assert!(n_moves >= 1);
+        assert!(matches!(job.insts.last().unwrap(), AodInst::Deactivate { .. }));
+    }
+
+    #[test]
+    fn order_violation_rejected() {
+        // q0 left of q1 at start but right of q1 at end → columns would cross.
+        let arch = arch();
+        let moves = [
+            MoveSpec::new(0, storage(99, 0), site(0, 5, 0)),
+            MoveSpec::new(1, storage(99, 5), site(0, 1, 0)),
+        ];
+        let err = build_job(&arch, &moves, 15.0).unwrap_err();
+        assert!(matches!(err, JobError::Incompatible { .. }));
+    }
+
+    #[test]
+    fn same_column_must_stay_same_column() {
+        // Same begin x, different end x → incompatible.
+        let arch = arch();
+        let moves = [
+            MoveSpec::new(0, storage(99, 4), site(0, 0, 0)),
+            MoveSpec::new(1, storage(98, 4), site(1, 1, 0)),
+        ];
+        let err = build_job(&arch, &moves, 15.0).unwrap_err();
+        assert!(matches!(err, JobError::Incompatible { .. }));
+    }
+
+    #[test]
+    fn target_collision_rejected() {
+        let arch = arch();
+        let moves = [
+            MoveSpec::new(0, storage(99, 0), site(0, 0, 0)),
+            MoveSpec::new(1, storage(98, 0), site(0, 0, 0)),
+        ];
+        let err = build_job(&arch, &moves, 15.0).unwrap_err();
+        assert!(matches!(err, JobError::TargetCollision { .. }));
+    }
+
+    #[test]
+    fn empty_and_duplicate_rejected() {
+        let arch = arch();
+        assert_eq!(build_job(&arch, &[], 15.0).unwrap_err(), JobError::Empty);
+        let mv = MoveSpec::new(0, storage(99, 0), site(0, 0, 0));
+        let mv2 = MoveSpec::new(0, storage(98, 0), site(0, 1, 0));
+        assert_eq!(
+            build_job(&arch, &[mv, mv2], 15.0).unwrap_err(),
+            JobError::DuplicateQubit { qubit: 0 }
+        );
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        let arch = arch();
+        let a = MoveSpec::new(0, storage(99, 1), site(0, 0, 0));
+        let b = MoveSpec::new(1, storage(99, 3), site(0, 0, 1));
+        assert_eq!(moves_compatible(&arch, &a, &b), moves_compatible(&arch, &b, &a));
+        assert!(moves_compatible(&arch, &a, &b));
+    }
+
+    #[test]
+    fn shift_preserves_duration() {
+        let arch = arch();
+        let mv = MoveSpec::new(0, storage(99, 1), site(0, 0, 0));
+        let mut job = build_job(&arch, &[mv], 15.0).unwrap();
+        let dur = job.end_time - job.begin_time;
+        shift_job(&mut job, 123.0);
+        assert_eq!(job.begin_time, 123.0);
+        assert!((job.end_time - 123.0 - dur).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multirow_pickup_charges_per_row_transfer() {
+        let arch = arch();
+        let moves = [
+            MoveSpec::new(0, storage(0, 0), site(0, 2, 0)),
+            MoveSpec::new(2, storage(1, 0), site(1, 2, 0)),
+        ];
+        let job = build_job(&arch, &moves, 15.0).unwrap();
+        assert!(job.pick_duration >= 30.0, "two rows → two transfers");
+    }
+
+    #[test]
+    fn site_to_site_and_site_to_storage_moves() {
+        let arch = arch();
+        // Reuse-style move within the entanglement zone.
+        let mv = MoveSpec::new(5, site(0, 0, 1), site(0, 3, 1));
+        let job = build_job(&arch, &[mv], 15.0).unwrap();
+        assert!(job.move_duration > 0.0);
+        // Return move.
+        let mv = MoveSpec::new(5, site(0, 3, 1), storage(99, 40));
+        let job = build_job(&arch, &[mv], 15.0).unwrap();
+        assert!(job.move_duration > 0.0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random horizontal storage→site move sets that preserve order by
+        /// construction: qubit k starts at storage column `3k..3k+2` and ends
+        /// at site column `k` (monotone in both axes).
+        fn arb_compatible_moves() -> impl Strategy<Value = Vec<MoveSpec>> {
+            (1usize..6).prop_flat_map(|k| {
+                proptest::collection::vec(0usize..3, k..=k).prop_map(move |jitter| {
+                    (0..k)
+                        .map(|i| {
+                            MoveSpec::new(
+                                i,
+                                Loc::Storage { zone: 0, row: 99, col: 3 * i + jitter[i] % 2 },
+                                Loc::Site { zone: 0, row: 0, col: i, slot: 0 },
+                            )
+                        })
+                        .collect()
+                })
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn built_jobs_are_internally_consistent(moves in arb_compatible_moves()) {
+                let arch = Architecture::reference();
+                let job = build_job(&arch, &moves, 15.0).unwrap();
+                // Begin/end locs pair up one-to-one with the input moves.
+                prop_assert_eq!(job.num_qubits(), moves.len());
+                for (b, e) in job.moves() {
+                    prop_assert_eq!(b.qubit, e.qubit);
+                }
+                // Timing anatomy adds up.
+                let total = job.pick_duration + job.move_duration + job.drop_duration;
+                prop_assert!((job.end_time - job.begin_time - total).abs() < 1e-9);
+                // The transport duration is the longest individual move.
+                let max_t = moves
+                    .iter()
+                    .map(|m| arch.position(m.from).move_time(arch.position(m.to)))
+                    .fold(0.0, f64::max);
+                prop_assert!((job.move_duration - max_t).abs() < 1e-9);
+                // Machine expansion ends with a deactivate.
+                let ends_with_deactivate =
+                    matches!(job.insts.last(), Some(AodInst::Deactivate { .. }));
+                prop_assert!(ends_with_deactivate);
+            }
+
+            #[test]
+            fn pairwise_compatibility_matches_job_buildability(
+                cols in proptest::collection::vec(0usize..20, 2..5),
+                ends in proptest::collection::vec(0usize..10, 2..5),
+            ) {
+                let arch = Architecture::reference();
+                let n = cols.len().min(ends.len());
+                let moves: Vec<MoveSpec> = (0..n)
+                    .map(|i| MoveSpec::new(
+                        i,
+                        Loc::Storage { zone: 0, row: 99, col: cols[i] },
+                        Loc::Site { zone: 0, row: 0, col: ends[i], slot: 0 },
+                    ))
+                    .collect();
+                // Skip degenerate duplicates (same source or target).
+                let mut srcs: Vec<_> = moves.iter().map(|m| m.from).collect();
+                let mut dsts: Vec<_> = moves.iter().map(|m| m.to).collect();
+                srcs.sort(); srcs.dedup(); dsts.sort(); dsts.dedup();
+                prop_assume!(srcs.len() == n && dsts.len() == n);
+
+                let all_compatible = (0..n).all(|i| {
+                    ((i + 1)..n).all(|j| moves_compatible(&arch, &moves[i], &moves[j]))
+                });
+                let buildable = build_job(&arch, &moves, 15.0).is_ok();
+                prop_assert_eq!(all_compatible, buildable);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_site_motion_example() {
+        // Middle-site reference from the paper's Fig. 5/6 geometry carries
+        // over: moving toward ω(0,0) from storage row 99.
+        let arch = arch();
+        let s = SiteId::new(0, 0, 0);
+        let p = arch.site_position(s);
+        assert_eq!((p.x, p.y), (35.0, 307.0));
+    }
+}

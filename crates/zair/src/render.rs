@@ -1,0 +1,177 @@
+//! ASCII rendering of zoned architectures and qubit placements.
+//!
+//! Debugging aid: draws each zone's trap grid with `.` for empty traps and
+//! `*` for occupied ones (`#` where a Rydberg site holds a complete pair),
+//! and can replay a compiled program into per-instruction placement frames.
+
+use crate::inst::Instruction;
+use crate::program::Program;
+use std::collections::HashMap;
+use zac_arch::{Architecture, Loc};
+
+/// Renders a placement snapshot as ASCII art, one block per zone.
+///
+/// Entanglement zones draw one cell per Rydberg site: `.` empty, `*` one
+/// qubit, `#` a complete pair (a gate at the next exposure). Storage zones
+/// draw one cell per trap, compressing all-empty row runs.
+pub fn render_placement(arch: &Architecture, locations: &[Loc]) -> String {
+    let mut out = String::new();
+    let mut storage_occ: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    let mut site_occ: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    for (q, loc) in locations.iter().enumerate() {
+        match *loc {
+            Loc::Storage { zone, row, col } => {
+                storage_occ.insert((zone, row, col), q);
+            }
+            Loc::Site { zone, row, col, .. } => {
+                *site_occ.entry((zone, row, col)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    for (z, _) in arch.entanglement_zones().iter().enumerate() {
+        let (rows, cols) = arch.site_grid(z);
+        out.push_str(&format!("entanglement zone {z} ({rows}x{cols} sites):\n"));
+        for r in (0..rows).rev() {
+            out.push_str("  ");
+            for c in 0..cols {
+                let ch = match site_occ.get(&(z, r, c)) {
+                    Some(&k) if k >= 2 => '#',
+                    Some(_) => '*',
+                    None => '.',
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+    }
+    for (z, _) in arch.storage_zones().iter().enumerate() {
+        let (rows, cols) = arch.storage_grid(z);
+        out.push_str(&format!("storage zone {z} ({rows}x{cols} traps):\n"));
+        let mut skipped = 0usize;
+        for r in (0..rows).rev() {
+            let occupied_in_row = (0..cols).any(|c| storage_occ.contains_key(&(z, r, c)));
+            if !occupied_in_row {
+                skipped += 1;
+                continue;
+            }
+            if skipped > 0 {
+                out.push_str(&format!("  ({skipped} empty rows)\n"));
+                skipped = 0;
+            }
+            out.push_str("  ");
+            for c in 0..cols {
+                out.push(if storage_occ.contains_key(&(z, r, c)) { '*' } else { '.' });
+            }
+            out.push('\n');
+        }
+        if skipped > 0 {
+            out.push_str(&format!("  ({skipped} empty rows)\n"));
+        }
+    }
+    out
+}
+
+/// A placement frame in a program replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Index of the instruction that produced this frame.
+    pub instruction_index: usize,
+    /// Instruction kind (`init` / `rearrangeJob` / ...).
+    pub kind: &'static str,
+    /// Time at which the frame holds (the instruction's end time, µs).
+    pub time_us: f64,
+    /// Location of every qubit.
+    pub locations: Vec<Loc>,
+}
+
+/// Replays a program into placement frames: one after `init` and one after
+/// every rearrangement job.
+///
+/// Returns an empty vector if the program does not start with `init` or a
+/// qloc cannot be resolved (use [`Program::analyze`] for diagnostics).
+pub fn replay_frames(arch: &Architecture, program: &Program) -> Vec<Frame> {
+    let n = program.num_qubits;
+    let mut loc_of: Vec<Option<Loc>> = vec![None; n];
+    let mut frames = Vec::new();
+    for (i, inst) in program.instructions.iter().enumerate() {
+        match inst {
+            Instruction::Init { init_locs } => {
+                for ql in init_locs {
+                    match arch.slm_to_loc(ql.slm_id, ql.row, ql.col) {
+                        Some(loc) if ql.qubit < n => loc_of[ql.qubit] = Some(loc),
+                        _ => return Vec::new(),
+                    }
+                }
+            }
+            Instruction::RearrangeJob(job) => {
+                for (_, eql) in job.moves() {
+                    match arch.slm_to_loc(eql.slm_id, eql.row, eql.col) {
+                        Some(loc) if eql.qubit < n => loc_of[eql.qubit] = Some(loc),
+                        _ => return Vec::new(),
+                    }
+                }
+            }
+            _ => continue,
+        }
+        if loc_of.iter().all(Option::is_some) {
+            frames.push(Frame {
+                instruction_index: i,
+                kind: inst.kind(),
+                time_us: inst.end_time(),
+                locations: loc_of.iter().map(|l| l.unwrap()).collect(),
+            });
+        }
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_pairs_and_singles() {
+        let arch = Architecture::reference();
+        let locations = vec![
+            Loc::Site { zone: 0, row: 6, col: 0, slot: 0 },
+            Loc::Site { zone: 0, row: 6, col: 0, slot: 1 },
+            Loc::Site { zone: 0, row: 6, col: 1, slot: 0 },
+            Loc::Storage { zone: 0, row: 99, col: 0 },
+        ];
+        let art = render_placement(&arch, &locations);
+        let zone_line = art.lines().nth(1).unwrap().trim();
+        assert!(zone_line.starts_with("#*"), "got '{zone_line}'");
+        assert!(art.contains("storage zone 0"));
+        assert!(art.contains("(99 empty rows)"));
+    }
+
+    #[test]
+    fn empty_placement_renders_all_dots() {
+        let arch = Architecture::monolithic(2, 3);
+        let art = render_placement(&arch, &[]);
+        assert!(art.contains("...\n"));
+    }
+
+    #[test]
+    fn replay_produces_frames_per_job() {
+        use crate::machine::{build_job, MoveSpec};
+        use crate::inst::QubitLoc;
+
+        let arch = Architecture::reference();
+        let s0 = Loc::Storage { zone: 0, row: 99, col: 0 };
+        let w0 = Loc::Site { zone: 0, row: 0, col: 0, slot: 0 };
+        let mut p = Program::new("frames", arch.name(), 1);
+        let (slm, r, c) = arch.loc_to_slm(s0);
+        p.instructions.push(Instruction::Init { init_locs: vec![QubitLoc::new(0, slm, r, c)] });
+        p.instructions.push(Instruction::RearrangeJob(
+            build_job(&arch, &[MoveSpec::new(0, s0, w0)], 15.0).unwrap(),
+        ));
+        let frames = replay_frames(&arch, &p);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].kind, "init");
+        assert_eq!(frames[0].locations[0], s0);
+        assert_eq!(frames[1].kind, "rearrangeJob");
+        assert_eq!(frames[1].locations[0], w0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Semantic verification: does a compiled program implement its circuit?
+//!
+//! [`Program::analyze`] checks *physical* consistency (locations, occupancy,
+//! timing) and counts gates — but a program could pair the wrong qubits and
+//! still pass. This module closes that gap: it replays the program, derives
+//! which qubit pairs interact at every Rydberg exposure, and checks them
+//! against the staged circuit's dependency structure — every gate executes
+//! exactly once, and never before a predecessor gate of either operand.
+
+use crate::inst::Instruction;
+use crate::program::Program;
+use std::collections::HashMap;
+use std::fmt;
+use zac_arch::{Architecture, Loc};
+use zac_circuit::StagedCircuit;
+
+/// Verification failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// An exposure paired two qubits with no pending gate between them.
+    UnexpectedInteraction {
+        /// The paired qubits.
+        qubits: (usize, usize),
+        /// Index of the offending instruction.
+        instruction: usize,
+    },
+    /// A gate executed before one of its dependencies.
+    DependencyViolation {
+        /// The gate that ran early (id from the staged circuit).
+        gate_id: usize,
+        /// The unfinished predecessor.
+        blocked_by: usize,
+    },
+    /// A gate between the paired qubits executed twice.
+    DuplicateExecution {
+        /// The paired qubits.
+        qubits: (usize, usize),
+    },
+    /// Gates left unexecuted at the end of the program.
+    MissingGates {
+        /// Ids of the unexecuted gates.
+        gate_ids: Vec<usize>,
+    },
+    /// The program failed physical validation first.
+    InvalidProgram(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedInteraction { qubits: (a, b), instruction } => {
+                write!(f, "exposure {instruction} pairs qubits {a},{b} with no pending gate")
+            }
+            Self::DependencyViolation { gate_id, blocked_by } => {
+                write!(f, "gate {gate_id} executed before its predecessor {blocked_by}")
+            }
+            Self::DuplicateExecution { qubits: (a, b) } => {
+                write!(f, "gate between {a},{b} executed twice")
+            }
+            Self::MissingGates { gate_ids } => {
+                write!(f, "{} gates never executed (first: {:?})", gate_ids.len(), gate_ids.first())
+            }
+            Self::InvalidProgram(e) => write!(f, "physically invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl Program {
+    /// Verifies that this program implements `staged` on `arch`: every CZ of
+    /// the staged circuit executes exactly once, in dependency order, and no
+    /// exposure pairs qubits that have no gate scheduled.
+    ///
+    /// # Errors
+    ///
+    /// The first [`VerifyError`] encountered.
+    pub fn verify_against(
+        &self,
+        arch: &Architecture,
+        staged: &StagedCircuit,
+    ) -> Result<(), VerifyError> {
+        self.analyze(arch).map_err(|e| VerifyError::InvalidProgram(e.to_string()))?;
+
+        // Per-qubit gate queues in stage order: a gate may fire only when it
+        // is at the front of both operands' queues.
+        let mut queue_of: HashMap<usize, Vec<usize>> = HashMap::new(); // qubit → gate ids
+        let mut gate_pair: HashMap<usize, (usize, usize)> = HashMap::new();
+        for (_, g) in staged.gates_with_stage() {
+            queue_of.entry(g.a).or_default().push(g.id);
+            queue_of.entry(g.b).or_default().push(g.id);
+            gate_pair.insert(g.id, (g.a, g.b));
+        }
+        let mut next_idx: HashMap<usize, usize> = HashMap::new(); // qubit → queue cursor
+        let mut executed: HashMap<usize, bool> =
+            gate_pair.keys().map(|&id| (id, false)).collect();
+
+        // Replay locations.
+        let mut loc_of: Vec<Option<Loc>> = vec![None; self.num_qubits];
+        for (idx, inst) in self.instructions.iter().enumerate() {
+            match inst {
+                Instruction::Init { init_locs } => {
+                    for ql in init_locs {
+                        loc_of[ql.qubit] =
+                            arch.slm_to_loc(ql.slm_id, ql.row, ql.col);
+                    }
+                }
+                Instruction::RearrangeJob(job) => {
+                    for (_, eql) in job.moves() {
+                        loc_of[eql.qubit] = arch.slm_to_loc(eql.slm_id, eql.row, eql.col);
+                    }
+                }
+                Instruction::Rydberg { zone_id, .. } => {
+                    // Pairs = complete sites in the exposed zone.
+                    let mut by_site: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+                    for (q, loc) in loc_of.iter().enumerate() {
+                        if let Some(Loc::Site { zone, row, col, .. }) = loc {
+                            if zone == zone_id {
+                                by_site.entry((*row, *col)).or_default().push(q);
+                            }
+                        }
+                    }
+                    for (_, qs) in by_site {
+                        if qs.len() < 2 {
+                            continue;
+                        }
+                        let (a, b) = (qs[0].min(qs[1]), qs[0].max(qs[1]));
+                        // The gate must be at the front of both queues.
+                        let front = |q: usize| -> Option<usize> {
+                            let cur = *next_idx.get(&q).unwrap_or(&0);
+                            queue_of.get(&q).and_then(|v| v.get(cur)).copied()
+                        };
+                        let (fa, fb) = (front(a), front(b));
+                        // The first still-pending gate between (a, b), if any.
+                        let pending_ab: Option<usize> = {
+                            let cur = *next_idx.get(&a).unwrap_or(&0);
+                            queue_of
+                                .get(&a)
+                                .map(|v| &v[cur.min(v.len())..])
+                                .unwrap_or(&[])
+                                .iter()
+                                .copied()
+                                .find(|id| gate_pair[id] == (a, b))
+                        };
+                        match (fa, fb, pending_ab) {
+                            (Some(ga), Some(gb), Some(g))
+                                if ga == g && gb == g =>
+                            {
+                                if executed[&g] {
+                                    return Err(VerifyError::DuplicateExecution {
+                                        qubits: (a, b),
+                                    });
+                                }
+                                executed.insert(g, true);
+                                *next_idx.entry(a).or_insert(0) += 1;
+                                *next_idx.entry(b).or_insert(0) += 1;
+                            }
+                            (fa, fb, Some(g)) => {
+                                // A gate between (a, b) exists but one operand
+                                // still owes an earlier gate.
+                                let blocked_by = fa
+                                    .into_iter()
+                                    .chain(fb)
+                                    .find(|&f| f != g)
+                                    .unwrap_or(g);
+                                return Err(VerifyError::DependencyViolation {
+                                    gate_id: g,
+                                    blocked_by,
+                                });
+                            }
+                            _ => {
+                                return Err(VerifyError::UnexpectedInteraction {
+                                    qubits: (a, b),
+                                    instruction: idx,
+                                })
+                            }
+                        }
+                    }
+                }
+                Instruction::OneQGate { .. } => {}
+            }
+        }
+
+        let missing: Vec<usize> = {
+            let mut m: Vec<usize> =
+                executed.iter().filter(|(_, &done)| !done).map(|(&id, _)| id).collect();
+            m.sort_unstable();
+            m
+        };
+        if !missing.is_empty() {
+            return Err(VerifyError::MissingGates { gate_ids: missing });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::QubitLoc;
+    use crate::machine::{build_job, shift_job, MoveSpec};
+
+    fn arch() -> Architecture {
+        Architecture::reference()
+    }
+
+    fn qloc(arch: &Architecture, q: usize, loc: Loc) -> QubitLoc {
+        let (slm, r, c) = arch.loc_to_slm(loc);
+        QubitLoc::new(q, slm, r, c)
+    }
+
+    /// Staged circuit: CZ(0,1) then CZ(1,2).
+    fn staged() -> StagedCircuit {
+        let mut c = zac_circuit::Circuit::new("v", 3);
+        c.cz(0, 1).cz(1, 2);
+        zac_circuit::preprocess(&c)
+    }
+
+    fn storage(col: usize) -> Loc {
+        Loc::Storage { zone: 0, row: 99, col }
+    }
+
+    fn site(col: usize, slot: usize) -> Loc {
+        Loc::Site { zone: 0, row: 0, col, slot }
+    }
+
+    /// Hand-builds a program executing the two gates in order.
+    fn good_program(arch: &Architecture) -> Program {
+        let mut p = Program::new("v", arch.name(), 3);
+        p.instructions.push(Instruction::Init {
+            init_locs: (0..3).map(|q| qloc(arch, q, storage(q))).collect(),
+        });
+        let mut t = 0.0;
+        let emit = |p: &mut Program, moves: &[MoveSpec], t: &mut f64| {
+            let mut job = build_job(arch, moves, 15.0).unwrap();
+            shift_job(&mut job, *t);
+            *t = job.end_time;
+            p.instructions.push(Instruction::RearrangeJob(job));
+        };
+        emit(
+            &mut p,
+            &[MoveSpec::new(0, storage(0), site(0, 0)), MoveSpec::new(1, storage(1), site(0, 1))],
+            &mut t,
+        );
+        p.instructions.push(Instruction::Rydberg { zone_id: 0, begin_time: t, end_time: t + 0.36 });
+        t += 0.36;
+        emit(&mut p, &[MoveSpec::new(0, site(0, 0), storage(0))], &mut t);
+        emit(&mut p, &[MoveSpec::new(2, storage(2), site(0, 0))], &mut t);
+        p.instructions.push(Instruction::Rydberg { zone_id: 0, begin_time: t, end_time: t + 0.36 });
+        p
+    }
+
+    #[test]
+    fn correct_program_verifies() {
+        let arch = arch();
+        good_program(&arch).verify_against(&arch, &staged()).unwrap();
+    }
+
+    #[test]
+    fn wrong_pair_detected() {
+        let arch = arch();
+        // Pair (0,2) first: no gate exists between 0 and 2.
+        let mut p = Program::new("v", arch.name(), 3);
+        p.instructions.push(Instruction::Init {
+            init_locs: (0..3).map(|q| qloc(&arch, q, storage(q))).collect(),
+        });
+        let job = build_job(
+            &arch,
+            &[MoveSpec::new(0, storage(0), site(0, 0)), MoveSpec::new(2, storage(2), site(0, 1))],
+            15.0,
+        )
+        .unwrap();
+        p.instructions.push(Instruction::RearrangeJob(job));
+        p.instructions
+            .push(Instruction::Rydberg { zone_id: 0, begin_time: 200.0, end_time: 200.36 });
+        let err = p.verify_against(&arch, &staged()).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::UnexpectedInteraction { qubits: (0, 2), .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dependency_violation_detected() {
+        let arch = arch();
+        // Execute CZ(1,2) before CZ(0,1): qubit 1's queue starts with gate 0.
+        let mut p = Program::new("v", arch.name(), 3);
+        p.instructions.push(Instruction::Init {
+            init_locs: (0..3).map(|q| qloc(&arch, q, storage(q))).collect(),
+        });
+        let job = build_job(
+            &arch,
+            &[MoveSpec::new(1, storage(1), site(0, 0)), MoveSpec::new(2, storage(2), site(0, 1))],
+            15.0,
+        )
+        .unwrap();
+        p.instructions.push(Instruction::RearrangeJob(job));
+        p.instructions
+            .push(Instruction::Rydberg { zone_id: 0, begin_time: 200.0, end_time: 200.36 });
+        let err = p.verify_against(&arch, &staged()).unwrap_err();
+        assert!(matches!(err, VerifyError::DependencyViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_gates_detected() {
+        let arch = arch();
+        let mut p = good_program(&arch);
+        // Drop the final exposure: gate 1 never runs.
+        p.instructions.pop();
+        let err = p.verify_against(&arch, &staged()).unwrap_err();
+        assert_eq!(err, VerifyError::MissingGates { gate_ids: vec![1] });
+    }
+
+    #[test]
+    fn invalid_program_reported() {
+        let arch = arch();
+        let p = Program::new("v", arch.name(), 3); // no init
+        let err = p.verify_against(&arch, &staged()).unwrap_err();
+        assert!(matches!(err, VerifyError::InvalidProgram(_)));
+    }
+}

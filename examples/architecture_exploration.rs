@@ -1,0 +1,48 @@
+//! Architecture exploration: vary the AOD count and the entanglement-zone
+//! layout, as in the paper's Sec. VII-G/H experiments.
+//!
+//! Run with: `cargo run --example architecture_exploration`
+
+use zac::circuit::{bench_circuits, preprocess};
+use zac::prelude::*;
+
+fn main() -> Result<(), zac::Error> {
+    let staged = preprocess(&bench_circuits::ising(98));
+    println!("workload: {}\n", staged);
+
+    println!("--- AOD count sweep (reference architecture) ---");
+    println!("{:>6}{:>14}{:>14}", "AODs", "fidelity", "duration(ms)");
+    for k in 1..=4 {
+        let arch = Architecture::reference().with_num_aods(k);
+        let out = Zac::new(arch).compile_staged(&staged)?;
+        println!(
+            "{k:>6}{:>14.4}{:>14.2}",
+            out.total_fidelity(),
+            out.summary.duration_us / 1000.0
+        );
+    }
+
+    println!("\n--- zone layout comparison (small architectures, Sec. VII-H) ---");
+    for (label, arch) in [
+        ("Arch1: one 6x10-site zone", Architecture::arch1_small()),
+        ("Arch2: two 3x10-site zones", Architecture::arch2_two_zones()),
+    ] {
+        let out = Zac::new(arch).compile_staged(&staged)?;
+        println!(
+            "{label:<30} fidelity {:.4}, duration {:.2} ms",
+            out.total_fidelity(),
+            out.summary.duration_us / 1000.0
+        );
+    }
+
+    println!("\n--- custom architecture from the paper's JSON spec format ---");
+    let json = Architecture::reference().to_spec_json();
+    let parsed = Architecture::from_spec_json(&json)?;
+    println!(
+        "round-tripped '{}': {} sites, {} storage traps",
+        parsed.name(),
+        parsed.num_sites(),
+        parsed.storage_capacity()
+    );
+    Ok(())
+}

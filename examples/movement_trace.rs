@@ -1,0 +1,39 @@
+//! Replay a compiled program as ASCII placement frames, and cross-check the
+//! analytic fidelity with the Monte Carlo error sampler.
+//!
+//! Run with: `cargo run --example movement_trace`
+
+use zac::fidelity::monte_carlo::sample_fidelity;
+use zac::fidelity::NeutralAtomParams;
+use zac::prelude::*;
+use zac::zair::render::{render_placement, replay_frames};
+
+fn main() -> Result<(), zac::Error> {
+    let arch = Architecture::reference();
+    let circuit = zac::circuit::bench_circuits::ghz(8);
+    let out = Zac::new(arch.clone()).compile(&circuit)?;
+
+    // Replay: show the first few placement frames.
+    let frames = replay_frames(&arch, &out.program);
+    println!("{} placement frames; showing the first three:\n", frames.len());
+    for frame in frames.iter().take(3) {
+        println!(
+            "--- frame @ instruction {} ({}), t = {:.1} us ---",
+            frame.instruction_index, frame.kind, frame.time_us
+        );
+        println!("{}", render_placement(&arch, &frame.locations));
+    }
+
+    // Monte Carlo cross-check of the analytic fidelity model.
+    let params = NeutralAtomParams::reference();
+    let est = sample_fidelity(&out.summary, &params, 20_000, 7);
+    println!("analytic fidelity    : {:.4}", out.total_fidelity());
+    println!(
+        "monte carlo estimate : {:.4} ± {:.4} ({} shots)",
+        est.fidelity(),
+        est.std_error(),
+        est.shots
+    );
+    println!("dominant error class : {}", est.budget.dominant());
+    Ok(())
+}

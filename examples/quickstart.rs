@@ -1,0 +1,39 @@
+//! Quickstart: compile a GHZ circuit with ZAC on the reference zoned
+//! architecture and print the fidelity report.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use zac::prelude::*;
+
+fn main() -> Result<(), zac::Error> {
+    // The reference architecture of the paper's Fig. 2: a 100×100 storage
+    // zone, a 7×20-site entanglement zone, one AOD.
+    let arch = Architecture::reference();
+
+    // A 23-qubit GHZ state preparation from the benchmark suite.
+    let circuit = bench_circuits::ghz(23);
+    println!("circuit: {circuit}");
+
+    // Compile with the full pipeline: SA initial placement, dynamic
+    // reuse-aware placement, load-balanced scheduling.
+    let zac = Zac::new(arch);
+    let out = zac.compile(&circuit)?;
+
+    println!("compiled in {:?}", out.compile_time);
+    println!("  Rydberg stages : {}", out.plan.stages.len());
+    println!("  reused qubits  : {}", out.plan.total_reused_qubits());
+    println!("  2Q gates       : {}", out.summary.g2);
+    println!("  1Q gates       : {}", out.summary.g1);
+    println!("  atom transfers : {}", out.summary.n_tran);
+    println!("  idle excitation: {} (zoned architectures shield idle qubits)", out.summary.n_exc);
+    println!("  duration       : {:.2} ms", out.summary.duration_us / 1000.0);
+    println!();
+    println!("fidelity breakdown:");
+    println!("  1Q          {:.4}", out.report.one_q);
+    println!("  2Q          {:.4}", out.report.two_q);
+    println!("  transfer    {:.4}", out.report.transfer);
+    println!("  decoherence {:.4}", out.report.decoherence);
+    println!("  total       {:.4}", out.total_fidelity());
+
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! ZAIR inspection: compile bv_n14 and dump the first instructions in the
+//! paper's JSON format (cf. Fig. 19 / Appendix H).
+//!
+//! Run with: `cargo run --example zair_inspect`
+
+use zac::circuit::bench_circuits;
+use zac::prelude::*;
+use zac::zair::Instruction;
+
+fn main() -> Result<(), zac::Error> {
+    let zac = Zac::new(Architecture::reference());
+    let out = zac.compile(&bench_circuits::bv(14, 13))?;
+
+    let stats = out.program.stats();
+    println!(
+        "bv_n14 compiled: {} ZAIR instructions, {} machine-level, {} jobs\n",
+        stats.zair_instructions, stats.machine_instructions, stats.jobs
+    );
+
+    // Print the init, the first rearrangement job, and the first exposure —
+    // the same excerpt the paper's Fig. 19 shows.
+    let mut shown_job = false;
+    let mut shown_ryd = false;
+    for inst in &out.program.instructions {
+        match inst {
+            Instruction::Init { init_locs } => {
+                println!(
+                    "init: q0 at (slm {}, r{}, c{}), ..., q13 at (slm {}, r{}, c{})",
+                    init_locs[0].slm_id,
+                    init_locs[0].row,
+                    init_locs[0].col,
+                    init_locs[13].slm_id,
+                    init_locs[13].row,
+                    init_locs[13].col
+                );
+            }
+            Instruction::RearrangeJob(_) if !shown_job => {
+                shown_job = true;
+                println!("\nfirst rearrangement job:");
+                println!("{}", serde_json::to_string_pretty(inst)?);
+            }
+            Instruction::Rydberg { .. } if !shown_ryd => {
+                shown_ryd = true;
+                println!("\nfirst Rydberg exposure:");
+                println!("{}", serde_json::to_string_pretty(inst)?);
+            }
+            _ => {}
+        }
+        if shown_job && shown_ryd {
+            break;
+        }
+    }
+
+    // The full program round-trips through JSON.
+    let json = out.program.to_json();
+    let back = zac::zair::Program::from_json(&json)?;
+    assert_eq!(back, out.program);
+    println!("\nfull program JSON: {} bytes (round-trip verified)", json.len());
+    Ok(())
+}

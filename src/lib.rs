@@ -1,0 +1,43 @@
+//! # zac — Reuse-Aware Compilation for Zoned Quantum Architectures
+//!
+//! Facade crate re-exporting the full ZAC reproduction workspace
+//! (HPCA 2025, Lin/Tan/Cong). See the README for the architecture overview
+//! and `DESIGN.md` for the per-experiment index.
+//!
+//! The typical entry point is [`zac_core::Zac`]:
+//!
+//! ```
+//! use zac::prelude::*;
+//!
+//! let arch = Architecture::reference();
+//! let circuit = bench_circuits::ghz(5);
+//! let compiler = Zac::new(arch);
+//! let out = compiler.compile(&circuit)?;
+//! assert!(out.total_fidelity() > 0.0);
+//! # Ok::<(), zac::Error>(())
+//! ```
+
+pub use zac_arch as arch;
+pub use zac_baselines as baselines;
+pub use zac_circuit as circuit;
+pub use zac_core as core;
+pub use zac_fidelity as fidelity;
+pub use zac_ftqc as ftqc;
+pub use zac_graph as graph;
+pub use zac_place as place;
+pub use zac_schedule as schedule;
+pub use zac_sim as sim;
+pub use zac_zair as zair;
+
+/// Convenience error alias for examples and doctests.
+pub type Error = Box<dyn std::error::Error>;
+
+/// Commonly used items, re-exported in one place.
+pub mod prelude {
+    pub use zac_arch::Architecture;
+    pub use zac_circuit::bench_circuits;
+    pub use zac_circuit::Circuit;
+    pub use zac_core::{Zac, ZacConfig};
+    pub use zac_fidelity::{FidelityReport, NeutralAtomParams};
+    pub use zac_zair::Program;
+}

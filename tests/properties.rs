@@ -1,0 +1,92 @@
+//! Property-based integration tests: random circuits through the whole
+//! pipeline must always produce valid, self-consistent ZAIR.
+
+use proptest::prelude::*;
+use zac::circuit::{preprocess, Circuit};
+use zac::core::{Zac, ZacConfig};
+use zac::prelude::*;
+
+/// Random circuits over H/T/CX/CZ with up to 10 qubits and 25 gates.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2usize..10).prop_flat_map(|n| {
+        let gate = prop_oneof![
+            (0..n).prop_map(|q| (0usize, q, 0usize)),
+            (0..n).prop_map(|q| (1usize, q, 0usize)),
+            (0..n, 0..n).prop_map(|(a, b)| (2usize, a, b)),
+            (0..n, 0..n).prop_map(|(a, b)| (3usize, a, b)),
+        ];
+        proptest::collection::vec(gate, 1..25).prop_map(move |ops| {
+            let mut c = Circuit::new("prop", n);
+            for (k, a, b) in ops {
+                match k {
+                    0 => {
+                        c.h(a);
+                    }
+                    1 => {
+                        c.t(a);
+                    }
+                    2 if a != b => {
+                        c.cx(a, b);
+                    }
+                    3 if a != b => {
+                        c.cz(a, b);
+                    }
+                    _ => {}
+                }
+            }
+            c
+        })
+    })
+}
+
+fn quick_config(reuse: bool) -> ZacConfig {
+    let mut cfg = if reuse { ZacConfig::dyn_place_reuse() } else { ZacConfig::dyn_place() };
+    cfg.placement.sa_iterations = 50;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The emitted ZAIR always validates, with exact gate counts, zero idle
+    /// excitations, and fidelity in [0, 1].
+    #[test]
+    fn pipeline_is_sound_for_random_circuits(circ in arb_circuit(), reuse in any::<bool>()) {
+        let arch = Architecture::reference();
+        let staged = preprocess(&circ);
+        let zac = Zac::with_config(arch.clone(), quick_config(reuse));
+        let out = zac.compile_staged(&staged).expect("compiles");
+        let analysis = out.program.analyze(&arch).expect("valid ZAIR");
+        prop_assert_eq!(analysis.g2, staged.num_2q_gates());
+        prop_assert_eq!(analysis.g1, staged.num_1q_gates());
+        prop_assert_eq!(analysis.n_exc, 0);
+        // Semantic check: the compiled program executes exactly the staged
+        // circuit's gates, in dependency order.
+        out.program.verify_against(&arch, &staged).expect("semantically correct");
+        let f = out.total_fidelity();
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Duration covers every instruction.
+        for inst in &out.program.instructions {
+            prop_assert!(inst.end_time() <= analysis.total_duration_us + 1e-9);
+        }
+    }
+
+    /// Preprocessing + compilation preserve circuit semantics (simulator
+    /// check on the staged circuit ZAC actually consumed).
+    #[test]
+    fn semantics_preserved_for_random_circuits(circ in arb_circuit()) {
+        let staged = preprocess(&circ);
+        prop_assert!(zac::sim::preprocessing_preserves_semantics(&circ, &staged));
+    }
+
+    /// Transfers are conserved: every job moves each qubit with exactly two
+    /// transfers, and the analysis total matches the per-job sum.
+    #[test]
+    fn transfer_accounting_is_consistent(circ in arb_circuit()) {
+        let arch = Architecture::reference();
+        let zac = Zac::with_config(arch.clone(), quick_config(true));
+        let out = zac.compile(&circ).expect("compiles");
+        let from_jobs: usize = out.program.jobs().map(|j| 2 * j.num_qubits()).sum();
+        prop_assert_eq!(out.summary.n_tran, from_jobs);
+    }
+}
