@@ -2,7 +2,6 @@
 
 use crate::geometry::Point;
 use crate::model::{AodArray, Loc, SiteId, SlmArray, Zone, ZoneKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Validation error for an architecture description.
@@ -62,11 +61,9 @@ impl fmt::Display for ArchError {
             Self::SlmOutsideZone { kind, zone, slm_id } => {
                 write!(f, "SLM {slm_id} extends outside {kind} zone {zone}")
             }
-            Self::OverlappingZones { first, second } => write!(
-                f,
-                "{} zone {} overlaps {} zone {}",
-                first.0, first.1, second.0, second.1
-            ),
+            Self::OverlappingZones { first, second } => {
+                write!(f, "{} zone {} overlaps {} zone {}", first.0, first.1, second.0, second.1)
+            }
             Self::DuplicateSlmId { slm_id } => write!(f, "duplicate SLM id {slm_id}"),
             Self::InvalidLoc { loc } => write!(f, "invalid location {loc}"),
         }
@@ -89,7 +86,7 @@ impl std::error::Error for ArchError {}
 /// assert_eq!(arch.num_sites(), 7 * 20);
 /// assert_eq!(arch.storage_capacity(), 100 * 100);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Architecture {
     name: String,
     aods: Vec<AodArray>,
@@ -113,13 +110,8 @@ impl Architecture {
         entanglement_zones: Vec<Zone>,
         readout_zones: Vec<Zone>,
     ) -> Result<Self, ArchError> {
-        let arch = Self {
-            name: name.into(),
-            aods,
-            storage_zones,
-            entanglement_zones,
-            readout_zones,
-        };
+        let arch =
+            Self { name: name.into(), aods, storage_zones, entanglement_zones, readout_zones };
         arch.validate()?;
         Ok(arch)
     }
@@ -151,7 +143,11 @@ impl Architecture {
                     let b = slm.bounds();
                     let corner = Point::new(b.origin.x + b.width, b.origin.y + b.height);
                     if !zb.contains(b.origin) || !zb.contains(corner) {
-                        return Err(ArchError::SlmOutsideZone { kind, zone: i, slm_id: slm.slm_id });
+                        return Err(ArchError::SlmOutsideZone {
+                            kind,
+                            zone: i,
+                            slm_id: slm.slm_id,
+                        });
                     }
                 }
             }
@@ -224,9 +220,7 @@ impl Architecture {
     pub fn with_num_aods(mut self, n: usize) -> Self {
         assert!(n > 0, "at least one AOD is required");
         let proto = self.aods[0].clone();
-        self.aods = (0..n)
-            .map(|i| AodArray { aod_id: i, ..proto.clone() })
-            .collect();
+        self.aods = (0..n).map(|i| AodArray { aod_id: i, ..proto.clone() }).collect();
         self
     }
 
@@ -310,11 +304,7 @@ impl Architecture {
 
     /// Total number of storage traps across all storage zones (SLM 0 each).
     pub fn storage_capacity(&self) -> usize {
-        self.storage_zones
-            .iter()
-            .flat_map(|z| z.slms.first())
-            .map(SlmArray::num_traps)
-            .sum()
+        self.storage_zones.iter().flat_map(|z| z.slms.first()).map(SlmArray::num_traps).sum()
     }
 
     /// `(rows, cols)` of the trap grid of storage zone `zone`.
@@ -395,9 +385,7 @@ impl Architecture {
     /// Panics if the location does not exist.
     pub fn loc_to_slm(&self, loc: Loc) -> (usize, usize, usize) {
         match loc {
-            Loc::Storage { zone, row, col } => {
-                (self.storage_zones[zone].slms[0].slm_id, row, col)
-            }
+            Loc::Storage { zone, row, col } => (self.storage_zones[zone].slms[0].slm_id, row, col),
             Loc::Site { zone, row, col, slot } => {
                 (self.entanglement_zones[zone].slms[slot].slm_id, row, col)
             }
@@ -412,16 +400,23 @@ impl Architecture {
         for (z, zone) in self.storage_zones.iter().enumerate() {
             for slm in &zone.slms {
                 if slm.slm_id == slm_id {
-                    return (row < slm.num_row && col < slm.num_col)
-                        .then_some(Loc::Storage { zone: z, row, col });
+                    return (row < slm.num_row && col < slm.num_col).then_some(Loc::Storage {
+                        zone: z,
+                        row,
+                        col,
+                    });
                 }
             }
         }
         for (z, zone) in self.entanglement_zones.iter().enumerate() {
             for (slot, slm) in zone.slms.iter().enumerate() {
                 if slm.slm_id == slm_id {
-                    return (row < slm.num_row && col < slm.num_col)
-                        .then_some(Loc::Site { zone: z, row, col, slot });
+                    return (row < slm.num_row && col < slm.num_col).then_some(Loc::Site {
+                        zone: z,
+                        row,
+                        col,
+                        slot,
+                    });
                 }
             }
         }

@@ -3,8 +3,6 @@
 //! All distances are micrometres (µm) and all times are microseconds (µs),
 //! matching the units the ZAC paper uses throughout.
 
-use serde::{Deserialize, Serialize};
-
 /// Movement acceleration constant: the paper uses `d/t² = 2750 m/s²`
 /// (Bluvstein et al. 2022), which is `2.75e-3 µm/µs²`.
 pub const MOVE_ACCEL_UM_PER_US2: f64 = 2.75e-3;
@@ -27,7 +25,7 @@ pub fn movement_time_us(d_um: f64) -> f64 {
 }
 
 /// A point in the machine plane (µm).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate (µm).
     pub x: f64,
@@ -73,7 +71,7 @@ impl From<(f64, f64)> for Point {
 }
 
 /// An axis-aligned rectangle: `origin` is the bottom-left corner.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Bottom-left corner.
     pub origin: Point,

@@ -4,12 +4,11 @@
 //! and the architecture — mirroring Fig. 3 of the paper.
 
 use crate::geometry::{Point, Rect};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An acousto-optic deflector array: a grid of mobile traps formed by the
 /// intersections of activated row and column beams.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AodArray {
     /// Index of this AOD among the architecture's AODs.
     pub aod_id: usize,
@@ -29,7 +28,7 @@ impl AodArray {
 }
 
 /// A spatial-light-modulator trap array: a fixed rectangular grid of traps.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlmArray {
     /// Global SLM identifier (unique across the whole architecture).
     pub slm_id: usize,
@@ -63,10 +62,7 @@ impl SlmArray {
     /// Panics if the indices are out of range.
     pub fn trap_position(&self, row: usize, col: usize) -> Point {
         assert!(row < self.num_row && col < self.num_col, "trap ({row},{col}) out of range");
-        Point::new(
-            self.offset.x + col as f64 * self.sep.0,
-            self.offset.y + row as f64 * self.sep.1,
-        )
+        Point::new(self.offset.x + col as f64 * self.sep.0, self.offset.y + row as f64 * self.sep.1)
     }
 
     /// Total number of traps.
@@ -100,7 +96,7 @@ impl SlmArray {
 }
 
 /// The role a zone plays in the architecture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ZoneKind {
     /// Shields idle qubits from Rydberg excitation.
     Storage,
@@ -121,7 +117,7 @@ impl fmt::Display for ZoneKind {
 }
 
 /// A physical region with boundaries containing zero or more SLM arrays.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Zone {
     /// Zone identifier (unique within its kind).
     pub zone_id: usize,
@@ -147,7 +143,7 @@ impl Zone {
 
 /// Identifies one Rydberg site: `zone` indexes the architecture's
 /// entanglement zones; `(row, col)` index the site grid inside it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SiteId {
     /// Index into [`crate::Architecture::entanglement_zones`].
     pub zone: usize,
@@ -171,7 +167,7 @@ impl fmt::Display for SiteId {
 }
 
 /// A qubit location: either a storage-zone trap or a slot of a Rydberg site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Loc {
     /// Trap (`row`, `col`) of SLM 0 in storage zone `zone`.
     Storage {

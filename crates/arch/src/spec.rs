@@ -8,23 +8,21 @@
 use crate::architecture::{ArchError, Architecture};
 use crate::geometry::Point;
 use crate::model::{AodArray, SlmArray, Zone};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Operation durations (µs) as carried in the spec file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpecDurations {
     /// Rydberg (CZ) gate duration.
     pub rydberg: f64,
     /// 1Q gate duration.
-    #[serde(rename = "1qGate")]
     pub one_q_gate: f64,
     /// Atom transfer (pickup or drop-off) duration.
     pub atom_transfer: f64,
 }
 
 /// Operation fidelities as carried in the spec file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpecFidelities {
     /// 2Q (CZ) gate fidelity.
     pub two_qubit_gate: f64,
@@ -35,16 +33,14 @@ pub struct SpecFidelities {
 }
 
 /// Qubit coherence spec (`T` is T2, in µs, matching the artifact's 1.5e6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpecQubit {
     /// Coherence time T2 in µs.
-    #[serde(rename = "T")]
     pub t2_us: f64,
 }
 
 /// A number that may appear as a scalar or an `[x, y]` pair in the spec.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScalarOrPair {
     /// Single value used for both axes.
     Scalar(f64),
@@ -63,12 +59,11 @@ impl ScalarOrPair {
 }
 
 /// SLM entry in the spec format.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpecSlm {
     /// Global SLM id.
     pub id: usize,
     /// Trap separation; the artifact spells the key `site_seperation`.
-    #[serde(rename = "site_seperation", alias = "site_separation")]
     pub site_separation: ScalarOrPair,
     /// Number of rows.
     pub r: usize,
@@ -79,27 +74,24 @@ pub struct SpecSlm {
 }
 
 /// Zone entry in the spec format.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpecZone {
     /// Zone id.
     pub zone_id: usize,
     /// SLM arrays inside the zone.
-    #[serde(default)]
     pub slms: Vec<SpecSlm>,
     /// Bottom-left corner of the zone.
     pub offset: (f64, f64),
     /// Width/height; the artifact sometimes spells the key `dimenstion`.
-    #[serde(rename = "dimension", alias = "dimenstion")]
     pub dimension: (f64, f64),
 }
 
 /// AOD entry in the spec format.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpecAod {
     /// AOD id.
     pub id: usize,
     /// Minimum row/column separation.
-    #[serde(rename = "site_seperation", alias = "site_separation")]
     pub site_separation: ScalarOrPair,
     /// Row capacity.
     pub r: usize,
@@ -108,35 +100,27 @@ pub struct SpecAod {
 }
 
 /// The full architecture specification document (paper Fig. 20).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchSpec {
     /// Architecture name.
     pub name: String,
     /// Operation durations, if present.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub operation_duration: Option<SpecDurations>,
     /// Operation fidelities, if present.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub operation_fidelity: Option<SpecFidelities>,
     /// Qubit coherence spec, if present.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub qubit_spec: Option<SpecQubit>,
     /// Storage zones.
-    #[serde(default)]
     pub storage_zones: Vec<SpecZone>,
     /// Entanglement zones.
-    #[serde(default)]
     pub entanglement_zones: Vec<SpecZone>,
     /// Readout zones.
-    #[serde(default)]
     pub readout_zones: Vec<SpecZone>,
     /// AOD arrays.
     pub aods: Vec<SpecAod>,
     /// Overall architecture extent `[[x0,y0],[x1,y1]]`, informational.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub arch_range: Option<Vec<(f64, f64)>>,
     /// Rydberg-laser coverage ranges, informational.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub rydberg_range: Option<Vec<Vec<(f64, f64)>>>,
 }
 
@@ -193,12 +177,7 @@ fn zone_from_spec(spec: &SpecZone) -> Zone {
             )
         })
         .collect();
-    Zone::new(
-        spec.zone_id,
-        Point::new(spec.offset.0, spec.offset.1),
-        spec.dimension,
-        slms,
-    )
+    Zone::new(spec.zone_id, Point::new(spec.offset.0, spec.offset.1), spec.dimension, slms)
 }
 
 fn zone_to_spec(zone: &Zone) -> SpecZone {
@@ -306,6 +285,160 @@ impl Architecture {
     /// Serializes this architecture in the paper's JSON spec format.
     pub fn to_spec_json(&self) -> String {
         ArchSpec::from_architecture(self).to_json()
+    }
+}
+
+/// Hand-written JSON impls (the in-tree serde stand-in has no derive).
+/// They encode the artifact's quirks explicitly: `1qGate` / `T` renames,
+/// the misspelled `site_seperation` / `dimenstion` keys (accepted as
+/// aliases, emitted in the artifact's spelling), defaulted zone lists, and
+/// optional sections omitted when absent.
+mod json {
+    use super::*;
+    use serde::{DeError, Deserialize, ObjectView, Serialize, Value};
+
+    serde::impl_serde_struct!(SpecDurations {
+        rydberg,
+        one_q_gate => "1qGate",
+        atom_transfer,
+    });
+
+    serde::impl_serde_struct!(SpecFidelities { two_qubit_gate, single_qubit_gate, atom_transfer });
+
+    serde::impl_serde_struct!(SpecQubit { t2_us => "T" });
+
+    impl Serialize for ScalarOrPair {
+        fn to_value(&self) -> Value {
+            match *self {
+                ScalarOrPair::Scalar(v) => v.to_value(),
+                ScalarOrPair::Pair(x, y) => (x, y).to_value(),
+            }
+        }
+    }
+
+    impl Deserialize for ScalarOrPair {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            // Untagged: a bare number is a scalar, an [x, y] array a pair.
+            if let Some(x) = v.as_f64() {
+                return Ok(ScalarOrPair::Scalar(x));
+            }
+            let (x, y) = <(f64, f64)>::from_value(v)
+                .map_err(|_| DeError::msg("expected number or [x, y] pair"))?;
+            Ok(ScalarOrPair::Pair(x, y))
+        }
+    }
+
+    impl Serialize for SpecSlm {
+        fn to_value(&self) -> Value {
+            Value::object()
+                .with("id", self.id.to_value())
+                .with("site_seperation", self.site_separation.to_value())
+                .with("r", self.r.to_value())
+                .with("c", self.c.to_value())
+                .with("location", self.location.to_value())
+        }
+    }
+
+    impl Deserialize for SpecSlm {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let obj = ObjectView::new(v)?;
+            Ok(Self {
+                id: obj.field("id")?,
+                site_separation: obj.field_alias("site_seperation", "site_separation")?,
+                r: obj.field("r")?,
+                c: obj.field("c")?,
+                location: obj.field("location")?,
+            })
+        }
+    }
+
+    impl Serialize for SpecZone {
+        fn to_value(&self) -> Value {
+            Value::object()
+                .with("zone_id", self.zone_id.to_value())
+                .with("slms", self.slms.to_value())
+                .with("offset", self.offset.to_value())
+                .with("dimension", self.dimension.to_value())
+        }
+    }
+
+    impl Deserialize for SpecZone {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let obj = ObjectView::new(v)?;
+            Ok(Self {
+                zone_id: obj.field("zone_id")?,
+                slms: obj.field_or_default("slms")?,
+                offset: obj.field("offset")?,
+                dimension: obj.field_alias("dimension", "dimenstion")?,
+            })
+        }
+    }
+
+    impl Serialize for SpecAod {
+        fn to_value(&self) -> Value {
+            Value::object()
+                .with("id", self.id.to_value())
+                .with("site_seperation", self.site_separation.to_value())
+                .with("r", self.r.to_value())
+                .with("c", self.c.to_value())
+        }
+    }
+
+    impl Deserialize for SpecAod {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let obj = ObjectView::new(v)?;
+            Ok(Self {
+                id: obj.field("id")?,
+                site_separation: obj.field_alias("site_seperation", "site_separation")?,
+                r: obj.field("r")?,
+                c: obj.field("c")?,
+            })
+        }
+    }
+
+    impl Serialize for ArchSpec {
+        fn to_value(&self) -> Value {
+            let mut v = Value::object().with("name", self.name.to_value());
+            if let Some(d) = &self.operation_duration {
+                v = v.with("operation_duration", d.to_value());
+            }
+            if let Some(f) = &self.operation_fidelity {
+                v = v.with("operation_fidelity", f.to_value());
+            }
+            if let Some(q) = &self.qubit_spec {
+                v = v.with("qubit_spec", q.to_value());
+            }
+            v = v
+                .with("storage_zones", self.storage_zones.to_value())
+                .with("entanglement_zones", self.entanglement_zones.to_value())
+                .with("readout_zones", self.readout_zones.to_value())
+                .with("aods", self.aods.to_value());
+            if let Some(r) = &self.arch_range {
+                v = v.with("arch_range", r.to_value());
+            }
+            if let Some(r) = &self.rydberg_range {
+                v = v.with("rydberg_range", r.to_value());
+            }
+            v
+        }
+    }
+
+    impl Deserialize for ArchSpec {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let obj = ObjectView::new(v)?;
+            Ok(Self {
+                name: obj.field("name")?,
+                operation_duration: obj.opt_field("operation_duration")?,
+                operation_fidelity: obj.opt_field("operation_fidelity")?,
+                qubit_spec: obj.opt_field("qubit_spec")?,
+                storage_zones: obj.field_or_default("storage_zones")?,
+                entanglement_zones: obj.field_or_default("entanglement_zones")?,
+                readout_zones: obj.field_or_default("readout_zones")?,
+                aods: obj.field("aods")?,
+                arch_range: obj.opt_field("arch_range")?,
+                rydberg_range: obj.opt_field("rydberg_range")?,
+            })
+        }
     }
 }
 

@@ -87,8 +87,7 @@ pub fn compile_atomique(
                 // Swap one operand with its co-located site partner (q XOR 1)
                 // to flip it into the other array; fall back to the other
                 // operand when the last qubit has no partner.
-                let (swap_q, partner) =
-                    if b ^ 1 < n { (b, b ^ 1) } else { (a, a ^ 1) };
+                let (swap_q, partner) = if b ^ 1 < n { (b, b ^ 1) } else { (a, a ^ 1) };
                 swap_pairs.push((swap_q, partner));
                 swaps += 1;
                 if swap_q == b {
@@ -132,8 +131,7 @@ pub fn compile_atomique(
             let (rb, cb) = site_of(aod_q);
             let key = (ra as i64 - rb as i64, ca as i64 - cb as i64);
             let mut round: Vec<(usize, usize)> = vec![effective[i]];
-            let mut used: std::collections::HashSet<usize> =
-                [slm_q, aod_q].into_iter().collect();
+            let mut used: std::collections::HashSet<usize> = [slm_q, aod_q].into_iter().collect();
             let mut j = i + 1;
             while j < effective.len() {
                 let (a, b) = effective[j];
@@ -148,9 +146,9 @@ pub fn compile_atomique(
                 round.push(effective[j]);
                 j += 1;
             }
-            let dist =
-                ((key.0 as f64 * SITE_PITCH_Y).powi(2) + (key.1 as f64 * SITE_PITCH_X).powi(2))
-                    .sqrt();
+            let dist = ((key.0 as f64 * SITE_PITCH_Y).powi(2)
+                + (key.1 as f64 * SITE_PITCH_X).powi(2))
+            .sqrt();
             // Move the whole array, expose, move back.
             duration += 2.0 * movement_time_us(dist) + params.t_2q_us;
             rounds += 1;

@@ -93,15 +93,8 @@ impl CouplingGraph {
     pub fn heavy_hex_127() -> Self {
         let mut edges = Vec::new();
         // Row chains.
-        let rows: [(usize, usize); 7] = [
-            (0, 13),
-            (18, 32),
-            (37, 51),
-            (56, 70),
-            (75, 89),
-            (94, 108),
-            (113, 126),
-        ];
+        let rows: [(usize, usize); 7] =
+            [(0, 13), (18, 32), (37, 51), (56, 70), (75, 89), (94, 108), (113, 126)];
         for &(lo, hi) in &rows {
             for q in lo..hi {
                 edges.push((q, q + 1));

@@ -69,9 +69,7 @@ pub fn compile_enola(
     }
 
     // Home site of qubit i: row-major, slot 0.
-    let home = |q: usize| -> Loc {
-        Loc::Site { zone: 0, row: q / cols, col: q % cols, slot: 0 }
-    };
+    let home = |q: usize| -> Loc { Loc::Site { zone: 0, row: q / cols, col: q % cols, slot: 0 } };
 
     let mut duration = 0.0f64;
     let mut busy = vec![0.0f64; n];
@@ -115,9 +113,7 @@ pub fn compile_enola(
         for round in &rounds {
             let max_d = round
                 .iter()
-                .map(|&i| {
-                    arch.position(moves[i].from).distance(arch.position(moves[i].to))
-                })
+                .map(|&i| arch.position(moves[i].from).distance(arch.position(moves[i].to)))
                 .fold(0.0, f64::max);
             // Outbound trip for this round.
             duration += 2.0 * params.t_tran_us + zac_arch::movement_time_us(max_d);
@@ -140,9 +136,7 @@ pub fn compile_enola(
         for round in &rounds {
             let max_d = round
                 .iter()
-                .map(|&i| {
-                    arch.position(moves[i].from).distance(arch.position(moves[i].to))
-                })
+                .map(|&i| arch.position(moves[i].from).distance(arch.position(moves[i].to)))
                 .fold(0.0, f64::max);
             duration += 2.0 * params.t_tran_us + zac_arch::movement_time_us(max_d);
             for &i in round {
@@ -222,10 +216,7 @@ mod tests {
 
     #[test]
     fn fidelity_in_unit_interval() {
-        for staged in [
-            preprocess(&bench_circuits::ghz(23)),
-            preprocess(&bench_circuits::qft(10)),
-        ] {
+        for staged in [preprocess(&bench_circuits::ghz(23)), preprocess(&bench_circuits::qft(10))] {
             let out = compile_enola(&staged, 10, 10, &params()).unwrap();
             let f = out.report.total();
             assert!((0.0..=1.0).contains(&f), "{}: {f}", staged.name);

@@ -14,15 +14,21 @@
 //!
 //! Every baseline produces a [`zac_fidelity::ExecutionSummary`] and a
 //! [`zac_fidelity::FidelityReport`], so the experiment harness compares all
-//! compilers under one model.
+//! compilers under one model. The [`compilers`] module wraps each engine in
+//! a [`zac_core::Compiler`]-trait implementor with its own config struct;
+//! harness code drives those uniformly alongside ZAC itself.
 
 pub mod atomique;
+pub mod compilers;
 pub mod coupling;
 pub mod enola;
 pub mod nalac;
 pub mod sc;
 
 pub use atomique::{compile_atomique, AtomiqueOutput};
+pub use compilers::{
+    Atomique, AtomiqueConfig, Enola, EnolaConfig, Nalac, NalacConfig, Sc, ScConfig,
+};
 pub use coupling::CouplingGraph;
 pub use enola::{compile_enola, EnolaOutput};
 pub use nalac::{compile_nalac, NalacOutput};

@@ -60,8 +60,8 @@ pub fn compile_nalac(
     // Qubits currently parked in the entanglement zone.
     let mut in_zone: HashSet<usize> = HashSet::new();
 
-    let fetch_time = 2.0 * params.t_tran_us
-        + movement_time_us(ZONE_TRAVEL + STORAGE_PITCH * (n as f64).sqrt());
+    let fetch_time =
+        2.0 * params.t_tran_us + movement_time_us(ZONE_TRAVEL + STORAGE_PITCH * (n as f64).sqrt());
 
     for (t, stage) in staged.stages.iter().enumerate() {
         for op in &stage.pre_1q {
@@ -79,11 +79,8 @@ pub fn compile_nalac(
         // Single-row gate placement: at most one zone row of gates at a time.
         for batch in stage.gates.chunks(zone_row_sites) {
             // Fetch this batch's absent qubits as two row loads.
-            let fetched: Vec<usize> = batch
-                .iter()
-                .flat_map(|g| [g.a, g.b])
-                .filter(|q| !in_zone.contains(q))
-                .collect();
+            let fetched: Vec<usize> =
+                batch.iter().flat_map(|g| [g.a, g.b]).filter(|q| !in_zone.contains(q)).collect();
             if !fetched.is_empty() {
                 // Two AOD row-loads per NALAC step.
                 duration += 2.0 * fetch_time;
@@ -112,9 +109,7 @@ pub fn compile_nalac(
                 // Slide distance: the farthest mover-to-partner offset.
                 let slide = round
                     .iter()
-                    .map(|&i| {
-                        (batch[i].a as f64 - batch[i].b as f64).abs() * STORAGE_PITCH
-                    })
+                    .map(|&i| (batch[i].a as f64 - batch[i].b as f64).abs() * STORAGE_PITCH)
                     .fold(ZONE_TRAVEL, f64::max);
                 duration += movement_time_us(slide) + params.t_2q_us;
                 rounds += 1;

@@ -134,22 +134,23 @@ pub fn compile_sc(staged: &StagedCircuit, machine: ScMachine) -> Result<ScOutput
         remaining[g.b] += 1;
     }
 
-    let do_2q = |a: usize, b: Option<usize>, avail: &mut [f64], busy: &mut [f64], g2: &mut usize| {
-        // `b = None` swaps with an unused physical qubit: the gates are real
-        // (the device has a qubit there) but carry no logical timing state.
-        let t = match b {
-            Some(b) => {
-                let t = avail[a].max(avail[b]) + params.t_2q_us;
-                avail[b] = t;
-                busy[b] += params.t_2q_us;
-                t
-            }
-            None => avail[a] + params.t_2q_us,
+    let do_2q =
+        |a: usize, b: Option<usize>, avail: &mut [f64], busy: &mut [f64], g2: &mut usize| {
+            // `b = None` swaps with an unused physical qubit: the gates are real
+            // (the device has a qubit there) but carry no logical timing state.
+            let t = match b {
+                Some(b) => {
+                    let t = avail[a].max(avail[b]) + params.t_2q_us;
+                    avail[b] = t;
+                    busy[b] += params.t_2q_us;
+                    t
+                }
+                None => avail[a] + params.t_2q_us,
+            };
+            avail[a] = t;
+            busy[a] += params.t_2q_us;
+            *g2 += 1;
         };
-        avail[a] = t;
-        busy[a] += params.t_2q_us;
-        *g2 += 1;
-    };
 
     for stage in &staged.stages {
         for op in &stage.pre_1q {
@@ -225,10 +226,8 @@ mod tests {
 
     #[test]
     fn chain_circuits_route_swap_free() {
-        for staged in [
-            preprocess(&bench_circuits::ghz(40)),
-            preprocess(&bench_circuits::ising(42)),
-        ] {
+        for staged in [preprocess(&bench_circuits::ghz(40)), preprocess(&bench_circuits::ising(42))]
+        {
             let out = compile_sc(&staged, ScMachine::Heron).unwrap();
             assert_eq!(out.swaps, 0, "{}", staged.name);
             assert_eq!(out.summary.g2, staged.num_2q_gates());

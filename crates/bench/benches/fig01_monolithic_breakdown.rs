@@ -4,9 +4,9 @@
 //! effect excitation of idle qubits (blue in the figure) dominates the error
 //! budget of monolithic compilation.
 
+use zac_baselines::compile_enola;
 use zac_bench::print_header;
 use zac_circuit::{bench_circuits, preprocess};
-use zac_baselines::compile_enola;
 use zac_fidelity::NeutralAtomParams;
 
 fn main() {

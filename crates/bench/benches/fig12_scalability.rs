@@ -3,11 +3,15 @@
 //! Paper claims: ZAC reaches the highest fidelity with runtime comparable to
 //! the other tools; with SA disabled it solves every instance in under one
 //! second.
+//!
+//! This figure *measures compile time*, so every sweep here runs through
+//! `BatchRunner::serial()` — per-cell wall times under the parallel runner
+//! would include contention from co-running cells.
 
 use zac_arch::Architecture;
-use zac_bench::{geomean, print_header, run_architecture_comparison};
-use zac_circuit::{bench_circuits, preprocess};
-use zac_core::{Zac, ZacConfig};
+use zac_bench::{default_compilers, geomean, print_header, BatchRunner};
+use zac_circuit::{bench_circuits, preprocess, StagedCircuit};
+use zac_core::{Compiler, Labeled, Zac, ZacConfig};
 
 fn main() {
     print_header(
@@ -16,17 +20,18 @@ fn main() {
          fidelity than NALAC; full ZAC has the best fidelity overall",
     );
 
-    // Baselines from the shared comparison run.
-    let rows = run_architecture_comparison();
+    let suite: Vec<StagedCircuit> =
+        bench_circuits::paper_suite().iter().map(|entry| preprocess(&entry.circuit)).collect();
+
+    // Baselines, timed without contention.
+    let rows = BatchRunner::serial().run(&default_compilers(), &suite);
     println!("{:<26}{:>18}{:>18}", "compiler", "avg time (s)", "gmean fidelity");
     for compiler in zac_bench::COMPILERS {
         if compiler == "Zoned-ZAC" {
             continue; // replaced by per-variant rows below
         }
-        let times: Vec<f64> = rows
-            .iter()
-            .filter_map(|r| r.result(compiler).map(|x| x.compile_secs))
-            .collect();
+        let times: Vec<f64> =
+            rows.iter().filter_map(|r| r.result(compiler).map(|x| x.compile_secs)).collect();
         let fids = zac_bench::compiler_geomean(&rows, compiler, |r| r.fidelity());
         if !times.is_empty() {
             let avg = times.iter().sum::<f64>() / times.len() as f64;
@@ -34,26 +39,33 @@ fn main() {
         }
     }
 
-    // ZAC variants.
-    for (label, cfg) in [
-        ("ZAC-Vanilla", ZacConfig::vanilla()),
-        ("ZAC-dynPlace", ZacConfig::dyn_place()),
-        ("ZAC-dynPlace+reuse", ZacConfig::dyn_place_reuse()),
-        ("ZAC-SA+dynPlace+reuse", ZacConfig::full()),
-    ] {
-        let mut times = Vec::new();
-        let mut fids = Vec::new();
-        for entry in bench_circuits::paper_suite() {
-            let staged = preprocess(&entry.circuit);
-            let zac = Zac::with_config(Architecture::reference(), cfg.clone());
-            if let Ok(out) = zac.compile_staged(&staged) {
-                times.push(out.compile_time.as_secs_f64());
-                fids.push(out.total_fidelity());
-            }
-        }
+    // The four ZAC ablation arms: the same compiler behind the trait,
+    // relabeled per config.
+    let arch = Architecture::reference();
+    let variant_names =
+        ["ZAC-Vanilla", "ZAC-dynPlace", "ZAC-dynPlace+reuse", "ZAC-SA+dynPlace+reuse"];
+    let variants: Vec<Box<dyn Compiler>> = [
+        ZacConfig::vanilla(),
+        ZacConfig::dyn_place(),
+        ZacConfig::dyn_place_reuse(),
+        ZacConfig::full(),
+    ]
+    .into_iter()
+    .zip(variant_names)
+    .map(|(cfg, label)| {
+        Box::new(Labeled::new(label, Zac::with_config(arch.clone(), cfg))) as Box<dyn Compiler>
+    })
+    .collect();
+    let variant_rows = BatchRunner::serial().run(&variants, &suite);
+
+    for variant in variant_names {
+        let times: Vec<f64> =
+            variant_rows.iter().filter_map(|r| r.result(variant).map(|x| x.compile_secs)).collect();
+        let fids: Vec<f64> =
+            variant_rows.iter().filter_map(|r| r.result(variant).map(|x| x.fidelity())).collect();
         let avg = times.iter().sum::<f64>() / times.len().max(1) as f64;
-        println!("{label:<26}{avg:>18.4}{:>18.4e}", geomean(&fids));
-        if label == "ZAC-dynPlace+reuse" {
+        println!("{variant:<26}{avg:>18.4}{:>18.4e}", geomean(&fids));
+        if variant == "ZAC-dynPlace+reuse" {
             let max = times.iter().copied().fold(0.0, f64::max);
             println!(
                 "    (SA disabled: max instance time {max:.3} s; paper: every instance < 1 s)"

@@ -57,10 +57,7 @@ fn main() {
     }
 
     let (z, m, p, r) = (geomean(&zac_f), geomean(&move_f), geomean(&place_f), geomean(&reuse_f));
-    println!(
-        "{:<22}{r:>16.4}{p:>16.4}{m:>16.4}{z:>16.4}",
-        "GMean"
-    );
+    println!("{:<22}{r:>16.4}{p:>16.4}{m:>16.4}{z:>16.4}", "GMean");
     println!("\noptimality gaps (paper in parentheses):");
     println!("  vs perfect movement:  {:.1}% (3%)", (1.0 - z / m) * 100.0);
     println!("  vs perfect placement: {:.1}% (7%)", (1.0 - z / p) * 100.0);

@@ -15,9 +15,8 @@ fn bench_hopcroft_karp(c: &mut Criterion) {
     let mut group = c.benchmark_group("hopcroft_karp");
     for &n in &[32usize, 128, 512] {
         let mut rng = StdRng::seed_from_u64(7);
-        let adj: Vec<Vec<usize>> = (0..n)
-            .map(|_| (0..8).map(|_| rng.gen_range(0..n)).collect())
-            .collect();
+        let adj: Vec<Vec<usize>> =
+            (0..n).map(|_| (0..8).map(|_| rng.gen_range(0..n)).collect()).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &adj, |b, adj| {
             b.iter(|| max_bipartite_matching(adj, n));
         });
@@ -46,9 +45,8 @@ fn bench_mis(c: &mut Criterion) {
     let mut group = c.benchmark_group("mis_partition");
     for &n in &[32usize, 128] {
         let mut rng = StdRng::seed_from_u64(23);
-        let adj: Vec<Vec<usize>> = (0..n)
-            .map(|_| (0..n / 8).map(|_| rng.gen_range(0..n)).collect())
-            .collect();
+        let adj: Vec<Vec<usize>> =
+            (0..n).map(|_| (0..n / 8).map(|_| rng.gen_range(0..n)).collect()).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &adj, |b, adj| {
             b.iter(|| partition_into_independent_sets(adj));
         });

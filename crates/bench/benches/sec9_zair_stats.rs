@@ -43,6 +43,6 @@ fn main() {
     );
     println!(
         "note: our 1qGate instructions are grouped per stage; the exact ratio\n\
-         depends on that grouping granularity (see EXPERIMENTS.md)."
+         depends on that grouping granularity (see DESIGN.md §4)."
     );
 }

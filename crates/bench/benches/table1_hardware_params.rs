@@ -4,14 +4,8 @@ use zac_bench::print_header;
 use zac_fidelity::{NeutralAtomParams, SuperconductingParams};
 
 fn main() {
-    print_header(
-        "Table I — Hardware parameters",
-        "f2 / f1 / T1q / T2q / T2 per platform",
-    );
-    println!(
-        "{:<16}{:>8}{:>9}{:>12}{:>12}{:>12}",
-        "Platform", "f2", "f1", "T1q", "T2q", "T2"
-    );
+    print_header("Table I — Hardware parameters", "f2 / f1 / T1q / T2q / T2 per platform");
+    println!("{:<16}{:>8}{:>9}{:>12}{:>12}{:>12}", "Platform", "f2", "f1", "T1q", "T2q", "T2");
     let na = NeutralAtomParams::reference();
     println!(
         "{:<16}{:>8}{:>9}{:>12}{:>12}{:>12}",
@@ -22,10 +16,9 @@ fn main() {
         format!("{}ns", na.t_2q_us * 1000.0),
         format!("{}s", na.t2_us / 1e6)
     );
-    for (name, p) in [
-        ("SC Heron", SuperconductingParams::heron()),
-        ("SC Grid", SuperconductingParams::grid()),
-    ] {
+    for (name, p) in
+        [("SC Heron", SuperconductingParams::heron()), ("SC Grid", SuperconductingParams::grid())]
+    {
         println!(
             "{:<16}{:>8}{:>9}{:>12}{:>12}{:>12}",
             name,

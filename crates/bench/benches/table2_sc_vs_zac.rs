@@ -24,17 +24,13 @@ fn main() {
         let tr = compiler_geomean(&rows, compiler, |r| r.report.transfer);
         let de = compiler_geomean(&rows, compiler, |r| r.report.decoherence);
         let tot = compiler_geomean(&rows, compiler, |r| r.fidelity());
-        let durs: Vec<f64> = rows
-            .iter()
-            .filter_map(|r| r.result(compiler).map(|x| x.report.duration_us))
-            .collect();
+        let durs: Vec<f64> =
+            rows.iter().filter_map(|r| r.result(compiler).map(|x| x.report.duration_us)).collect();
         let avg = durs.iter().sum::<f64>() / durs.len().max(1) as f64;
-        let dur_str = if avg > 1000.0 {
-            format!("{:.1}ms", avg / 1000.0)
-        } else {
-            format!("{avg:.1}us")
-        };
-        let tr_str = if compiler.starts_with("SC") { "N/A".to_string() } else { format!("{tr:.4}") };
+        let dur_str =
+            if avg > 1000.0 { format!("{:.1}ms", avg / 1000.0) } else { format!("{avg:.1}us") };
+        let tr_str =
+            if compiler.starts_with("SC") { "N/A".to_string() } else { format!("{tr:.4}") };
         println!("{label:<12}{g2:>10.4}{g1:>10.4}{tr_str:>10}{de:>10.4}{tot:>10.4}{dur_str:>16}");
     }
 }

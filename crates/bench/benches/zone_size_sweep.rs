@@ -15,16 +15,14 @@ fn main() {
         "Zone-size sweep (extension of Sec. VII-H)",
         "fidelity peaks once the zone covers the circuit's max parallel stage",
     );
-    let workloads =
-        [preprocess(&bench_circuits::ising(42)), preprocess(&bench_circuits::qft(18))];
+    let workloads = [preprocess(&bench_circuits::ising(42)), preprocess(&bench_circuits::qft(18))];
 
     for staged in &workloads {
+        println!("\n{} (max stage width {}):", staged.name, staged.max_parallelism());
         println!(
-            "\n{} (max stage width {}):",
-            staged.name,
-            staged.max_parallelism()
+            "{:>14}{:>10}{:>14}{:>14}{:>12}",
+            "sites", "stages", "fidelity", "duration", "transfers"
         );
-        println!("{:>14}{:>10}{:>14}{:>14}{:>12}", "sites", "stages", "fidelity", "duration", "transfers");
         for (rows, cols) in [(1usize, 10usize), (2, 10), (3, 10), (4, 12), (7, 20)] {
             let arch = Architecture::zoned_custom(3, 40, rows, cols);
             let mut cfg = ZacConfig::full();

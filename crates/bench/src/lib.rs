@@ -2,24 +2,32 @@
 //!
 //! Every `benches/*.rs` target (plain binaries, `harness = false`) uses this
 //! crate to run the compilers over the paper's benchmark suite and print the
-//! same rows/series the paper reports. See EXPERIMENTS.md for the recorded
-//! paper-vs-measured comparison.
+//! same rows/series the paper reports.
+//!
+//! Since the [`zac_core::Compiler`]-trait refactor the harness is fully
+//! generic: [`default_compilers`] assembles the paper's six-compiler lineup
+//! (Fig. 8 legend order), [`run_compilers`] drives any compiler slice over
+//! one circuit, and [`BatchRunner`] fans a suite × compiler matrix out
+//! across cores with rayon. Results are independent per (circuit, compiler)
+//! cell and the parallel scheduler preserves input order, so parallel runs
+//! are identical to serial runs (asserted in this crate's tests).
 
+use rayon::prelude::*;
 use zac_arch::Architecture;
-use zac_baselines::{compile_atomique, compile_enola, compile_nalac, compile_sc, ScMachine};
+use zac_baselines::{Atomique, Enola, Nalac, Sc};
 use zac_circuit::{bench_circuits, preprocess, StagedCircuit};
-use zac_core::{Zac, ZacConfig};
-use zac_fidelity::{FidelityReport, NeutralAtomParams};
+use zac_core::{CompileError, Compiler, GateCounts, Zac, ZacConfig};
+use zac_fidelity::FidelityReport;
 
 /// One compiler's results on one circuit.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Compiler label as used in the paper's legends.
-    pub compiler: &'static str,
+    pub compiler: String,
     /// Fidelity report.
     pub report: FidelityReport,
-    /// Counters: (g1, g2, n_exc, n_tran).
-    pub counts: (usize, usize, usize, usize),
+    /// Named gate/error counters.
+    pub counts: GateCounts,
     /// Compile wall time in seconds.
     pub compile_secs: f64,
 }
@@ -54,14 +62,8 @@ impl ComparisonRow {
 }
 
 /// Compiler labels in the paper's Fig. 8 legend order.
-pub const COMPILERS: [&str; 6] = [
-    "SC-Heron",
-    "SC-Grid",
-    "Monolithic-Atomique",
-    "Monolithic-Enola",
-    "Zoned-NALAC",
-    "Zoned-ZAC",
-];
+pub const COMPILERS: [&str; 6] =
+    ["SC-Heron", "SC-Grid", "Monolithic-Atomique", "Monolithic-Enola", "Zoned-NALAC", "Zoned-ZAC"];
 
 /// The harness's ZAC configuration (SA budget matching the paper's 1000
 /// iterations).
@@ -69,97 +71,152 @@ pub fn zac_config() -> ZacConfig {
     ZacConfig::full()
 }
 
-fn to_run(
-    compiler: &'static str,
-    report: FidelityReport,
-    counts: (usize, usize, usize, usize),
-    secs: f64,
-) -> RunResult {
-    RunResult { compiler, report, counts, compile_secs: secs }
+/// The paper's six-compiler lineup (Fig. 8 legend order): two SC machines,
+/// the two monolithic baselines, NALAC, and ZAC on the reference zoned
+/// architecture. All behind the unified [`Compiler`] trait.
+pub fn default_compilers() -> Vec<Box<dyn Compiler>> {
+    vec![
+        Box::new(Sc::heron()),
+        Box::new(Sc::grid()),
+        Box::new(Atomique::default()),
+        Box::new(Enola::default()),
+        Box::new(Nalac::default()),
+        Box::new(Zac::with_config(Architecture::reference(), zac_config())),
+    ]
 }
 
-/// Runs every compiler of Fig. 8 on one staged circuit.
-pub fn compare_all(staged: &StagedCircuit) -> Vec<RunResult> {
-    let params = NeutralAtomParams::reference();
-    let mut out = Vec::new();
-
-    if let Ok(r) = compile_sc(staged, ScMachine::Heron) {
-        let s = &r.summary;
-        out.push(to_run(
-            "SC-Heron",
-            r.report,
-            (s.g1, s.g2, s.n_exc, s.n_tran),
-            r.compile_time.as_secs_f64(),
-        ));
-    }
-    if let Ok(r) = compile_sc(staged, ScMachine::Grid) {
-        let s = &r.summary;
-        out.push(to_run(
-            "SC-Grid",
-            r.report,
-            (s.g1, s.g2, s.n_exc, s.n_tran),
-            r.compile_time.as_secs_f64(),
-        ));
-    }
-    {
-        let r = compile_atomique(staged, 10, 10, &params);
-        let s = &r.summary;
-        out.push(to_run(
-            "Monolithic-Atomique",
-            r.report,
-            (s.g1, s.g2, s.n_exc, s.n_tran),
-            r.compile_time.as_secs_f64(),
-        ));
-    }
-    if let Ok(r) = compile_enola(staged, 10, 10, &params) {
-        let s = &r.summary;
-        out.push(to_run(
-            "Monolithic-Enola",
-            r.report,
-            (s.g1, s.g2, s.n_exc, s.n_tran),
-            r.compile_time.as_secs_f64(),
-        ));
-    }
-    {
-        let r = compile_nalac(staged, 20, &params);
-        let s = &r.summary;
-        out.push(to_run(
-            "Zoned-NALAC",
-            r.report,
-            (s.g1, s.g2, s.n_exc, s.n_tran),
-            r.compile_time.as_secs_f64(),
-        ));
-    }
-    {
-        let zac = Zac::with_config(Architecture::reference(), zac_config());
-        if let Ok(r) = zac.compile_staged(staged) {
-            let s = &r.summary;
-            out.push(to_run(
-                "Zoned-ZAC",
-                r.report,
-                (s.g1, s.g2, s.n_exc, s.n_tran),
-                r.compile_time.as_secs_f64(),
-            ));
+/// Runs one compiler on one circuit. Circuits a compiler cannot fit
+/// ([`CompileError::CircuitTooLarge`]) yield `None` — the paper's figures
+/// leave those cells blank. Any *other* failure is a compiler bug, not a
+/// capacity limit, so it is surfaced on stderr rather than silently
+/// shrinking the aggregate statistics.
+pub fn run_cell(compiler: &dyn Compiler, staged: &StagedCircuit) -> Option<RunResult> {
+    match compiler.compile(staged) {
+        Ok(out) => Some(RunResult {
+            compiler: compiler.name().to_owned(),
+            report: out.report,
+            counts: out.counts,
+            compile_secs: out.compile_time.as_secs_f64(),
+        }),
+        Err(CompileError::CircuitTooLarge { .. }) => None,
+        Err(e) => {
+            eprintln!("warning: {} failed on {}: {e}", compiler.name(), staged.name);
+            None
         }
     }
-    out
 }
 
-/// Runs the full Fig. 8 comparison over the paper's 17-circuit suite.
-pub fn run_architecture_comparison() -> Vec<ComparisonRow> {
-    bench_circuits::paper_suite()
-        .into_iter()
-        .map(|entry| {
-            let staged = preprocess(&entry.circuit);
-            ComparisonRow {
-                name: entry.circuit.name().to_owned(),
-                qubits: entry.circuit.num_qubits(),
+/// Runs every compiler in `compilers` on one staged circuit, skipping the
+/// cells [`run_cell`] skips.
+pub fn run_compilers(compilers: &[Box<dyn Compiler>], staged: &StagedCircuit) -> Vec<RunResult> {
+    compilers.iter().filter_map(|compiler| run_cell(&**compiler, staged)).collect()
+}
+
+/// Runs the default six-compiler lineup on one staged circuit.
+pub fn compare_all(staged: &StagedCircuit) -> Vec<RunResult> {
+    run_compilers(&default_compilers(), staged)
+}
+
+/// Execution strategy for a suite × compiler sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Fan the (circuit, compiler) cells out across cores with rayon.
+    #[default]
+    Parallel,
+    /// One cell at a time, in order (reference semantics).
+    Serial,
+}
+
+/// Drives a benchmark suite × compiler matrix, optionally in parallel.
+///
+/// Each (circuit, compiler) cell is an independent compilation (every
+/// compiler in this workspace is deterministic given its config, including
+/// ZAC's seeded SA), so the parallel schedule produces results identical to
+/// the serial one; only wall-clock timing differs. When the *timing* is the
+/// measurement (Fig. 12), use [`BatchRunner::serial`]: per-cell
+/// `compile_secs` under the parallel mode includes contention from
+/// co-running cells.
+///
+/// # Example
+///
+/// ```
+/// use zac_bench::{default_compilers, BatchRunner};
+/// use zac_circuit::{bench_circuits, preprocess};
+///
+/// let suite = vec![preprocess(&bench_circuits::ghz(8))];
+/// let rows = BatchRunner::parallel().run(&default_compilers(), &suite);
+/// assert_eq!(rows.len(), 1);
+/// assert_eq!(rows[0].results.len(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchRunner {
+    mode: BatchMode,
+}
+
+impl BatchRunner {
+    /// A runner that sweeps in parallel (the default).
+    pub fn parallel() -> Self {
+        Self { mode: BatchMode::Parallel }
+    }
+
+    /// A runner that sweeps serially (reference path for determinism
+    /// checks).
+    pub fn serial() -> Self {
+        Self { mode: BatchMode::Serial }
+    }
+
+    /// The runner's mode.
+    pub fn mode(&self) -> BatchMode {
+        self.mode
+    }
+
+    /// Runs every compiler on every circuit, returning one row per circuit
+    /// (suite order) with results in compiler order.
+    pub fn run(
+        &self,
+        compilers: &[Box<dyn Compiler>],
+        suite: &[StagedCircuit],
+    ) -> Vec<ComparisonRow> {
+        // Flatten to (circuit, compiler) cells so rayon balances the load:
+        // a slow cell (ZAC on ising_n98) overlaps many fast ones.
+        let cells: Vec<(usize, usize)> =
+            (0..suite.len()).flat_map(|ci| (0..compilers.len()).map(move |ki| (ci, ki))).collect();
+        let compile_cell = |&(ci, ki): &(usize, usize)| run_cell(&*compilers[ki], &suite[ci]);
+        let outputs: Vec<Option<RunResult>> = match self.mode {
+            BatchMode::Parallel => cells.par_iter().map(compile_cell).collect(),
+            BatchMode::Serial => cells.iter().map(compile_cell).collect(),
+        };
+
+        let mut rows: Vec<ComparisonRow> = suite
+            .iter()
+            .map(|staged| ComparisonRow {
+                name: staged.name.clone(),
+                qubits: staged.num_qubits,
                 gates: (staged.num_2q_gates(), staged.num_1q_gates()),
-                paper_gates: (entry.paper_2q, entry.paper_1q),
-                results: compare_all(&staged),
+                paper_gates: (0, 0),
+                results: Vec::new(),
+            })
+            .collect();
+        for ((ci, _), result) in cells.into_iter().zip(outputs) {
+            if let Some(r) = result {
+                rows[ci].results.push(r);
             }
-        })
-        .collect()
+        }
+        rows
+    }
+}
+
+/// Runs the full Fig. 8 comparison over the paper's 17-circuit suite,
+/// fanning the suite × compiler matrix out across cores.
+pub fn run_architecture_comparison() -> Vec<ComparisonRow> {
+    let entries = bench_circuits::paper_suite();
+    let suite: Vec<StagedCircuit> =
+        entries.iter().map(|entry| preprocess(&entry.circuit)).collect();
+    let mut rows = BatchRunner::parallel().run(&default_compilers(), &suite);
+    for (row, entry) in rows.iter_mut().zip(&entries) {
+        row.paper_gates = (entry.paper_2q, entry.paper_1q);
+    }
+    rows
 }
 
 /// Geometric mean over positive values (0 if any ≤ 0; panics when empty).
@@ -200,18 +257,79 @@ mod tests {
         let results = compare_all(&staged);
         assert_eq!(results.len(), 6);
         for r in &results {
-            assert!(COMPILERS.contains(&r.compiler));
+            assert!(COMPILERS.contains(&r.compiler.as_str()));
             assert!((0.0..=1.0).contains(&r.fidelity()), "{}: {}", r.compiler, r.fidelity());
         }
+    }
+
+    #[test]
+    fn default_lineup_matches_legend_order() {
+        let names: Vec<String> = default_compilers().iter().map(|c| c.name().to_owned()).collect();
+        assert_eq!(names, COMPILERS);
     }
 
     #[test]
     fn zac_beats_monolithic_on_ghz() {
         let staged = preprocess(&bench_circuits::ghz(23));
         let results = compare_all(&staged);
-        let get =
-            |label: &str| results.iter().find(|r| r.compiler == label).unwrap().fidelity();
+        let get = |label: &str| results.iter().find(|r| r.compiler == label).unwrap().fidelity();
         assert!(get("Zoned-ZAC") > get("Monolithic-Enola"));
         assert!(get("Zoned-ZAC") > get("Monolithic-Atomique"));
+    }
+
+    #[test]
+    fn counts_are_named_and_consistent() {
+        let staged = preprocess(&bench_circuits::ghz(10));
+        let results = compare_all(&staged);
+        let zac = results.iter().find(|r| r.compiler == "Zoned-ZAC").unwrap();
+        assert_eq!(zac.counts.g2, 9);
+        assert_eq!(zac.counts.n_exc, 0);
+        let enola = results.iter().find(|r| r.compiler == "Monolithic-Enola").unwrap();
+        assert_eq!(enola.counts.n_exc, 9 * 8);
+    }
+
+    /// The tentpole guarantee: a rayon-parallel sweep is indistinguishable
+    /// from the serial reference, bit-for-bit, modulo wall-clock timing.
+    #[test]
+    fn batch_runner_parallel_matches_serial() {
+        let suite: Vec<StagedCircuit> = [
+            bench_circuits::ghz(16),
+            bench_circuits::bv(14, 13),
+            bench_circuits::ising(20),
+            bench_circuits::qft(8),
+        ]
+        .iter()
+        .map(preprocess)
+        .collect();
+        let par = BatchRunner::parallel().run(&default_compilers(), &suite);
+        let ser = BatchRunner::serial().run(&default_compilers(), &suite);
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.qubits, s.qubits);
+            assert_eq!(p.gates, s.gates);
+            assert_eq!(p.results.len(), s.results.len(), "{}", p.name);
+            for (pr, sr) in p.results.iter().zip(&s.results) {
+                assert_eq!(pr.compiler, sr.compiler);
+                // Bit-exact equality of every f64 metric (timing excluded:
+                // wall clocks differ between any two runs).
+                assert_eq!(pr.report, sr.report, "{} / {}", p.name, pr.compiler);
+                assert_eq!(pr.counts, sr.counts, "{} / {}", p.name, pr.compiler);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_runner_skips_oversized_cells() {
+        // 150 qubits exceed both SC machines and both 10×10 monolithic
+        // arrays (Enola: 100 sites; Atomique: 200 slots still fits).
+        let suite = vec![preprocess(&bench_circuits::ghz(150))];
+        let rows = BatchRunner::parallel().run(&default_compilers(), &suite);
+        let names: Vec<&str> = rows[0].results.iter().map(|r| r.compiler.as_str()).collect();
+        assert!(!names.contains(&"SC-Heron"));
+        assert!(!names.contains(&"SC-Grid"));
+        assert!(!names.contains(&"Monolithic-Enola"));
+        assert!(names.contains(&"Zoned-NALAC"));
+        assert!(names.contains(&"Zoned-ZAC"));
     }
 }

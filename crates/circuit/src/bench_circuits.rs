@@ -6,8 +6,8 @@
 //! the substitution rationale). Where the construction is formulaic (BV, GHZ,
 //! cat, QFT, Ising) the 2Q-gate counts match the paper exactly; for the
 //! Toffoli-heavy circuits (knn, swap_test, multiply, seca, wstate) our
-//! textbook decompositions are slightly larger than Qiskit-O3's resynthesis
-//! and EXPERIMENTS.md records both numbers.
+//! textbook decompositions are slightly larger than Qiskit-O3's resynthesis;
+//! comparison rows carry both counts (DESIGN.md §2).
 
 use crate::circuit::Circuit;
 use std::f64::consts::PI;
@@ -370,8 +370,11 @@ mod tests {
     fn formulaic_circuits_match_paper_2q_exactly() {
         for e in paper_suite() {
             let name = e.circuit.name();
-            if name.starts_with("bv") || name.starts_with("ghz") || name.starts_with("cat")
-                || name.starts_with("ising") || name.starts_with("qft")
+            if name.starts_with("bv")
+                || name.starts_with("ghz")
+                || name.starts_with("cat")
+                || name.starts_with("ising")
+                || name.starts_with("qft")
             {
                 let s = preprocess(&e.circuit);
                 assert_eq!(s.num_2q_gates(), e.paper_2q, "{name}");

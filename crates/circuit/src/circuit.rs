@@ -293,10 +293,7 @@ impl Circuit {
     ///
     /// Panics on invalid operands.
     pub fn cry_decomposed(&mut self, theta: f64, c: usize, t: usize) -> &mut Self {
-        self.ry(theta / 2.0, t)
-            .cx(c, t)
-            .ry(-theta / 2.0, t)
-            .cx(c, t)
+        self.ry(theta / 2.0, t).cx(c, t).ry(-theta / 2.0, t).cx(c, t)
     }
 
     /// The multiset of 2Q interaction pairs `(min, max)`, in program order.

@@ -84,10 +84,7 @@ impl Sub for C64 {
 impl Mul for C64 {
     type Output = C64;
     fn mul(self, rhs: C64) -> C64 {
-        c64(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        c64(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -95,10 +92,7 @@ impl Div for C64 {
     type Output = C64;
     fn div(self, rhs: C64) -> C64 {
         let d = rhs.norm_sqr();
-        c64(
-            (self.re * rhs.re + self.im * rhs.im) / d,
-            (self.im * rhs.re - self.re * rhs.im) / d,
-        )
+        c64((self.re * rhs.re + self.im * rhs.im) / d, (self.im * rhs.re - self.re * rhs.im) / d)
     }
 }
 
@@ -128,9 +122,7 @@ pub struct Mat2 {
 
 impl Mat2 {
     /// The identity matrix.
-    pub const IDENTITY: Mat2 = Mat2 {
-        m: [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]],
-    };
+    pub const IDENTITY: Mat2 = Mat2 { m: [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]] };
 
     /// Builds a matrix from entries `a b / c d`.
     pub const fn new(a: C64, b: C64, c: C64, d: C64) -> Self {
@@ -138,6 +130,7 @@ impl Mat2 {
     }
 
     /// Matrix product `self · rhs` (applies `rhs` first when acting on kets).
+    #[allow(clippy::should_implement_trait)] // workspace style: no operator overloading
     pub fn mul(self, rhs: Mat2) -> Mat2 {
         let mut out = [[C64::ZERO; 2]; 2];
         for (i, row) in out.iter_mut().enumerate() {

@@ -132,12 +132,8 @@ pub fn preprocess(circuit: &Circuit) -> StagedCircuit {
         }
     }
 
-    let staged = StagedCircuit {
-        name: circuit.name().to_owned(),
-        num_qubits: n,
-        stages,
-        trailing_1q,
-    };
+    let staged =
+        StagedCircuit { name: circuit.name().to_owned(), num_qubits: n, stages, trailing_1q };
     debug_assert!(staged.validate().is_ok());
     staged
 }

@@ -114,8 +114,7 @@ fn eval_expr(src: &str, line: usize) -> Result<f64, QasmError> {
                     }
                 }
                 Some(c) if c == b'p' || c == b'P' => {
-                    if self.s[self.i..].len() >= 2
-                        && self.s[self.i + 1].eq_ignore_ascii_case(&b'i')
+                    if self.s[self.i..].len() >= 2 && self.s[self.i + 1].eq_ignore_ascii_case(&b'i')
                     {
                         self.i += 2;
                         Ok(PI)
@@ -228,22 +227,22 @@ pub fn parse_qasm(source: &str, name: &str) -> Result<Circuit, QasmError> {
     }
 
     let mut circuit = Circuit::new(name, total_qubits);
-    let resolve = |operand: &str, line: usize, regs: &HashMap<String, (usize, usize)>| -> Result<usize, QasmError> {
+    let resolve = |operand: &str,
+                   line: usize,
+                   regs: &HashMap<String, (usize, usize)>|
+     -> Result<usize, QasmError> {
         let operand = operand.trim();
         let open = operand
             .find('[')
             .ok_or_else(|| err(line, format!("expected indexed operand, got '{operand}'")))?;
-        let close = operand
-            .find(']')
-            .ok_or_else(|| err(line, "missing ']' in operand"))?;
+        let close = operand.find(']').ok_or_else(|| err(line, "missing ']' in operand"))?;
         let rname = operand[..open].trim();
         let idx: usize = operand[open + 1..close]
             .trim()
             .parse()
             .map_err(|_| err(line, "malformed qubit index"))?;
-        let &(offset, size) = regs
-            .get(rname)
-            .ok_or_else(|| err(line, format!("unknown register '{rname}'")))?;
+        let &(offset, size) =
+            regs.get(rname).ok_or_else(|| err(line, format!("unknown register '{rname}'")))?;
         if idx >= size {
             return Err(err(line, format!("index {idx} out of range for {rname}[{size}]")));
         }
@@ -275,9 +274,8 @@ pub fn parse_qasm(source: &str, name: &str) -> Result<Circuit, QasmError> {
             }
             _ => {
                 // Parameterized gate: split after the closing paren.
-                let close = stmt
-                    .find(')')
-                    .ok_or_else(|| err(line, "missing ')' in gate parameters"))?;
+                let close =
+                    stmt.find(')').ok_or_else(|| err(line, "missing ')' in gate parameters"))?;
                 (&stmt[..=close], &stmt[close + 1..])
             }
         };
@@ -341,10 +339,7 @@ fn three(qubits: &[usize], line: usize) -> Result<(usize, usize, usize), QasmErr
 }
 
 fn param(params: &[f64], k: usize, line: usize, gate: &str) -> Result<f64, QasmError> {
-    params
-        .get(k)
-        .copied()
-        .ok_or_else(|| err(line, format!("{gate} needs {} parameter(s)", k + 1)))
+    params.get(k).copied().ok_or_else(|| err(line, format!("{gate} needs {} parameter(s)", k + 1)))
 }
 
 fn apply_gate(
@@ -371,10 +366,7 @@ fn apply_gate(
         "u2" => {
             let phi = param(params, 0, line, "u2")?;
             let lambda = param(params, 1, line, "u2")?;
-            c.one_q(
-                OneQGate::U3 { theta: PI / 2.0, phi, lambda },
-                one(qubits, line)?,
-            )
+            c.one_q(OneQGate::U3 { theta: PI / 2.0, phi, lambda }, one(qubits, line)?)
         }
         "u3" | "u" => {
             let theta = param(params, 0, line, "u3")?;
@@ -481,11 +473,8 @@ mod tests {
 
     #[test]
     fn parse_multiple_registers() {
-        let c = parse_qasm(
-            "OPENQASM 2.0; qreg a[2]; qreg b[3]; cx a[1], b[0]; x b[2];",
-            "regs",
-        )
-        .unwrap();
+        let c = parse_qasm("OPENQASM 2.0; qreg a[2]; qreg b[3]; cx a[1], b[0]; x b[2];", "regs")
+            .unwrap();
         assert_eq!(c.num_qubits(), 5);
         // a[1] = global 1, b[0] = global 2, b[2] = global 4.
         assert_eq!(c.interaction_pairs(), vec![(1, 2)]);
@@ -549,11 +538,8 @@ mod tests {
 
     #[test]
     fn unsupported_statements_rejected() {
-        let e = parse_qasm(
-            "OPENQASM 2.0; qreg q[1]; gate foo a { x a; } foo q[0];",
-            "custom",
-        )
-        .unwrap_err();
+        let e = parse_qasm("OPENQASM 2.0; qreg q[1]; gate foo a { x a; } foo q[0];", "custom")
+            .unwrap_err();
         assert!(e.message.contains("unsupported"));
     }
 

@@ -137,10 +137,7 @@ impl StagedCircuit {
 
     /// All CZ gates with their stage index, in stage order.
     pub fn gates_with_stage(&self) -> impl Iterator<Item = (usize, &Gate2)> + '_ {
-        self.stages
-            .iter()
-            .enumerate()
-            .flat_map(|(t, s)| s.gates.iter().map(move |g| (t, g)))
+        self.stages.iter().enumerate().flat_map(|(t, s)| s.gates.iter().map(move |g| (t, g)))
     }
 
     /// The interaction multigraph: one `(a, b)` entry per CZ, in stage order.
@@ -248,10 +245,7 @@ mod tests {
                     pre_1q: vec![U3Op { qubit: 0, theta: 1.0, phi: 0.0, lambda: 0.0 }],
                     gates: vec![Gate2 { id: 0, a: 0, b: 1 }, Gate2 { id: 1, a: 2, b: 3 }],
                 },
-                RydbergStage {
-                    pre_1q: vec![],
-                    gates: vec![Gate2 { id: 2, a: 1, b: 2 }],
-                },
+                RydbergStage { pre_1q: vec![], gates: vec![Gate2 { id: 2, a: 1, b: 2 }] },
             ],
             trailing_1q: vec![U3Op { qubit: 3, theta: 0.5, phi: 0.0, lambda: 0.0 }],
         }
@@ -285,10 +279,7 @@ mod tests {
     fn validate_detects_conflict() {
         let mut s = sample();
         s.stages[0].gates.push(Gate2 { id: 9, a: 1, b: 3 });
-        assert_eq!(
-            s.validate().unwrap_err(),
-            StageError::QubitConflict { stage: 0, qubit: 1 }
-        );
+        assert_eq!(s.validate().unwrap_err(), StageError::QubitConflict { stage: 0, qubit: 1 });
     }
 
     #[test]

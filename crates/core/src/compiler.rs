@@ -120,9 +120,10 @@ impl From<ZairError> for ZacError {
     }
 }
 
-/// Result of one compilation.
+/// Result of one ZAC compilation: the full pipeline artifacts (program +
+/// plan), richer than the trait-level [`crate::CompileOutput`].
 #[derive(Debug, Clone)]
-pub struct CompileOutput {
+pub struct ZacOutput {
     /// The compiled ZAIR program (validated).
     pub program: Program,
     /// The placement plan that produced it.
@@ -135,7 +136,7 @@ pub struct CompileOutput {
     pub compile_time: Duration,
 }
 
-impl CompileOutput {
+impl ZacOutput {
     /// Total circuit fidelity.
     pub fn total_fidelity(&self) -> f64 {
         self.report.total()
@@ -190,7 +191,7 @@ impl Zac {
     ///
     /// [`ZacError`] if placement or scheduling fails (e.g. the circuit does
     /// not fit the architecture).
-    pub fn compile(&self, circuit: &Circuit) -> Result<CompileOutput, ZacError> {
+    pub fn compile(&self, circuit: &Circuit) -> Result<ZacOutput, ZacError> {
         self.compile_staged(&preprocess(circuit))
     }
 
@@ -203,7 +204,7 @@ impl Zac {
     /// # Errors
     ///
     /// [`ZacError`] if placement or scheduling fails.
-    pub fn compile_staged(&self, staged: &StagedCircuit) -> Result<CompileOutput, ZacError> {
+    pub fn compile_staged(&self, staged: &StagedCircuit) -> Result<ZacOutput, ZacError> {
         let start = Instant::now();
         let num_sites = self.arch.num_sites();
         let split;
@@ -219,7 +220,23 @@ impl Zac {
         let analysis = program.analyze(&self.arch)?;
         let summary = ExecutionSummary::from_analysis(&staged.name, &analysis);
         let report = evaluate_neutral_atom(&summary, &self.config.params);
-        Ok(CompileOutput { program, plan, summary, report, compile_time })
+        Ok(ZacOutput { program, plan, summary, report, compile_time })
+    }
+}
+
+impl crate::Compiler for Zac {
+    fn name(&self) -> &str {
+        "Zoned-ZAC"
+    }
+
+    fn compile(&self, staged: &StagedCircuit) -> Result<crate::CompileOutput, crate::CompileError> {
+        let out = self.compile_staged(staged).map_err(|e| match e {
+            ZacError::Place(PlaceError::StorageFull { qubits, traps }) => {
+                crate::CompileError::CircuitTooLarge { needed: qubits, available: traps }
+            }
+            other => crate::CompileError::Failed(other.to_string()),
+        })?;
+        Ok(crate::CompileOutput::new(out.summary, out.report, out.compile_time, Some(out.program)))
     }
 }
 
@@ -263,25 +280,18 @@ mod tests {
         without.placement.reuse = false;
 
         let staged = preprocess(&bench_circuits::ghz(20));
-        let f_with = Zac::with_config(arch.clone(), with)
-            .compile_staged(&staged)
-            .unwrap()
-            .total_fidelity();
-        let f_without = Zac::with_config(arch, without)
-            .compile_staged(&staged)
-            .unwrap()
-            .total_fidelity();
-        assert!(
-            f_with > f_without,
-            "reuse fidelity {f_with} should beat no-reuse {f_without}"
-        );
+        let f_with =
+            Zac::with_config(arch.clone(), with).compile_staged(&staged).unwrap().total_fidelity();
+        let f_without =
+            Zac::with_config(arch, without).compile_staged(&staged).unwrap().total_fidelity();
+        assert!(f_with > f_without, "reuse fidelity {f_with} should beat no-reuse {f_without}");
     }
 
     #[test]
     fn program_is_replayable_from_json() {
         let zac = Zac::with_config(Architecture::reference(), quick());
         let out = zac.compile(&bench_circuits::bv(8, 7)).unwrap();
-        let json = out.program.to_json();
+        let json = out.program.to_json().expect("serialization succeeds");
         let back = Program::from_json(&json).unwrap();
         let analysis = back.analyze(zac.arch()).unwrap();
         assert_eq!(analysis.g2, out.summary.g2);

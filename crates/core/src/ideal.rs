@@ -85,11 +85,11 @@ pub fn ideal_summary(
     let mut n_tran = 0usize;
 
     let add_layer = |moved: &[usize],
-                         max_dist: f64,
-                         duration: &mut f64,
-                         busy: &mut [f64],
-                         n_tran: &mut usize,
-                         transfers_per_qubit: usize| {
+                     max_dist: f64,
+                     duration: &mut f64,
+                     busy: &mut [f64],
+                     n_tran: &mut usize,
+                     transfers_per_qubit: usize| {
         if moved.is_empty() {
             return;
         }
@@ -104,8 +104,7 @@ pub fn ideal_summary(
     let mut current = plan.initial.clone();
     let mut prev_qubits: HashSet<usize> = HashSet::new();
     for (t, stage) in staged.stages.iter().enumerate() {
-        let stage_qubits: HashSet<usize> =
-            stage.gates.iter().flat_map(|g| [g.a, g.b]).collect();
+        let stage_qubits: HashSet<usize> = stage.gates.iter().flat_map(|g| [g.a, g.b]).collect();
 
         match level {
             IdealLevel::PerfectMovement | IdealLevel::PerfectPlacement => {
@@ -143,16 +142,10 @@ pub fn ideal_summary(
                 // Maximal reuse: every qubit shared by consecutive stages
                 // stays at its site for free; only true joiners and leavers
                 // move, over d_sep.
-                let returns: Vec<usize> = prev_qubits
-                    .iter()
-                    .copied()
-                    .filter(|q| !stage_qubits.contains(q))
-                    .collect();
-                let fetches: Vec<usize> = stage_qubits
-                    .iter()
-                    .copied()
-                    .filter(|q| !prev_qubits.contains(q))
-                    .collect();
+                let returns: Vec<usize> =
+                    prev_qubits.iter().copied().filter(|q| !stage_qubits.contains(q)).collect();
+                let fetches: Vec<usize> =
+                    stage_qubits.iter().copied().filter(|q| !prev_qubits.contains(q)).collect();
                 add_layer(&returns, d_sep, &mut duration, &mut busy, &mut n_tran, 2);
                 add_layer(&fetches, d_sep, &mut duration, &mut busy, &mut n_tran, 2);
             }
@@ -230,19 +223,14 @@ mod tests {
         let (arch, staged, plan, params) = setup(12);
         let mut cfg = ZacConfig::default();
         cfg.placement.sa_iterations = 100;
-        let real = Zac::with_config(arch.clone(), cfg)
-            .compile_staged(&staged)
-            .unwrap()
-            .total_fidelity();
+        let real =
+            Zac::with_config(arch.clone(), cfg).compile_staged(&staged).unwrap().total_fidelity();
         for level in
             [IdealLevel::PerfectMovement, IdealLevel::PerfectPlacement, IdealLevel::PerfectReuse]
         {
             let s = ideal_summary(&arch, &staged, &plan, &params, level);
             let f = evaluate_neutral_atom(&s, &params).total();
-            assert!(
-                f >= real - 0.02,
-                "{level:?} bound {f} below real {real}"
-            );
+            assert!(f >= real - 0.02, "{level:?} bound {f} below real {real}");
         }
     }
 

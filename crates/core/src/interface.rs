@@ -1,0 +1,202 @@
+//! The unified compiler interface.
+//!
+//! Every compiler the evaluation compares — ZAC itself and the four
+//! baselines in `zac-baselines` — implements [`Compiler`], so harness code
+//! (`zac-bench`) drives `&[Box<dyn Compiler>]` without per-compiler
+//! branches, and new backends plug in by implementing one trait.
+//!
+//! The exchange types are deliberately lowest-common-denominator:
+//! [`CompileOutput`] carries the [`ExecutionSummary`] + [`FidelityReport`]
+//! pair every compiler produces, the named [`GateCounts`], and — for
+//! compilers that emit full ZAIR (ZAC) — the validated [`Program`].
+
+use std::fmt;
+use std::time::Duration;
+use zac_circuit::StagedCircuit;
+use zac_fidelity::{ExecutionSummary, FidelityReport};
+use zac_zair::Program;
+
+/// The error counters of the paper's fidelity model, named. Replaces the
+/// positional `(g1, g2, n_exc, n_tran)` tuples the harness used to pass
+/// around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateCounts {
+    /// Executed 1Q gates.
+    pub g1: usize,
+    /// Executed 2Q gates.
+    pub g2: usize,
+    /// Idle qubits excited by Rydberg exposures (`N_exc`).
+    pub n_exc: usize,
+    /// Atom transfers (`N_tran`).
+    pub n_tran: usize,
+}
+
+impl From<&ExecutionSummary> for GateCounts {
+    fn from(s: &ExecutionSummary) -> Self {
+        Self { g1: s.g1, g2: s.g2, n_exc: s.n_exc, n_tran: s.n_tran }
+    }
+}
+
+impl fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g1={} g2={} N_exc={} N_tran={}", self.g1, self.g2, self.n_exc, self.n_tran)
+    }
+}
+
+/// Output of one [`Compiler::compile`] call: the common evaluation payload,
+/// plus the full ZAIR program when the backend produces one.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// Execution summary (timing + counters).
+    pub summary: ExecutionSummary,
+    /// Fidelity report under the compiler's hardware model.
+    pub report: FidelityReport,
+    /// Named gate/error counters (derived from `summary`).
+    pub counts: GateCounts,
+    /// Wall-clock compilation time.
+    pub compile_time: Duration,
+    /// The compiled ZAIR program, for backends that emit one (ZAC does;
+    /// the abstract-cost baselines do not).
+    pub program: Option<Program>,
+}
+
+impl CompileOutput {
+    /// Assembles an output, deriving [`GateCounts`] from the summary.
+    pub fn new(
+        summary: ExecutionSummary,
+        report: FidelityReport,
+        compile_time: Duration,
+        program: Option<Program>,
+    ) -> Self {
+        let counts = GateCounts::from(&summary);
+        Self { summary, report, counts, compile_time, program }
+    }
+
+    /// Total circuit fidelity.
+    pub fn total_fidelity(&self) -> f64 {
+        self.report.total()
+    }
+}
+
+/// Why a compiler could not handle a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The circuit does not fit the compiler's target hardware.
+    CircuitTooLarge {
+        /// Qubits (or storage traps) the circuit needs.
+        needed: usize,
+        /// What the target provides.
+        available: usize,
+    },
+    /// Any other pipeline failure, with the backend's own message.
+    Failed(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CircuitTooLarge { needed, available } => {
+                write!(f, "circuit needs {needed} qubits, target fits {available}")
+            }
+            Self::Failed(msg) => write!(f, "compilation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A circuit compiler targeting some architecture, with its configuration
+/// baked into the value. `Send + Sync` so compiler sets can be driven from
+/// rayon sweeps.
+pub trait Compiler: Send + Sync {
+    /// The compiler's display name (the paper's legend label, e.g.
+    /// `"Zoned-ZAC"` or `"SC-Heron"`).
+    fn name(&self) -> &str;
+
+    /// Compiles a preprocessed circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] when the circuit cannot be handled (most commonly
+    /// [`CompileError::CircuitTooLarge`]).
+    fn compile(&self, staged: &StagedCircuit) -> Result<CompileOutput, CompileError>;
+}
+
+/// Wraps a compiler under a different display name — e.g. the four ZAC
+/// ablation arms of Fig. 12, which are all [`crate::Zac`] instances with
+/// different configs but need distinct legend labels.
+#[derive(Debug, Clone)]
+pub struct Labeled<C> {
+    label: String,
+    inner: C,
+}
+
+impl<C: Compiler> Labeled<C> {
+    /// Wraps `inner` under `label`.
+    pub fn new(label: impl Into<String>, inner: C) -> Self {
+        Self { label: label.into(), inner }
+    }
+}
+
+impl<C: Compiler> Compiler for Labeled<C> {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn compile(&self, staged: &StagedCircuit) -> Result<CompileOutput, CompileError> {
+        self.inner.compile(staged)
+    }
+}
+
+impl<C: Compiler + ?Sized> Compiler for Box<C> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn compile(&self, staged: &StagedCircuit) -> Result<CompileOutput, CompileError> {
+        (**self).compile(staged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> ExecutionSummary {
+        ExecutionSummary {
+            name: "demo".into(),
+            num_qubits: 2,
+            duration_us: 100.0,
+            g1: 3,
+            g2: 2,
+            n_exc: 1,
+            n_tran: 4,
+            idle_us: vec![50.0, 60.0],
+        }
+    }
+
+    #[test]
+    fn counts_derive_from_summary() {
+        let c = GateCounts::from(&summary());
+        assert_eq!(c, GateCounts { g1: 3, g2: 2, n_exc: 1, n_tran: 4 });
+        assert_eq!(c.to_string(), "g1=3 g2=2 N_exc=1 N_tran=4");
+    }
+
+    #[test]
+    fn output_assembles_counts() {
+        let s = summary();
+        let report =
+            zac_fidelity::evaluate_neutral_atom(&s, &zac_fidelity::NeutralAtomParams::reference());
+        let out = CompileOutput::new(s, report, Duration::from_millis(1), None);
+        assert_eq!(out.counts.g2, 2);
+        assert!(out.total_fidelity() > 0.0 && out.total_fidelity() < 1.0);
+        assert!(out.program.is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CompileError::CircuitTooLarge { needed: 121, available: 100 };
+        assert!(e.to_string().contains("121"));
+        assert!(CompileError::Failed("x".into()).to_string().contains("x"));
+    }
+}

@@ -10,7 +10,10 @@
 //!   ablation arms (Fig. 11): `vanilla`, `dyn_place`, `dyn_place_reuse`,
 //!   `full`;
 //! * [`ideal`] — the optimality-study upper bounds (Sec. VII-F): perfect
-//!   movement, perfect placement and perfect reuse.
+//!   movement, perfect placement and perfect reuse;
+//! * [`interface`] — the unified [`Compiler`] trait, [`CompileOutput`] and
+//!   [`GateCounts`]: the seam through which ZAC and every baseline are
+//!   driven uniformly by the experiment harness.
 //!
 //! # Example
 //!
@@ -28,6 +31,8 @@
 
 pub mod compiler;
 pub mod ideal;
+pub mod interface;
 
-pub use compiler::{CompileOutput, Zac, ZacConfig, ZacError};
+pub use compiler::{Zac, ZacConfig, ZacError, ZacOutput};
 pub use ideal::{ideal_summary, zone_separation_um, IdealLevel};
+pub use interface::{CompileError, CompileOutput, Compiler, GateCounts, Labeled};

@@ -144,7 +144,13 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 mod tests {
     use super::*;
 
-    fn summary(g1: usize, g2: usize, n_exc: usize, n_tran: usize, idle: Vec<f64>) -> ExecutionSummary {
+    fn summary(
+        g1: usize,
+        g2: usize,
+        n_exc: usize,
+        n_tran: usize,
+        idle: Vec<f64>,
+    ) -> ExecutionSummary {
         ExecutionSummary {
             name: "t".into(),
             num_qubits: idle.len(),

@@ -105,11 +105,8 @@ pub fn sample_fidelity(
     let mut successes = 0u64;
     let mut budget = ErrorBudget::default();
 
-    let decoherence_survive: Vec<f64> = summary
-        .idle_us
-        .iter()
-        .map(|t| (1.0 - t / params.t2_us).max(0.0))
-        .collect();
+    let decoherence_survive: Vec<f64> =
+        summary.idle_us.iter().map(|t| (1.0 - t / params.t2_us).max(0.0)).collect();
 
     'shot: for _ in 0..shots {
         for _ in 0..summary.g1 {
@@ -153,7 +150,13 @@ mod tests {
     use super::*;
     use crate::model::evaluate_neutral_atom;
 
-    fn summary(g1: usize, g2: usize, n_exc: usize, n_tran: usize, idle: Vec<f64>) -> ExecutionSummary {
+    fn summary(
+        g1: usize,
+        g2: usize,
+        n_exc: usize,
+        n_tran: usize,
+        idle: Vec<f64>,
+    ) -> ExecutionSummary {
         ExecutionSummary {
             name: "mc".into(),
             num_qubits: idle.len(),

@@ -58,11 +58,7 @@ impl Code832 {
         gens.extend(sz);
         let stabilizers = StabilizerGroup::new(gens);
 
-        let logical_x = [
-            Pauli::xs(&face(0, 0)),
-            Pauli::xs(&face(1, 0)),
-            Pauli::xs(&face(2, 0)),
-        ];
+        let logical_x = [Pauli::xs(&face(0, 0)), Pauli::xs(&face(1, 0)), Pauli::xs(&face(2, 0))];
         // Edges through vertex 0 along each axis.
         let logical_z = [
             Pauli::zs(&[0, 1]), // x edge

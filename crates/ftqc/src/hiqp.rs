@@ -11,7 +11,7 @@
 use crate::code832::{Code832, LOGICAL_QUBITS};
 use zac_arch::Architecture;
 use zac_circuit::{preprocess, Circuit};
-use zac_core::{CompileOutput, Zac, ZacConfig, ZacError};
+use zac_core::{Zac, ZacConfig, ZacError, ZacOutput};
 
 /// Builds the block-level hIQP circuit: each circuit "qubit" is one
 /// [[8,3,2]] block.
@@ -53,7 +53,7 @@ pub fn hiqp_block_circuit(num_blocks: usize) -> Circuit {
 #[derive(Debug, Clone)]
 pub struct HiqpResult {
     /// The block-level compilation output (one "qubit" = one block).
-    pub output: CompileOutput,
+    pub output: ZacOutput,
     /// Number of code blocks.
     pub num_blocks: usize,
     /// Logical qubit count (3 per block).
@@ -186,10 +186,6 @@ mod tests {
         assert_eq!(r.logical_qubits, 384);
         assert_eq!(r.transversal_gates, 448);
         // Paper: 117.847 ms; the shape (order of 100 ms) must hold.
-        assert!(
-            r.duration_ms > 20.0 && r.duration_ms < 500.0,
-            "duration {} ms",
-            r.duration_ms
-        );
+        assert!(r.duration_ms > 20.0 && r.duration_ms < 500.0, "duration {} ms", r.duration_ms);
     }
 }

@@ -219,11 +219,7 @@ pub fn min_weight_full_matching(cost: &CostMatrix) -> Result<(Vec<usize>, f64), 
         }
     }
 
-    let total = col4row
-        .iter()
-        .enumerate()
-        .map(|(r, &c)| cost.at(r, c))
-        .sum();
+    let total = col4row.iter().enumerate().map(|(r, &c)| cost.at(r, c)).sum();
     Ok((col4row, total))
 }
 
@@ -264,11 +260,8 @@ mod tests {
 
     #[test]
     fn square_classic() {
-        let cost = CostMatrix::from_rows(&[
-            vec![4.0, 1.0, 3.0],
-            vec![2.0, 0.0, 5.0],
-            vec![3.0, 2.0, 2.0],
-        ]);
+        let cost =
+            CostMatrix::from_rows(&[vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]]);
         let (assign, total) = min_weight_full_matching(&cost).unwrap();
         assert_valid(&cost, &assign, total);
         assert_eq!(total, 5.0); // 1 + 2 + 2
@@ -294,20 +287,14 @@ mod tests {
     #[test]
     fn infeasible_when_row_all_forbidden() {
         let cost = CostMatrix::from_rows(&[vec![1.0, 2.0], vec![INF, INF]]);
-        assert_eq!(
-            min_weight_full_matching(&cost).unwrap_err(),
-            AssignmentError::Infeasible
-        );
+        assert_eq!(min_weight_full_matching(&cost).unwrap_err(), AssignmentError::Infeasible);
     }
 
     #[test]
     fn infeasible_by_structure() {
         // Both rows can only use column 0.
         let cost = CostMatrix::from_rows(&[vec![1.0, INF], vec![1.0, INF]]);
-        assert_eq!(
-            min_weight_full_matching(&cost).unwrap_err(),
-            AssignmentError::Infeasible
-        );
+        assert_eq!(min_weight_full_matching(&cost).unwrap_err(), AssignmentError::Infeasible);
     }
 
     #[test]

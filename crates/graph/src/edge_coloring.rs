@@ -250,10 +250,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for (e, &(a, b)) in edges.iter().enumerate() {
             for v in [a, b] {
-                assert!(
-                    seen.insert((v, colors[e], e)),
-                    "sanity: unique tuples"
-                );
+                assert!(seen.insert((v, colors[e], e)), "sanity: unique tuples");
             }
             let _ = n;
         }
@@ -357,9 +354,8 @@ mod tests {
 
         fn arb_simple_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
             (2usize..10).prop_flat_map(|n| {
-                let all_edges: Vec<(usize, usize)> = (0..n)
-                    .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-                    .collect();
+                let all_edges: Vec<(usize, usize)> =
+                    (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
                 let m = all_edges.len();
                 (Just(n), proptest::sample::subsequence(all_edges, 0..=m))
             })

@@ -37,7 +37,11 @@ pub fn max_bipartite_matching(adj: &[Vec<usize>], num_right: usize) -> Vec<Optio
     let mut queue = Vec::with_capacity(num_left);
 
     // BFS builds the layered graph; returns true if an augmenting path exists.
-    let bfs = |match_left: &[usize], match_right: &[usize], dist: &mut [u32], queue: &mut Vec<usize>| -> bool {
+    let bfs = |match_left: &[usize],
+               match_right: &[usize],
+               dist: &mut [u32],
+               queue: &mut Vec<usize>|
+     -> bool {
         const INF: u32 = u32::MAX;
         queue.clear();
         for u in 0..num_left {
@@ -95,10 +99,7 @@ pub fn max_bipartite_matching(adj: &[Vec<usize>], num_right: usize) -> Vec<Optio
         }
     }
 
-    match_left
-        .into_iter()
-        .map(|v| if v == NIL { None } else { Some(v) })
-        .collect()
+    match_left.into_iter().map(|v| if v == NIL { None } else { Some(v) }).collect()
 }
 
 #[cfg(test)]
@@ -207,10 +208,7 @@ mod tests {
         fn arb_bipartite() -> impl Strategy<Value = (Vec<Vec<usize>>, usize)> {
             (1usize..7, 1usize..7).prop_flat_map(|(nl, nr)| {
                 (
-                    proptest::collection::vec(
-                        proptest::collection::vec(0..nr, 0..=nr),
-                        nl..=nl,
-                    ),
+                    proptest::collection::vec(proptest::collection::vec(0..nr, 0..=nr), nl..=nl),
                     Just(nr),
                 )
             })

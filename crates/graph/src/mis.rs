@@ -217,10 +217,7 @@ mod tests {
 
         fn arb_graph() -> impl Strategy<Value = Vec<Vec<usize>>> {
             (1usize..10).prop_flat_map(|n| {
-                proptest::collection::vec(
-                    proptest::collection::vec(0..n, 0..n),
-                    n..=n,
-                )
+                proptest::collection::vec(proptest::collection::vec(0..n, 0..n), n..=n)
             })
         }
 

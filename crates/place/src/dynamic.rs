@@ -63,19 +63,14 @@ impl PlacementPlan {
     /// [`PlaceError::Invalid`] describing the first violation: duplicate
     /// traps, a gate's qubits not co-located at its site, or an idle qubit
     /// left inside an entanglement zone during an exposure.
-    pub fn validate(
-        &self,
-        arch: &Architecture,
-        staged: &StagedCircuit,
-    ) -> Result<(), PlaceError> {
+    pub fn validate(&self, arch: &Architecture, staged: &StagedCircuit) -> Result<(), PlaceError> {
         let check_distinct = |p: &[Loc], what: &str| -> Result<(), PlaceError> {
             let set: HashSet<&Loc> = p.iter().collect();
             if set.len() != p.len() {
                 return Err(PlaceError::Invalid(format!("duplicate trap in {what}")));
             }
             for &loc in p {
-                arch.check_loc(loc)
-                    .map_err(|e| PlaceError::Invalid(format!("{what}: {e}")))?;
+                arch.check_loc(loc).map_err(|e| PlaceError::Invalid(format!("{what}: {e}")))?;
             }
             Ok(())
         };
@@ -157,12 +152,18 @@ pub fn plan_placement(
 
     for (t, stage) in staged.stages.iter().enumerate() {
         let next_gates = staged.stages.get(t + 1).map(|s| s.gates.as_slice());
-        let plain = solve_stage(
-            arch, &current, &home, &prev_gates, &stage.gates, next_gates, cfg, false,
-        )?;
+        let plain =
+            solve_stage(arch, &current, &home, &prev_gates, &stage.gates, next_gates, cfg, false)?;
         let (solution, used_reuse) = if cfg.reuse && !prev_gates.is_empty() {
             let reuse = solve_stage(
-                arch, &current, &home, &prev_gates, &stage.gates, next_gates, cfg, true,
+                arch,
+                &current,
+                &home,
+                &prev_gates,
+                &stage.gates,
+                next_gates,
+                cfg,
+                true,
             )?;
             if reuse.transition_cost <= plain.transition_cost {
                 (reuse, true)
@@ -307,9 +308,7 @@ fn solve_stage(
                 gates
                     .iter()
                     .enumerate()
-                    .filter(|(_, g)| {
-                        g.touches(pg.a) || g.touches(pg.b)
-                    })
+                    .filter(|(_, g)| g.touches(pg.a) || g.touches(pg.b))
                     .map(|(i, _)| i)
                     .collect()
             })
@@ -319,10 +318,8 @@ fn solve_stage(
             if let Some(gi) = m {
                 let (pg, site) = &prev_gates[pi];
                 let g = &gates[*gi];
-                let shared: Vec<usize> = [g.a, g.b]
-                    .into_iter()
-                    .filter(|&q| pg.touches(q))
-                    .collect();
+                let shared: Vec<usize> =
+                    [g.a, g.b].into_iter().filter(|&q| pg.touches(q)).collect();
                 if !shared.is_empty() {
                     pinned.insert(*gi, *site);
                     reused_qubits_of.insert(*gi, shared);
@@ -333,8 +330,7 @@ fn solve_stage(
     let reused_qubits: usize = reused_qubits_of.values().map(Vec::len).sum();
 
     // ---- 2. gate placement for unpinned gates --------------------------
-    let unpinned: Vec<usize> =
-        (0..gates.len()).filter(|i| !pinned.contains_key(i)).collect();
+    let unpinned: Vec<usize> = (0..gates.len()).filter(|i| !pinned.contains_key(i)).collect();
     let pinned_sites: HashSet<SiteId> = pinned.values().copied().collect();
     let total_sites = arch.num_sites();
     if gates.len() > total_sites {
@@ -414,10 +410,7 @@ fn solve_stage(
                 }
             }
             if delta > max_dim * 2 {
-                return Err(PlaceError::TooManyGates {
-                    gates: gates.len(),
-                    sites: total_sites,
-                });
+                return Err(PlaceError::TooManyGates { gates: gates.len(), sites: total_sites });
             }
             delta *= 2;
         }
@@ -435,7 +428,8 @@ fn solve_stage(
             if let Some(list) = reused {
                 if list.contains(&q) {
                     if let Loc::Site { slot, .. } = working[q] {
-                        during[q] = Loc::Site { zone: site.zone, row: site.row, col: site.col, slot };
+                        during[q] =
+                            Loc::Site { zone: site.zone, row: site.row, col: site.col, slot };
                         taken.push(slot);
                         continue;
                     }
@@ -443,10 +437,8 @@ fn solve_stage(
             }
         }
         // Remaining qubits: order by current x for deterministic slots.
-        let mut rest: Vec<usize> = [g.a, g.b]
-            .into_iter()
-            .filter(|&q| !reused.is_some_and(|l| l.contains(&q)))
-            .collect();
+        let mut rest: Vec<usize> =
+            [g.a, g.b].into_iter().filter(|&q| !reused.is_some_and(|l| l.contains(&q))).collect();
         rest.sort_by(|&x, &y| pos(x).x.total_cmp(&pos(y).x).then(x.cmp(&y)));
         let mut next_slot = 0usize;
         for q in rest {
@@ -459,17 +451,16 @@ fn solve_stage(
                     g.id
                 )));
             }
-            during[q] = Loc::Site { zone: site.zone, row: site.row, col: site.col, slot: next_slot };
+            during[q] =
+                Loc::Site { zone: site.zone, row: site.row, col: site.col, slot: next_slot };
             taken.push(next_slot);
         }
     }
 
     // ---- 4. return idle zone qubits to storage --------------------------
-    let gate_qubit_set: HashSet<usize> =
-        gates.iter().flat_map(|g| [g.a, g.b]).collect();
-    let returning: Vec<usize> = (0..n)
-        .filter(|&q| working[q].is_site() && !gate_qubit_set.contains(&q))
-        .collect();
+    let gate_qubit_set: HashSet<usize> = gates.iter().flat_map(|g| [g.a, g.b]).collect();
+    let returning: Vec<usize> =
+        (0..n).filter(|&q| working[q].is_site() && !gate_qubit_set.contains(&q)).collect();
 
     if !returning.is_empty() {
         if cfg.dynamic {
@@ -492,11 +483,8 @@ fn solve_stage(
         .sum();
     let transition_cost = return_leg + fetch_leg;
 
-    let gate_sites: Vec<(Gate2, SiteId)> = gates
-        .iter()
-        .enumerate()
-        .map(|(gi, g)| (*g, assignment[&gi]))
-        .collect();
+    let gate_sites: Vec<(Gate2, SiteId)> =
+        gates.iter().enumerate().map(|(gi, g)| (*g, assignment[&gi])).collect();
 
     Ok(StageSolution { gate_sites, pre_returns, during, transition_cost, reused_qubits })
 }
@@ -533,7 +521,14 @@ fn place_returns(
         let q_pos = arch.position(current[q]);
         let related_pos = related.get(&q).map(|&q2| arch.position(current[q2]));
         let cands = return_candidates(
-            arch, q, q_pos, related_pos, home[q], &occupied, &reserved, cfg.neighbor_k,
+            arch,
+            q,
+            q_pos,
+            related_pos,
+            home[q],
+            &occupied,
+            &reserved,
+            cfg.neighbor_k,
         );
         let mut row = Vec::with_capacity(cands.len());
         for trap in cands {
@@ -650,9 +645,7 @@ fn return_candidates(
     const CAP: usize = 400;
     if out.len() > CAP {
         out.sort_by(|a, b| {
-            arch.position(*a)
-                .distance(q_pos)
-                .total_cmp(&arch.position(*b).distance(q_pos))
+            arch.position(*a).distance(q_pos).total_cmp(&arch.position(*b).distance(q_pos))
         });
         out.truncate(CAP);
         if !out.contains(&home) {
@@ -701,11 +694,7 @@ mod tests {
     #[test]
     fn plan_validates_for_suite_circuits() {
         let arch = arch();
-        for circ in [
-            bench_circuits::ghz(10),
-            bench_circuits::ising(12),
-            bench_circuits::qft(6),
-        ] {
+        for circ in [bench_circuits::ghz(10), bench_circuits::ising(12), bench_circuits::qft(6)] {
             let staged = preprocess(&circ);
             for reuse in [false, true] {
                 let plan = plan_placement(&arch, &staged, &cfg(reuse)).unwrap();
@@ -802,8 +791,14 @@ mod tests {
                 SlmArray::new(2, (12.0, 10.0), cols, rows, Point::new(2.0, 50.0)),
             ],
         );
-        Architecture::new("small", vec![AodArray::new(0, 2.0, 50, 50)], vec![storage], vec![ent], vec![])
-            .unwrap()
+        Architecture::new(
+            "small",
+            vec![AodArray::new(0, 2.0, 50, 50)],
+            vec![storage],
+            vec![ent],
+            vec![],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -814,8 +809,7 @@ mod tests {
         plan.validate(&arch, &staged).unwrap();
         // First Rydberg stage hosts 21 parallel gates.
         assert_eq!(plan.stages[0].gate_sites.len(), 21);
-        let sites: HashSet<SiteId> =
-            plan.stages[0].gate_sites.iter().map(|(_, s)| *s).collect();
+        let sites: HashSet<SiteId> = plan.stages[0].gate_sites.iter().map(|(_, s)| *s).collect();
         assert_eq!(sites.len(), 21, "gates at distinct sites");
     }
 
@@ -837,8 +831,8 @@ mod tests {
             let mut cur = plan.initial.clone();
             let mut total = 0.0;
             for s in &plan.stages {
-                for q in 0..cur.len() {
-                    total += arch.position(cur[q]).distance(arch.position(s.during[q]));
+                for (q, loc) in cur.iter().enumerate() {
+                    total += arch.position(*loc).distance(arch.position(s.during[q]));
                 }
                 cur = s.during.clone();
             }

@@ -27,13 +27,8 @@ pub fn storage_traps_by_proximity(arch: &Architecture) -> Vec<Loc> {
                     let (srows, _) = arch.site_grid(ez);
                     (0..srows)
                         .map(|r| {
-                            arch.site_position(zac_arch::SiteId::new(ez, r, 0))
-                                .y
-                                .max(probe.y)
-                                - arch
-                                    .site_position(zac_arch::SiteId::new(ez, r, 0))
-                                    .y
-                                    .min(probe.y)
+                            arch.site_position(zac_arch::SiteId::new(ez, r, 0)).y.max(probe.y)
+                                - arch.site_position(zac_arch::SiteId::new(ez, r, 0)).y.min(probe.y)
                         })
                         .fold(f64::INFINITY, f64::min)
                 })
@@ -86,8 +81,7 @@ pub fn sa_initial_placement(
         return Ok(placement);
     }
 
-    let gates: Vec<(usize, Gate2)> =
-        staged.gates_with_stage().map(|(t, g)| (t, *g)).collect();
+    let gates: Vec<(usize, Gate2)> = staged.gates_with_stage().map(|(t, g)| (t, *g)).collect();
     if gates.is_empty() {
         return Ok(placement);
     }
@@ -214,8 +208,7 @@ mod tests {
     fn sa_never_worse_than_trivial() {
         let arch = arch();
         let staged = preprocess(&bench_circuits::qft(10));
-        let gates: Vec<(usize, Gate2)> =
-            staged.gates_with_stage().map(|(t, g)| (t, *g)).collect();
+        let gates: Vec<(usize, Gate2)> = staged.gates_with_stage().map(|(t, g)| (t, *g)).collect();
         let trivial = trivial_initial_placement(&arch, staged.num_qubits).unwrap();
         let sa = sa_initial_placement(&arch, &staged, 1000, 7).unwrap();
         assert_distinct(&sa);

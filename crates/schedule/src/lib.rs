@@ -114,9 +114,9 @@ pub fn schedule(
         QubitLoc::new(q, slm, r, c)
     };
 
-    program.instructions.push(Instruction::Init {
-        init_locs: (0..n).map(|q| qloc(q, plan.initial[q])).collect(),
-    });
+    program
+        .instructions
+        .push(Instruction::Init { init_locs: (0..n).map(|q| qloc(q, plan.initial[q])).collect() });
 
     let mut current: Vec<Loc> = plan.initial.clone();
     let mut avail: Vec<f64> = vec![0.0; n];
@@ -229,8 +229,14 @@ pub fn schedule(
         }
 
         // ---- 1Q gates preceding this stage's exposure ----
-        let one_q_end =
-            emit_one_q_group(&mut program, &staged.stages[t].pre_1q, &current, &mut avail, cfg, &qloc);
+        let one_q_end = emit_one_q_group(
+            &mut program,
+            &staged.stages[t].pre_1q,
+            &current,
+            &mut avail,
+            cfg,
+            &qloc,
+        );
         transition_end = transition_end.max(one_q_end);
 
         // ---- Rydberg exposure ----
@@ -239,8 +245,7 @@ pub fn schedule(
             ryd_begin = ryd_begin.max(avail[g.a]).max(avail[g.b]);
         }
         let ryd_end = ryd_begin + cfg.t_ryd_us;
-        let mut zones: Vec<usize> =
-            stage_plan.gate_sites.iter().map(|(_, s)| s.zone).collect();
+        let mut zones: Vec<usize> = stage_plan.gate_sites.iter().map(|(_, s)| s.zone).collect();
         zones.sort_unstable();
         zones.dedup();
         for zone_id in zones {
@@ -362,9 +367,8 @@ fn resolve_deadlock(
     pending: &mut Vec<PendingJob>,
     cfg: &ScheduleConfig,
 ) -> Result<(), ScheduleError> {
-    let source_consistent = |p: &PendingJob| -> bool {
-        p.moves.iter().all(|m| current[m.qubit] == m.from)
-    };
+    let source_consistent =
+        |p: &PendingJob| -> bool { p.moves.iter().all(|m| current[m.qubit] == m.from) };
     // Prefer dissolving a blocked multi-move job.
     if let Some(i) = pending.iter().position(|p| p.moves.len() > 1 && source_consistent(p)) {
         let dissolved = pending.swap_remove(i);
@@ -376,14 +380,11 @@ fn resolve_deadlock(
     // All singles: detour the first occupancy-blocked, source-consistent one.
     let i = pending
         .iter()
-        .position(|p| {
-            source_consistent(p) && p.moves.iter().any(|m| occupied.contains(&m.to))
-        })
+        .position(|p| source_consistent(p) && p.moves.iter().any(|m| occupied.contains(&m.to)))
         .expect("deadlock implies a blocked source-consistent job");
     let blocked = pending.swap_remove(i);
     let m = blocked.moves[0];
-    let temp =
-        free_storage_trap(arch, occupied, pending).ok_or(ScheduleError::NoDetourTrap)?;
+    let temp = free_storage_trap(arch, occupied, pending).ok_or(ScheduleError::NoDetourTrap)?;
     pending.push(make_pending(arch, vec![MoveSpec::new(m.qubit, m.from, temp)], cfg)?);
     pending.push(make_pending(arch, vec![MoveSpec::new(m.qubit, temp, m.to)], cfg)?);
     Ok(())
@@ -461,24 +462,16 @@ mod tests {
         let with_cfg = quick_cfg();
         let without_cfg = PlacementConfig { reuse: false, ..quick_cfg() };
         let cfg = ScheduleConfig::default();
-        let a_with = schedule(
-            &arch,
-            &staged,
-            &plan_placement(&arch, &staged, &with_cfg).unwrap(),
-            &cfg,
-        )
-        .unwrap()
-        .analyze(&arch)
-        .unwrap();
-        let a_without = schedule(
-            &arch,
-            &staged,
-            &plan_placement(&arch, &staged, &without_cfg).unwrap(),
-            &cfg,
-        )
-        .unwrap()
-        .analyze(&arch)
-        .unwrap();
+        let a_with =
+            schedule(&arch, &staged, &plan_placement(&arch, &staged, &with_cfg).unwrap(), &cfg)
+                .unwrap()
+                .analyze(&arch)
+                .unwrap();
+        let a_without =
+            schedule(&arch, &staged, &plan_placement(&arch, &staged, &without_cfg).unwrap(), &cfg)
+                .unwrap()
+                .analyze(&arch)
+                .unwrap();
         assert!(
             a_with.n_tran < a_without.n_tran,
             "reuse transfers {} !< no-reuse {}",
@@ -536,11 +529,9 @@ mod tests {
     #[test]
     fn suite_smoke_all_programs_valid() {
         let arch = Architecture::reference();
-        for circ in [
-            bench_circuits::bv(14, 13),
-            bench_circuits::wstate(10),
-            bench_circuits::swap_test(9),
-        ] {
+        for circ in
+            [bench_circuits::bv(14, 13), bench_circuits::wstate(10), bench_circuits::swap_test(9)]
+        {
             let p = compile(&circ, &arch, 1);
             let a = p.analyze(&arch).unwrap();
             assert_eq!(a.n_exc, 0, "{}", circ.name());
@@ -553,9 +544,9 @@ mod tests {
         // Handcraft a plan where two idle qubits exchange storage traps in
         // one transition — a cyclic trap hand-off the emission loop must
         // break with a detour through a free trap.
-        use zac_place::{PlacementPlan, StagePlan};
-        use zac_circuit::Gate2;
         use zac_arch::SiteId;
+        use zac_circuit::Gate2;
+        use zac_place::{PlacementPlan, StagePlan};
 
         let arch = Architecture::reference();
         let mut c = Circuit::new("cycle", 4);
@@ -606,14 +597,8 @@ mod tests {
         no_reuse.reuse = false;
         let plain_plan = plan_placement(&arch, &staged, &no_reuse).unwrap();
         assert!(plain_plan.stages.iter().skip(1).any(|s| s.pre_returns.is_some()));
-        let a_reuse = schedule(&arch, &staged, &reuse_plan, &cfg)
-            .unwrap()
-            .analyze(&arch)
-            .unwrap();
-        let a_plain = schedule(&arch, &staged, &plain_plan, &cfg)
-            .unwrap()
-            .analyze(&arch)
-            .unwrap();
+        let a_reuse = schedule(&arch, &staged, &reuse_plan, &cfg).unwrap().analyze(&arch).unwrap();
+        let a_plain = schedule(&arch, &staged, &plain_plan, &cfg).unwrap().analyze(&arch).unwrap();
         assert!(a_plain.n_tran > a_reuse.n_tran);
         // Chain circuit: each stage round-trips both gate qubits (4 transfers
         // in + 4 out per stage boundary, roughly).
@@ -628,9 +613,7 @@ mod tests {
             .instructions
             .iter()
             .filter_map(|i| match i {
-                Instruction::Rydberg { begin_time, end_time, .. } => {
-                    Some((*begin_time, *end_time))
-                }
+                Instruction::Rydberg { begin_time, end_time, .. } => Some((*begin_time, *end_time)),
                 _ => None,
             })
             .collect();

@@ -22,7 +22,7 @@
 //! assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
 //! ```
 
-use zac_circuit::complex::{C64, Mat2};
+use zac_circuit::complex::{Mat2, C64};
 use zac_circuit::gate::{u3_matrix, Gate, TwoQKind};
 use zac_circuit::stages::StagedCircuit;
 use zac_circuit::Circuit;
@@ -366,10 +366,8 @@ mod tests {
         assert!(preprocessing_preserves_semantics(&c, &staged));
         let sv = StateVector::run(&c);
         // Find the basis state with max probability, mask off the ancilla.
-        let (best, _) = (0..32)
-            .map(|i| (i, sv.probability(i)))
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+        let (best, _) =
+            (0..32).map(|i| (i, sv.probability(i))).max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         let secret = best & 0b1111;
         assert_eq!(secret.count_ones(), 2, "secret {secret:04b}");
     }

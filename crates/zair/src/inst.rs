@@ -1,10 +1,8 @@
 //! ZAIR instruction types (paper Sec. IX, Fig. 17).
 
-use serde::{Deserialize, Serialize};
-
 /// Locates qubit `qubit` at (`row`, `col`) of SLM array `slm_id` — the
 /// paper's `qloc` 4-tuple `(q, a, r, c)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QubitLoc {
     /// Qubit id.
     pub qubit: usize,
@@ -24,7 +22,7 @@ impl QubitLoc {
 }
 
 /// One U3 application inside a `1qGate` instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct U3Application {
     /// θ parameter.
     pub theta: f64,
@@ -37,8 +35,7 @@ pub struct U3Application {
 }
 
 /// Machine-level AOD instructions inside a rearrangement job (Fig. 17b).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "camelCase")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AodInst {
     /// Turn on AOD rows/columns at the given coordinates, picking up the
     /// atoms at the resulting intersections.
@@ -86,7 +83,7 @@ impl AodInst {
 
 /// A rearrangement job: one AOD picks up a set of qubits, transports them in
 /// parallel, and drops them off (Fig. 17a).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RearrangeJob {
     /// The AOD executing the job (set during scheduling).
     pub aod_id: usize,
@@ -116,10 +113,7 @@ impl RearrangeJob {
 
     /// Flattened (begin, end) pairs.
     pub fn moves(&self) -> impl Iterator<Item = (&QubitLoc, &QubitLoc)> + '_ {
-        self.begin_locs
-            .iter()
-            .flatten()
-            .zip(self.end_locs.iter().flatten())
+        self.begin_locs.iter().flatten().zip(self.end_locs.iter().flatten())
     }
 
     /// Absolute end time of the pickup phase.
@@ -134,8 +128,7 @@ impl RearrangeJob {
 }
 
 /// A ZAIR instruction (Fig. 17a).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "camelCase")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instruction {
     /// Initial qubit locations; must appear exactly once, first.
     Init {
@@ -143,7 +136,6 @@ pub enum Instruction {
         init_locs: Vec<QubitLoc>,
     },
     /// A group of U3 gates executed sequentially (one Raman laser).
-    #[serde(rename = "1qGate")]
     OneQGate {
         /// The gates, in execution order.
         gates: Vec<U3Application>,
@@ -196,6 +188,135 @@ impl Instruction {
             Instruction::OneQGate { .. } => "1qGate",
             Instruction::Rydberg { .. } => "rydberg",
             Instruction::RearrangeJob(_) => "rearrangeJob",
+        }
+    }
+}
+
+/// Hand-written JSON impls (the in-tree serde stand-in has no derive),
+/// matching the paper's Fig. 17/19 format: enums are internally tagged with
+/// a camelCase `type` field, and `OneQGate` serializes as `1qGate`.
+mod json {
+    use super::*;
+    use serde::{DeError, Deserialize, ObjectView, Serialize, Value};
+
+    serde::impl_serde_struct!(QubitLoc { qubit, slm_id, row, col });
+
+    serde::impl_serde_struct!(U3Application { theta, phi, lambda, loc });
+
+    serde::impl_serde_struct!(RearrangeJob {
+        aod_id,
+        begin_locs,
+        end_locs,
+        insts,
+        begin_time,
+        end_time,
+        pick_duration,
+        move_duration,
+        drop_duration,
+    });
+
+    impl Serialize for AodInst {
+        fn to_value(&self) -> Value {
+            match self {
+                AodInst::Activate { row_id, row_y, col_id, col_x } => Value::object()
+                    .with("row_id", row_id.to_value())
+                    .with("row_y", row_y.to_value())
+                    .with("col_id", col_id.to_value())
+                    .with("col_x", col_x.to_value())
+                    .with_tag_first("type", "activate"),
+                AodInst::Deactivate { row_id, col_id } => Value::object()
+                    .with("row_id", row_id.to_value())
+                    .with("col_id", col_id.to_value())
+                    .with_tag_first("type", "deactivate"),
+                AodInst::Move {
+                    row_id,
+                    row_y_begin,
+                    row_y_end,
+                    col_id,
+                    col_x_begin,
+                    col_x_end,
+                } => Value::object()
+                    .with("row_id", row_id.to_value())
+                    .with("row_y_begin", row_y_begin.to_value())
+                    .with("row_y_end", row_y_end.to_value())
+                    .with("col_id", col_id.to_value())
+                    .with("col_x_begin", col_x_begin.to_value())
+                    .with("col_x_end", col_x_end.to_value())
+                    .with_tag_first("type", "move"),
+            }
+        }
+    }
+
+    impl Deserialize for AodInst {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let obj = ObjectView::new(v)?;
+            match obj.tag("type")? {
+                "activate" => Ok(AodInst::Activate {
+                    row_id: obj.field("row_id")?,
+                    row_y: obj.field("row_y")?,
+                    col_id: obj.field("col_id")?,
+                    col_x: obj.field("col_x")?,
+                }),
+                "deactivate" => Ok(AodInst::Deactivate {
+                    row_id: obj.field("row_id")?,
+                    col_id: obj.field("col_id")?,
+                }),
+                "move" => Ok(AodInst::Move {
+                    row_id: obj.field("row_id")?,
+                    row_y_begin: obj.field("row_y_begin")?,
+                    row_y_end: obj.field("row_y_end")?,
+                    col_id: obj.field("col_id")?,
+                    col_x_begin: obj.field("col_x_begin")?,
+                    col_x_end: obj.field("col_x_end")?,
+                }),
+                other => Err(DeError::msg(format!("unknown AOD instruction type `{other}`"))),
+            }
+        }
+    }
+
+    impl Serialize for Instruction {
+        fn to_value(&self) -> Value {
+            match self {
+                Instruction::Init { init_locs } => Value::object()
+                    .with("init_locs", init_locs.to_value())
+                    .with_tag_first("type", "init"),
+                Instruction::OneQGate { gates, begin_time, end_time } => Value::object()
+                    .with("gates", gates.to_value())
+                    .with("begin_time", begin_time.to_value())
+                    .with("end_time", end_time.to_value())
+                    .with_tag_first("type", "1qGate"),
+                Instruction::Rydberg { zone_id, begin_time, end_time } => Value::object()
+                    .with("zone_id", zone_id.to_value())
+                    .with("begin_time", begin_time.to_value())
+                    .with("end_time", end_time.to_value())
+                    .with_tag_first("type", "rydberg"),
+                // Newtype variant under an internal tag: the job's fields
+                // are inlined next to the tag, as serde does.
+                Instruction::RearrangeJob(job) => {
+                    job.to_value().with_tag_first("type", "rearrangeJob")
+                }
+            }
+        }
+    }
+
+    impl Deserialize for Instruction {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let obj = ObjectView::new(v)?;
+            match obj.tag("type")? {
+                "init" => Ok(Instruction::Init { init_locs: obj.field("init_locs")? }),
+                "1qGate" => Ok(Instruction::OneQGate {
+                    gates: obj.field("gates")?,
+                    begin_time: obj.field("begin_time")?,
+                    end_time: obj.field("end_time")?,
+                }),
+                "rydberg" => Ok(Instruction::Rydberg {
+                    zone_id: obj.field("zone_id")?,
+                    begin_time: obj.field("begin_time")?,
+                    end_time: obj.field("end_time")?,
+                }),
+                "rearrangeJob" => Ok(Instruction::RearrangeJob(RearrangeJob::from_value(v)?)),
+                other => Err(DeError::msg(format!("unknown instruction type `{other}`"))),
+            }
         }
     }
 }

@@ -200,10 +200,7 @@ pub fn build_job(
     }
 
     let col_id_of = |x: f64| -> usize {
-        col_xs
-            .iter()
-            .position(|&cx| (cx - x).abs() < POS_EPS)
-            .expect("column x registered")
+        col_xs.iter().position(|&cx| (cx - x).abs() < POS_EPS).expect("column x registered")
     };
 
     // --- machine-level expansion: row-by-row pickup with parking ---
@@ -213,8 +210,7 @@ pub fn build_job(
     let mut num_parkings = 0usize;
     for (row_id, group) in row_groups.iter().enumerate() {
         let y = arch.position(group[0].from).y;
-        let needed: Vec<usize> =
-            group.iter().map(|m| col_id_of(arch.position(m.from).x)).collect();
+        let needed: Vec<usize> = group.iter().map(|m| col_id_of(arch.position(m.from).x)).collect();
         let new_cols: Vec<usize> =
             needed.iter().copied().filter(|c| !active_cols.contains(c)).collect();
         let stale_cols_exist = active_cols.iter().any(|c| !needed.contains(c));
@@ -300,14 +296,10 @@ pub fn build_job(
         let (slm, r, c) = arch.loc_to_slm(loc);
         QubitLoc::new(m.qubit, slm, r, c)
     };
-    let begin_locs: Vec<Vec<QubitLoc>> = row_groups
-        .iter()
-        .map(|g| g.iter().map(|m| to_qloc(m, m.from)).collect())
-        .collect();
-    let end_locs: Vec<Vec<QubitLoc>> = row_groups
-        .iter()
-        .map(|g| g.iter().map(|m| to_qloc(m, m.to)).collect())
-        .collect();
+    let begin_locs: Vec<Vec<QubitLoc>> =
+        row_groups.iter().map(|g| g.iter().map(|m| to_qloc(m, m.from)).collect()).collect();
+    let end_locs: Vec<Vec<QubitLoc>> =
+        row_groups.iter().map(|g| g.iter().map(|m| to_qloc(m, m.to)).collect()).collect();
 
     Ok(RearrangeJob {
         aod_id: 0,

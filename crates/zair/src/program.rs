@@ -8,13 +8,12 @@
 //! program is a verified program.
 
 use crate::inst::{Instruction, QubitLoc, RearrangeJob};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use zac_arch::{Architecture, Loc};
 
 /// A complete compiled program in ZAIR.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Name of the source circuit.
     pub circuit_name: String,
@@ -118,10 +117,7 @@ pub struct Analysis {
 impl Analysis {
     /// Per-qubit idle time: total duration minus busy time, clamped at 0.
     pub fn idle_us(&self) -> Vec<f64> {
-        self.busy_us
-            .iter()
-            .map(|b| (self.total_duration_us - b).max(0.0))
-            .collect()
+        self.busy_us.iter().map(|b| (self.total_duration_us - b).max(0.0)).collect()
     }
 }
 
@@ -154,10 +150,7 @@ impl Program {
 
     /// Total duration: the latest end time of any instruction (µs).
     pub fn total_duration_us(&self) -> f64 {
-        self.instructions
-            .iter()
-            .map(Instruction::end_time)
-            .fold(0.0, f64::max)
+        self.instructions.iter().map(Instruction::end_time).fold(0.0, f64::max)
     }
 
     /// The rearrangement jobs, in issue order.
@@ -186,8 +179,22 @@ impl Program {
     }
 
     /// Serializes to pretty JSON in the paper's Fig. 19 style.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("program serialization cannot fail")
+    ///
+    /// # Errors
+    ///
+    /// Rejects programs carrying non-finite numbers (NaN/infinite times,
+    /// angles or coordinates — always the symptom of an upstream scheduling
+    /// bug): JSON cannot represent them, and emitting the `null` the format
+    /// falls back to would silently corrupt the round trip.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        let value = serde_json::to_value(self);
+        if !value.all_numbers_finite() {
+            return Err(serde_json::Error::custom(format!(
+                "program `{}` contains a non-finite time/angle/coordinate",
+                self.circuit_name
+            )));
+        }
+        serde_json::to_string_pretty(&value)
     }
 
     /// Parses a program from JSON.
@@ -344,6 +351,13 @@ impl Program {
     }
 }
 
+/// JSON impl (the in-tree serde stand-in has no derive).
+mod json {
+    use super::Program;
+
+    serde::impl_serde_struct!(Program { circuit_name, arch_name, num_qubits, instructions });
+}
+
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = self.stats();
@@ -382,15 +396,10 @@ mod tests {
         let w1 = Loc::Site { zone: 0, row: 0, col: 0, slot: 1 };
 
         let mut p = Program::new("sample", arch.name(), 2);
-        p.instructions.push(Instruction::Init {
-            init_locs: vec![qloc(arch, 0, s0), qloc(arch, 1, s1)],
-        });
-        let mut job = build_job(
-            arch,
-            &[MoveSpec::new(0, s0, w0), MoveSpec::new(1, s1, w1)],
-            15.0,
-        )
-        .unwrap();
+        p.instructions
+            .push(Instruction::Init { init_locs: vec![qloc(arch, 0, s0), qloc(arch, 1, s1)] });
+        let mut job =
+            build_job(arch, &[MoveSpec::new(0, s0, w0), MoveSpec::new(1, s1, w1)], 15.0).unwrap();
         shift_job(&mut job, 0.0);
         let t1 = job.end_time;
         p.instructions.push(Instruction::RearrangeJob(job));
@@ -463,9 +472,8 @@ mod tests {
         let arch = arch();
         let mut p = Program::new("x", arch.name(), 2);
         let s = Loc::Storage { zone: 0, row: 0, col: 0 };
-        p.instructions.push(Instruction::Init {
-            init_locs: vec![qloc(&arch, 0, s), qloc(&arch, 1, s)],
-        });
+        p.instructions
+            .push(Instruction::Init { init_locs: vec![qloc(&arch, 0, s), qloc(&arch, 1, s)] });
         assert_eq!(p.analyze(&arch).unwrap_err(), ZairError::BadInit);
     }
 
@@ -489,9 +497,8 @@ mod tests {
         let s0 = Loc::Storage { zone: 0, row: 99, col: 0 };
         let s1 = Loc::Storage { zone: 0, row: 99, col: 1 };
         let mut p = Program::new("x", arch.name(), 2);
-        p.instructions.push(Instruction::Init {
-            init_locs: vec![qloc(&arch, 0, s0), qloc(&arch, 1, s1)],
-        });
+        p.instructions
+            .push(Instruction::Init { init_locs: vec![qloc(&arch, 0, s0), qloc(&arch, 1, s1)] });
         let job = build_job(&arch, &[MoveSpec::new(0, s0, s1)], 15.0).unwrap();
         p.instructions.push(Instruction::RearrangeJob(job));
         assert_eq!(
@@ -507,7 +514,12 @@ mod tests {
         let mut p = Program::new("x", arch.name(), 1);
         p.instructions.push(Instruction::Init { init_locs: vec![qloc(&arch, 0, s0)] });
         p.instructions.push(Instruction::OneQGate {
-            gates: vec![U3Application { theta: 1.0, phi: 0.0, lambda: 0.0, loc: qloc(&arch, 0, s0) }],
+            gates: vec![U3Application {
+                theta: 1.0,
+                phi: 0.0,
+                lambda: 0.0,
+                loc: qloc(&arch, 0, s0),
+            }],
             begin_time: 0.0,
             end_time: 52.0,
         });
@@ -531,10 +543,44 @@ mod tests {
     fn json_roundtrip() {
         let arch = arch();
         let p = sample_program(&arch);
-        let json = p.to_json();
+        let json = p.to_json().expect("serialization succeeds");
         assert!(json.contains("\"type\": \"rearrangeJob\""));
         let back = Program::from_json(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn non_finite_times_rejected_by_to_json() {
+        let arch = arch();
+        let mut p = sample_program(&arch);
+        if let Instruction::Rydberg { end_time, .. } = &mut p.instructions[2] {
+            *end_time = f64::NAN;
+        } else {
+            panic!("sample program shape changed");
+        }
+        let err = p.to_json().unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        // Regression coverage for `from_json` error paths: syntax errors,
+        // wrong top-level shape, missing fields, and bad instruction tags.
+        for bad in [
+            "",
+            "{not json",
+            "[1, 2, 3]",
+            r#"{"circuit_name": "x"}"#,
+            r#"{"circuit_name": "x", "arch_name": "a", "num_qubits": -3, "instructions": []}"#,
+            // 1e300 has fract() == 0; must not saturate to usize::MAX.
+            r#"{"circuit_name": "x", "arch_name": "a", "num_qubits": 1e300, "instructions": []}"#,
+            r#"{"circuit_name": "x", "arch_name": "a", "num_qubits": 1,
+                "instructions": [{"type": "warp", "zone_id": 0}]}"#,
+            r#"{"circuit_name": "x", "arch_name": "a", "num_qubits": 1,
+                "instructions": [{"zone_id": 0, "begin_time": 0, "end_time": 1}]}"#,
+        ] {
+            assert!(Program::from_json(bad).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

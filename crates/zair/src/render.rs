@@ -155,8 +155,8 @@ mod tests {
 
     #[test]
     fn replay_produces_frames_per_job() {
-        use crate::machine::{build_job, MoveSpec};
         use crate::inst::QubitLoc;
+        use crate::machine::{build_job, MoveSpec};
 
         let arch = Architecture::reference();
         let s0 = Loc::Storage { zone: 0, row: 99, col: 0 };

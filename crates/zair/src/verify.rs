@@ -92,8 +92,7 @@ impl Program {
             gate_pair.insert(g.id, (g.a, g.b));
         }
         let mut next_idx: HashMap<usize, usize> = HashMap::new(); // qubit → queue cursor
-        let mut executed: HashMap<usize, bool> =
-            gate_pair.keys().map(|&id| (id, false)).collect();
+        let mut executed: HashMap<usize, bool> = gate_pair.keys().map(|&id| (id, false)).collect();
 
         // Replay locations.
         let mut loc_of: Vec<Option<Loc>> = vec![None; self.num_qubits];
@@ -101,8 +100,7 @@ impl Program {
             match inst {
                 Instruction::Init { init_locs } => {
                     for ql in init_locs {
-                        loc_of[ql.qubit] =
-                            arch.slm_to_loc(ql.slm_id, ql.row, ql.col);
+                        loc_of[ql.qubit] = arch.slm_to_loc(ql.slm_id, ql.row, ql.col);
                     }
                 }
                 Instruction::RearrangeJob(job) => {
@@ -143,13 +141,9 @@ impl Program {
                                 .find(|id| gate_pair[id] == (a, b))
                         };
                         match (fa, fb, pending_ab) {
-                            (Some(ga), Some(gb), Some(g))
-                                if ga == g && gb == g =>
-                            {
+                            (Some(ga), Some(gb), Some(g)) if ga == g && gb == g => {
                                 if executed[&g] {
-                                    return Err(VerifyError::DuplicateExecution {
-                                        qubits: (a, b),
-                                    });
+                                    return Err(VerifyError::DuplicateExecution { qubits: (a, b) });
                                 }
                                 executed.insert(g, true);
                                 *next_idx.entry(a).or_insert(0) += 1;
@@ -158,11 +152,8 @@ impl Program {
                             (fa, fb, Some(g)) => {
                                 // A gate between (a, b) exists but one operand
                                 // still owes an earlier gate.
-                                let blocked_by = fa
-                                    .into_iter()
-                                    .chain(fb)
-                                    .find(|&f| f != g)
-                                    .unwrap_or(g);
+                                let blocked_by =
+                                    fa.into_iter().chain(fb).find(|&f| f != g).unwrap_or(g);
                                 return Err(VerifyError::DependencyViolation {
                                     gate_id: g,
                                     blocked_by,
@@ -271,13 +262,13 @@ mod tests {
         )
         .unwrap();
         p.instructions.push(Instruction::RearrangeJob(job));
-        p.instructions
-            .push(Instruction::Rydberg { zone_id: 0, begin_time: 200.0, end_time: 200.36 });
+        p.instructions.push(Instruction::Rydberg {
+            zone_id: 0,
+            begin_time: 200.0,
+            end_time: 200.36,
+        });
         let err = p.verify_against(&arch, &staged()).unwrap_err();
-        assert!(
-            matches!(err, VerifyError::UnexpectedInteraction { qubits: (0, 2), .. }),
-            "{err}"
-        );
+        assert!(matches!(err, VerifyError::UnexpectedInteraction { qubits: (0, 2), .. }), "{err}");
     }
 
     #[test]
@@ -295,8 +286,11 @@ mod tests {
         )
         .unwrap();
         p.instructions.push(Instruction::RearrangeJob(job));
-        p.instructions
-            .push(Instruction::Rydberg { zone_id: 0, begin_time: 200.0, end_time: 200.36 });
+        p.instructions.push(Instruction::Rydberg {
+            zone_id: 0,
+            begin_time: 200.0,
+            end_time: 200.36,
+        });
         let err = p.verify_against(&arch, &staged()).unwrap_err();
         assert!(matches!(err, VerifyError::DependencyViolation { .. }), "{err}");
     }

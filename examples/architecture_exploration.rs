@@ -15,11 +15,7 @@ fn main() -> Result<(), zac::Error> {
     for k in 1..=4 {
         let arch = Architecture::reference().with_num_aods(k);
         let out = Zac::new(arch).compile_staged(&staged)?;
-        println!(
-            "{k:>6}{:>14.4}{:>14.2}",
-            out.total_fidelity(),
-            out.summary.duration_us / 1000.0
-        );
+        println!("{k:>6}{:>14.4}{:>14.2}", out.total_fidelity(), out.summary.duration_us / 1000.0);
     }
 
     println!("\n--- zone layout comparison (small architectures, Sec. VII-H) ---");

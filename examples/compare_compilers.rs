@@ -1,12 +1,11 @@
-//! Compare ZAC against every baseline of the paper on one circuit.
+//! Compare ZAC against every baseline of the paper on one circuit, driving
+//! all six compilers through the unified `Compiler` trait.
 //!
 //! Run with: `cargo run --example compare_compilers [circuit]`
 //! where `circuit` is one of: bv, ghz, ising, qft (default: bv).
 
-use zac::baselines::{compile_atomique, compile_enola, compile_nalac, compile_sc, ScMachine};
+use zac::bench::default_compilers;
 use zac::circuit::{bench_circuits, preprocess};
-use zac::prelude::*;
-use zac_fidelity::NeutralAtomParams;
 
 fn main() -> Result<(), zac::Error> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "bv".into());
@@ -18,44 +17,31 @@ fn main() -> Result<(), zac::Error> {
     };
     println!("circuit: {circuit}\n");
     let staged = preprocess(&circuit);
-    let params = NeutralAtomParams::reference();
 
     println!(
         "{:<24}{:>12}{:>12}{:>10}{:>10}{:>14}",
         "compiler", "fidelity", "duration", "g2", "N_exc", "N_tran"
     );
-    let print_row = |name: &str, f: f64, dur_us: f64, g2: usize, exc: usize, tran: usize| {
-        let dur = if dur_us > 1000.0 {
-            format!("{:.2}ms", dur_us / 1000.0)
-        } else {
-            format!("{dur_us:.2}us")
-        };
-        println!("{name:<24}{f:>12.4e}{dur:>12}{g2:>10}{exc:>10}{tran:>14}");
-    };
-
-    if let Ok(r) = compile_sc(&staged, ScMachine::Heron) {
-        let s = &r.summary;
-        print_row("SC-Heron", r.report.total(), s.duration_us, s.g2, s.n_exc, s.n_tran);
+    for compiler in default_compilers() {
+        match compiler.compile(&staged) {
+            Ok(out) => {
+                let dur_us = out.summary.duration_us;
+                let dur = if dur_us > 1000.0 {
+                    format!("{:.2}ms", dur_us / 1000.0)
+                } else {
+                    format!("{dur_us:.2}us")
+                };
+                println!(
+                    "{:<24}{:>12.4e}{dur:>12}{:>10}{:>10}{:>14}",
+                    compiler.name(),
+                    out.total_fidelity(),
+                    out.counts.g2,
+                    out.counts.n_exc,
+                    out.counts.n_tran
+                );
+            }
+            Err(e) => println!("{:<24}  skipped: {e}", compiler.name()),
+        }
     }
-    if let Ok(r) = compile_sc(&staged, ScMachine::Grid) {
-        let s = &r.summary;
-        print_row("SC-Grid", r.report.total(), s.duration_us, s.g2, s.n_exc, s.n_tran);
-    }
-    let r = compile_atomique(&staged, 10, 10, &params);
-    let s = &r.summary;
-    print_row("Monolithic-Atomique", r.report.total(), s.duration_us, s.g2, s.n_exc, s.n_tran);
-    if let Ok(r) = compile_enola(&staged, 10, 10, &params) {
-        let s = &r.summary;
-        print_row("Monolithic-Enola", r.report.total(), s.duration_us, s.g2, s.n_exc, s.n_tran);
-    }
-    let r = compile_nalac(&staged, 20, &params);
-    let s = &r.summary;
-    print_row("Zoned-NALAC", r.report.total(), s.duration_us, s.g2, s.n_exc, s.n_tran);
-
-    let zac = Zac::new(Architecture::reference());
-    let out = zac.compile_staged(&staged)?;
-    let s = &out.summary;
-    print_row("Zoned-ZAC", out.total_fidelity(), s.duration_us, s.g2, s.n_exc, s.n_tran);
-
     Ok(())
 }

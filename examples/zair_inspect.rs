@@ -52,7 +52,7 @@ fn main() -> Result<(), zac::Error> {
     }
 
     // The full program round-trips through JSON.
-    let json = out.program.to_json();
+    let json = out.program.to_json()?;
     let back = zac::zair::Program::from_json(&json)?;
     assert_eq!(back, out.program);
     println!("\nfull program JSON: {} bytes (round-trip verified)", json.len());

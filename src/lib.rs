@@ -4,23 +4,34 @@
 //! (HPCA 2025, Lin/Tan/Cong). See the README for the architecture overview
 //! and `DESIGN.md` for the per-experiment index.
 //!
-//! The typical entry point is [`zac_core::Zac`]:
+//! The typical entry point is [`zac_core::Zac`], either directly or through
+//! the unified [`zac_core::Compiler`] trait all five compilers implement:
 //!
 //! ```
 //! use zac::prelude::*;
 //!
 //! let arch = Architecture::reference();
 //! let circuit = bench_circuits::ghz(5);
-//! let compiler = Zac::new(arch);
-//! let out = compiler.compile(&circuit)?;
+//! let zac = Zac::new(arch);
+//!
+//! // Rich ZAC-specific output: program, placement plan, report.
+//! let out = zac.compile(&circuit)?;
 //! assert!(out.total_fidelity() > 0.0);
+//!
+//! // Or through the trait, as the benchmark harness drives every backend.
+//! let staged = zac::circuit::preprocess(&circuit);
+//! let unified = Compiler::compile(&zac, &staged)?;
+//! assert_eq!(unified.counts.g2, 4);
 //! # Ok::<(), zac::Error>(())
 //! ```
 
+// The compiler pipeline crate is re-exported as `compiler` (not `core`) so
+// a glob import of this facade never shadows the `core` primitive crate.
 pub use zac_arch as arch;
 pub use zac_baselines as baselines;
+pub use zac_bench as bench;
 pub use zac_circuit as circuit;
-pub use zac_core as core;
+pub use zac_core as compiler;
 pub use zac_fidelity as fidelity;
 pub use zac_ftqc as ftqc;
 pub use zac_graph as graph;
@@ -37,7 +48,9 @@ pub mod prelude {
     pub use zac_arch::Architecture;
     pub use zac_circuit::bench_circuits;
     pub use zac_circuit::Circuit;
-    pub use zac_core::{Zac, ZacConfig};
+    pub use zac_core::{
+        CompileError, CompileOutput, Compiler, GateCounts, Labeled, Zac, ZacConfig, ZacOutput,
+    };
     pub use zac_fidelity::{FidelityReport, NeutralAtomParams};
     pub use zac_zair::Program;
 }

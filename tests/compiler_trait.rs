@@ -1,0 +1,112 @@
+//! Cross-crate tests of the unified `Compiler` trait: all five compilers
+//! (ZAC + the four baselines) must run through the one interface, and the
+//! rayon `BatchRunner` must be indistinguishable from a serial sweep.
+
+use zac::bench::{default_compilers, BatchRunner};
+use zac::circuit::{bench_circuits, preprocess, StagedCircuit};
+use zac::prelude::*;
+
+/// The two probe workloads: a sequential GHZ chain and a QAOA-style
+/// Trotterized Ising circuit (parallel ZZ layers).
+fn probes() -> Vec<StagedCircuit> {
+    vec![preprocess(&bench_circuits::ghz(8)), preprocess(&bench_circuits::ising(12))]
+}
+
+#[test]
+fn all_five_compilers_run_through_the_trait() {
+    let arch = Architecture::reference();
+    for staged in probes() {
+        let mut seen = Vec::new();
+        for compiler in default_compilers() {
+            let out = compiler
+                .compile(&staged)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", compiler.name(), staged.name));
+            // Every compiler yields a usable fidelity...
+            let f = out.total_fidelity();
+            assert!(f > 0.0 && f <= 1.0, "{} on {}: fidelity {f}", compiler.name(), staged.name);
+            // ...consistent named counts...
+            assert_eq!(out.counts.g2, out.summary.g2, "{}", compiler.name());
+            assert_eq!(out.counts.n_tran, out.summary.n_tran, "{}", compiler.name());
+            // Routing may add gates (SWAP insertion) but never drops any.
+            assert!(
+                out.counts.g2 >= staged.num_2q_gates(),
+                "{}: {} 2Q gates < circuit's {}",
+                compiler.name(),
+                out.counts.g2,
+                staged.num_2q_gates()
+            );
+            // ...and, when a ZAIR program is emitted, it re-validates
+            // against the target architecture.
+            if let Some(program) = &out.program {
+                assert_eq!(compiler.name(), "Zoned-ZAC", "only ZAC emits ZAIR today");
+                let analysis = program.analyze(&arch).expect("emitted ZAIR validates");
+                assert_eq!(analysis.g2, out.counts.g2);
+                assert_eq!(analysis.n_exc, 0, "zoned guarantee");
+            }
+            seen.push(compiler.name().to_owned());
+        }
+        // ZAC + 4 baselines (SC appears twice: Heron and Grid machines).
+        assert_eq!(
+            seen,
+            [
+                "SC-Heron",
+                "SC-Grid",
+                "Monolithic-Atomique",
+                "Monolithic-Enola",
+                "Zoned-NALAC",
+                "Zoned-ZAC"
+            ],
+            "{}",
+            staged.name
+        );
+    }
+}
+
+#[test]
+fn trait_output_matches_inherent_zac_output() {
+    let arch = Architecture::reference();
+    let staged = preprocess(&bench_circuits::ghz(8));
+    let zac = Zac::new(arch);
+    let rich = zac.compile_staged(&staged).unwrap();
+    let unified = Compiler::compile(&zac, &staged).unwrap();
+    assert_eq!(unified.report, rich.report);
+    assert_eq!(unified.summary, rich.summary);
+    assert_eq!(unified.program.as_ref(), Some(&rich.program));
+    assert_eq!(unified.counts, GateCounts::from(&rich.summary));
+}
+
+#[test]
+fn batch_runner_is_deterministic_under_rayon() {
+    let suite = probes();
+    let compilers = default_compilers();
+    let par = BatchRunner::parallel().run(&compilers, &suite);
+    let ser = BatchRunner::serial().run(&compilers, &suite);
+    assert_eq!(par.len(), ser.len());
+    for (p, s) in par.iter().zip(&ser) {
+        assert_eq!(p.name, s.name);
+        assert_eq!(p.results.len(), s.results.len());
+        for (pr, sr) in p.results.iter().zip(&s.results) {
+            assert_eq!(pr.compiler, sr.compiler);
+            assert_eq!(pr.report, sr.report, "{} / {}", p.name, pr.compiler);
+            assert_eq!(pr.counts, sr.counts, "{} / {}", p.name, pr.compiler);
+        }
+    }
+    // Repeated parallel runs are also identical to each other.
+    let par2 = BatchRunner::parallel().run(&compilers, &suite);
+    for (a, b) in par.iter().zip(&par2) {
+        for (ra, rb) in a.results.iter().zip(&b.results) {
+            assert_eq!(ra.report, rb.report);
+        }
+    }
+}
+
+#[test]
+fn labeled_wrapper_renames_without_changing_results() {
+    let staged = preprocess(&bench_circuits::ghz(8));
+    let zac = Zac::new(Architecture::reference());
+    let labeled = Labeled::new("ZAC-relabeled", zac.clone());
+    assert_eq!(labeled.name(), "ZAC-relabeled");
+    let a = Compiler::compile(&zac, &staged).unwrap();
+    let b = labeled.compile(&staged).unwrap();
+    assert_eq!(a.report, b.report);
+}

@@ -2,7 +2,7 @@
 //! to validated ZAIR and fidelity report.
 
 use zac::circuit::{bench_circuits, preprocess};
-use zac::core::{Zac, ZacConfig};
+use zac::compiler::{Zac, ZacConfig};
 use zac::prelude::*;
 
 fn quick_config() -> ZacConfig {
@@ -17,9 +17,8 @@ fn every_suite_circuit_compiles_and_validates() {
     for entry in bench_circuits::paper_suite() {
         let staged = preprocess(&entry.circuit);
         let zac = Zac::with_config(arch.clone(), quick_config());
-        let out = zac
-            .compile_staged(&staged)
-            .unwrap_or_else(|e| panic!("{}: {e}", entry.circuit.name()));
+        let out =
+            zac.compile_staged(&staged).unwrap_or_else(|e| panic!("{}: {e}", entry.circuit.name()));
         // The ZAIR interpreter re-validates the emitted program.
         let analysis = out.program.analyze(&arch).expect("valid ZAIR");
         assert_eq!(analysis.g2, staged.num_2q_gates(), "{}", entry.circuit.name());
@@ -45,7 +44,7 @@ fn compiled_program_roundtrips_through_json() {
     let arch = Architecture::reference();
     let zac = Zac::with_config(arch.clone(), quick_config());
     let out = zac.compile(&bench_circuits::bv(14, 13)).unwrap();
-    let json = out.program.to_json();
+    let json = out.program.to_json().expect("serialization succeeds");
     let back = zac::zair::Program::from_json(&json).unwrap();
     assert_eq!(back, out.program);
     let a1 = out.program.analyze(&arch).unwrap();
@@ -60,9 +59,7 @@ fn reuse_strictly_reduces_transfers_on_chains() {
     let with = Zac::with_config(arch.clone(), ZacConfig::dyn_place_reuse())
         .compile_staged(&staged)
         .unwrap();
-    let without = Zac::with_config(arch, ZacConfig::dyn_place())
-        .compile_staged(&staged)
-        .unwrap();
+    let without = Zac::with_config(arch, ZacConfig::dyn_place()).compile_staged(&staged).unwrap();
     assert!(with.summary.n_tran < without.summary.n_tran);
     assert!(with.total_fidelity() > without.total_fidelity());
 }
@@ -82,10 +79,7 @@ fn ablation_order_holds_in_geomean() {
         let fids: Vec<f64> = circuits
             .iter()
             .map(|c| {
-                Zac::with_config(arch.clone(), cfg.clone())
-                    .compile(c)
-                    .unwrap()
-                    .total_fidelity()
+                Zac::with_config(arch.clone(), cfg.clone()).compile(c).unwrap().total_fidelity()
             })
             .collect();
         zac::fidelity::geometric_mean(&fids)

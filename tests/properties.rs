@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use zac::circuit::{preprocess, Circuit};
-use zac::core::{Zac, ZacConfig};
+use zac::compiler::{Zac, ZacConfig};
 use zac::prelude::*;
 
 /// Random circuits over H/T/CX/CZ with up to 10 qubits and 25 gates.

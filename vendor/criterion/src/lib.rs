@@ -1,0 +1,167 @@
+//! In-tree stand-in for the `criterion` crate (the build environment has no
+//! network access). Provides the entry points the workspace's
+//! microbenchmarks use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`, `criterion_main!`
+//! — with a simple warmup + sample timing loop instead of upstream's
+//! statistical machinery. Reports mean and min per benchmark on stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark driver. Holds the sample count configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("\ngroup {}", name.into());
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), self.sample_size, &mut f);
+    }
+}
+
+/// A group of related benchmarks (prints under a shared heading).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark of the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("  {}", id.0), self.criterion.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (printing-only in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples (after one
+    /// warmup call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        std_black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().expect("non-empty samples");
+    println!("{label}: mean {mean:?}, min {min:?} ({} samples)", b.samples.len());
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        for &n in &[10usize, 100] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<usize>());
+            });
+        }
+        group.finish();
+        c.bench_function("single", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = demo
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

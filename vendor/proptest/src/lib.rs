@@ -1,0 +1,164 @@
+//! In-tree stand-in for the `proptest` crate (the build environment has no
+//! network access). Covers the API surface the workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! range and tuple strategies, `Just`, weighted `prop_oneof!`,
+//! `collection::vec`, `sample::subsequence`, `any::<T>()`, and the
+//! [`proptest!`] macro with `#![proptest_config(...)]` support.
+//!
+//! Differences from upstream: cases are generated from a fixed per-test seed
+//! (derived from the test name), there is **no shrinking**, and failures
+//! panic directly via `assert!`-family macros. Deterministic across runs.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure; the stub
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+/// Expands to an early `return` from the per-case closure the [`proptest!`]
+/// macro wraps each body in.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Union of strategies with the same value type, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies `config.cases` times from
+/// a deterministic per-test RNG and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    // The closure gives `prop_assume!` an early-exit target.
+                    #[allow(unused_mut)]
+                    let mut case = || $body;
+                    case();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0..5.0f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..5.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (0usize..5, 0usize..5), flag in any::<bool>()) {
+            let sum = (0usize..10).prop_map(move |c| a + b + c);
+            let s = Strategy::sample(&sum, &mut crate::test_runner::TestRng::for_test("inner"));
+            prop_assert!(s >= a + b);
+            let _ = flag;
+        }
+
+        #[test]
+        fn flat_map_vec_lengths(v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0usize..10, n..=n))) {
+            prop_assert!((1..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_weighted(x in prop_oneof![3 => 0usize..5, 1 => 100usize..105]) {
+            prop_assert!(x < 5 || (100..105).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn subsequence_is_ordered_subset() {
+        let mut rng = crate::test_runner::TestRng::for_test("subseq");
+        let items: Vec<usize> = (0..20).collect();
+        for _ in 0..100 {
+            let s = crate::sample::subsequence(items.clone(), 0..=items.len());
+            let sub = Strategy::sample(&s, &mut rng);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "{sub:?} not ordered");
+            assert!(sub.iter().all(|x| items.contains(x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sample = |seed_name: &str| {
+            let mut rng = crate::test_runner::TestRng::for_test(seed_name);
+            Strategy::sample(&crate::collection::vec(0usize..1000, 5..10), &mut rng)
+        };
+        assert_eq!(sample("a"), sample("a"));
+        assert_ne!(sample("a"), sample("b"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Sampling strategies (`proptest::sample::subsequence`).
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy producing random subsequences of `items` (order-preserving
+/// subsets) whose length is drawn from `size`.
+pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence { items, size: size.into() }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T: Clone> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.items.len();
+        let len = self.size.pick(rng).min(n);
+        // Partial Fisher–Yates over the index set, then restore input order.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..len {
+            let j = rng.rng.gen_range(i..n.max(1));
+            idx.swap(i, j);
+        }
+        let mut chosen: Vec<usize> = idx[..len].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}

@@ -1,0 +1,45 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: smaller than upstream's 256 to keep suite runtime modest
+    /// (these deterministic cases don't shrink, so reruns are cheap).
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// RNG handed to strategies; seeded deterministically from the test name so
+/// every run (and every machine) sees the same cases.
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name, mixed with a fixed tag.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self { rng: StdRng::seed_from_u64(h ^ 0x5AC5_AC5A_C5AC_5AC5) }
+    }
+}

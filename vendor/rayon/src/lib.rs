@@ -1,0 +1,260 @@
+//! In-tree stand-in for the `rayon` crate (the build environment has no
+//! network access). Implements the slice/`Vec` data-parallel subset the
+//! workspace uses — `par_iter()` / `into_par_iter()` with `map` and
+//! `collect::<Vec<_>>()` — on top of `std::thread::scope`.
+//!
+//! Work is distributed dynamically via an atomic index queue and results are
+//! written back by input index, so **output order always matches input
+//! order** regardless of scheduling. That property is what makes the
+//! workspace's parallel sweeps byte-identical to their serial counterparts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Applies `f` to every item on a scoped thread pool, preserving input
+/// order. Falls back to a sequential loop when only one core is available
+/// or the input is tiny.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().expect("poisoned slot").take().expect("item taken once");
+                let r = f(item);
+                *results[i].lock().expect("poisoned result") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned result").expect("all slots filled"))
+        .collect()
+}
+
+/// A (already materialized) parallel iterator. The stub realizes the item
+/// list eagerly and parallelizes only the `map` stage — sufficient for the
+/// fan-out/collect patterns the workspace uses.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Materializes the items in order, applying any parallel stages.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Parallel map.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Parallel filter-map (runs `f` in parallel, drops `None`s).
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Sync + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Collects into a container (only `Vec<T>` is supported).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+}
+
+/// Collection target for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    /// Builds the container from items in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel `map` stage.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map(self.base.run(), self.f)
+    }
+}
+
+/// Parallel `filter_map` stage.
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> Option<R> + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map(self.base.run(), self.f).into_iter().flatten().collect()
+    }
+}
+
+/// Borrowing entry point: `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over a slice.
+pub struct ParSlice<'a, T: Sync> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// Owning entry point: `.into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// An owning parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct ParVec<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParVec<usize>;
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParVec<usize> {
+        ParVec { items: self.collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_and_ranges() {
+        let squares: Vec<usize> = (0..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[99], 99 * 99);
+        let owned: Vec<String> =
+            vec!["a".to_string(), "b".to_string()].into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(owned, ["a!", "b!"]);
+    }
+
+    #[test]
+    fn filter_map_drops_nones_in_order() {
+        let evens: Vec<usize> =
+            (0..20).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
+        assert_eq!(evens, (0..20).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_uneven_work() {
+        let input: Vec<u64> = (0..200).collect();
+        let work = |&x: &u64| -> u64 {
+            // Uneven per-item cost to exercise the dynamic queue.
+            let mut acc = x;
+            for _ in 0..(x % 17) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let par: Vec<u64> = input.par_iter().map(work).collect();
+        let ser: Vec<u64> = input.iter().map(work).collect();
+        assert_eq!(par, ser);
+    }
+}

@@ -1,0 +1,474 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real serde (and its
+//! proc-macro derive) cannot be fetched. This crate provides the minimal
+//! surface the workspace actually uses, built around an ordered JSON
+//! [`Value`] model instead of serde's visitor architecture:
+//!
+//! * [`Serialize`] — converts a type into a [`Value`];
+//! * [`Deserialize`] — reconstructs a type from a [`Value`];
+//! * [`ObjectView`] — field-access helper for hand-written `Deserialize`
+//!   impls (supports aliases, defaults and optional fields, mirroring the
+//!   `#[serde(rename/alias/default)]` attributes the workspace used);
+//! * [`impl_serde_struct!`] — generates both impls for plain structs with
+//!   named fields (the moral equivalent of `#[derive(Serialize, Deserialize)]`).
+//!
+//! Swapping the real serde back in later only requires restoring the derive
+//! attributes; the `serde_json` entry points (`to_string`, `to_string_pretty`,
+//! `from_str`) keep their upstream signatures.
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+/// Serialization into the [`Value`] model. Infallible by construction: every
+/// implementor maps onto a JSON-representable tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] describing the first mismatch encountered.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error from any displayable message.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Self(m.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::msg(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::msg(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_owned())
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_f64(*self as f64))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|x| x as $ty)
+                    .ok_or_else(|| DeError::msg(format!("expected number, got {}", v.kind())))
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+/// Integers round-trip exactly through the `f64`-backed [`Number`] only up
+/// to 2^53; larger magnitudes are rejected rather than silently saturated
+/// by the `as` cast (a `1e300` in malformed input must not become
+/// `usize::MAX`).
+const INT_PRECISION_LIMIT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+macro_rules! impl_serde_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_f64(*self as f64))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| DeError::msg(format!("expected number, got {}", v.kind())))?;
+                if x < 0.0 || x.fract() != 0.0 || !x.is_finite() {
+                    return Err(DeError::msg(format!("expected unsigned integer, got {x}")));
+                }
+                if x > INT_PRECISION_LIMIT || x > <$ty>::MAX as f64 {
+                    return Err(DeError::msg(format!("integer {x} out of range")));
+                }
+                Ok(x as $ty)
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_f64(*self as f64))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| DeError::msg(format!("expected number, got {}", v.kind())))?;
+                if x.fract() != 0.0 || !x.is_finite() {
+                    return Err(DeError::msg(format!("expected integer, got {x}")));
+                }
+                if x.abs() > INT_PRECISION_LIMIT
+                    || x > <$ty>::MAX as f64
+                    || x < <$ty>::MIN as f64
+                {
+                    return Err(DeError::msg(format!("integer {x} out of range")));
+                }
+                Ok(x as $ty)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::msg(format!("expected array, got {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::msg(format!("expected 2-element array, got {}", v.kind())))?;
+        if arr.len() != 2 {
+            return Err(DeError::msg(format!(
+                "expected 2-element array, got {} elements",
+                arr.len()
+            )));
+        }
+        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::msg(format!("expected 3-element array, got {}", v.kind())))?;
+        if arr.len() != 3 {
+            return Err(DeError::msg(format!(
+                "expected 3-element array, got {} elements",
+                arr.len()
+            )));
+        }
+        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?, C::from_value(&arr[2])?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Object access for hand-written Deserialize impls
+// ---------------------------------------------------------------------------
+
+/// Read access to a JSON object, with the lookup policies that replace the
+/// `#[serde(...)]` field attributes: exact key, key-with-alias, default on
+/// missing, optional. Unknown fields are ignored, matching serde's default.
+pub struct ObjectView<'a> {
+    fields: &'a [(String, Value)],
+}
+
+impl<'a> ObjectView<'a> {
+    /// Views `v` as an object.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] if `v` is not a JSON object.
+    pub fn new(v: &'a Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => Ok(Self { fields }),
+            other => Err(DeError::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+
+    /// The raw value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&'a Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A required field.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] if the field is missing or has the wrong shape.
+    pub fn field<T: Deserialize>(&self, key: &str) -> Result<T, DeError> {
+        match self.get(key) {
+            Some(v) => T::from_value(v).map_err(|e| DeError::msg(format!("field `{key}`: {e}"))),
+            None => Err(DeError::msg(format!("missing field `{key}`"))),
+        }
+    }
+
+    /// A required field that may appear under an alternate key
+    /// (`#[serde(rename = key, alias = alias)]`).
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] if neither key is present or the value has the wrong shape.
+    pub fn field_alias<T: Deserialize>(&self, key: &str, alias: &str) -> Result<T, DeError> {
+        match self.get(key).or_else(|| self.get(alias)) {
+            Some(v) => T::from_value(v).map_err(|e| DeError::msg(format!("field `{key}`: {e}"))),
+            None => Err(DeError::msg(format!("missing field `{key}` (alias `{alias}`)"))),
+        }
+    }
+
+    /// A field that defaults when missing (`#[serde(default)]`).
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] if the field is present but has the wrong shape.
+    pub fn field_or_default<T: Deserialize + Default>(&self, key: &str) -> Result<T, DeError> {
+        match self.get(key) {
+            Some(v) => T::from_value(v).map_err(|e| DeError::msg(format!("field `{key}`: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// An optional field: `None` when missing or JSON null.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] if the field is present but has the wrong shape.
+    pub fn opt_field<T: Deserialize>(&self, key: &str) -> Result<Option<T>, DeError> {
+        match self.get(key) {
+            Some(Value::Null) | None => Ok(None),
+            Some(v) => {
+                T::from_value(v).map(Some).map_err(|e| DeError::msg(format!("field `{key}`: {e}")))
+            }
+        }
+    }
+
+    /// A required string tag (e.g. the `type` field of internally tagged
+    /// enums).
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] if the tag is missing or not a string.
+    pub fn tag(&self, key: &str) -> Result<&'a str, DeError> {
+        self.get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| DeError::msg(format!("missing `{key}` tag")))
+    }
+}
+
+/// Generates [`Serialize`] and [`Deserialize`] for a struct with named
+/// fields. Each entry is `field` (JSON key = field name) or
+/// `field => "json_key"` (the `#[serde(rename)]` case).
+///
+/// ```
+/// struct P { x: f64, one_q: f64 }
+/// serde::impl_serde_struct!(P { x, one_q => "1qGate" });
+/// let v = serde::Serialize::to_value(&P { x: 1.0, one_q: 52.0 });
+/// assert_eq!(v.get("1qGate").and_then(serde::Value::as_f64), Some(52.0));
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ty { $($field:ident $(=> $key:literal)?),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((
+                        $crate::impl_serde_struct!(@key $field $($key)?).to_string(),
+                        $crate::Serialize::to_value(&self.$field),
+                    )),+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                let obj = $crate::ObjectView::new(v)?;
+                Ok(Self {
+                    $($field: obj.field($crate::impl_serde_struct!(@key $field $($key)?))?),+
+                })
+            }
+        }
+    };
+    (@key $field:ident) => { stringify!($field) };
+    (@key $field:ident $key:literal) => { $key };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        for v in [0usize, 1, 42, 1_000_000] {
+            assert_eq!(usize::from_value(&v.to_value()).unwrap(), v);
+        }
+        for v in [0.0f64, -1.5, 3.25e9, 1.0e-12] {
+            assert_eq!(f64::from_value(&v.to_value()).unwrap(), v);
+        }
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = "héllo".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn negative_number_rejected_for_unsigned() {
+        let v = Value::Number(Number::from_f64(-1.0));
+        assert!(usize::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn out_of_range_integers_rejected() {
+        // 1e300 has fract() == 0; without the range check `as` would
+        // saturate it to usize::MAX.
+        let big = Value::Number(Number::from_f64(1e300));
+        assert!(usize::from_value(&big).is_err());
+        assert!(i64::from_value(&big).is_err());
+        let nan = Value::Number(Number::from_f64(f64::NAN));
+        assert!(usize::from_value(&nan).is_err());
+        assert!(i32::from_value(&nan).is_err());
+        assert!(u8::from_value(&Value::Number(Number::from_f64(256.0))).is_err());
+        assert!(i8::from_value(&Value::Number(Number::from_f64(-129.0))).is_err());
+    }
+
+    #[test]
+    fn option_and_vec_roundtrip() {
+        let v: Option<Vec<(f64, f64)>> = Some(vec![(1.0, 2.0), (3.0, 4.0)]);
+        let val = v.to_value();
+        let back: Option<Vec<(f64, f64)>> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(back, v);
+        let none: Option<f64> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn object_view_policies() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::from_f64(1.0))),
+            ("site_seperation".into(), Value::Number(Number::from_f64(3.0))),
+        ]);
+        let obj = ObjectView::new(&v).unwrap();
+        assert_eq!(obj.field::<f64>("a").unwrap(), 1.0);
+        assert!(obj.field::<f64>("b").is_err());
+        assert_eq!(obj.field_alias::<f64>("site_seperation", "site_separation").unwrap(), 3.0);
+        assert_eq!(obj.field_alias::<f64>("nope", "site_seperation").unwrap(), 3.0);
+        assert_eq!(obj.field_or_default::<Vec<f64>>("missing").unwrap(), Vec::<f64>::new());
+        assert_eq!(obj.opt_field::<f64>("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn struct_macro_with_rename() {
+        #[derive(Debug, PartialEq)]
+        struct Demo {
+            plain: usize,
+            renamed: f64,
+        }
+        impl_serde_struct!(Demo { plain, renamed => "1qGate" });
+        let d = Demo { plain: 7, renamed: 52.0 };
+        let v = d.to_value();
+        assert_eq!(v.get("1qGate").and_then(Value::as_f64), Some(52.0));
+        assert_eq!(Demo::from_value(&v).unwrap(), d);
+    }
+}

@@ -1,0 +1,182 @@
+//! The ordered JSON value model shared by the `serde` and `serde_json`
+//! stand-ins.
+
+/// A JSON number. Stored as `f64` (sufficient for this workspace: all
+/// serialized integers are well below 2^53).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(f64);
+
+impl Number {
+    /// Wraps a float. Non-finite values are kept as-is; the writers emit
+    /// them as `null` (matching upstream serde_json), and
+    /// [`Value::all_numbers_finite`] lets callers reject them up front.
+    pub fn from_f64(x: f64) -> Self {
+        Self(x)
+    }
+
+    /// The numeric value.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the value is a finite (JSON-representable) number.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+/// A JSON document tree. Objects keep insertion order so serialization is
+/// deterministic and mirrors field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name for the value's JSON type (used in error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether every number in the tree is finite, i.e. the tree serializes
+    /// to JSON without any non-finite value degrading to `null`.
+    pub fn all_numbers_finite(&self) -> bool {
+        match self {
+            Value::Number(n) => n.is_finite(),
+            Value::Array(items) => items.iter().all(Value::all_numbers_finite),
+            Value::Object(fields) => fields.iter().all(|(_, v)| v.all_numbers_finite()),
+            Value::Null | Value::Bool(_) | Value::String(_) => true,
+        }
+    }
+
+    /// Creates an empty object (builder entry point).
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Appends a field to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn with(mut self, key: &str, v: Value) -> Value {
+        match &mut self {
+            Value::Object(fields) => fields.push((key.to_owned(), v)),
+            _ => panic!("Value::with on non-object"),
+        }
+        self
+    }
+
+    /// Prepends a field to an object (used for internally tagged enums,
+    /// where the tag must come first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn with_tag_first(mut self, key: &str, tag: &str) -> Value {
+        match &mut self {
+            Value::Object(fields) => {
+                fields.insert(0, (key.to_owned(), Value::String(tag.to_owned())));
+            }
+            _ => panic!("Value::with_tag_first on non-object"),
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let v = Value::object()
+            .with("a", Value::Number(Number::from_f64(1.0)))
+            .with("b", Value::String("x".into()))
+            .with_tag_first("type", "demo");
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "type");
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn non_finite_numbers_detected() {
+        assert!(!Number::from_f64(f64::NAN).is_finite());
+        assert!(!Number::from_f64(f64::INFINITY).is_finite());
+        let v = Value::object().with(
+            "xs",
+            Value::Array(vec![
+                Value::Number(Number::from_f64(1.0)),
+                Value::Number(Number::from_f64(f64::NAN)),
+            ]),
+        );
+        assert!(!v.all_numbers_finite());
+        assert!(Value::object()
+            .with("x", Value::Number(Number::from_f64(1.0)))
+            .all_numbers_finite());
+    }
+}

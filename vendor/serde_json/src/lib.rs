@@ -1,0 +1,163 @@
+//! In-tree stand-in for the `serde_json` crate (the build environment has no
+//! network access). Provides the entry points the workspace uses with their
+//! upstream signatures — `to_string`, `to_string_pretty`, `from_str`,
+//! `to_value`, `from_value` and an [`Error`] type — over the ordered
+//! [`serde::Value`] model.
+//!
+//! Output formatting matches upstream closely enough for the golden strings
+//! asserted in tests: compact form has no whitespace; pretty form indents
+//! with two spaces and separates keys with `": "`.
+
+mod parse;
+mod print;
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// JSON error: parse failures (with offset) and shape mismatches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// An error with a caller-supplied message (mirrors
+    /// `serde::ser::Error::custom`).
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Self::new(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Self::new(e.0)
+    }
+}
+
+/// Serializes `value` to compact JSON (no whitespace).
+///
+/// # Errors
+///
+/// Kept for upstream signature compatibility; the stub serializer is
+/// infallible, so this never returns `Err`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serializes `value` to pretty JSON (two-space indent).
+///
+/// # Errors
+///
+/// Kept for upstream signature compatibility; the stub serializer is
+/// infallible, so this never returns `Err`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Parses a `T` from JSON text.
+///
+/// # Errors
+///
+/// [`Error`] on malformed JSON or on a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a `T` from a [`Value`] tree.
+///
+/// # Errors
+///
+/// [`Error`] on a shape mismatch.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    Ok(T::from_value(v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Number;
+
+    #[test]
+    fn compact_and_pretty_forms() {
+        let v = Value::object()
+            .with("type", Value::String("rydberg".into()))
+            .with("zone_id", Value::Number(Number::from_f64(0.0)))
+            .with("xs", Value::Array(vec![Value::Number(Number::from_f64(1.5))]));
+        assert_eq!(
+            to_string(&Raw(v.clone())).unwrap(),
+            r#"{"type":"rydberg","zone_id":0,"xs":[1.5]}"#
+        );
+        let pretty = to_string_pretty(&Raw(v)).unwrap();
+        assert!(pretty.contains("\"type\": \"rydberg\""), "{pretty}");
+        assert!(pretty.starts_with("{\n  \"type\""), "{pretty}");
+    }
+
+    struct Raw(Value);
+    impl serde::Serialize for Raw {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text =
+            r#"{"a": [1, 2.5, -3e2, 1.5e6], "b": "q\"uo\\te", "c": null, "d": true, "e": {}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[3].as_f64(), Some(1.5e6));
+        assert_eq!(v.get("b").unwrap().as_str(), Some(r#"q"uo\te"#));
+        assert_eq!(v.get("c"), Some(&Value::Null));
+        let text2 = to_string(&Raw(v.clone())).unwrap();
+        let v2: Value = from_str(&text2).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in
+            ["{not json", "", "{\"a\":}", "[1,", "\"unterminated", "{\"a\":1}trailing", "nul"]
+        {
+            assert!(from_str::<Value>(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""Aé\n\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé\n\t"));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&Raw(Value::Array(vec![]))).unwrap(), "[]");
+        assert_eq!(to_string(&Raw(Value::object())).unwrap(), "{}");
+        let pretty = to_string_pretty(&Raw(Value::Array(vec![]))).unwrap();
+        assert_eq!(pretty, "[]");
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        let v = Value::Number(Number::from_f64(52.0));
+        assert_eq!(to_string(&Raw(v)).unwrap(), "52");
+    }
+}
