@@ -7,8 +7,8 @@
 //! Defaults reproduce the paper's evaluation settings (Sec. VII-A).
 
 use crate::{compile_atomique, compile_enola, compile_nalac, compile_sc, ScMachine};
-use zac_circuit::StagedCircuit;
-use zac_core::{CompileError, CompileOutput, Compiler};
+use zac_circuit::{Fingerprint, StagedCircuit};
+use zac_core::{write_params_tokens, CompileError, CompileOutput, Compiler};
 use zac_fidelity::NeutralAtomParams;
 
 /// Configuration of the [`Enola`] baseline.
@@ -47,6 +47,12 @@ impl Enola {
 impl Compiler for Enola {
     fn name(&self) -> &str {
         "Monolithic-Enola"
+    }
+
+    fn config_tokens(&self, fp: &mut Fingerprint) {
+        fp.write_usize(self.config.rows);
+        fp.write_usize(self.config.cols);
+        write_params_tokens(fp, &self.config.params);
     }
 
     fn compile(&self, staged: &StagedCircuit) -> Result<CompileOutput, CompileError> {
@@ -93,6 +99,12 @@ impl Atomique {
 impl Compiler for Atomique {
     fn name(&self) -> &str {
         "Monolithic-Atomique"
+    }
+
+    fn config_tokens(&self, fp: &mut Fingerprint) {
+        fp.write_usize(self.config.rows);
+        fp.write_usize(self.config.cols);
+        write_params_tokens(fp, &self.config.params);
     }
 
     fn compile(&self, staged: &StagedCircuit) -> Result<CompileOutput, CompileError> {
@@ -147,6 +159,11 @@ impl Compiler for Nalac {
         "Zoned-NALAC"
     }
 
+    fn config_tokens(&self, fp: &mut Fingerprint) {
+        fp.write_usize(self.config.zone_row_sites);
+        write_params_tokens(fp, &self.config.params);
+    }
+
     fn compile(&self, staged: &StagedCircuit) -> Result<CompileOutput, CompileError> {
         let c = &self.config;
         let out = compile_nalac(staged, c.zone_row_sites, &c.params);
@@ -198,6 +215,15 @@ impl Compiler for Sc {
             ScMachine::Heron => "SC-Heron",
             ScMachine::Grid => "SC-Grid",
         }
+    }
+
+    fn config_tokens(&self, fp: &mut Fingerprint) {
+        // The machine choice already determines `name()`; tag it anyway so
+        // the fingerprint does not depend on the display string alone.
+        fp.write_u8(match self.config.machine {
+            ScMachine::Heron => 0,
+            ScMachine::Grid => 1,
+        });
     }
 
     fn compile(&self, staged: &StagedCircuit) -> Result<CompileOutput, CompileError> {
@@ -258,6 +284,23 @@ mod tests {
                 other => panic!("{}: unexpected result {other:?}", compiler.name()),
             }
         }
+    }
+
+    #[test]
+    fn fingerprints_distinct_across_lineup_and_configs() {
+        let fps: Vec<u64> = all().iter().map(|c| c.fingerprint()).collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "compilers {i} and {j} share a fingerprint");
+            }
+        }
+        // Same compiler, different config → different fingerprint.
+        let wide = Enola::new(EnolaConfig { rows: 12, ..EnolaConfig::default() });
+        assert_ne!(wide.fingerprint(), Enola::default().fingerprint());
+        let mut params = NeutralAtomParams::reference();
+        params.f_2q = 0.999;
+        let tuned = Nalac::new(NalacConfig { params, ..NalacConfig::default() });
+        assert_ne!(tuned.fingerprint(), Nalac::default().fingerprint());
     }
 
     #[test]

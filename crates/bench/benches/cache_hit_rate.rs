@@ -1,0 +1,80 @@
+//! Cache effectiveness on the paper's evaluation sweep: the full
+//! 17-circuit suite × six-compiler matrix, run cold and then warm through
+//! one shared [`CompileCache`].
+//!
+//! Reported: cold sweep time, warm sweep time, speedup, and the warm-pass
+//! hit rate. The warm pass must hit on ≥ 90% of lookups (it hits on 100%:
+//! every cell of the matrix is deterministic and cached) and reproduce the
+//! cold results bit-identically — both asserted, so this bench doubles as
+//! an end-to-end check of the caching subsystem at full-suite scale.
+//!
+//! Run with `cargo bench -p zac-bench --bench cache_hit_rate`.
+
+use std::time::Instant;
+use zac_bench::{default_compilers, default_suite, print_header, BatchRunner};
+use zac_cache::CompileCache;
+
+fn main() {
+    print_header(
+        "Cache hit rate — suite × compiler sweep, cold vs warm",
+        "(repo extension; enables O(1) figure regeneration and batch serving)",
+    );
+
+    let suite = default_suite();
+    let compilers = default_compilers();
+    let cache = CompileCache::in_memory(4096);
+    let runner = BatchRunner::parallel().with_cache(cache.clone());
+
+    let t0 = Instant::now();
+    let cold = runner.run(&compilers, &suite);
+    let cold_time = t0.elapsed();
+    let cold_stats = cache.stats();
+
+    let t1 = Instant::now();
+    let warm = runner.run(&compilers, &suite);
+    let warm_time = t1.elapsed();
+
+    let stats = cache.stats();
+    let cells = (suite.len() * compilers.len()) as u64;
+    // The warm pass performs exactly one lookup per cell; its hits are the
+    // delta over the cold pass. Dividing by `cells` (not by a lookup count
+    // that would shrink with the misses) keeps the metric honest: a warm
+    // pass that recompiles shows up as a hit rate below 1.
+    let warm_hits = (stats.hits + stats.disk_hits) - (cold_stats.hits + cold_stats.disk_hits);
+    let hit_rate = warm_hits as f64 / cells as f64;
+
+    println!("suite: {} circuits × {} compilers = {} cells", suite.len(), compilers.len(), cells);
+    println!(
+        "cold sweep: {:>10.3} s ({} compilations)",
+        cold_time.as_secs_f64(),
+        cold_stats.misses
+    );
+    println!("warm sweep: {:>10.3} s ({warm_hits} cache hits)", warm_time.as_secs_f64());
+    println!(
+        "speedup:    {:>10.1}x    warm hit rate: {:.1}%",
+        cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9),
+        100.0 * hit_rate
+    );
+    println!("cache:      {} resident entries, {} evictions", stats.resident, stats.evictions);
+
+    assert!(
+        hit_rate >= 0.90,
+        "warm sweep hit rate {:.3} below the 90% bar (stats: {stats:?})",
+        hit_rate
+    );
+
+    // Warm results must be bit-identical to cold ones (original compile
+    // times included — lookup time never leaks into timing series).
+    assert_eq!(cold.len(), warm.len());
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.results.len(), w.results.len(), "{}", c.name);
+        for (cr, wr) in c.results.iter().zip(&w.results) {
+            assert_eq!(cr.report, wr.report, "{} / {}", c.name, cr.compiler);
+            assert_eq!(cr.counts, wr.counts, "{} / {}", c.name, cr.compiler);
+            assert_eq!(cr.compile_secs.to_bits(), wr.compile_secs.to_bits());
+            assert!(wr.from_cache && !cr.from_cache);
+        }
+        assert!(c.failures.is_empty(), "{}: {:?}", c.name, c.failures);
+    }
+    println!("\nwarm sweep bit-identical to cold sweep ✓");
+}

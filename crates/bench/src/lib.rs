@@ -15,8 +15,9 @@
 use rayon::prelude::*;
 use zac_arch::Architecture;
 use zac_baselines::{Atomique, Enola, Nalac, Sc};
+use zac_cache::{CacheKey, CompileCache};
 use zac_circuit::{bench_circuits, preprocess, StagedCircuit};
-use zac_core::{CompileError, Compiler, GateCounts, Zac, ZacConfig};
+use zac_core::{CompileError, CompileOutput, Compiler, GateCounts, Zac, ZacConfig};
 use zac_fidelity::FidelityReport;
 
 /// One compiler's results on one circuit.
@@ -28,14 +29,78 @@ pub struct RunResult {
     pub report: FidelityReport,
     /// Named gate/error counters.
     pub counts: GateCounts,
-    /// Compile wall time in seconds.
+    /// Compile wall time in seconds. For cache hits this is the *original*
+    /// compile time recorded when the entry was produced — lookup times
+    /// never pollute figure timing series (regression-tested below).
     pub compile_secs: f64,
+    /// Whether the result was served from a [`CompileCache`] rather than
+    /// freshly compiled.
+    pub from_cache: bool,
 }
 
 impl RunResult {
+    fn from_output(compiler: &dyn Compiler, out: CompileOutput) -> Self {
+        Self {
+            compiler: compiler.name().to_owned(),
+            report: out.report,
+            counts: out.counts,
+            compile_secs: out.compile_time.as_secs_f64(),
+            from_cache: out.from_cache,
+        }
+    }
+
     /// Total fidelity.
     pub fn fidelity(&self) -> f64 {
         self.report.total()
+    }
+}
+
+/// A non-capacity compiler failure observed in a sweep cell: a compiler
+/// bug, not a circuit that merely does not fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Compiler label.
+    pub compiler: String,
+    /// The backend's error message.
+    pub reason: String,
+}
+
+/// Outcome of running one compiler on one circuit — the typed replacement
+/// for the old "`Option<RunResult>` plus a stderr warning" shape: callers
+/// and tests can now observe *why* a cell is blank instead of scraping
+/// stderr.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The compiler produced a result.
+    Ok(RunResult),
+    /// The circuit does not fit the compiler's target hardware; the
+    /// paper's figures leave these cells blank.
+    TooLarge {
+        /// Qubits (or storage traps) the circuit needs.
+        needed: usize,
+        /// What the target provides.
+        available: usize,
+    },
+    /// Any other pipeline failure — a compiler bug, not a capacity limit.
+    Failed(String),
+}
+
+impl RunOutcome {
+    /// The result, if the cell succeeded (blank-cell semantics: both
+    /// [`RunOutcome::TooLarge`] and [`RunOutcome::Failed`] yield `None`).
+    pub fn into_result(self) -> Option<RunResult> {
+        match self {
+            Self::Ok(r) => Some(r),
+            Self::TooLarge { .. } | Self::Failed(_) => None,
+        }
+    }
+
+    /// A shared reference to the result, if the cell succeeded.
+    pub fn result(&self) -> Option<&RunResult> {
+        match self {
+            Self::Ok(r) => Some(r),
+            _ => None,
+        }
     }
 }
 
@@ -52,6 +117,10 @@ pub struct ComparisonRow {
     pub paper_gates: (usize, usize),
     /// Results keyed by compiler label.
     pub results: Vec<RunResult>,
+    /// Non-capacity failures observed in this row ([`RunOutcome::Failed`]
+    /// cells). Empty in a healthy sweep; the cells stay blank in figures
+    /// either way.
+    pub failures: Vec<CellFailure>,
 }
 
 impl ComparisonRow {
@@ -85,31 +154,64 @@ pub fn default_compilers() -> Vec<Box<dyn Compiler>> {
     ]
 }
 
-/// Runs one compiler on one circuit. Circuits a compiler cannot fit
-/// ([`CompileError::CircuitTooLarge`]) yield `None` — the paper's figures
-/// leave those cells blank. Any *other* failure is a compiler bug, not a
-/// capacity limit, so it is surfaced on stderr rather than silently
-/// shrinking the aggregate statistics.
-pub fn run_cell(compiler: &dyn Compiler, staged: &StagedCircuit) -> Option<RunResult> {
-    match compiler.compile(staged) {
-        Ok(out) => Some(RunResult {
-            compiler: compiler.name().to_owned(),
-            report: out.report,
-            counts: out.counts,
-            compile_secs: out.compile_time.as_secs_f64(),
-        }),
-        Err(CompileError::CircuitTooLarge { .. }) => None,
-        Err(e) => {
-            eprintln!("warning: {} failed on {}: {e}", compiler.name(), staged.name);
-            None
+/// Runs one compiler on one circuit, reporting a typed [`RunOutcome`].
+pub fn run_cell(compiler: &dyn Compiler, staged: &StagedCircuit) -> RunOutcome {
+    run_cell_with(compiler, staged, None)
+}
+
+/// [`run_cell`] with an optional shared [`CompileCache`]: the cache is
+/// consulted first (hits carry their original compile time and
+/// `from_cache == true`), and successful fresh compilations populate it.
+pub fn run_cell_with(
+    compiler: &dyn Compiler,
+    staged: &StagedCircuit,
+    cache: Option<&CompileCache>,
+) -> RunOutcome {
+    if let Some(cache) = cache {
+        let key = CacheKey::compute(compiler, staged);
+        if let Some(out) = cache.get(key) {
+            return RunOutcome::Ok(RunResult::from_output(compiler, out));
         }
+        return match compiler.compile(staged) {
+            Ok(out) => {
+                cache.put(key, &out);
+                RunOutcome::Ok(RunResult::from_output(compiler, out))
+            }
+            Err(e) => outcome_from_error(e),
+        };
+    }
+    match compiler.compile(staged) {
+        Ok(out) => RunOutcome::Ok(RunResult::from_output(compiler, out)),
+        Err(e) => outcome_from_error(e),
     }
 }
 
-/// Runs every compiler in `compilers` on one staged circuit, skipping the
-/// cells [`run_cell`] skips.
+fn outcome_from_error(e: CompileError) -> RunOutcome {
+    match e {
+        CompileError::CircuitTooLarge { needed, available } => {
+            RunOutcome::TooLarge { needed, available }
+        }
+        CompileError::Failed(reason) => RunOutcome::Failed(reason),
+    }
+}
+
+/// Runs every compiler in `compilers` on one staged circuit with
+/// blank-cell semantics: oversized cells are skipped silently, and
+/// non-capacity failures — compiler bugs, not capacity limits — are
+/// additionally surfaced on stderr at this harness boundary so aggregate
+/// statistics never shrink unnoticed. Use [`run_cell`] directly to observe
+/// failures as values.
 pub fn run_compilers(compilers: &[Box<dyn Compiler>], staged: &StagedCircuit) -> Vec<RunResult> {
-    compilers.iter().filter_map(|compiler| run_cell(&**compiler, staged)).collect()
+    compilers
+        .iter()
+        .filter_map(|compiler| match run_cell(&**compiler, staged) {
+            RunOutcome::Failed(reason) => {
+                eprintln!("warning: {} failed on {}: {reason}", compiler.name(), staged.name);
+                None
+            }
+            outcome => outcome.into_result(),
+        })
+        .collect()
 }
 
 /// Runs the default six-compiler lineup on one staged circuit.
@@ -127,7 +229,8 @@ pub enum BatchMode {
     Serial,
 }
 
-/// Drives a benchmark suite × compiler matrix, optionally in parallel.
+/// Drives a benchmark suite × compiler matrix, optionally in parallel and
+/// optionally through a shared compilation cache.
 ///
 /// Each (circuit, compiler) cell is an independent compilation (every
 /// compiler in this workspace is deterministic given its config, including
@@ -135,34 +238,50 @@ pub enum BatchMode {
 /// the serial one; only wall-clock timing differs. When the *timing* is the
 /// measurement (Fig. 12), use [`BatchRunner::serial`]: per-cell
 /// `compile_secs` under the parallel mode includes contention from
-/// co-running cells.
+/// co-running cells. (Cache hits are immune to this: they carry the compile
+/// time recorded when the entry was produced.)
 ///
 /// # Example
 ///
 /// ```
 /// use zac_bench::{default_compilers, BatchRunner};
+/// use zac_cache::CompileCache;
 /// use zac_circuit::{bench_circuits, preprocess};
 ///
 /// let suite = vec![preprocess(&bench_circuits::ghz(8))];
-/// let rows = BatchRunner::parallel().run(&default_compilers(), &suite);
-/// assert_eq!(rows.len(), 1);
-/// assert_eq!(rows[0].results.len(), 6);
+/// let cache = CompileCache::in_memory(256);
+/// let runner = BatchRunner::parallel().with_cache(cache.clone());
+/// let cold = runner.run(&default_compilers(), &suite);
+/// let warm = runner.run(&default_compilers(), &suite); // all cache hits
+/// assert_eq!(cold[0].results.len(), 6);
+/// assert!(warm[0].results.iter().all(|r| r.from_cache));
+/// assert_eq!(cache.stats().hits, 6);
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BatchRunner {
     mode: BatchMode,
+    cache: Option<CompileCache>,
 }
 
 impl BatchRunner {
     /// A runner that sweeps in parallel (the default).
     pub fn parallel() -> Self {
-        Self { mode: BatchMode::Parallel }
+        Self { mode: BatchMode::Parallel, cache: None }
     }
 
     /// A runner that sweeps serially (reference path for determinism
     /// checks).
     pub fn serial() -> Self {
-        Self { mode: BatchMode::Serial }
+        Self { mode: BatchMode::Serial, cache: None }
+    }
+
+    /// Routes every cell through `cache`. Clones of one [`CompileCache`]
+    /// share storage, so suite × compiler sweeps across runners — repeated
+    /// figure regenerations, fig14-style architecture matrices — reuse each
+    /// other's compilations.
+    pub fn with_cache(mut self, cache: CompileCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The runner's mode.
@@ -170,8 +289,15 @@ impl BatchRunner {
         self.mode
     }
 
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&CompileCache> {
+        self.cache.as_ref()
+    }
+
     /// Runs every compiler on every circuit, returning one row per circuit
-    /// (suite order) with results in compiler order.
+    /// (suite order) with results in compiler order. Oversized cells are
+    /// left blank; non-capacity failures are recorded on
+    /// [`ComparisonRow::failures`].
     pub fn run(
         &self,
         compilers: &[Box<dyn Compiler>],
@@ -181,8 +307,10 @@ impl BatchRunner {
         // a slow cell (ZAC on ising_n98) overlaps many fast ones.
         let cells: Vec<(usize, usize)> =
             (0..suite.len()).flat_map(|ci| (0..compilers.len()).map(move |ki| (ci, ki))).collect();
-        let compile_cell = |&(ci, ki): &(usize, usize)| run_cell(&*compilers[ki], &suite[ci]);
-        let outputs: Vec<Option<RunResult>> = match self.mode {
+        let compile_cell = |&(ci, ki): &(usize, usize)| {
+            run_cell_with(&*compilers[ki], &suite[ci], self.cache.as_ref())
+        };
+        let outputs: Vec<RunOutcome> = match self.mode {
             BatchMode::Parallel => cells.par_iter().map(compile_cell).collect(),
             BatchMode::Serial => cells.iter().map(compile_cell).collect(),
         };
@@ -195,15 +323,36 @@ impl BatchRunner {
                 gates: (staged.num_2q_gates(), staged.num_1q_gates()),
                 paper_gates: (0, 0),
                 results: Vec::new(),
+                failures: Vec::new(),
             })
             .collect();
-        for ((ci, _), result) in cells.into_iter().zip(outputs) {
-            if let Some(r) = result {
-                rows[ci].results.push(r);
+        for ((ci, ki), outcome) in cells.into_iter().zip(outputs) {
+            match outcome {
+                RunOutcome::Ok(r) => rows[ci].results.push(r),
+                RunOutcome::TooLarge { .. } => {}
+                RunOutcome::Failed(reason) => {
+                    // Recorded for callers *and* warned here, so unattended
+                    // figure regenerations never shrink their aggregates
+                    // silently.
+                    eprintln!(
+                        "warning: {} failed on {}: {reason}",
+                        compilers[ki].name(),
+                        rows[ci].name
+                    );
+                    rows[ci]
+                        .failures
+                        .push(CellFailure { compiler: compilers[ki].name().to_owned(), reason });
+                }
             }
         }
         rows
     }
+}
+
+/// The paper's 17-circuit evaluation suite, preprocessed — the default
+/// input for suite × compiler sweeps.
+pub fn default_suite() -> Vec<StagedCircuit> {
+    bench_circuits::paper_suite().iter().map(|entry| preprocess(&entry.circuit)).collect()
 }
 
 /// Runs the full Fig. 8 comparison over the paper's 17-circuit suite,
@@ -331,5 +480,168 @@ mod tests {
         assert!(!names.contains(&"Monolithic-Enola"));
         assert!(names.contains(&"Zoned-NALAC"));
         assert!(names.contains(&"Zoned-ZAC"));
+        // Capacity skips are not failures.
+        assert!(rows[0].failures.is_empty());
+    }
+
+    /// A compiler that always fails with a non-capacity error.
+    struct Broken;
+
+    impl Compiler for Broken {
+        fn name(&self) -> &str {
+            "Broken"
+        }
+
+        fn compile(&self, _: &StagedCircuit) -> Result<zac_core::CompileOutput, CompileError> {
+            Err(CompileError::Failed("synthetic failure".into()))
+        }
+    }
+
+    #[test]
+    fn run_cell_reports_typed_outcomes() {
+        let staged = preprocess(&bench_circuits::ghz(10));
+        match run_cell(&Broken, &staged) {
+            RunOutcome::Failed(reason) => assert_eq!(reason, "synthetic failure"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let big = preprocess(&bench_circuits::ghz(150));
+        match run_cell(&Sc::heron(), &big) {
+            RunOutcome::TooLarge { needed, available } => {
+                assert_eq!(needed, 150);
+                assert!(available < 150);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert!(run_cell(&Sc::heron(), &staged).into_result().is_some());
+    }
+
+    #[test]
+    fn batch_runner_records_failures_on_rows() {
+        let staged = preprocess(&bench_circuits::ghz(8));
+        let compilers: Vec<Box<dyn Compiler>> = vec![Box::new(Broken), Box::new(Sc::heron())];
+        let rows = BatchRunner::serial().run(&compilers, &[staged]);
+        assert_eq!(rows[0].results.len(), 1);
+        assert_eq!(
+            rows[0].failures,
+            vec![CellFailure { compiler: "Broken".into(), reason: "synthetic failure".into() }]
+        );
+    }
+
+    fn small_suite() -> Vec<StagedCircuit> {
+        [
+            bench_circuits::ghz(16),
+            bench_circuits::bv(14, 13),
+            bench_circuits::ising(20),
+            bench_circuits::qft(8),
+        ]
+        .iter()
+        .map(preprocess)
+        .collect()
+    }
+
+    /// The caching guarantee: a warm sweep performs **zero** `compile()`
+    /// calls and returns results bit-identical to the cold sweep —
+    /// including `compile_secs`, which must carry the original compile
+    /// time, never the cache-lookup time.
+    #[test]
+    fn warm_sweep_compiles_nothing_and_matches_cold_sweep() {
+        let suite = small_suite();
+        let compilers = default_compilers();
+        let cache = zac_cache::CompileCache::in_memory(1024);
+        let runner = BatchRunner::parallel().with_cache(cache.clone());
+
+        let cold = runner.run(&compilers, &suite);
+        let warm = runner.run(&compilers, &suite);
+
+        // Every cell of the warm sweep was a cache hit…
+        let stats = cache.stats();
+        let cells = (suite.len() * compilers.len()) as u64;
+        assert_eq!(stats.hits, cells, "warm sweep must hit on every cell: {stats:?}");
+        assert!(warm.iter().flat_map(|r| &r.results).all(|r| r.from_cache));
+        assert!(cold.iter().flat_map(|r| &r.results).all(|r| !r.from_cache));
+
+        // …and bit-identical to the cold sweep, timing included.
+        assert_eq!(cold.len(), warm.len());
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.name, w.name);
+            assert_eq!(c.results.len(), w.results.len(), "{}", c.name);
+            for (cr, wr) in c.results.iter().zip(&w.results) {
+                assert_eq!(cr.compiler, wr.compiler);
+                assert_eq!(cr.report, wr.report, "{} / {}", c.name, cr.compiler);
+                assert_eq!(cr.counts, wr.counts, "{} / {}", c.name, cr.compiler);
+                assert_eq!(
+                    cr.compile_secs.to_bits(),
+                    wr.compile_secs.to_bits(),
+                    "{} / {}: cached timing must be the original compile time",
+                    c.name,
+                    cr.compiler
+                );
+            }
+        }
+    }
+
+    /// The zero-compile assertion, counter-based: after a cold sweep primed
+    /// the cache, a second sweep must not invoke any compiler at all.
+    #[test]
+    fn warm_sweep_zero_compile_calls_counter_asserted() {
+        let suite = small_suite();
+        let counters: Vec<std::sync::Arc<std::sync::atomic::AtomicUsize>> =
+            (0..6).map(|_| std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0))).collect();
+
+        struct SharedCounting {
+            inner: Box<dyn Compiler>,
+            calls: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        }
+
+        impl Compiler for SharedCounting {
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+
+            fn config_tokens(&self, fp: &mut zac_core::Fingerprint) {
+                self.inner.config_tokens(fp);
+            }
+
+            fn compile(
+                &self,
+                staged: &StagedCircuit,
+            ) -> Result<zac_core::CompileOutput, CompileError> {
+                self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.inner.compile(staged)
+            }
+        }
+
+        let compilers: Vec<Box<dyn Compiler>> = default_compilers()
+            .into_iter()
+            .zip(&counters)
+            .map(|(inner, calls)| {
+                Box::new(SharedCounting { inner, calls: calls.clone() }) as Box<dyn Compiler>
+            })
+            .collect();
+
+        let cache = zac_cache::CompileCache::in_memory(1024);
+        let runner = BatchRunner::parallel().with_cache(cache.clone());
+        runner.run(&compilers, &suite);
+        let after_cold: usize =
+            counters.iter().map(|c| c.load(std::sync::atomic::Ordering::Relaxed)).sum();
+        assert_eq!(after_cold, suite.len() * compilers.len(), "cold sweep compiles every cell");
+
+        runner.run(&compilers, &suite);
+        let after_warm: usize =
+            counters.iter().map(|c| c.load(std::sync::atomic::Ordering::Relaxed)).sum();
+        assert_eq!(after_warm, after_cold, "warm sweep performs zero compile() calls");
+    }
+
+    /// The cache composes across differently-shaped sweeps: a serial rerun
+    /// over a subset of the suite reuses the parallel sweep's entries.
+    #[test]
+    fn cache_is_shared_across_runners_and_modes() {
+        let suite = small_suite();
+        let cache = zac_cache::CompileCache::in_memory(1024);
+        let compilers = default_compilers();
+        BatchRunner::parallel().with_cache(cache.clone()).run(&compilers, &suite);
+        let rows = BatchRunner::serial().with_cache(cache.clone()).run(&compilers, &suite[..2]);
+        assert!(rows.iter().flat_map(|r| &r.results).all(|r| r.from_cache));
+        assert_eq!(cache.stats().misses, (suite.len() * compilers.len()) as u64);
     }
 }

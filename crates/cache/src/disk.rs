@@ -1,0 +1,243 @@
+//! The persistent layer: one JSON file per cache entry.
+//!
+//! Entries are written atomically (write to a `.tmp` sibling, then rename
+//! into place) so a concurrent reader — another process sharing the cache
+//! directory, or a crashed writer's successor — never observes a torn file.
+//! Reads are lazy: the disk is only consulted on an in-memory miss, and
+//! anything unreadable (corrupt JSON, wrong format version, fingerprint
+//! mismatch from a renamed file) is treated as a miss, never an error.
+//!
+//! Serialization reuses the workspace's hand-written JSON impls:
+//! [`ExecutionSummary`]/[`FidelityReport`] from `zac-fidelity` and the full
+//! ZAIR [`Program`] from `zac-zair`, wrapped in a versioned envelope.
+
+use crate::CacheKey;
+use serde::{DeError, Deserialize, ObjectView, Serialize, Value};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use zac_core::CompileOutput;
+use zac_fidelity::{ExecutionSummary, FidelityReport};
+use zac_zair::Program;
+
+/// On-disk format version. Bump whenever the entry envelope *or* the
+/// fingerprint scheme (`zac_circuit::Fingerprint`'s golden tests) changes;
+/// entries with any other version are ignored as misses.
+pub const DISK_FORMAT_VERSION: u64 = 1;
+
+/// The serialized envelope of one cache entry.
+///
+/// Fingerprints are stored as 16-digit hex strings: the stand-in JSON
+/// number model is `f64`-backed, which cannot represent all `u64` values
+/// exactly (> 2^53), and a silently rounded fingerprint would corrupt
+/// lookups.
+struct DiskEntry {
+    version: u64,
+    circuit_fp: String,
+    compiler_fp: String,
+    compile_time_ns: u64,
+    summary: ExecutionSummary,
+    report: FidelityReport,
+    program: Option<Program>,
+}
+
+impl Serialize for DiskEntry {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".into(), self.version.to_value()),
+            ("circuit_fp".into(), self.circuit_fp.to_value()),
+            ("compiler_fp".into(), self.compiler_fp.to_value()),
+            ("compile_time_ns".into(), self.compile_time_ns.to_value()),
+            ("summary".into(), self.summary.to_value()),
+            ("report".into(), self.report.to_value()),
+            ("program".into(), self.program.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DiskEntry {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = ObjectView::new(v)?;
+        Ok(Self {
+            version: obj.field("version")?,
+            circuit_fp: obj.field("circuit_fp")?,
+            compiler_fp: obj.field("compiler_fp")?,
+            compile_time_ns: obj.field("compile_time_ns")?,
+            summary: obj.field("summary")?,
+            report: obj.field("report")?,
+            program: obj.opt_field("program")?,
+        })
+    }
+}
+
+/// The disk layer of a `CompileCache`: a directory of JSON entries.
+pub struct DiskLayer {
+    dir: PathBuf,
+}
+
+impl DiskLayer {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of `key`'s entry file.
+    pub fn entry_path(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.file_stem()))
+    }
+
+    /// Loads `key`'s entry, if present and intact. Any failure — missing
+    /// file, corrupt JSON, version or fingerprint mismatch — is a miss.
+    pub fn load(&self, key: CacheKey) -> Option<CompileOutput> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let entry: DiskEntry = serde_json::from_str(&text).ok()?;
+        if entry.version != DISK_FORMAT_VERSION
+            || entry.circuit_fp != format!("{:016x}", key.circuit)
+            || entry.compiler_fp != format!("{:016x}", key.compiler)
+        {
+            return None;
+        }
+        Some(CompileOutput::new(
+            entry.summary,
+            entry.report,
+            Duration::from_nanos(entry.compile_time_ns),
+            entry.program,
+        ))
+    }
+
+    /// Persists `key → output` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on filesystem failure, or `InvalidData` if the output
+    /// contains non-finite numbers (JSON cannot represent them; such an
+    /// output is an upstream compiler bug and must not poison the cache).
+    pub fn store(&self, key: CacheKey, output: &CompileOutput) -> io::Result<()> {
+        let entry = DiskEntry {
+            version: DISK_FORMAT_VERSION,
+            circuit_fp: format!("{:016x}", key.circuit),
+            compiler_fp: format!("{:016x}", key.compiler),
+            compile_time_ns: u64::try_from(output.compile_time.as_nanos())
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "compile time overflow"))?,
+            summary: output.summary.clone(),
+            report: output.report,
+            program: output.program.clone(),
+        };
+        let value = entry.to_value();
+        if !value.all_numbers_finite() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("cache entry for `{}` contains non-finite numbers", output.summary.name),
+            ));
+        }
+        let json = serde_json::to_string(&value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let path = self.entry_path(key);
+        // Unique per writer (pid + in-process counter): two threads or
+        // processes racing on the same key must not truncate each other's
+        // temp file mid-write, or the rename would publish a torn entry.
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "json.tmp.{}.{}",
+            std::process::id(),
+            WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        // On any failure past this point remove the temp file: its name is
+        // unique per write, so an orphan would never be overwritten and a
+        // shared cache directory would accumulate garbage across runs.
+        fs::write(&tmp, json).and_then(|()| fs::rename(&tmp, &path)).inspect_err(|_| {
+            fs::remove_file(&tmp).ok();
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{sample_output, temp_cache_dir};
+
+    fn key() -> CacheKey {
+        CacheKey { circuit: 0xdead_beef_0123_4567, compiler: 0xfeed_face_89ab_cdef }
+    }
+
+    #[test]
+    fn roundtrips_output_exactly() {
+        let dir = temp_cache_dir("disk-roundtrip");
+        let layer = DiskLayer::new(&dir).unwrap();
+        let out = sample_output("rt", 3);
+        layer.store(key(), &out).unwrap();
+        let back = layer.load(key()).expect("entry loads");
+        assert_eq!(back.summary, out.summary);
+        assert_eq!(back.report, out.report);
+        assert_eq!(back.counts, out.counts);
+        assert_eq!(back.compile_time, out.compile_time);
+        assert!(!back.from_cache, "disk layer returns pristine outputs");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_tmp_files_left_behind() {
+        let dir = temp_cache_dir("disk-tmp");
+        let layer = DiskLayer::new(&dir).unwrap();
+        layer.store(key(), &sample_output("t", 1)).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_version_mismatch_and_absence_are_misses() {
+        let dir = temp_cache_dir("disk-miss");
+        let layer = DiskLayer::new(&dir).unwrap();
+        assert!(layer.load(key()).is_none(), "absent file");
+
+        fs::write(layer.entry_path(key()), "{ not json").unwrap();
+        assert!(layer.load(key()).is_none(), "corrupt file");
+
+        layer.store(key(), &sample_output("v", 1)).unwrap();
+        let text = fs::read_to_string(layer.entry_path(key())).unwrap();
+        fs::write(layer.entry_path(key()), text.replace("\"version\":1", "\"version\":999"))
+            .unwrap();
+        assert!(layer.load(key()).is_none(), "future version");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn renamed_entry_fails_fingerprint_check() {
+        let dir = temp_cache_dir("disk-rename");
+        let layer = DiskLayer::new(&dir).unwrap();
+        layer.store(key(), &sample_output("mv", 1)).unwrap();
+        let other = CacheKey { circuit: 1, compiler: 2 };
+        fs::rename(layer.entry_path(key()), layer.entry_path(other)).unwrap();
+        assert!(layer.load(other).is_none(), "stored fingerprints beat the filename");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_finite_outputs_are_rejected() {
+        let dir = temp_cache_dir("disk-nan");
+        let layer = DiskLayer::new(&dir).unwrap();
+        let mut out = sample_output("nan", 1);
+        out.summary.duration_us = f64::NAN;
+        let err = layer.store(key(), &out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(layer.load(key()).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,169 @@
+//! The in-process layer: a sharded LRU map over [`CompileOutput`]s.
+//!
+//! Lock granularity is one `Mutex` per shard (no external dependencies, no
+//! lock-free cleverness): a rayon sweep's worker threads hash to different
+//! shards with high probability, so contention stays negligible next to
+//! compile times. Keys are already uniform 64-bit fingerprints, so shard
+//! selection is a simple XOR-fold — no re-hashing needed.
+
+use crate::CacheKey;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use zac_core::CompileOutput;
+
+/// Number of independently locked shards. A power of two so the modulo
+/// compiles to a mask; 16 comfortably exceeds typical rayon pool widths.
+pub const SHARDS: usize = 16;
+
+struct Entry {
+    output: CompileOutput,
+    /// Logical access time within the owning shard (monotonic per shard).
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// A fixed-capacity, sharded least-recently-used map.
+///
+/// Capacity is enforced per shard (`ceil(capacity / SHARDS)`, minimum 1),
+/// so the total resident entry count can exceed the requested capacity by
+/// at most `SHARDS - 1` under adversarial key distributions — an accepted
+/// trade for per-shard locking.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl ShardedLru {
+    /// A map holding roughly `capacity` entries (at least one per shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS).max(1),
+        }
+    }
+
+    fn shard(&self, key: CacheKey) -> &Mutex<Shard> {
+        // Fingerprints are uniform; fold the two halves and mask.
+        &self.shards[(key.circuit ^ key.compiler) as usize % SHARDS]
+    }
+
+    /// Looks up `key`, refreshing its recency. Returns a clone.
+    pub fn get(&self, key: CacheKey) -> Option<CompileOutput> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let tick = shard.touch();
+        let entry = shard.map.get_mut(&key)?;
+        entry.tick = tick;
+        Some(entry.output.clone())
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's least-recently
+    /// used entry when full. Returns the number of evictions (0 or 1).
+    pub fn insert(&self, key: CacheKey, output: CompileOutput) -> u64 {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let tick = shard.touch();
+        let mut evicted = 0;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+            let victim = shard.map.iter().min_by_key(|(_, e)| e.tick).map(|(&k, _)| k);
+            if let Some(lru) = victim {
+                shard.map.remove(&lru);
+                evicted = 1;
+            }
+        }
+        shard.map.insert(key, Entry { output, tick });
+        evicted
+    }
+
+    /// Number of resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use zac_fidelity::{evaluate_neutral_atom, ExecutionSummary, NeutralAtomParams};
+
+    fn output(tag: usize) -> CompileOutput {
+        let summary = ExecutionSummary {
+            name: format!("c{tag}"),
+            num_qubits: 2,
+            duration_us: tag as f64,
+            g1: tag,
+            g2: 0,
+            n_exc: 0,
+            n_tran: 0,
+            idle_us: vec![0.0, 0.0],
+        };
+        let report = evaluate_neutral_atom(&summary, &NeutralAtomParams::reference());
+        CompileOutput::new(summary, report, Duration::from_millis(1), None)
+    }
+
+    /// Keys landing in one shard, so per-shard LRU order is observable.
+    fn same_shard_key(i: u64) -> CacheKey {
+        // circuit ^ compiler ≡ 0 mod SHARDS for every i.
+        CacheKey { circuit: i * SHARDS as u64, compiler: 0 }
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let lru = ShardedLru::new(3 * SHARDS); // 3 slots in the target shard
+        for i in 0..3 {
+            lru.insert(same_shard_key(i), output(i as usize));
+        }
+        // Touch key 0 so key 1 becomes the LRU.
+        assert!(lru.get(same_shard_key(0)).is_some());
+        assert_eq!(lru.insert(same_shard_key(3), output(3)), 1);
+        assert!(lru.get(same_shard_key(0)).is_some(), "refreshed entry survives");
+        assert!(lru.get(same_shard_key(1)).is_none(), "LRU entry evicted");
+        assert!(lru.get(same_shard_key(2)).is_some());
+        assert!(lru.get(same_shard_key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let lru = ShardedLru::new(2 * SHARDS);
+        lru.insert(same_shard_key(0), output(0));
+        lru.insert(same_shard_key(1), output(1));
+        assert_eq!(lru.insert(same_shard_key(0), output(7)), 0, "refresh evicts nothing");
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(same_shard_key(0)).unwrap().summary.g1, 7);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one_per_shard() {
+        let lru = ShardedLru::new(1);
+        lru.insert(CacheKey { circuit: 1, compiler: 2 }, output(1));
+        lru.insert(CacheKey { circuit: 3, compiler: 4 }, output(2));
+        assert!(!lru.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        ShardedLru::new(0);
+    }
+}

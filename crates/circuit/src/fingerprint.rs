@@ -1,0 +1,255 @@
+//! Stable content fingerprints for compilation caching.
+//!
+//! Every compiler in this workspace is deterministic given its
+//! configuration, so compile outputs are memoizable by *(circuit content,
+//! compiler identity)*. This module supplies the circuit half of that key: a
+//! 64-bit FNV-1a digest over the staged circuit's content, plus the
+//! [`Fingerprint`] writer the compiler half (`zac_core::Compiler`
+//! implementations) folds its own configuration into.
+//!
+//! The digest is **stable by construction**: every multi-byte value is
+//! serialized to explicit little-endian bytes before hashing (so the result
+//! is independent of host endianness and pointer width), floats are hashed
+//! via their IEEE-754 bit patterns, and variable-length runs are
+//! length-prefixed so adjacent fields can never alias (`["ab","c"]` vs
+//! `["a","bc"]`). The exact values are locked by golden tests below; cache
+//! entries persisted to disk stay valid across processes, machines and
+//! rebuilds as long as those tests hold.
+
+use crate::stages::{Gate2, RydbergStage, StagedCircuit, U3Op};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher with typed, self-delimiting writes.
+///
+/// Unlike `std::hash::Hasher`, the output is specified: it never changes
+/// across Rust versions, platforms or process runs, which is what makes it
+/// usable as a persistent cache key.
+///
+/// # Example
+///
+/// ```
+/// use zac_circuit::Fingerprint;
+/// let mut a = Fingerprint::new();
+/// a.write_str("zac");
+/// a.write_u64(7);
+/// let mut b = Fingerprint::new();
+/// b.write_str("zac");
+/// b.write_u64(7);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Hashes raw bytes (FNV-1a inner loop).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Hashes a `u64` as 8 little-endian bytes (endianness-independent).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `usize` widened to `u64` (pointer-width-independent).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes an `f64` via its IEEE-754 bit pattern. `NaN` payloads and
+    /// `-0.0` vs `0.0` are distinguished — bit-identical inputs, and only
+    /// those, fingerprint identically.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Hashes a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Hashes a string, length-prefixed so consecutive strings never alias.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+fn write_u3(fp: &mut Fingerprint, op: &U3Op) {
+    fp.write_usize(op.qubit);
+    fp.write_f64(op.theta);
+    fp.write_f64(op.phi);
+    fp.write_f64(op.lambda);
+}
+
+fn write_stage(fp: &mut Fingerprint, stage: &RydbergStage) {
+    fp.write_usize(stage.pre_1q.len());
+    for op in &stage.pre_1q {
+        write_u3(fp, op);
+    }
+    fp.write_usize(stage.gates.len());
+    for &Gate2 { id, a, b } in &stage.gates {
+        fp.write_usize(id);
+        fp.write_usize(a);
+        fp.write_usize(b);
+    }
+}
+
+impl StagedCircuit {
+    /// A stable 64-bit content fingerprint: name, qubit count, every stage
+    /// (its `pre_1q` U3 angles and CZ gates in order), and the trailing U3
+    /// run. Order-sensitive throughout — reordering stages, gates within a
+    /// stage, or 1Q gates all produce a different digest.
+    ///
+    /// The circuit *name* participates because compiled outputs embed it
+    /// (`ExecutionSummary::name`): two structurally identical circuits under
+    /// different names must not share a cache entry.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use zac_circuit::{bench_circuits, preprocess};
+    /// let a = preprocess(&bench_circuits::ghz(8)).fingerprint();
+    /// let b = preprocess(&bench_circuits::ghz(8)).fingerprint();
+    /// let c = preprocess(&bench_circuits::ghz(9)).fingerprint();
+    /// assert_eq!(a, b);
+    /// assert_ne!(a, c);
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_str(&self.name);
+        fp.write_usize(self.num_qubits);
+        fp.write_usize(self.stages.len());
+        for stage in &self.stages {
+            write_stage(&mut fp, stage);
+        }
+        fp.write_usize(self.trailing_1q.len());
+        for op in &self.trailing_1q {
+            write_u3(&mut fp, op);
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StagedCircuit {
+        StagedCircuit {
+            name: "fp".into(),
+            num_qubits: 4,
+            stages: vec![
+                RydbergStage {
+                    pre_1q: vec![U3Op { qubit: 0, theta: 1.0, phi: 0.5, lambda: -0.5 }],
+                    gates: vec![Gate2 { id: 0, a: 0, b: 1 }, Gate2 { id: 1, a: 2, b: 3 }],
+                },
+                RydbergStage { pre_1q: vec![], gates: vec![Gate2 { id: 2, a: 1, b: 2 }] },
+            ],
+            trailing_1q: vec![U3Op { qubit: 3, theta: 0.25, phi: 0.0, lambda: 0.0 }],
+        }
+    }
+
+    /// Golden values: the digest is part of the on-disk cache format. If
+    /// this test ever fails, the hashing scheme changed and every persisted
+    /// cache entry is invalidated — bump the disk-layer version alongside.
+    #[test]
+    fn fingerprint_golden_values() {
+        let mut fp = Fingerprint::new();
+        assert_eq!(fp.finish(), 0xcbf2_9ce4_8422_2325); // offset basis
+        fp.write_bytes(b"a");
+        assert_eq!(fp.finish(), 0xaf63_dc4c_8601_ec8c); // FNV-1a("a")
+        let mut fp = Fingerprint::new();
+        fp.write_bytes(b"foobar");
+        assert_eq!(fp.finish(), 0x85944171f73967e8); // FNV-1a test vector
+        assert_eq!(sample().fingerprint(), 0x24f4_1392_fe76_fe3f);
+    }
+
+    #[test]
+    fn stable_across_invocations_and_clones() {
+        let s = sample();
+        assert_eq!(s.fingerprint(), s.fingerprint());
+        assert_eq!(s.clone().fingerprint(), s.fingerprint());
+    }
+
+    #[test]
+    fn every_field_changes_the_digest() {
+        let base = sample().fingerprint();
+        let mut s = sample();
+        s.name = "fq".into();
+        assert_ne!(s.fingerprint(), base, "name");
+        let mut s = sample();
+        s.num_qubits = 5;
+        assert_ne!(s.fingerprint(), base, "num_qubits");
+        let mut s = sample();
+        s.stages[0].gates[0].a = 3;
+        s.stages[0].gates[0].b = 0; // still a valid circuit shape
+        assert_ne!(s.fingerprint(), base, "gate operand");
+        let mut s = sample();
+        s.stages[0].gates[1].id = 9;
+        assert_ne!(s.fingerprint(), base, "gate id");
+        let mut s = sample();
+        s.stages[0].pre_1q[0].theta += 1e-9;
+        assert_ne!(s.fingerprint(), base, "u3 angle");
+        let mut s = sample();
+        s.trailing_1q.clear();
+        assert_ne!(s.fingerprint(), base, "trailing 1q");
+    }
+
+    #[test]
+    fn stage_boundaries_matter() {
+        // Same gates, split across stages differently.
+        let merged = sample();
+        let split = merged.with_max_stage_width(1);
+        assert_eq!(split.num_2q_gates(), merged.num_2q_gates());
+        assert_ne!(split.fingerprint(), merged.fingerprint());
+    }
+
+    #[test]
+    fn length_prefix_prevents_string_aliasing() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn float_hash_distinguishes_signed_zero() {
+        let mut a = Fingerprint::new();
+        a.write_f64(0.0);
+        let mut b = Fingerprint::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

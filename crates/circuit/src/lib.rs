@@ -27,12 +27,14 @@
 pub mod bench_circuits;
 pub mod circuit;
 pub mod complex;
+pub mod fingerprint;
 pub mod gate;
 pub mod preprocess;
 pub mod qasm;
 pub mod stages;
 
 pub use circuit::{Circuit, CircuitError};
+pub use fingerprint::Fingerprint;
 pub use gate::{Gate, OneQGate, TwoQKind};
 pub use preprocess::preprocess;
 pub use stages::{Gate2, RydbergStage, StageError, StagedCircuit, U3Op};

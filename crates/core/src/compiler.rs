@@ -229,6 +229,20 @@ impl crate::Compiler for Zac {
         "Zoned-ZAC"
     }
 
+    fn config_tokens(&self, fp: &mut zac_circuit::Fingerprint) {
+        crate::interface::write_arch_tokens(fp, &self.arch);
+        let p = &self.config.placement;
+        fp.write_bool(p.use_sa);
+        fp.write_bool(p.dynamic);
+        fp.write_bool(p.reuse);
+        fp.write_usize(p.sa_iterations);
+        fp.write_u64(p.seed);
+        fp.write_usize(p.window_expansion);
+        fp.write_usize(p.neighbor_k);
+        fp.write_f64(p.lookahead_alpha);
+        crate::interface::write_params_tokens(fp, &self.config.params);
+    }
+
     fn compile(&self, staged: &StagedCircuit) -> Result<crate::CompileOutput, crate::CompileError> {
         let out = self.compile_staged(staged).map_err(|e| match e {
             ZacError::Place(PlaceError::StorageFull { qubits, traps }) => {

@@ -12,8 +12,9 @@
 
 use std::fmt;
 use std::time::Duration;
-use zac_circuit::StagedCircuit;
-use zac_fidelity::{ExecutionSummary, FidelityReport};
+use zac_arch::Architecture;
+use zac_circuit::{Fingerprint, StagedCircuit};
+use zac_fidelity::{ExecutionSummary, FidelityReport, NeutralAtomParams};
 use zac_zair::Program;
 
 /// The error counters of the paper's fidelity model, named. Replaces the
@@ -54,10 +55,18 @@ pub struct CompileOutput {
     /// Named gate/error counters (derived from `summary`).
     pub counts: GateCounts,
     /// Wall-clock compilation time.
+    ///
+    /// For cache hits this is the *original* compile time recorded when the
+    /// entry was produced, never the (microsecond-scale) lookup time —
+    /// figure timing series must not be polluted by cache bookkeeping.
     pub compile_time: Duration,
     /// The compiled ZAIR program, for backends that emit one (ZAC does;
     /// the abstract-cost baselines do not).
     pub program: Option<Program>,
+    /// Whether this output was served from a compilation cache rather than
+    /// freshly compiled. Always `false` from a bare compiler; set by
+    /// `zac-cache`'s `CachedCompiler`/`CompileCache` on hits.
+    pub from_cache: bool,
 }
 
 impl CompileOutput {
@@ -69,7 +78,7 @@ impl CompileOutput {
         program: Option<Program>,
     ) -> Self {
         let counts = GateCounts::from(&summary);
-        Self { summary, report, counts, compile_time, program }
+        Self { summary, report, counts, compile_time, program, from_cache: false }
     }
 
     /// Total circuit fidelity.
@@ -105,6 +114,48 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// Folds an [`Architecture`]'s identity into a fingerprint: its name plus
+/// the full zone/SLM/AOD geometry, so two architectures that differ in any
+/// structural respect never share a digest even if their names collide.
+pub fn write_arch_tokens(fp: &mut Fingerprint, arch: &Architecture) {
+    fp.write_str(arch.name());
+    fp.write_usize(arch.aods().len());
+    for aod in arch.aods() {
+        fp.write_usize(aod.aod_id);
+        fp.write_f64(aod.min_sep);
+        fp.write_usize(aod.max_num_col);
+        fp.write_usize(aod.max_num_row);
+    }
+    for zones in [arch.storage_zones(), arch.entanglement_zones(), arch.readout_zones()] {
+        fp.write_usize(zones.len());
+        for zone in zones {
+            fp.write_usize(zone.zone_id);
+            fp.write_f64(zone.offset.x);
+            fp.write_f64(zone.offset.y);
+            fp.write_f64(zone.dimension.0);
+            fp.write_f64(zone.dimension.1);
+            fp.write_usize(zone.slms.len());
+            for slm in &zone.slms {
+                fp.write_usize(slm.slm_id);
+                fp.write_f64(slm.sep.0);
+                fp.write_f64(slm.sep.1);
+                fp.write_usize(slm.num_col);
+                fp.write_usize(slm.num_row);
+                fp.write_f64(slm.offset.x);
+                fp.write_f64(slm.offset.y);
+            }
+        }
+    }
+}
+
+/// Folds a [`NeutralAtomParams`] set into a fingerprint (all eight hardware
+/// parameters, in declaration order).
+pub fn write_params_tokens(fp: &mut Fingerprint, p: &NeutralAtomParams) {
+    for v in [p.f_2q, p.f_1q, p.f_exc, p.f_tran, p.t_2q_us, p.t_1q_us, p.t_tran_us, p.t2_us] {
+        fp.write_f64(v);
+    }
+}
+
 /// A circuit compiler targeting some architecture, with its configuration
 /// baked into the value. `Send + Sync` so compiler sets can be driven from
 /// rayon sweeps.
@@ -120,6 +171,33 @@ pub trait Compiler: Send + Sync {
     /// [`CompileError`] when the circuit cannot be handled (most commonly
     /// [`CompileError::CircuitTooLarge`]).
     fn compile(&self, staged: &StagedCircuit) -> Result<CompileOutput, CompileError>;
+
+    /// Folds everything that determines this compiler's *output* — target
+    /// architecture and configuration — into `fp`.
+    ///
+    /// The default writes nothing, which is only correct for compilers with
+    /// no configurable state. Every implementor carrying a config **must**
+    /// override this so that two differently-configured instances never
+    /// share a [`fingerprint`](Compiler::fingerprint) (a shared fingerprint
+    /// means a compilation cache may serve one config's output for the
+    /// other). Wrappers should forward to their inner compiler.
+    fn config_tokens(&self, fp: &mut Fingerprint) {
+        let _ = fp;
+    }
+
+    /// A stable 64-bit identity fingerprint: FNV-1a over the compiler's
+    /// [`name`](Compiler::name) and [`config_tokens`](Compiler::config_tokens).
+    ///
+    /// Because every compiler in this workspace is deterministic given its
+    /// configuration (asserted in `tests/compiler_trait.rs`), the pair
+    /// *(circuit fingerprint, compiler fingerprint)* fully determines the
+    /// compile output — the contract `zac-cache` builds on.
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_str(self.name());
+        self.config_tokens(&mut fp);
+        fp.finish()
+    }
 }
 
 /// Wraps a compiler under a different display name — e.g. the four ZAC
@@ -146,6 +224,17 @@ impl<C: Compiler> Compiler for Labeled<C> {
     fn compile(&self, staged: &StagedCircuit) -> Result<CompileOutput, CompileError> {
         self.inner.compile(staged)
     }
+
+    // The label participates via the default `fingerprint` (it uses
+    // `self.name()`); the inner compiler's *own* name must be folded in
+    // explicitly — without it, two different compiler types whose config
+    // tokens happen to coincide (e.g. Enola and Atomique, both hashing
+    // rows/cols/params) would share a fingerprint under one label and
+    // poison a shared cache.
+    fn config_tokens(&self, fp: &mut Fingerprint) {
+        fp.write_str(self.inner.name());
+        self.inner.config_tokens(fp);
+    }
 }
 
 impl<C: Compiler + ?Sized> Compiler for Box<C> {
@@ -155,6 +244,14 @@ impl<C: Compiler + ?Sized> Compiler for Box<C> {
 
     fn compile(&self, staged: &StagedCircuit) -> Result<CompileOutput, CompileError> {
         (**self).compile(staged)
+    }
+
+    fn config_tokens(&self, fp: &mut Fingerprint) {
+        (**self).config_tokens(fp);
+    }
+
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
     }
 }
 
@@ -198,5 +295,75 @@ mod tests {
         let e = CompileError::CircuitTooLarge { needed: 121, available: 100 };
         assert!(e.to_string().contains("121"));
         assert!(CompileError::Failed("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn new_outputs_are_not_from_cache() {
+        let s = summary();
+        let report =
+            zac_fidelity::evaluate_neutral_atom(&s, &zac_fidelity::NeutralAtomParams::reference());
+        let out = CompileOutput::new(s, report, Duration::from_millis(1), None);
+        assert!(!out.from_cache);
+    }
+
+    #[test]
+    fn fingerprint_separates_arch_config_and_label() {
+        use crate::{Zac, ZacConfig};
+        let reference = Zac::new(Architecture::reference());
+        assert_eq!(reference.fingerprint(), Zac::new(Architecture::reference()).fingerprint());
+        // Different architecture.
+        let small = Zac::new(Architecture::arch1_small());
+        assert_ne!(reference.fingerprint(), small.fingerprint());
+        // Different config on the same architecture.
+        let vanilla = Zac::with_config(Architecture::reference(), ZacConfig::vanilla());
+        assert_ne!(reference.fingerprint(), vanilla.fingerprint());
+        let mut seeded = ZacConfig::full();
+        seeded.placement.seed ^= 1;
+        let reseeded = Zac::with_config(Architecture::reference(), seeded);
+        assert_ne!(reference.fingerprint(), reseeded.fingerprint());
+        // A label changes the fingerprint; the inner config still counts.
+        let labeled = Labeled::new("ZAC-full", Zac::new(Architecture::reference()));
+        assert_ne!(labeled.fingerprint(), reference.fingerprint());
+        let labeled_vanilla = Labeled::new(
+            "ZAC-full",
+            Zac::with_config(Architecture::reference(), ZacConfig::vanilla()),
+        );
+        assert_ne!(labeled.fingerprint(), labeled_vanilla.fingerprint());
+        // Boxing is transparent.
+        let boxed: Box<dyn Compiler> = Box::new(Zac::new(Architecture::reference()));
+        assert_eq!(boxed.fingerprint(), reference.fingerprint());
+    }
+
+    #[test]
+    fn labeled_keeps_distinct_compiler_types_distinct() {
+        // Two compiler types whose config tokens coincide byte-for-byte:
+        // only the inner *name* separates them under a shared label.
+        struct A;
+        struct B;
+        impl Compiler for A {
+            fn name(&self) -> &str {
+                "TypeA"
+            }
+            fn config_tokens(&self, fp: &mut Fingerprint) {
+                fp.write_usize(10);
+            }
+            fn compile(&self, _: &StagedCircuit) -> Result<CompileOutput, CompileError> {
+                Err(CompileError::Failed("stub".into()))
+            }
+        }
+        impl Compiler for B {
+            fn name(&self) -> &str {
+                "TypeB"
+            }
+            fn config_tokens(&self, fp: &mut Fingerprint) {
+                fp.write_usize(10);
+            }
+            fn compile(&self, _: &StagedCircuit) -> Result<CompileOutput, CompileError> {
+                Err(CompileError::Failed("stub".into()))
+            }
+        }
+        let a = Labeled::new("arm", A);
+        let b = Labeled::new("arm", B);
+        assert_ne!(a.fingerprint(), b.fingerprint(), "label must not erase the inner identity");
     }
 }

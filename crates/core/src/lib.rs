@@ -35,4 +35,8 @@ pub mod interface;
 
 pub use compiler::{Zac, ZacConfig, ZacError, ZacOutput};
 pub use ideal::{ideal_summary, zone_separation_um, IdealLevel};
-pub use interface::{CompileError, CompileOutput, Compiler, GateCounts, Labeled};
+pub use interface::{
+    write_arch_tokens, write_params_tokens, CompileError, CompileOutput, Compiler, GateCounts,
+    Labeled,
+};
+pub use zac_circuit::Fingerprint;

@@ -140,6 +140,26 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
+/// Hand-written JSON impls (the in-tree serde stand-in has no derive).
+/// `zac-cache` persists cache entries through these; field names are part
+/// of the on-disk cache format.
+mod json {
+    use super::*;
+
+    serde::impl_serde_struct!(ExecutionSummary {
+        name,
+        num_qubits,
+        duration_us,
+        g1,
+        g2,
+        n_exc,
+        n_tran,
+        idle_us,
+    });
+
+    serde::impl_serde_struct!(FidelityReport { one_q, two_q, transfer, decoherence, duration_us });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +234,18 @@ mod tests {
         let h = evaluate_superconducting(&s, &SuperconductingParams::heron());
         let g = evaluate_superconducting(&s, &SuperconductingParams::grid());
         assert!(g.decoherence < h.decoherence);
+    }
+
+    #[test]
+    fn summary_and_report_roundtrip_json() {
+        let s = summary(3, 2, 1, 4, vec![12.5, 0.0]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ExecutionSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let r = evaluate_neutral_atom(&s, &NeutralAtomParams::reference());
+        let json = serde_json::to_string(&r).unwrap();
+        let back: FidelityReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub use zac_arch as arch;
 pub use zac_baselines as baselines;
 pub use zac_bench as bench;
+pub use zac_cache as cache;
 pub use zac_circuit as circuit;
 pub use zac_core as compiler;
 pub use zac_fidelity as fidelity;
@@ -46,11 +47,19 @@ pub type Error = Box<dyn std::error::Error>;
 /// Commonly used items, re-exported in one place.
 pub mod prelude {
     pub use zac_arch::Architecture;
+    pub use zac_cache::{CacheKey, CacheStats, CachedCompiler, CompileCache};
     pub use zac_circuit::bench_circuits;
-    pub use zac_circuit::Circuit;
+    pub use zac_circuit::{Circuit, Fingerprint};
     pub use zac_core::{
         CompileError, CompileOutput, Compiler, GateCounts, Labeled, Zac, ZacConfig, ZacOutput,
     };
     pub use zac_fidelity::{FidelityReport, NeutralAtomParams};
     pub use zac_zair::Program;
 }
+
+// Compile every fenced Rust block in the README as a doctest (`cargo test
+// --doc`), so the documented snippets — including the `CachedCompiler`
+// usage example — can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
