@@ -1,0 +1,225 @@
+//! OpenQASM corpus ingestion: a directory of `.qasm` files → a benchmark
+//! suite for [`crate::BatchRunner`].
+//!
+//! The paper evaluates on QASMBench OpenQASM 2.0 files; this module is the
+//! path from such a corpus on disk to `Vec<StagedCircuit>`. Design rules,
+//! mirroring the sweep harness:
+//!
+//! * **failures are values** — unreadable, oversized, or unparseable files
+//!   become [`LoadFailure`] entries (the analogue of
+//!   [`crate::CellFailure`]), never panics, so a single bad file cannot
+//!   take down a sweep;
+//! * **deterministic ordering** — files load in sorted file-name order
+//!   regardless of directory-iteration order, so corpus sweeps are
+//!   reproducible and cache-friendly across machines;
+//! * **per-file size caps** — [`CorpusConfig::max_file_bytes`] bounds what
+//!   the loader will even read, keeping accidental multi-gigabyte inputs
+//!   out of memory.
+//!
+//! ```no_run
+//! use zac_bench::{corpus::load_corpus, default_compilers, BatchRunner};
+//!
+//! let corpus = load_corpus("tests/corpus");
+//! for f in &corpus.failures {
+//!     eprintln!("skipped {}: {}", f.file, f.reason);
+//! }
+//! let rows = BatchRunner::parallel().run(&default_compilers(), &corpus.suite());
+//! assert_eq!(rows.len(), corpus.entries.len());
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use zac_circuit::{preprocess, qasm, StagedCircuit};
+
+/// Default per-file size cap: 1 MiB of QASM text (QASMBench's largest
+/// "small"/"medium" files are well under this).
+pub const DEFAULT_MAX_FILE_BYTES: u64 = 1 << 20;
+
+/// Loader limits.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Files larger than this many bytes are rejected (as a
+    /// [`LoadFailure`]) without being read.
+    pub max_file_bytes: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self { max_file_bytes: DEFAULT_MAX_FILE_BYTES }
+    }
+}
+
+/// A file the loader could not turn into a circuit — the corpus analogue of
+/// [`crate::CellFailure`]: observed as a value, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadFailure {
+    /// File name (or the directory path, for directory-level errors).
+    pub file: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+/// One successfully loaded corpus circuit.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Source file name within the corpus directory.
+    pub file: String,
+    /// The preprocessed circuit, named after the file stem.
+    pub staged: StagedCircuit,
+}
+
+/// A loaded corpus: parsed circuits in deterministic (sorted file-name)
+/// order, plus every failure observed along the way.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// Successfully loaded circuits, sorted by file name.
+    pub entries: Vec<CorpusEntry>,
+    /// Files that could not be loaded, sorted by file name.
+    pub failures: Vec<LoadFailure>,
+}
+
+impl Corpus {
+    /// The suite to hand to [`crate::BatchRunner::run`].
+    pub fn suite(&self) -> Vec<StagedCircuit> {
+        self.entries.iter().map(|e| e.staged.clone()).collect()
+    }
+
+    /// Whether every file loaded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of successfully loaded circuits.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no circuit loaded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Loads every `.qasm` file under `dir` with default limits.
+///
+/// Never panics: unreadable directories and bad files surface on
+/// [`Corpus::failures`].
+pub fn load_corpus(dir: impl AsRef<Path>) -> Corpus {
+    load_corpus_with(dir, &CorpusConfig::default())
+}
+
+/// [`load_corpus`] with explicit limits.
+pub fn load_corpus_with(dir: impl AsRef<Path>, config: &CorpusConfig) -> Corpus {
+    let dir = dir.as_ref();
+    let mut corpus = Corpus::default();
+    let read_dir = match fs::read_dir(dir) {
+        Ok(it) => it,
+        Err(e) => {
+            corpus.failures.push(LoadFailure {
+                file: dir.display().to_string(),
+                reason: format!("cannot read directory: {e}"),
+            });
+            return corpus;
+        }
+    };
+    let mut files: Vec<PathBuf> = read_dir
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|x| x.eq_ignore_ascii_case("qasm")))
+        .collect();
+    // Deterministic ordering independent of the filesystem's iteration
+    // order (and therefore reproducible across machines and runs).
+    files.sort_by(|a, b| a.file_name().cmp(&b.file_name()));
+
+    for path in files {
+        let file = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+        match load_file(&path, config) {
+            Ok(staged) => corpus.entries.push(CorpusEntry { file, staged }),
+            Err(reason) => corpus.failures.push(LoadFailure { file, reason }),
+        }
+    }
+    corpus
+}
+
+fn load_file(path: &Path, config: &CorpusConfig) -> Result<StagedCircuit, String> {
+    let meta = fs::metadata(path).map_err(|e| format!("cannot stat: {e}"))?;
+    if meta.len() > config.max_file_bytes {
+        return Err(format!(
+            "file is {} bytes, over the {}-byte cap",
+            meta.len(),
+            config.max_file_bytes
+        ));
+    }
+    let source = fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "circuit".into());
+    let circuit = qasm::parse_qasm(&source, &name).map_err(|e| e.to_string())?;
+    Ok(preprocess(&circuit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fresh scratch directory under the system temp dir.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("zac-corpus-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn loader_orders_deterministically_and_captures_failures() {
+        let dir = scratch("basic");
+        fs::write(dir.join("c_late.qasm"), "OPENQASM 2.0; qreg q[2]; cx q[0],q[1];").unwrap();
+        fs::write(dir.join("a_bad.qasm"), "OPENQASM 2.0; qreg q[1]; bogus q[0];").unwrap();
+        fs::write(dir.join("b_good.qasm"), "OPENQASM 2.0; qreg q[2]; h q;").unwrap();
+        fs::write(dir.join("notes.txt"), "not qasm; ignored").unwrap();
+
+        let corpus = load_corpus(&dir);
+        let files: Vec<&str> = corpus.entries.iter().map(|e| e.file.as_str()).collect();
+        assert_eq!(files, ["b_good.qasm", "c_late.qasm"]);
+        assert_eq!(corpus.entries[0].staged.name, "b_good");
+        assert_eq!(corpus.entries[0].staged.num_1q_gates(), 2);
+        assert_eq!(corpus.failures.len(), 1);
+        assert_eq!(corpus.failures[0].file, "a_bad.qasm");
+        assert!(corpus.failures[0].reason.contains("bogus"), "{:?}", corpus.failures);
+        assert!(!corpus.is_clean());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_is_a_failure_value_not_a_panic() {
+        let dir = scratch("cap");
+        fs::write(dir.join("big.qasm"), "OPENQASM 2.0; qreg q[2]; h q[0]; ".repeat(16)).unwrap();
+        let corpus = load_corpus_with(&dir, &CorpusConfig { max_file_bytes: 64 });
+        assert!(corpus.is_empty());
+        assert_eq!(corpus.failures.len(), 1);
+        assert!(corpus.failures[0].reason.contains("cap"), "{:?}", corpus.failures);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_a_failure_value() {
+        let corpus = load_corpus("/nonexistent/zac-corpus-definitely-missing");
+        assert!(corpus.is_empty());
+        assert_eq!(corpus.failures.len(), 1);
+        assert!(corpus.failures[0].reason.contains("directory"), "{:?}", corpus.failures);
+    }
+
+    /// The bundled mini-corpus stays in sync with the loader: every file
+    /// parses, and the suite feeds straight into a sweep.
+    #[test]
+    fn bundled_corpus_loads_clean() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus");
+        let corpus = load_corpus(dir);
+        assert!(corpus.is_clean(), "{:#?}", corpus.failures);
+        assert_eq!(corpus.len(), 9);
+        for e in &corpus.entries {
+            assert!(e.staged.num_qubits > 0, "{}", e.file);
+        }
+    }
+}

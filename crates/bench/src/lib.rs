@@ -12,6 +12,8 @@
 //! cell and the parallel scheduler preserves input order, so parallel runs
 //! are identical to serial runs (asserted in this crate's tests).
 
+pub mod corpus;
+
 use rayon::prelude::*;
 use zac_arch::Architecture;
 use zac_baselines::{Atomique, Enola, Nalac, Sc};
@@ -368,8 +370,13 @@ pub fn run_architecture_comparison() -> Vec<ComparisonRow> {
     rows
 }
 
-/// Geometric mean over positive values (0 if any ≤ 0; panics when empty).
+/// Geometric mean over positive values (0 if any ≤ 0). The empty slice
+/// yields 1.0 — the empty product — so corpus sweeps with zero successful
+/// rows aggregate cleanly instead of propagating NaN.
 pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
     zac_fidelity::geometric_mean(values)
 }
 
@@ -399,6 +406,16 @@ pub fn print_header(title: &str, paper_claim: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: corpus sweeps can legitimately produce zero successful
+    /// rows, and their aggregate must be the empty product, not NaN or a
+    /// panic.
+    #[test]
+    fn geomean_of_empty_slice_is_identity() {
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[0.5, 0.0]), 0.0);
+    }
 
     #[test]
     fn compare_all_covers_six_compilers_on_small_circuit() {

@@ -296,6 +296,75 @@ impl Circuit {
         self.ry(theta / 2.0, t).cx(c, t).ry(-theta / 2.0, t).cx(c, t)
     }
 
+    /// Appends the qelib1 controlled-Y decomposition (`sdg t; cx c,t; s t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid operands.
+    pub fn cy_decomposed(&mut self, c: usize, t: usize) -> &mut Self {
+        self.one_q(OneQGate::Sdg, t).cx(c, t).one_q(OneQGate::S, t)
+    }
+
+    /// Appends the qelib1 controlled-Hadamard decomposition (2 CX).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid operands.
+    pub fn ch_decomposed(&mut self, c: usize, t: usize) -> &mut Self {
+        self.h(t)
+            .one_q(OneQGate::Sdg, t)
+            .cx(c, t)
+            .h(t)
+            .t(t)
+            .cx(c, t)
+            .t(t)
+            .h(t)
+            .one_q(OneQGate::S, t)
+            .x(t)
+            .one_q(OneQGate::S, c)
+    }
+
+    /// Appends the qelib1 controlled-Rz(λ) decomposition (2 CX): on a set
+    /// control the target sees exactly `Rz(λ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid operands.
+    pub fn crz_decomposed(&mut self, lambda: f64, c: usize, t: usize) -> &mut Self {
+        self.rz(lambda / 2.0, t).cx(c, t).rz(-lambda / 2.0, t).cx(c, t)
+    }
+
+    /// Appends the qelib1 controlled-U3(θ, φ, λ) decomposition (2 CX).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid operands.
+    pub fn cu3_decomposed(
+        &mut self,
+        theta: f64,
+        phi: f64,
+        lambda: f64,
+        c: usize,
+        t: usize,
+    ) -> &mut Self {
+        self.one_q(OneQGate::Phase((lambda + phi) / 2.0), c)
+            .one_q(OneQGate::Phase((lambda - phi) / 2.0), t)
+            .cx(c, t)
+            .one_q(OneQGate::U3 { theta: -theta / 2.0, phi: 0.0, lambda: -(phi + lambda) / 2.0 }, t)
+            .cx(c, t)
+            .one_q(OneQGate::U3 { theta: theta / 2.0, phi, lambda: 0.0 }, t)
+    }
+
+    /// Appends the qelib1 ZZ-rotation decomposition (`cx; u1(θ) b; cx`),
+    /// i.e. `diag(1, e^{iθ}, e^{iθ}, 1)` — qelib1's phase convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid operands.
+    pub fn rzz_decomposed(&mut self, theta: f64, a: usize, b: usize) -> &mut Self {
+        self.cx(a, b).one_q(OneQGate::Phase(theta), b).cx(a, b)
+    }
+
     /// The multiset of 2Q interaction pairs `(min, max)`, in program order.
     pub fn interaction_pairs(&self) -> Vec<(usize, usize)> {
         self.gates
@@ -368,6 +437,25 @@ mod tests {
         let mut c = Circuit::new("cswap", 3);
         c.cswap_decomposed(0, 1, 2);
         assert_eq!(c.num_2q_gates(), 8);
+    }
+
+    #[test]
+    fn qelib1_controlled_decomposition_shapes() {
+        let mut c = Circuit::new("cy", 2);
+        c.cy_decomposed(0, 1);
+        assert_eq!((c.num_2q_gates(), c.num_1q_gates()), (1, 2));
+        let mut c = Circuit::new("ch", 2);
+        c.ch_decomposed(0, 1);
+        assert_eq!((c.num_2q_gates(), c.num_1q_gates()), (2, 9));
+        let mut c = Circuit::new("crz", 2);
+        c.crz_decomposed(0.5, 0, 1);
+        assert_eq!((c.num_2q_gates(), c.num_1q_gates()), (2, 2));
+        let mut c = Circuit::new("cu3", 2);
+        c.cu3_decomposed(0.1, 0.2, 0.3, 0, 1);
+        assert_eq!((c.num_2q_gates(), c.num_1q_gates()), (2, 4));
+        let mut c = Circuit::new("rzz", 2);
+        c.rzz_decomposed(0.7, 0, 1);
+        assert_eq!((c.num_2q_gates(), c.num_1q_gates()), (2, 1));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   on;
 //! * [`bench_circuits`] — generators for the paper's 17-circuit QASMBench
 //!   evaluation suite;
+//! * [`qasm`] — OpenQASM 2.0 import/export (qelib1 vocabulary, register
+//!   broadcast, user gate definitions), the real-world input path;
 //! * [`complex`] / [`gate`] — the small linear-algebra layer used to merge
 //!   and re-decompose 1Q unitaries.
 //!

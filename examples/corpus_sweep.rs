@@ -1,0 +1,95 @@
+//! Sweep an OpenQASM corpus directory across the full compiler lineup.
+//!
+//! Run with: `cargo run --release --example corpus_sweep [dir]`
+//! (default directory: `tests/corpus`, the bundled QASMBench-style
+//! mini-corpus).
+//!
+//! Load failures and per-cell compile failures are reported as values —
+//! the sweep never panics on a bad file — and the parallel sweep is
+//! verified bit-identical to a serial rerun through the shared cache.
+
+use zac::bench::{
+    compiler_geomean, corpus::load_corpus, default_compilers, BatchRunner, COMPILERS,
+};
+use zac::cache::CompileCache;
+
+fn main() -> Result<(), zac::Error> {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "tests/corpus".into());
+    let corpus = load_corpus(&dir);
+    println!(
+        "corpus {dir}: {} circuit(s) loaded, {} load failure(s)",
+        corpus.entries.len(),
+        corpus.failures.len()
+    );
+    for f in &corpus.failures {
+        println!("  load failure: {}: {}", f.file, f.reason);
+    }
+    if corpus.is_empty() {
+        println!("nothing to sweep");
+        return Ok(());
+    }
+
+    let suite = corpus.suite();
+    let compilers = default_compilers();
+    let cache = CompileCache::in_memory(1024);
+    let rows = BatchRunner::parallel().with_cache(cache.clone()).run(&compilers, &suite);
+
+    println!(
+        "\n{:<16}{:>7}{:>6}{:>6}{}",
+        "circuit",
+        "qubits",
+        "g2",
+        "g1",
+        COMPILERS.iter().map(|c| format!("{c:>21}")).collect::<String>()
+    );
+    for row in &rows {
+        let mut line =
+            format!("{:<16}{:>7}{:>6}{:>6}", row.name, row.qubits, row.gates.0, row.gates.1);
+        for compiler in COMPILERS {
+            match row.result(compiler) {
+                Some(r) => line.push_str(&format!("{:>21.4e}", r.fidelity())),
+                None => line.push_str(&format!("{:>21}", "-")),
+            }
+        }
+        println!("{line}");
+    }
+
+    let mut line = format!("{:<16}{:>7}{:>6}{:>6}", "geomean", "", "", "");
+    for compiler in COMPILERS {
+        line.push_str(&format!("{:>21.4e}", compiler_geomean(&rows, compiler, |r| r.fidelity())));
+    }
+    println!("{line}");
+
+    // Failures are values on the rows, not panics or stderr scrapes.
+    let failures: Vec<_> =
+        rows.iter().flat_map(|r| r.failures.iter().map(move |f| (r, f))).collect();
+    if failures.is_empty() {
+        println!("\ncompile failures: none");
+    } else {
+        println!("\ncompile failures:");
+        for (row, f) in failures {
+            println!("  {} / {}: {}", row.name, f.compiler, f.reason);
+        }
+    }
+
+    // Determinism: a serial rerun through the shared cache must reproduce
+    // the parallel sweep bit-for-bit (cache hits carry original timings).
+    let serial = BatchRunner::serial().with_cache(cache.clone()).run(&compilers, &suite);
+    let mut identical = rows.len() == serial.len();
+    for (p, s) in rows.iter().zip(&serial) {
+        identical &= p.name == s.name && p.results.len() == s.results.len();
+        for (pr, sr) in p.results.iter().zip(&s.results) {
+            identical &= pr.compiler == sr.compiler
+                && pr.report == sr.report
+                && pr.counts == sr.counts
+                && pr.compile_secs.to_bits() == sr.compile_secs.to_bits();
+        }
+    }
+    assert!(identical, "parallel sweep must be bit-identical to the serial rerun");
+    println!(
+        "parallel == serial: OK ({} cells, cache hit rate {:.0}%)",
+        rows.len() * compilers.len(),
+        cache.stats().hit_rate() * 100.0
+    );
+    Ok(())
+}

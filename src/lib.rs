@@ -47,6 +47,8 @@ pub type Error = Box<dyn std::error::Error>;
 /// Commonly used items, re-exported in one place.
 pub mod prelude {
     pub use zac_arch::Architecture;
+    pub use zac_bench::corpus::{load_corpus, Corpus, CorpusEntry, LoadFailure};
+    pub use zac_bench::{BatchRunner, CellFailure, ComparisonRow, RunOutcome};
     pub use zac_cache::{CacheKey, CacheStats, CachedCompiler, CompileCache};
     pub use zac_circuit::bench_circuits;
     pub use zac_circuit::{Circuit, Fingerprint};

@@ -1,0 +1,19 @@
+// Bernstein-Vazirani over 5 data qubits + 1 ancilla, hidden string 10110.
+// Exercises whole-register broadcast statements (`h q;`, `barrier q;`).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+creg c[5];
+x q[5];
+h q;
+barrier q;
+cx q[1], q[5];
+cx q[2], q[5];
+cx q[4], q[5];
+barrier q;
+h q;
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];
+measure q[4] -> c[4];

@@ -1,0 +1,17 @@
+// Transverse-field Ising model Trotter step with a parameterized custom
+// coupling layer (formal-parameter substitution in gate bodies).
+OPENQASM 2.0;
+include "qelib1.inc";
+gate zz(theta) a, b
+{
+  rzz(theta*2) a, b;
+}
+qreg q[6];
+h q;
+rzz(0.3) q[0], q[1];
+rzz(0.3) q[2], q[3];
+zz(0.15) q[4], q[5];
+rzz(0.3) q[1], q[2];
+rzz(0.3) q[3], q[4];
+rx(0.7) q;
+rz(cos(0)/2) q[0];

@@ -1,0 +1,24 @@
+// 5-qubit quantum Fourier transform.
+// Exercises nested parentheses in parameters and whitespace before `(`.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+h q[0];
+cu1(pi/2) q[1], q[0];
+cu1(pi/4) q[2], q[0];
+cu1((1+2)*pi/8) q[3], q[0];
+cu1(pi/(2*2*2*2)) q[4], q[0];
+h q[1];
+cu1 (pi/2) q[2], q[1];
+cu1(pi/4) q[3], q[1];
+cu1(pi/8) q[4], q[1];
+h q[2];
+cu1(pi/2) q[3], q[2];
+cu1(pi/4) q[4], q[2];
+h q[3];
+cu1(pi/2) q[4], q[3];
+h q[4];
+rz (pi/4) q[0];
+u3( pi/2, 0, (pi) ) q[1];
+swap q[0], q[4];
+swap q[1], q[3];

@@ -1,0 +1,16 @@
+// Hardware-efficient variational ansatz layer using the extended qelib1
+// vocabulary: cu3, crz, cy, ch, u2.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+ry(0.2) q[0];
+ry(-0.4) q[1];
+u2(0, pi) q[2];
+ry(1.1) q[3];
+cu3(0.5, 0.1, -0.2) q[0], q[1];
+crz(pi/3) q[1], q[2];
+cy q[2], q[3];
+ch q[0], q[3];
+cz q[1], q[3];
+u1(pi/8) q[0];
+u0(1) q[2];
