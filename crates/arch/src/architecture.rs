@@ -294,10 +294,7 @@ impl Architecture {
     /// If the two sites live in different zones, the first site's zone wins
     /// (the middle is then computed within that zone).
     pub fn middle_site(&self, a: SiteId, b: SiteId) -> SiteId {
-        if a.zone != b.zone {
-            return a;
-        }
-        SiteId::new(a.zone, (a.row + b.row) / 2, (a.col + b.col) / 2)
+        SiteId::middle(a, b)
     }
 
     // ---- Storage traps -------------------------------------------------

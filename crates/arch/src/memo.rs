@@ -1,0 +1,298 @@
+//! Geometry memoization: dense per-[`Loc`] lookup tables over a static
+//! architecture.
+//!
+//! The placement hot loops (`initial_placement_cost`, the SA inner loop,
+//! `solve_stage`) resolve locations to physical positions millions of times
+//! over a geometry that never changes within one compilation. [`GeomCache`]
+//! precomputes every trap position once per [`Architecture`] so the hot
+//! callers do a single array load instead of re-deriving
+//! `offset + index · sep` through two levels of `Vec` indirection.
+//!
+//! The [`Geometry`] trait abstracts over the two providers: the
+//! [`Architecture`] itself (always correct, no setup cost) and the cache.
+//! Every method of the cache is **bit-identical** to the corresponding
+//! `Architecture` method — the tables store the very values the formulas
+//! produce, and the nearest-site/trap searches replicate the same iteration
+//! order and comparisons (locked by the exhaustive tests below).
+
+use crate::architecture::Architecture;
+use crate::geometry::Point;
+use crate::model::{Loc, SiteId, SlmArray};
+
+/// Position provider for placement cost evaluation: implemented by
+/// [`Architecture`] (formula per call) and [`GeomCache`] (table lookup).
+pub trait Geometry {
+    /// The physical position of a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location does not exist in the architecture.
+    fn position(&self, loc: Loc) -> Point;
+
+    /// Reference position of a Rydberg site (its slot-0 trap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site does not exist.
+    fn site_position(&self, site: SiteId) -> Point;
+
+    /// The Rydberg site whose reference position is nearest to `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture has no entanglement zone.
+    fn nearest_site(&self, p: Point) -> SiteId;
+
+    /// The storage trap nearest to `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture has no storage zone.
+    fn nearest_storage_trap(&self, p: Point) -> Loc;
+
+    /// The site "in the middle" of two sites (paper Sec. V-A).
+    fn middle_site(&self, a: SiteId, b: SiteId) -> SiteId;
+}
+
+impl Geometry for Architecture {
+    fn position(&self, loc: Loc) -> Point {
+        Architecture::position(self, loc)
+    }
+
+    fn site_position(&self, site: SiteId) -> Point {
+        Architecture::site_position(self, site)
+    }
+
+    fn nearest_site(&self, p: Point) -> SiteId {
+        Architecture::nearest_site(self, p)
+    }
+
+    fn nearest_storage_trap(&self, p: Point) -> Loc {
+        Architecture::nearest_storage_trap(self, p)
+    }
+
+    fn middle_site(&self, a: SiteId, b: SiteId) -> SiteId {
+        Architecture::middle_site(self, a, b)
+    }
+}
+
+/// One SLM grid with every trap position precomputed (row-major).
+///
+/// Embeds the [`SlmArray`] it was built from: positions are cached values of
+/// `SlmArray::trap_position` and nearest-trap lookups *delegate* to
+/// `SlmArray::nearest_trap`, so the formulas cannot drift out of sync.
+#[derive(Debug, Clone)]
+struct GridTable {
+    slm: SlmArray,
+    pos: Vec<Point>,
+}
+
+impl GridTable {
+    fn new(slm: &SlmArray) -> Self {
+        let mut pos = Vec::with_capacity(slm.num_traps());
+        for row in 0..slm.num_row {
+            for col in 0..slm.num_col {
+                pos.push(slm.trap_position(row, col));
+            }
+        }
+        Self { slm: slm.clone(), pos }
+    }
+
+    #[inline]
+    fn at(&self, row: usize, col: usize) -> Point {
+        debug_assert!(row < self.slm.num_row && col < self.slm.num_col);
+        self.pos[row * self.slm.num_col + col]
+    }
+
+    #[inline]
+    fn nearest_trap(&self, p: Point) -> (usize, usize) {
+        self.slm.nearest_trap(p)
+    }
+}
+
+/// Dense position/nearest-site memo tables for one [`Architecture`].
+///
+/// Build once per compilation (cost: one pass over every trap) and route hot
+/// callers through the [`Geometry`] impl. All methods return bit-identical
+/// results to the `Architecture` originals.
+///
+/// # Example
+///
+/// ```
+/// use zac_arch::{Architecture, GeomCache, Geometry, Loc};
+///
+/// let arch = Architecture::reference();
+/// let geom = GeomCache::new(&arch);
+/// let loc = Loc::Storage { zone: 0, row: 99, col: 13 };
+/// assert_eq!(Geometry::position(&geom, loc), Geometry::position(&arch, loc));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeomCache {
+    storage: Vec<GridTable>,
+    site_slots: Vec<Vec<GridTable>>,
+}
+
+impl GeomCache {
+    /// Builds the lookup tables for `arch`.
+    pub fn new(arch: &Architecture) -> Self {
+        let storage = arch.storage_zones().iter().map(|z| GridTable::new(&z.slms[0])).collect();
+        let site_slots = arch
+            .entanglement_zones()
+            .iter()
+            .map(|z| z.slms.iter().map(GridTable::new).collect())
+            .collect();
+        Self { storage, site_slots }
+    }
+}
+
+impl Geometry for GeomCache {
+    #[inline]
+    fn position(&self, loc: Loc) -> Point {
+        match loc {
+            Loc::Storage { zone, row, col } => self.storage[zone].at(row, col),
+            Loc::Site { zone, row, col, slot } => self.site_slots[zone][slot].at(row, col),
+        }
+    }
+
+    #[inline]
+    fn site_position(&self, site: SiteId) -> Point {
+        self.site_slots[site.zone][0].at(site.row, site.col)
+    }
+
+    fn nearest_site(&self, p: Point) -> SiteId {
+        // Single-zone fast path: the per-zone distance is only used to
+        // compare *across* zones, so with one zone the trap-grid rounding
+        // alone decides (bit-identical to the general path).
+        if let [slots] = self.site_slots.as_slice() {
+            let (row, col) = slots[0].nearest_trap(p);
+            return SiteId::new(0, row, col);
+        }
+        // Same zone order and strict-less comparison as
+        // `Architecture::nearest_site`.
+        let mut best = None;
+        for (z, slots) in self.site_slots.iter().enumerate() {
+            let (row, col) = slots[0].nearest_trap(p);
+            let cand = SiteId::new(z, row, col);
+            let d = self.site_position(cand).distance(p);
+            match best {
+                None => best = Some((cand, d)),
+                Some((_, bd)) if d < bd => best = Some((cand, d)),
+                _ => {}
+            }
+        }
+        best.expect("no entanglement zone").0
+    }
+
+    fn nearest_storage_trap(&self, p: Point) -> Loc {
+        if let [table] = self.storage.as_slice() {
+            let (row, col) = table.nearest_trap(p);
+            return Loc::Storage { zone: 0, row, col };
+        }
+        let mut best = None;
+        for (z, table) in self.storage.iter().enumerate() {
+            let (row, col) = table.nearest_trap(p);
+            let cand = Loc::Storage { zone: z, row, col };
+            let d = table.at(row, col).distance(p);
+            match best {
+                None => best = Some((cand, d)),
+                Some((_, bd)) if d < bd => best = Some((cand, d)),
+                _ => {}
+            }
+        }
+        best.expect("no storage zone").0
+    }
+
+    fn middle_site(&self, a: SiteId, b: SiteId) -> SiteId {
+        SiteId::middle(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn archs() -> Vec<Architecture> {
+        vec![
+            Architecture::reference(),
+            Architecture::arch1_small(),
+            Architecture::arch2_two_zones(),
+        ]
+    }
+
+    /// Every storage trap and every site slot resolves to the exact same
+    /// position through the cache (bit-equality, not tolerance).
+    #[test]
+    fn positions_bit_identical_everywhere() {
+        for arch in archs() {
+            let geom = GeomCache::new(&arch);
+            for z in 0..arch.storage_zones().len() {
+                let (rows, cols) = arch.storage_grid(z);
+                for row in 0..rows {
+                    for col in 0..cols {
+                        let loc = Loc::Storage { zone: z, row, col };
+                        let a = Architecture::position(&arch, loc);
+                        let c = Geometry::position(&geom, loc);
+                        assert_eq!(a.x.to_bits(), c.x.to_bits(), "{} {loc}", arch.name());
+                        assert_eq!(a.y.to_bits(), c.y.to_bits(), "{} {loc}", arch.name());
+                    }
+                }
+            }
+            for z in 0..arch.entanglement_zones().len() {
+                let (rows, cols) = arch.site_grid(z);
+                for row in 0..rows {
+                    for col in 0..cols {
+                        let site = SiteId::new(z, row, col);
+                        assert_eq!(
+                            Architecture::site_position(&arch, site),
+                            Geometry::site_position(&geom, site)
+                        );
+                        for slot in 0..arch.site_capacity(z) {
+                            let loc = Loc::Site { zone: z, row, col, slot };
+                            assert_eq!(
+                                Architecture::position(&arch, loc),
+                                Geometry::position(&geom, loc)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Nearest-site/trap lookups agree with the architecture on a dense
+    /// probe grid spanning every zone (including off-grid points).
+    #[test]
+    fn nearest_lookups_match_architecture() {
+        for arch in archs() {
+            let geom = GeomCache::new(&arch);
+            for ix in -3..60 {
+                for iy in -3..90 {
+                    let p = Point::new(ix as f64 * 5.3, iy as f64 * 4.7);
+                    assert_eq!(
+                        Architecture::nearest_site(&arch, p),
+                        Geometry::nearest_site(&geom, p),
+                        "{} at {p:?}",
+                        arch.name()
+                    );
+                    assert_eq!(
+                        Architecture::nearest_storage_trap(&arch, p),
+                        Geometry::nearest_storage_trap(&geom, p),
+                        "{} at {p:?}",
+                        arch.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn middle_site_matches() {
+        let arch = Architecture::reference();
+        let geom = GeomCache::new(&arch);
+        let a = SiteId::new(0, 0, 0);
+        let b = SiteId::new(0, 1, 3);
+        assert_eq!(Architecture::middle_site(&arch, a, b), Geometry::middle_site(&geom, a, b));
+        let other = SiteId::new(1, 2, 2);
+        assert_eq!(Geometry::middle_site(&geom, a, other), a);
+    }
+}

@@ -158,6 +158,18 @@ impl SiteId {
     pub const fn new(zone: usize, row: usize, col: usize) -> Self {
         Self { zone, row, col }
     }
+
+    /// The site "in the middle" of two sites (paper Sec. V-A): row
+    /// `⌊(r+r')/2⌋`, col `⌊(c+c')/2⌋` within `a`'s zone; if the zones
+    /// differ, `a` wins. The single source of the formula — both
+    /// `Architecture::middle_site` and `GeomCache::middle_site` delegate
+    /// here, so the two geometry providers cannot drift apart.
+    pub const fn middle(a: SiteId, b: SiteId) -> SiteId {
+        if a.zone != b.zone {
+            return a;
+        }
+        SiteId::new(a.zone, (a.row + b.row) / 2, (a.col + b.col) / 2)
+    }
 }
 
 impl fmt::Display for SiteId {

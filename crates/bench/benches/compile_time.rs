@@ -1,0 +1,201 @@
+//! Compile-time trajectory harness: wall-clock per compiler across the
+//! 17-circuit paper suite plus the bundled QASM corpus.
+//!
+//! Unlike the paper figures, this bench measures *our own* compile latency
+//! so perf PRs are measured, not asserted. It sweeps every compiler through
+//! `BatchRunner::serial()` (parallel timing would include contention from
+//! co-running cells) and emits `BENCH_compile_time.json` at the workspace
+//! root — one snapshot of the perf trajectory per run.
+//!
+//! Environment knobs:
+//!
+//! * `ZAC_BENCH_SMOKE=1` — smoke mode for CI: reduced SA iterations and the
+//!   suite capped to one representative per circuit family, so the sweep
+//!   finishes in seconds while still exercising every code path.
+//! * `ZAC_BENCH_OUT=<path>` — overrides the JSON output path.
+//! * `ZAC_BENCH_BASELINE=<path>` — a previous `BENCH_compile_time.json`;
+//!   when set, the report prints per-compiler geomean speedups vs. it.
+
+use serde::Value;
+use zac_arch::Architecture;
+use zac_bench::{default_compilers, geomean, print_header, BatchRunner, ComparisonRow};
+use zac_circuit::{bench_circuits, preprocess, StagedCircuit};
+use zac_core::{Compiler, Zac, ZacConfig};
+
+/// Schema version of the emitted JSON.
+const FORMAT_VERSION: u64 = 1;
+
+/// The large-circuit tier the acceptance criteria track (the suite's
+/// heaviest placement/scheduling instances).
+const LARGE_TIER: [&str; 3] = ["ising_n98", "qft_n18", "knn_n31"];
+
+fn main() {
+    let smoke = std::env::var("ZAC_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    print_header(
+        "Compile-time trajectory (wall-clock per compiler, serial sweep)",
+        "perf PRs are measured, not asserted: this JSON accumulates per PR",
+    );
+    if smoke {
+        println!("mode: SMOKE (reduced SA iterations, capped suite)\n");
+    }
+
+    let suite = build_suite(smoke);
+    let compilers = build_compilers(smoke);
+    let rows = BatchRunner::serial().run(&compilers, &suite);
+
+    report(&rows, &compilers, smoke);
+}
+
+/// The 17-circuit paper suite plus the bundled corpus; smoke mode keeps one
+/// circuit per family so CI stays fast while covering every code path.
+fn build_suite(smoke: bool) -> Vec<StagedCircuit> {
+    let mut suite: Vec<StagedCircuit> =
+        bench_circuits::paper_suite().iter().map(|e| preprocess(&e.circuit)).collect();
+    if smoke {
+        let mut seen = std::collections::HashSet::new();
+        suite.retain(|s| {
+            let family = s.name.split("_n").next().unwrap_or(&s.name).to_owned();
+            seen.insert(family)
+        });
+        // Keep the large tier in smoke mode too: it is what the perf
+        // acceptance criteria track.
+        for entry in bench_circuits::paper_suite() {
+            if LARGE_TIER.contains(&entry.circuit.name())
+                && !suite.iter().any(|s| s.name == entry.circuit.name())
+            {
+                suite.push(preprocess(&entry.circuit));
+            }
+        }
+    }
+    let corpus_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus");
+    let corpus = zac_bench::corpus::load_corpus(corpus_dir);
+    for f in &corpus.failures {
+        eprintln!("warning: corpus file skipped: {f:?}");
+    }
+    suite.extend(corpus.suite());
+    suite
+}
+
+/// The six-compiler lineup; smoke mode swaps ZAC for a reduced-SA variant so
+/// the sweep finishes quickly (the relabeled compiler keeps the paper name so
+/// JSON rows stay comparable within one mode).
+fn build_compilers(smoke: bool) -> Vec<Box<dyn Compiler>> {
+    if !smoke {
+        return default_compilers();
+    }
+    let mut cfg = ZacConfig::full();
+    cfg.placement.sa_iterations = 100;
+    let reduced_zac = Zac::with_config(Architecture::reference(), cfg);
+    let mut compilers: Vec<Box<dyn Compiler>> =
+        default_compilers().into_iter().filter(|c| c.name() != reduced_zac.name()).collect();
+    compilers.push(Box::new(reduced_zac));
+    compilers
+}
+
+fn report(rows: &[ComparisonRow], compilers: &[Box<dyn Compiler>], smoke: bool) {
+    println!(
+        "{:<26}{:>8}{:>14}{:>16}{:>18}",
+        "compiler", "cells", "total (s)", "geomean (s)", "large tier (s)"
+    );
+    let mut compiler_objs: Vec<Value> = Vec::new();
+    for compiler in compilers {
+        let name = compiler.name();
+        let cells: Vec<(&str, f64)> = rows
+            .iter()
+            .filter_map(|r| r.result(name).map(|x| (r.name.as_str(), x.compile_secs)))
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let times: Vec<f64> = cells.iter().map(|&(_, t)| t).collect();
+        let total: f64 = times.iter().sum();
+        let gm = geomean(&times);
+        let large: f64 =
+            cells.iter().filter(|(n, _)| LARGE_TIER.contains(n)).map(|&(_, t)| t).sum();
+        println!("{name:<26}{:>8}{total:>14.4}{gm:>16.6}{large:>18.4}", cells.len());
+
+        let per_circuit = Value::Array(
+            cells
+                .iter()
+                .map(|&(n, t)| {
+                    Value::Object(vec![
+                        ("circuit".into(), Value::String(n.into())),
+                        ("secs".into(), Value::Number(serde::Number::from_f64(t))),
+                    ])
+                })
+                .collect(),
+        );
+        compiler_objs.push(Value::Object(vec![
+            ("name".into(), Value::String(name.into())),
+            ("cells".into(), Value::Number(serde::Number::from_f64(cells.len() as f64))),
+            ("total_secs".into(), Value::Number(serde::Number::from_f64(total))),
+            ("geomean_secs".into(), Value::Number(serde::Number::from_f64(gm))),
+            ("large_tier_secs".into(), Value::Number(serde::Number::from_f64(large))),
+            ("per_circuit".into(), per_circuit),
+        ]));
+    }
+
+    let doc = Value::Object(vec![
+        ("version".into(), Value::Number(serde::Number::from_f64(FORMAT_VERSION as f64))),
+        ("smoke".into(), Value::Bool(smoke)),
+        (
+            "large_tier".into(),
+            Value::Array(LARGE_TIER.iter().map(|n| Value::String((*n).into())).collect()),
+        ),
+        ("num_circuits".into(), Value::Number(serde::Number::from_f64(rows.len() as f64))),
+        ("compilers".into(), Value::Array(compiler_objs)),
+    ]);
+
+    let out_path = std::env::var("ZAC_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile_time.json").to_owned()
+    });
+    let json = serde_json::to_string_pretty(&doc).expect("JSON serialization");
+    std::fs::write(&out_path, json).expect("write BENCH_compile_time.json");
+    println!("\nwrote {out_path}");
+
+    if let Ok(baseline_path) = std::env::var("ZAC_BENCH_BASELINE") {
+        match std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+        {
+            Some(baseline) => print_speedups(&doc, &baseline, &baseline_path),
+            None => eprintln!("warning: could not read baseline {baseline_path}"),
+        }
+    }
+}
+
+/// Prints per-compiler geomean and large-tier speedups vs. a previous run.
+/// Smoke and full runs measure different suites and SA budgets, so
+/// cross-mode comparisons are refused instead of silently misleading.
+fn print_speedups(current: &Value, baseline: &Value, baseline_path: &str) {
+    let mode = |doc: &Value| doc.get("smoke").cloned();
+    if mode(current) != mode(baseline) {
+        println!(
+            "\nbaseline {baseline_path} was recorded in a different mode \
+             (smoke vs. full); skipping the speedup comparison"
+        );
+        return;
+    }
+    println!("\nspeedup vs. baseline {baseline_path} (>1 = faster now):");
+    let lookup = |doc: &Value, name: &str, field: &str| -> Option<f64> {
+        doc.get("compilers")?.as_array()?.iter().find_map(|c| {
+            (c.get("name")?.as_str()? == name).then_some(())?;
+            c.get(field)?.as_f64()
+        })
+    };
+    let Some(compilers) = current.get("compilers").and_then(Value::as_array) else {
+        return;
+    };
+    for c in compilers {
+        let Some(name) = c.get("name").and_then(Value::as_str) else { continue };
+        for (field, label) in [("geomean_secs", "geomean"), ("large_tier_secs", "large tier")] {
+            if let (Some(now), Some(then)) =
+                (lookup(current, name, field), lookup(baseline, name, field))
+            {
+                if now > 0.0 && then > 0.0 {
+                    println!("  {name:<26}{label:<12}{:>8.2}x", then / now);
+                }
+            }
+        }
+    }
+}

@@ -217,7 +217,7 @@ mod tests {
         let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus");
         let corpus = load_corpus(dir);
         assert!(corpus.is_clean(), "{:#?}", corpus.failures);
-        assert_eq!(corpus.len(), 9);
+        assert_eq!(corpus.len(), 10);
         for e in &corpus.entries {
             assert!(e.staged.num_qubits > 0, "{}", e.file);
         }

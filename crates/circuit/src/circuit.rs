@@ -355,6 +355,28 @@ impl Circuit {
             .one_q(OneQGate::U3 { theta: theta / 2.0, phi, lambda: 0.0 }, t)
     }
 
+    /// Appends the qelib1 √X decomposition (`sdg; h; sdg`), which equals
+    /// `Rx(π/2)` = e^{-iπ/4}·SX (qelib1 defines `sx` with a global phase of
+    /// π/4; exactness up to that phase is statevector-verified in
+    /// `tests/corpus.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn sx_decomposed(&mut self, q: usize) -> &mut Self {
+        self.one_q(OneQGate::Sdg, q).h(q).one_q(OneQGate::Sdg, q)
+    }
+
+    /// Appends the qelib1 √X† decomposition (`s; h; s`), which equals
+    /// `Rx(-π/2)` = e^{iπ/4}·SX†.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn sxdg_decomposed(&mut self, q: usize) -> &mut Self {
+        self.one_q(OneQGate::S, q).h(q).one_q(OneQGate::S, q)
+    }
+
     /// Appends the qelib1 ZZ-rotation decomposition (`cx; u1(θ) b; cx`),
     /// i.e. `diag(1, e^{iθ}, e^{iθ}, 1)` — qelib1's phase convention.
     ///
@@ -456,6 +478,9 @@ mod tests {
         let mut c = Circuit::new("rzz", 2);
         c.rzz_decomposed(0.7, 0, 1);
         assert_eq!((c.num_2q_gates(), c.num_1q_gates()), (2, 1));
+        let mut c = Circuit::new("sx", 1);
+        c.sx_decomposed(0).sxdg_decomposed(0);
+        assert_eq!((c.num_2q_gates(), c.num_1q_gates()), (0, 6));
     }
 
     #[test]

@@ -686,6 +686,12 @@ fn apply_builtin(
         "tdg" => {
             c.tdg(one(qubits, line)?);
         }
+        "sx" => {
+            c.sx_decomposed(one(qubits, line)?);
+        }
+        "sxdg" => {
+            c.sxdg_decomposed(one(qubits, line)?);
+        }
         // Identity / idle: `u0(γ)` takes a duration parameter, ignored here.
         "id" | "u0" => {
             one(qubits, line)?;
@@ -976,6 +982,17 @@ mod tests {
         // cy: 1 CX, ch: 2, crz: 2, cu3: 2, rzz: 2; u0/id contribute nothing.
         assert_eq!(c.num_2q_gates(), 9);
         assert!(c.num_1q_gates() > 0);
+    }
+
+    #[test]
+    fn sx_and_sxdg_lower_to_their_qelib1_decompositions() {
+        let c = parse_qasm("OPENQASM 2.0; qreg q[2]; sx q[0]; sxdg q[1];", "sx").unwrap();
+        use crate::OneQGate::{Sdg, H, S};
+        let expected = [(Sdg, 0), (H, 0), (Sdg, 0), (S, 1), (H, 1), (S, 1)];
+        assert_eq!(c.num_gates(), expected.len());
+        for (g, (gate, qubit)) in c.gates().iter().zip(expected) {
+            assert_eq!(*g, Gate::OneQ { gate, qubit });
+        }
     }
 
     #[test]

@@ -5,7 +5,9 @@ use std::time::{Duration, Instant};
 use zac_arch::Architecture;
 use zac_circuit::{preprocess, Circuit, StagedCircuit};
 use zac_fidelity::{evaluate_neutral_atom, ExecutionSummary, FidelityReport, NeutralAtomParams};
-use zac_place::{plan_placement, PlaceError, PlacementConfig, PlacementPlan};
+use zac_place::{
+    plan_placement_cached, InitialPlacementCache, PlaceError, PlacementConfig, PlacementPlan,
+};
 use zac_schedule::{schedule, ScheduleConfig, ScheduleError};
 use zac_zair::{Program, ZairError};
 
@@ -162,17 +164,30 @@ impl ZacOutput {
 pub struct Zac {
     arch: Architecture,
     config: ZacConfig,
+    placement_cache: Option<InitialPlacementCache>,
 }
 
 impl Zac {
     /// Creates a compiler with the default (full) configuration.
     pub fn new(arch: Architecture) -> Self {
-        Self { arch, config: ZacConfig::default() }
+        Self { arch, config: ZacConfig::default(), placement_cache: None }
     }
 
     /// Creates a compiler with an explicit configuration.
     pub fn with_config(arch: Architecture, config: ZacConfig) -> Self {
-        Self { arch, config }
+        Self { arch, config, placement_cache: None }
+    }
+
+    /// Shares a [`InitialPlacementCache`] with other compiler instances, so
+    /// sweeps whose arms differ only in AOD count (fig14) run the SA initial
+    /// placement once per circuit instead of once per arm. Outputs are
+    /// bit-identical with or without the cache (the cached value is exactly
+    /// what the SA would recompute), so the compiler fingerprint is
+    /// unaffected.
+    #[must_use]
+    pub fn with_placement_cache(mut self, cache: InitialPlacementCache) -> Self {
+        self.placement_cache = Some(cache);
+        self
     }
 
     /// The target architecture.
@@ -214,7 +229,12 @@ impl Zac {
         } else {
             staged
         };
-        let plan = plan_placement(&self.arch, staged, &self.config.placement)?;
+        let plan = plan_placement_cached(
+            &self.arch,
+            staged,
+            &self.config.placement,
+            self.placement_cache.as_ref(),
+        )?;
         let program = schedule(&self.arch, staged, &plan, &self.config.schedule_config())?;
         let compile_time = start.elapsed();
         let analysis = program.analyze(&self.arch)?;
@@ -310,6 +330,27 @@ mod tests {
         let analysis = back.analyze(zac.arch()).unwrap();
         assert_eq!(analysis.g2, out.summary.g2);
         assert_eq!(analysis.n_tran, out.summary.n_tran);
+    }
+
+    /// The fig14 sharing contract: arms differing only in AOD count reuse
+    /// one SA initial placement, and every output is bit-identical to the
+    /// uncached compile.
+    #[test]
+    fn shared_placement_cache_is_bit_identical_across_aod_arms() {
+        let staged = preprocess(&bench_circuits::ghz(12));
+        let cache = InitialPlacementCache::new();
+        for k in 1..=3 {
+            let arch = Architecture::reference().with_num_aods(k);
+            let plain = Zac::with_config(arch.clone(), quick()).compile_staged(&staged).unwrap();
+            let cached = Zac::with_config(arch, quick())
+                .with_placement_cache(cache.clone())
+                .compile_staged(&staged)
+                .unwrap();
+            assert_eq!(plain.plan, cached.plan, "{k} AODs");
+            assert_eq!(plain.report, cached.report, "{k} AODs");
+            assert_eq!(plain.summary, cached.summary, "{k} AODs");
+        }
+        assert_eq!(cache.len(), 1, "one SA entry serves every AOD arm");
     }
 
     #[test]

@@ -79,6 +79,17 @@ impl CostMatrix {
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         self.data[r * self.cols + c] = v;
     }
+
+    /// Reshapes the matrix in place to `rows × cols`, refilled with `fill`.
+    ///
+    /// Reuses the existing allocation when capacity suffices, so hot loops
+    /// can hold one matrix across many solves without reallocating.
+    pub fn reset(&mut self, rows: usize, cols: usize, fill: f64) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, fill);
+    }
 }
 
 /// Error returned by [`min_weight_full_matching`].
@@ -127,100 +138,182 @@ impl std::error::Error for AssignmentError {}
 /// # Ok::<(), zac_graph::AssignmentError>(())
 /// ```
 pub fn min_weight_full_matching(cost: &CostMatrix) -> Result<(Vec<usize>, f64), AssignmentError> {
-    let nr = cost.rows();
-    let nc = cost.cols();
-    if nr > nc {
-        return Err(AssignmentError::MoreRowsThanColumns);
-    }
-    if cost.data.iter().any(|v| v.is_nan()) {
-        return Err(AssignmentError::NanCost);
-    }
-    if nr == 0 {
-        return Ok((Vec::new(), 0.0));
+    let mut ws = AssignmentWorkspace::new();
+    let total = ws.solve(cost)?;
+    Ok((ws.assignment().to_vec(), total))
+}
+
+/// Reusable scratch buffers for the shortest-augmenting-path solver.
+///
+/// The solver needs dual potentials, predecessor/visited arrays and a
+/// frontier list, all sized by the cost matrix. Holding one workspace across
+/// many [`AssignmentWorkspace::solve`] calls makes steady-state solves
+/// **allocation-free** once the buffers have grown to the largest instance
+/// seen (locked by a counting-allocator test in `tests/alloc_free.rs`) —
+/// exactly the shape of ZAC's per-stage assignment loop, which solves
+/// hundreds of similarly-sized matchings over one compilation.
+///
+/// # Example
+///
+/// ```
+/// use zac_graph::{AssignmentWorkspace, CostMatrix};
+/// let mut ws = AssignmentWorkspace::new();
+/// let cost = CostMatrix::from_rows(&[vec![4.0, 1.0], vec![2.0, 0.0]]);
+/// let total = ws.solve(&cost)?;
+/// assert_eq!(total, 3.0);
+/// assert_eq!(ws.assignment(), &[1, 0]);
+/// # Ok::<(), zac_graph::AssignmentError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AssignmentWorkspace {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    row4col: Vec<usize>,
+    col4row: Vec<usize>,
+    path: Vec<usize>,
+    shortest: Vec<f64>,
+    sr: Vec<bool>,
+    sc: Vec<bool>,
+    remaining: Vec<usize>,
+}
+
+const NONE: usize = usize::MAX;
+
+impl AssignmentWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    const NONE: usize = usize::MAX;
-    let mut u = vec![0.0f64; nr]; // row potentials
-    let mut v = vec![0.0f64; nc]; // column potentials
-    let mut row4col = vec![NONE; nc];
-    let mut col4row = vec![NONE; nr];
-    let mut path = vec![NONE; nc];
-    let mut shortest = vec![f64::INFINITY; nc];
-    let mut sr = vec![false; nr];
-    let mut sc = vec![false; nc];
-    let mut remaining: Vec<usize> = Vec::with_capacity(nc);
+    /// The row → column assignment of the most recent successful
+    /// [`AssignmentWorkspace::solve`] (empty before the first call).
+    pub fn assignment(&self) -> &[usize] {
+        &self.col4row
+    }
 
-    for cur_row in 0..nr {
-        // Dijkstra over the alternating tree rooted at `cur_row`.
-        sr.iter_mut().for_each(|x| *x = false);
-        sc.iter_mut().for_each(|x| *x = false);
-        shortest.iter_mut().for_each(|x| *x = f64::INFINITY);
-        remaining.clear();
-        remaining.extend(0..nc);
+    /// Resizes every buffer for an `nr × nc` instance without releasing
+    /// capacity.
+    fn prepare(&mut self, nr: usize, nc: usize) {
+        let reset_vec = |v: &mut Vec<usize>, n: usize, fill: usize| {
+            v.clear();
+            v.resize(n, fill);
+        };
+        let reset_f64 = |v: &mut Vec<f64>, n: usize, fill: f64| {
+            v.clear();
+            v.resize(n, fill);
+        };
+        reset_f64(&mut self.u, nr, 0.0);
+        reset_f64(&mut self.v, nc, 0.0);
+        reset_vec(&mut self.row4col, nc, NONE);
+        reset_vec(&mut self.col4row, nr, NONE);
+        reset_vec(&mut self.path, nc, NONE);
+        reset_f64(&mut self.shortest, nc, f64::INFINITY);
+        self.sr.clear();
+        self.sr.resize(nr, false);
+        self.sc.clear();
+        self.sc.resize(nc, false);
+        self.remaining.clear();
+        self.remaining.reserve(nc);
+    }
 
-        let mut min_val = 0.0f64;
-        let mut i = cur_row;
-        let mut sink = NONE;
-        while sink == NONE {
-            sr[i] = true;
-            let mut lowest = f64::INFINITY;
-            let mut index = NONE;
-            for (it, &j) in remaining.iter().enumerate() {
-                let c = cost.at(i, j);
-                if c.is_finite() {
-                    let r = min_val + c - u[i] - v[j];
-                    if r < shortest[j] {
-                        path[j] = i;
-                        shortest[j] = r;
+    /// Solves the minimum-weight full matching of the rows of `cost`,
+    /// returning the total; read the matching via
+    /// [`AssignmentWorkspace::assignment`].
+    ///
+    /// Identical algorithm and results as [`min_weight_full_matching`]; the
+    /// only difference is buffer reuse.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`min_weight_full_matching`].
+    pub fn solve(&mut self, cost: &CostMatrix) -> Result<f64, AssignmentError> {
+        let nr = cost.rows();
+        let nc = cost.cols();
+        if nr > nc {
+            return Err(AssignmentError::MoreRowsThanColumns);
+        }
+        if cost.data.iter().any(|v| v.is_nan()) {
+            return Err(AssignmentError::NanCost);
+        }
+        self.prepare(nr, nc);
+        if nr == 0 {
+            return Ok(0.0);
+        }
+
+        for cur_row in 0..nr {
+            // Dijkstra over the alternating tree rooted at `cur_row`.
+            self.sr.iter_mut().for_each(|x| *x = false);
+            self.sc.iter_mut().for_each(|x| *x = false);
+            self.shortest.iter_mut().for_each(|x| *x = f64::INFINITY);
+            self.remaining.clear();
+            self.remaining.extend(0..nc);
+
+            let mut min_val = 0.0f64;
+            let mut i = cur_row;
+            let mut sink = NONE;
+            while sink == NONE {
+                self.sr[i] = true;
+                let mut lowest = f64::INFINITY;
+                let mut index = NONE;
+                for (it, &j) in self.remaining.iter().enumerate() {
+                    let c = cost.at(i, j);
+                    if c.is_finite() {
+                        let r = min_val + c - self.u[i] - self.v[j];
+                        if r < self.shortest[j] {
+                            self.path[j] = i;
+                            self.shortest[j] = r;
+                        }
+                    }
+                    // Tie-break toward unmatched columns so we terminate
+                    // earlier.
+                    if self.shortest[j] < lowest
+                        || (self.shortest[j] == lowest && self.row4col[j] == NONE)
+                    {
+                        lowest = self.shortest[j];
+                        index = it;
                     }
                 }
-                // Tie-break toward unmatched columns so we terminate earlier.
-                if shortest[j] < lowest || (shortest[j] == lowest && row4col[j] == NONE) {
-                    lowest = shortest[j];
-                    index = it;
+                min_val = lowest;
+                if !min_val.is_finite() {
+                    return Err(AssignmentError::Infeasible);
+                }
+                let j = self.remaining[index];
+                if self.row4col[j] == NONE {
+                    sink = j;
+                } else {
+                    i = self.row4col[j];
+                }
+                self.sc[j] = true;
+                self.remaining.swap_remove(index);
+            }
+
+            // Update dual potentials.
+            self.u[cur_row] += min_val;
+            for r in 0..nr {
+                if self.sr[r] && r != cur_row {
+                    self.u[r] += min_val - self.shortest[self.col4row[r]];
                 }
             }
-            min_val = lowest;
-            if !min_val.is_finite() {
-                return Err(AssignmentError::Infeasible);
+            for (c, scanned) in self.sc.iter().enumerate() {
+                if *scanned {
+                    self.v[c] -= min_val - self.shortest[c];
+                }
             }
-            let j = remaining[index];
-            if row4col[j] == NONE {
-                sink = j;
-            } else {
-                i = row4col[j];
-            }
-            sc[j] = true;
-            remaining.swap_remove(index);
-        }
 
-        // Update dual potentials.
-        u[cur_row] += min_val;
-        for r in 0..nr {
-            if sr[r] && r != cur_row {
-                u[r] += min_val - shortest[col4row[r]];
-            }
-        }
-        for (c, scanned) in sc.iter().enumerate() {
-            if *scanned {
-                v[c] -= min_val - shortest[c];
+            // Augment along the found path.
+            let mut j = sink;
+            loop {
+                let r = self.path[j];
+                self.row4col[j] = r;
+                std::mem::swap(&mut self.col4row[r], &mut j);
+                if r == cur_row {
+                    break;
+                }
             }
         }
 
-        // Augment along the found path.
-        let mut j = sink;
-        loop {
-            let r = path[j];
-            row4col[j] = r;
-            std::mem::swap(&mut col4row[r], &mut j);
-            if r == cur_row {
-                break;
-            }
-        }
+        Ok(self.col4row.iter().enumerate().map(|(r, &c)| cost.at(r, c)).sum())
     }
-
-    let total = col4row.iter().enumerate().map(|(r, &c)| cost.at(r, c)).sum();
-    Ok((col4row, total))
 }
 
 #[cfg(test)]
@@ -337,6 +430,30 @@ mod tests {
             assert_valid(&cost, &assign, total);
             let best = brute_force_assignment(&cost).unwrap();
             assert!((total - best).abs() < 1e-9, "total={total} best={best}");
+        }
+    }
+
+    /// One workspace reused across differently-shaped instances produces the
+    /// same results as the one-shot entry point (including error cases).
+    #[test]
+    fn workspace_reuse_matches_one_shot() {
+        let mut ws = AssignmentWorkspace::new();
+        let cases = vec![
+            CostMatrix::from_rows(&[vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]]),
+            CostMatrix::from_rows(&[vec![10.0, 1.0, 10.0, 10.0]]),
+            CostMatrix::from_rows(&[vec![1.0, 2.0], vec![INF, INF]]),
+            CostMatrix::new(0, 0, 0.0),
+            CostMatrix::from_rows(&[vec![-5.0, 0.0], vec![0.0, -5.0]]),
+        ];
+        for cost in cases {
+            match (ws.solve(&cost), min_weight_full_matching(&cost)) {
+                (Ok(total), Ok((assign, expect))) => {
+                    assert_eq!(ws.assignment(), &assign[..]);
+                    assert_eq!(total.to_bits(), expect.to_bits());
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (got, want) => panic!("mismatch: {got:?} vs {want:?}"),
+            }
         }
     }
 

@@ -6,14 +6,17 @@
 //! (cost = max), while pickups from different rows must be sequential
 //! (cost = sum) because AOD rows cannot stack on one drop-off row.
 
-use zac_arch::{Architecture, Loc, Point, SiteId};
+use zac_arch::{Geometry, Loc, Point, SiteId};
 use zac_circuit::Gate2;
 
 /// Vertical-coordinate tolerance for "same SLM row".
 const ROW_EPS: f64 = 1e-6;
 
 /// Movement cost `√d(ω, m_q)` of bringing a qubit at `from` to site `site`.
-pub fn qubit_to_site_cost(arch: &Architecture, from: Point, site: SiteId) -> f64 {
+///
+/// Generic over [`Geometry`]: pass the [`zac_arch::Architecture`] directly,
+/// or a [`zac_arch::GeomCache`] on hot paths (bit-identical results).
+pub fn qubit_to_site_cost<G: Geometry + ?Sized>(arch: &G, from: Point, site: SiteId) -> f64 {
     arch.site_position(site).distance(from).sqrt()
 }
 
@@ -38,7 +41,7 @@ pub fn qubit_to_site_cost(arch: &Architecture, from: Point, site: SiteId) -> f64
 /// let expect = w.distance(a).sqrt().max(w.distance(b).sqrt());
 /// assert!((c - expect).abs() < 1e-9, "same row → max of the two costs");
 /// ```
-pub fn gate_cost(arch: &Architecture, q_pos: Point, q2_pos: Point, site: SiteId) -> f64 {
+pub fn gate_cost<G: Geometry + ?Sized>(arch: &G, q_pos: Point, q2_pos: Point, site: SiteId) -> f64 {
     let c1 = qubit_to_site_cost(arch, q_pos, site);
     let c2 = qubit_to_site_cost(arch, q2_pos, site);
     if (q_pos.y - q2_pos.y).abs() < ROW_EPS {
@@ -51,7 +54,7 @@ pub fn gate_cost(arch: &Architecture, q_pos: Point, q2_pos: Point, site: SiteId)
 /// The gate's *nearest site* ω_near (paper Sec. V-A): find each target
 /// qubit's nearest Rydberg site, then take the middle site
 /// (⌊(r+r′)/2⌋, ⌊(c+c′)/2⌋) within the first qubit's zone.
-pub fn nearest_gate_site(arch: &Architecture, q_pos: Point, q2_pos: Point) -> SiteId {
+pub fn nearest_gate_site<G: Geometry + ?Sized>(arch: &G, q_pos: Point, q2_pos: Point) -> SiteId {
     let s1 = arch.nearest_site(q_pos);
     let s2 = arch.nearest_site(q2_pos);
     arch.middle_site(s1, s2)
@@ -67,25 +70,34 @@ pub fn stage_weight(stage_index: usize) -> f64 {
 ///
 /// `placement[q]` is each qubit's storage trap; `gates` pairs each CZ with
 /// its 0-based stage index.
-pub fn initial_placement_cost(
-    arch: &Architecture,
+pub fn initial_placement_cost<G: Geometry + ?Sized>(
+    arch: &G,
     placement: &[Loc],
     gates: &[(usize, Gate2)],
 ) -> f64 {
-    gates
-        .iter()
-        .map(|&(stage, g)| {
-            let pa = arch.position(placement[g.a]);
-            let pb = arch.position(placement[g.b]);
-            let site = nearest_gate_site(arch, pa, pb);
-            stage_weight(stage) * gate_cost(arch, pa, pb, site)
-        })
-        .sum()
+    gates.iter().map(|&(stage, g)| gate_term(arch, placement, stage, g)).sum()
+}
+
+/// One gate's weighted Eq. 2 contribution — the unit the incremental SA
+/// evaluator caches per gate (summing these in gate order reproduces
+/// [`initial_placement_cost`] exactly).
+#[inline]
+pub(crate) fn gate_term<G: Geometry + ?Sized>(
+    arch: &G,
+    placement: &[Loc],
+    stage: usize,
+    g: Gate2,
+) -> f64 {
+    let pa = arch.position(placement[g.a]);
+    let pb = arch.position(placement[g.b]);
+    let site = nearest_gate_site(arch, pa, pb);
+    stage_weight(stage) * gate_cost(arch, pa, pb, site)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zac_arch::Architecture;
 
     fn arch() -> Architecture {
         Architecture::reference()
@@ -165,6 +177,22 @@ mod tests {
         let c_near = initial_placement_cost(&arch, &near, &gates);
         let c_far = initial_placement_cost(&arch, &far, &gates);
         assert!(c_near < c_far);
+    }
+
+    /// The memoized geometry path produces bit-identical Eq. 2 costs to the
+    /// direct `Architecture` path (the SA hot loop relies on this).
+    #[test]
+    fn memo_cost_bit_identical_to_architecture_cost() {
+        use zac_arch::GeomCache;
+        let arch = arch();
+        let geom = GeomCache::new(&arch);
+        let placement: Vec<Loc> =
+            (0..8).map(|q| Loc::Storage { zone: 0, row: 99 - (q % 3), col: 4 * q }).collect();
+        let gates: Vec<(usize, Gate2)> =
+            (0..7).map(|i| (i % 4, Gate2 { id: i, a: i, b: (i + 3) % 8 })).collect();
+        let via_arch = initial_placement_cost(&arch, &placement, &gates);
+        let via_memo = initial_placement_cost(&geom, &placement, &gates);
+        assert_eq!(via_arch.to_bits(), via_memo.to_bits());
     }
 
     #[test]

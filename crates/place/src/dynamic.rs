@@ -16,11 +16,12 @@
 //!    (paper Sec. V-B: "we commit to the better solution between the two").
 
 use crate::cost::{gate_cost, nearest_gate_site, qubit_to_site_cost};
+use crate::initial::InitialPlacementCache;
 use crate::{PlaceError, PlacementConfig};
 use std::collections::{HashMap, HashSet};
-use zac_arch::{Architecture, Loc, Point, SiteId};
+use zac_arch::{Architecture, GeomCache, Geometry, Loc, Point, SiteId};
 use zac_circuit::{Gate2, StagedCircuit};
-use zac_graph::{max_bipartite_matching, min_weight_full_matching, AssignmentError, CostMatrix};
+use zac_graph::{max_bipartite_matching, AssignmentError, AssignmentWorkspace, CostMatrix};
 
 /// Placement decisions for one Rydberg stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +129,103 @@ struct StageSolution {
     reused_qubits: usize,
 }
 
+/// Scratch state reused across every `solve_stage` call of one compilation:
+/// the geometry memo tables plus the assignment solver's workspace and cost
+/// matrix. Steady-state stage solves are allocation-free in the solver
+/// (the buffers grow to the largest stage seen, then stay).
+struct StageWorkspace {
+    geom: GeomCache,
+    assign: AssignmentWorkspace,
+    cost: CostMatrix,
+    traps: TrapScratch,
+}
+
+impl StageWorkspace {
+    fn new(arch: &Architecture) -> Self {
+        Self {
+            geom: GeomCache::new(arch),
+            assign: AssignmentWorkspace::new(),
+            cost: CostMatrix::new(0, 0, 0.0),
+            traps: TrapScratch::new(arch),
+        }
+    }
+}
+
+/// Generation-stamped dense tables over the storage-trap grid, replacing the
+/// per-call `HashSet<Loc>` occupancy/reservation/dedup lookups of the Eq. 3
+/// return matching (the profiled hot spot of `solve_stage`): one array load
+/// per candidate trap instead of three hashes. Bumping `generation` clears
+/// all three tables in O(1).
+struct TrapScratch {
+    /// Flat offset of each storage zone's trap grid.
+    zone_offsets: Vec<usize>,
+    /// Column count per storage zone (row-major flattening).
+    zone_cols: Vec<usize>,
+    /// Trap occupied by a non-returning storage resident this generation.
+    occupied: Vec<u32>,
+    /// Trap reserved (a stayer's or returner's home) this generation.
+    reserved: Vec<u32>,
+    /// Column-index dedup: stamp + assigned dense column.
+    index_stamp: Vec<u32>,
+    index_val: Vec<usize>,
+    generation: u32,
+    /// Per-qubit candidate buffer (reused across qubits and calls).
+    cands: Vec<Loc>,
+}
+
+impl TrapScratch {
+    fn new(arch: &Architecture) -> Self {
+        let mut zone_offsets = Vec::new();
+        let mut zone_cols = Vec::new();
+        let mut total = 0;
+        for z in 0..arch.storage_zones().len() {
+            let (rows, cols) = arch.storage_grid(z);
+            zone_offsets.push(total);
+            zone_cols.push(cols);
+            total += rows * cols;
+        }
+        Self {
+            zone_offsets,
+            zone_cols,
+            occupied: vec![0; total],
+            reserved: vec![0; total],
+            index_stamp: vec![0; total],
+            index_val: vec![0; total],
+            generation: 0,
+            cands: Vec::new(),
+        }
+    }
+
+    /// Flat index of a storage trap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is not a storage location.
+    #[inline]
+    fn flat(&self, loc: Loc) -> usize {
+        match loc {
+            Loc::Storage { zone, row, col } => {
+                self.zone_offsets[zone] + row * self.zone_cols[zone] + col
+            }
+            Loc::Site { .. } => unreachable!("return candidates are storage traps"),
+        }
+    }
+
+    /// Starts a fresh generation (constant-time clear of all tables).
+    fn next_generation(&mut self) -> u32 {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Reset to 0: generations restart at 1 and never take the
+            // value 0, so cleared stamps can never collide with a live one.
+            self.occupied.iter_mut().for_each(|s| *s = 0);
+            self.reserved.iter_mut().for_each(|s| *s = 0);
+            self.index_stamp.iter_mut().for_each(|s| *s = 0);
+            self.generation = 1;
+        }
+        self.generation
+    }
+}
+
 /// Plans placement for the whole circuit.
 ///
 /// # Errors
@@ -139,12 +237,36 @@ pub fn plan_placement(
     staged: &StagedCircuit,
     cfg: &PlacementConfig,
 ) -> Result<PlacementPlan, PlaceError> {
+    plan_placement_cached(arch, staged, cfg, None)
+}
+
+/// [`plan_placement`] with an optional [`InitialPlacementCache`]: the SA
+/// initial placement — which depends only on the zone geometry and the
+/// circuit, never on AOD count — is computed once per (geometry, circuit,
+/// SA-config) key and shared across callers (e.g. the fig14 multi-AOD sweep
+/// arms). Results are bit-identical with and without the cache.
+///
+/// # Errors
+///
+/// Same as [`plan_placement`].
+pub fn plan_placement_cached(
+    arch: &Architecture,
+    staged: &StagedCircuit,
+    cfg: &PlacementConfig,
+    cache: Option<&InitialPlacementCache>,
+) -> Result<PlacementPlan, PlaceError> {
     let initial = if cfg.use_sa {
-        crate::initial::sa_initial_placement(arch, staged, cfg.sa_iterations, cfg.seed)?
+        match cache {
+            Some(cache) => cache.get_or_compute(arch, staged, cfg)?,
+            None => {
+                crate::initial::sa_initial_placement(arch, staged, cfg.sa_iterations, cfg.seed)?
+            }
+        }
     } else {
         crate::initial::trivial_initial_placement(arch, staged.num_qubits)?
     };
 
+    let mut ws = StageWorkspace::new(arch);
     let mut current = initial.clone();
     let mut home = initial.clone();
     let mut prev_gates: Vec<(Gate2, SiteId)> = Vec::new();
@@ -152,11 +274,21 @@ pub fn plan_placement(
 
     for (t, stage) in staged.stages.iter().enumerate() {
         let next_gates = staged.stages.get(t + 1).map(|s| s.gates.as_slice());
-        let plain =
-            solve_stage(arch, &current, &home, &prev_gates, &stage.gates, next_gates, cfg, false)?;
+        let plain = solve_stage(
+            arch,
+            &mut ws,
+            &current,
+            &home,
+            &prev_gates,
+            &stage.gates,
+            next_gates,
+            cfg,
+            false,
+        )?;
         let (solution, used_reuse) = if cfg.reuse && !prev_gates.is_empty() {
             let reuse = solve_stage(
                 arch,
+                &mut ws,
                 &current,
                 &home,
                 &prev_gates,
@@ -235,6 +367,7 @@ fn neighborhood_sites(arch: &Architecture, center: SiteId, delta: usize) -> Vec<
 #[allow(clippy::too_many_arguments)]
 fn solve_stage(
     arch: &Architecture,
+    ws: &mut StageWorkspace,
     current: &[Loc],
     home: &[Loc],
     prev_gates: &[(Gate2, SiteId)],
@@ -243,6 +376,9 @@ fn solve_stage(
     cfg: &PlacementConfig,
     use_reuse: bool,
 ) -> Result<StageSolution, PlaceError> {
+    // Split borrows: the memo tables are read-only while the solver scratch
+    // is mutated.
+    let StageWorkspace { geom, assign: assign_ws, cost: cost_buf, traps: trap_scratch } = ws;
     let n = current.len();
 
     // Related qubit in the next stage (for lookahead and Eq. 3).
@@ -277,6 +413,10 @@ fn solve_stage(
                 };
                 place_returns(
                     arch,
+                    geom,
+                    assign_ws,
+                    cost_buf,
+                    trap_scratch,
                     &mut snapshot,
                     current,
                     home,
@@ -296,11 +436,14 @@ fn solve_stage(
     };
     // All placement decisions below see the post-return configuration.
     let working: Vec<Loc> = pre_returns.clone().unwrap_or_else(|| current.to_vec());
-    let pos = |q: usize| -> Point { arch.position(working[q]) };
+    let geom = &*geom;
+    let pos = |q: usize| -> Point { geom.position(working[q]) };
 
     // ---- 1. reuse matching --------------------------------------------
-    let mut pinned: HashMap<usize, SiteId> = HashMap::new(); // gate idx → site
-    let mut reused_qubits_of: HashMap<usize, Vec<usize>> = HashMap::new();
+    // Dense per-gate tables (gate indices are 0..gates.len()): cheaper than
+    // hash maps on this per-stage hot path.
+    let mut pinned: Vec<Option<SiteId>> = vec![None; gates.len()];
+    let mut reused_qubits_of: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
     if use_reuse && !prev_gates.is_empty() {
         let adj: Vec<Vec<usize>> = prev_gates
             .iter()
@@ -321,29 +464,29 @@ fn solve_stage(
                 let shared: Vec<usize> =
                     [g.a, g.b].into_iter().filter(|&q| pg.touches(q)).collect();
                 if !shared.is_empty() {
-                    pinned.insert(*gi, *site);
-                    reused_qubits_of.insert(*gi, shared);
+                    pinned[*gi] = Some(*site);
+                    reused_qubits_of[*gi] = shared;
                 }
             }
         }
     }
-    let reused_qubits: usize = reused_qubits_of.values().map(Vec::len).sum();
+    let reused_qubits: usize = reused_qubits_of.iter().map(Vec::len).sum();
 
     // ---- 2. gate placement for unpinned gates --------------------------
-    let unpinned: Vec<usize> = (0..gates.len()).filter(|i| !pinned.contains_key(i)).collect();
-    let pinned_sites: HashSet<SiteId> = pinned.values().copied().collect();
+    let unpinned: Vec<usize> = (0..gates.len()).filter(|&i| pinned[i].is_none()).collect();
+    let pinned_sites: HashSet<SiteId> = pinned.iter().filter_map(|s| *s).collect();
     let total_sites = arch.num_sites();
     if gates.len() > total_sites {
         return Err(PlaceError::TooManyGates { gates: gates.len(), sites: total_sites });
     }
 
-    let mut assignment: HashMap<usize, SiteId> = pinned.clone();
+    let mut assignment: Vec<Option<SiteId>> = pinned.clone();
     if !unpinned.is_empty() {
         let centers: Vec<SiteId> = unpinned
             .iter()
             .map(|&gi| {
                 let g = &gates[gi];
-                nearest_gate_site(arch, pos(g.a), pos(g.b))
+                nearest_gate_site(geom, pos(g.a), pos(g.b))
             })
             .collect();
         let max_dim = arch
@@ -378,30 +521,30 @@ fn solve_stage(
                 per_gate.push(cols);
             }
             if sites.len() >= unpinned.len() {
-                let mut cost = CostMatrix::new(unpinned.len(), sites.len(), f64::INFINITY);
+                cost_buf.reset(unpinned.len(), sites.len(), f64::INFINITY);
                 for (row, &gi) in unpinned.iter().enumerate() {
                     let g = &gates[gi];
                     for &col in &per_gate[row] {
                         let site = sites[col];
-                        let mut c = gate_cost(arch, pos(g.a), pos(g.b), site);
+                        let mut c = gate_cost(geom, pos(g.a), pos(g.b), site);
                         // Lookahead (Sec. V-B.2): if this gate is reused by
                         // g'(q, q'') next stage, add the cost of moving q''
                         // to this site.
                         for q in [g.a, g.b] {
                             if let Some(&q2) = related.get(&q) {
                                 if !gates[gi].touches(q2) {
-                                    c += qubit_to_site_cost(arch, pos(q2), site);
+                                    c += qubit_to_site_cost(geom, pos(q2), site);
                                     break;
                                 }
                             }
                         }
-                        cost.set(row, col, c);
+                        cost_buf.set(row, col, c);
                     }
                 }
-                match min_weight_full_matching(&cost) {
-                    Ok((cols, _)) => {
+                match assign_ws.solve(cost_buf) {
+                    Ok(_) => {
                         for (row, &gi) in unpinned.iter().enumerate() {
-                            assignment.insert(gi, sites[cols[row]]);
+                            assignment[gi] = Some(sites[assign_ws.assignment()[row]]);
                         }
                         break;
                     }
@@ -419,11 +562,12 @@ fn solve_stage(
     // ---- 3. build `during`: gate qubits to site slots ------------------
     let mut during = working.clone();
     for (gi, g) in gates.iter().enumerate() {
-        let site = assignment[&gi];
+        let site = assignment[gi].expect("every gate assigned a site");
         let cap = arch.site_capacity(site.zone);
         // Reused qubits keep their slot.
         let mut taken: Vec<usize> = Vec::new();
-        let reused = reused_qubits_of.get(&gi);
+        let reused_list = &reused_qubits_of[gi];
+        let reused = (!reused_list.is_empty()).then_some(reused_list);
         for &q in [g.a, g.b].iter() {
             if let Some(list) = reused {
                 if list.contains(&q) {
@@ -458,13 +602,29 @@ fn solve_stage(
     }
 
     // ---- 4. return idle zone qubits to storage --------------------------
-    let gate_qubit_set: HashSet<usize> = gates.iter().flat_map(|g| [g.a, g.b]).collect();
+    let mut is_gate_qubit = vec![false; n];
+    for g in gates {
+        is_gate_qubit[g.a] = true;
+        is_gate_qubit[g.b] = true;
+    }
     let returning: Vec<usize> =
-        (0..n).filter(|&q| working[q].is_site() && !gate_qubit_set.contains(&q)).collect();
+        (0..n).filter(|&q| working[q].is_site() && !is_gate_qubit[q]).collect();
 
     if !returning.is_empty() {
         if cfg.dynamic {
-            place_returns(arch, &mut during, &working, home, &returning, &related, cfg)?;
+            place_returns(
+                arch,
+                geom,
+                assign_ws,
+                cost_buf,
+                trap_scratch,
+                &mut during,
+                &working,
+                home,
+                &returning,
+                &related,
+                cfg,
+            )?;
         } else {
             for &q in &returning {
                 during[q] = home[q];
@@ -475,24 +635,33 @@ fn solve_stage(
     // ---- 5. transition cost ---------------------------------------------
     let return_leg: f64 = (0..n)
         .filter(|&q| working[q] != current[q])
-        .map(|q| arch.position(working[q]).distance(arch.position(current[q])).sqrt())
+        .map(|q| geom.position(working[q]).distance(geom.position(current[q])).sqrt())
         .sum();
     let fetch_leg: f64 = (0..n)
         .filter(|&q| during[q] != working[q])
-        .map(|q| arch.position(during[q]).distance(arch.position(working[q])).sqrt())
+        .map(|q| geom.position(during[q]).distance(geom.position(working[q])).sqrt())
         .sum();
     let transition_cost = return_leg + fetch_leg;
 
-    let gate_sites: Vec<(Gate2, SiteId)> =
-        gates.iter().enumerate().map(|(gi, g)| (*g, assignment[&gi])).collect();
+    let gate_sites: Vec<(Gate2, SiteId)> = gates
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| (*g, assignment[gi].expect("every gate assigned a site")))
+        .collect();
 
     Ok(StageSolution { gate_sites, pre_returns, during, transition_cost, reused_qubits })
 }
 
 /// Eq. 3: assign returning qubits to candidate storage traps by min-weight
-/// full matching.
+/// full matching (solved in the shared workspace, allocation-free in steady
+/// state).
+#[allow(clippy::too_many_arguments)]
 fn place_returns(
     arch: &Architecture,
+    geom: &GeomCache,
+    assign_ws: &mut AssignmentWorkspace,
+    cost_buf: &mut CostMatrix,
+    scratch: &mut TrapScratch,
     during: &mut [Loc],
     current: &[Loc],
     home: &[Loc],
@@ -501,42 +670,47 @@ fn place_returns(
     cfg: &PlacementConfig,
 ) -> Result<(), PlaceError> {
     let n = during.len();
+    let generation = scratch.next_generation();
+    let mut is_returning = vec![false; n];
+    for &q in returning {
+        is_returning[q] = true;
+    }
     // Storage occupancy after gate fetches: qubits whose `during` is storage.
-    let occupied: HashSet<Loc> = (0..n)
-        .filter(|&q| !returning.contains(&q) && during[q].is_storage())
-        .map(|q| during[q])
-        .collect();
+    for q in 0..n {
+        if !is_returning[q] && during[q].is_storage() {
+            let idx = scratch.flat(during[q]);
+            scratch.occupied[idx] = generation;
+        }
+    }
     // Homes of qubits staying in the zone stay reserved; homes of returning
     // qubits are private to their owner.
-    let reserved: HashSet<Loc> = (0..n)
-        .filter(|&q| during[q].is_site() || returning.contains(&q))
-        .map(|q| home[q])
-        .collect();
+    for q in 0..n {
+        if during[q].is_site() || is_returning[q] {
+            let idx = scratch.flat(home[q]);
+            scratch.reserved[idx] = generation;
+        }
+    }
 
     // Collect candidates per qubit.
-    let mut trap_index: HashMap<Loc, usize> = HashMap::new();
     let mut traps: Vec<Loc> = Vec::new();
     let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(returning.len());
+    let mut home_cols: Vec<Option<usize>> = Vec::with_capacity(returning.len());
     for &q in returning {
-        let q_pos = arch.position(current[q]);
-        let related_pos = related.get(&q).map(|&q2| arch.position(current[q2]));
-        let cands = return_candidates(
-            arch,
-            q,
-            q_pos,
-            related_pos,
-            home[q],
-            &occupied,
-            &reserved,
-            cfg.neighbor_k,
-        );
-        let mut row = Vec::with_capacity(cands.len());
-        for trap in cands {
-            let idx = *trap_index.entry(trap).or_insert_with(|| {
+        let q_pos = geom.position(current[q]);
+        let related_pos = related.get(&q).map(|&q2| geom.position(current[q2]));
+        return_candidates(arch, geom, scratch, q_pos, related_pos, home[q], cfg.neighbor_k);
+        let mut row = Vec::with_capacity(scratch.cands.len());
+        for &trap in &scratch.cands {
+            let flat = scratch.flat(trap);
+            let idx = if scratch.index_stamp[flat] == generation {
+                scratch.index_val[flat]
+            } else {
+                scratch.index_stamp[flat] = generation;
+                scratch.index_val[flat] = traps.len();
                 traps.push(trap);
                 traps.len() - 1
-            });
-            let trap_pos = arch.position(trap);
+            };
+            let trap_pos = geom.position(trap);
             let mut c = trap_pos.distance(q_pos).sqrt();
             if let Some(rp) = related_pos {
                 c += cfg.lookahead_alpha * trap_pos.distance(rp).sqrt();
@@ -544,30 +718,30 @@ fn place_returns(
             row.push((idx, c));
         }
         rows.push(row);
+        let hf = scratch.flat(home[q]);
+        home_cols.push((scratch.index_stamp[hf] == generation).then(|| scratch.index_val[hf]));
     }
 
-    let mut cost = CostMatrix::new(returning.len(), traps.len(), f64::INFINITY);
+    cost_buf.reset(returning.len(), traps.len(), f64::INFINITY);
     for (r, row) in rows.iter().enumerate() {
         for &(c, v) in row {
-            cost.set(r, c, v);
+            cost_buf.set(r, c, v);
         }
     }
     // Private homes: forbid other qubits from taking a returner's home.
-    for (r, &q) in returning.iter().enumerate() {
-        for (r2, &q2) in returning.iter().enumerate() {
-            if r != r2 {
-                if let Some(&ci) = trap_index.get(&home[q]) {
-                    let _ = q2;
-                    cost.set(r2, ci, f64::INFINITY);
+    for (r, _) in returning.iter().enumerate() {
+        if let Some(ci) = home_cols[r] {
+            for r2 in 0..returning.len() {
+                if r2 != r {
+                    cost_buf.set(r2, ci, f64::INFINITY);
                 }
             }
         }
     }
 
-    let (cols, _) = min_weight_full_matching(&cost)
-        .map_err(|e| PlaceError::Invalid(format!("return matching: {e}")))?;
+    assign_ws.solve(cost_buf).map_err(|e| PlaceError::Invalid(format!("return matching: {e}")))?;
     for (r, &q) in returning.iter().enumerate() {
-        during[q] = traps[cols[r]];
+        during[q] = traps[assign_ws.assignment()[r]];
     }
     Ok(())
 }
@@ -576,20 +750,19 @@ fn place_returns(
 /// bounding box over (a) its home trap, (b) the k-neighborhood of the
 /// nearest trap to its current site, and (c) the nearest trap to its related
 /// qubit — restricted to empty, unreserved traps (its own home always
-/// included).
-#[allow(clippy::too_many_arguments)]
+/// included). Fills `scratch.cands`; occupancy/reservation checks go
+/// through the generation-stamped tables.
 fn return_candidates(
     arch: &Architecture,
-    _q: usize,
+    geom: &GeomCache,
+    scratch: &mut TrapScratch,
     q_pos: Point,
     related_pos: Option<Point>,
     home: Loc,
-    occupied: &HashSet<Loc>,
-    reserved: &HashSet<Loc>,
     k: usize,
-) -> Vec<Loc> {
+) {
     let mut anchor_traps: Vec<Loc> = vec![home];
-    let nearest = arch.nearest_storage_trap(q_pos);
+    let nearest = geom.nearest_storage_trap(q_pos);
     anchor_traps.push(nearest);
     if let Loc::Storage { zone, row, col } = nearest {
         let (rows, cols) = arch.storage_grid(zone);
@@ -609,11 +782,12 @@ fn return_candidates(
         }
     }
     if let Some(rp) = related_pos {
-        anchor_traps.push(arch.nearest_storage_trap(rp));
+        anchor_traps.push(geom.nearest_storage_trap(rp));
     }
 
     // Bounding box per storage zone (anchors may span zones).
-    let mut out: Vec<Loc> = Vec::new();
+    let generation = scratch.generation;
+    scratch.cands.clear();
     for z in 0..arch.storage_zones().len() {
         let zone_anchors: Vec<(usize, usize)> = anchor_traps
             .iter()
@@ -629,30 +803,35 @@ fn return_candidates(
         let r1 = zone_anchors.iter().map(|a| a.0).max().unwrap();
         let c0 = zone_anchors.iter().map(|a| a.1).min().unwrap();
         let c1 = zone_anchors.iter().map(|a| a.1).max().unwrap();
+        let zone_off = scratch.zone_offsets[z];
+        let zone_cols = scratch.zone_cols[z];
         for row in r0..=r1 {
+            let row_off = zone_off + row * zone_cols;
             for col in c0..=c1 {
                 let trap = Loc::Storage { zone: z, row, col };
-                if trap == home || (!occupied.contains(&trap) && !reserved.contains(&trap)) {
-                    out.push(trap);
+                let flat = row_off + col;
+                let free =
+                    scratch.occupied[flat] != generation && scratch.reserved[flat] != generation;
+                if trap == home || free {
+                    scratch.cands.push(trap);
                 }
             }
         }
     }
-    if !out.contains(&home) {
-        out.push(home);
+    if !scratch.cands.contains(&home) {
+        scratch.cands.push(home);
     }
     // Cap the candidate set, keeping the nearest traps (home always kept).
     const CAP: usize = 400;
-    if out.len() > CAP {
-        out.sort_by(|a, b| {
-            arch.position(*a).distance(q_pos).total_cmp(&arch.position(*b).distance(q_pos))
+    if scratch.cands.len() > CAP {
+        scratch.cands.sort_by(|a, b| {
+            geom.position(*a).distance(q_pos).total_cmp(&geom.position(*b).distance(q_pos))
         });
-        out.truncate(CAP);
-        if !out.contains(&home) {
-            out.push(home);
+        scratch.cands.truncate(CAP);
+        if !scratch.cands.contains(&home) {
+            scratch.cands.push(home);
         }
     }
-    out
 }
 
 #[cfg(test)]

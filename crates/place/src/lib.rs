@@ -34,8 +34,8 @@ pub mod initial;
 
 use std::fmt;
 
-pub use dynamic::{plan_placement, PlacementPlan, StagePlan};
-pub use initial::{sa_initial_placement, trivial_initial_placement};
+pub use dynamic::{plan_placement, plan_placement_cached, PlacementPlan, StagePlan};
+pub use initial::{sa_initial_placement, trivial_initial_placement, InitialPlacementCache};
 
 /// Configuration of the placement pipeline; the paper's ablation settings
 /// (Fig. 11) map onto the three booleans (`use_sa`, `dynamic`, `reuse`).

@@ -14,7 +14,7 @@ const CORPUS_DIR: &str = "tests/corpus";
 fn bundled_corpus_parses_cleanly_in_deterministic_order() {
     let corpus = load_corpus(CORPUS_DIR);
     assert!(corpus.is_clean(), "{:#?}", corpus.failures);
-    assert_eq!(corpus.len(), 9);
+    assert_eq!(corpus.len(), 10);
     // Deterministic ordering: sorted by file name.
     let files: Vec<&str> = corpus.entries.iter().map(|e| e.file.as_str()).collect();
     let mut sorted = files.clone();
@@ -97,6 +97,13 @@ fn bundled_files_exercise_the_new_grammar() {
     assert_eq!(adder.num_qubits(), 6);
     // 4 majority/unmaj macro expansions (8 CX each) + the carry-out CX.
     assert_eq!(adder.num_2q_gates(), 4 * 8 + 1);
+
+    // qaoa_n3: sx/sxdg lower to 3 one-qubit gates each, incl. a broadcast
+    // `sxdg q;` over the whole register.
+    let qaoa = parse_qasm(&read("qaoa_n3.qasm"), "qaoa_n3").unwrap();
+    assert_eq!(qaoa.num_qubits(), 3);
+    assert_eq!(qaoa.num_2q_gates(), 4);
+    assert_eq!(qaoa.num_1q_gates(), 3 * 3 + 2 + 3 * 3);
 }
 
 /// Asserts `a == z · b` amplitude-wise and returns the factor `z`
@@ -227,6 +234,63 @@ fn qelib1_decompositions_match_their_definitions() {
     );
     let z = global_phase_between(&StateVector::run(&dec), &StateVector::run(&reference), "rzz");
     assert!((z - zac::circuit::complex::C64::ONE).norm() < 1e-9, "rzz: phase {z:?}");
+}
+
+/// `sx`/`sxdg` lower through their qelib1 decompositions: exactly √X and
+/// √X† up to the documented global phases e^{∓iπ/4} (qelib1 defines `sx`
+/// with a π/4 global phase). The reference uses the exact identity
+/// SX = H·S·H (no phase), so the check is against the true matrix, not the
+/// decomposition re-tested against itself.
+#[test]
+fn sx_decompositions_match_sqrt_x_exactly() {
+    let pi4 = std::f64::consts::FRAC_PI_4;
+    type Builder = fn(&mut Circuit);
+    let cases: Vec<(&str, Builder, Builder, f64)> = vec![
+        (
+            "sx",
+            |c| {
+                c.sx_decomposed(0);
+            },
+            |c| {
+                c.h(0).one_q(OneQGate::S, 0).h(0); // H·S·H = SX exactly
+            },
+            -pi4,
+        ),
+        (
+            "sxdg",
+            |c| {
+                c.sxdg_decomposed(0);
+            },
+            |c| {
+                c.h(0).one_q(OneQGate::Sdg, 0).h(0); // H·S†·H = SX† exactly
+            },
+            pi4,
+        ),
+    ];
+    for (name, decomposed, reference_gate, expected_phase) in cases {
+        let mut dec = Circuit::new("dec", 1);
+        let mut reference = Circuit::new("ref", 1);
+        for c in [&mut dec, &mut reference] {
+            // Generic superposition with a nontrivial phase, so both matrix
+            // columns are pinned.
+            c.ry(0.77, 0).rz(0.31, 0);
+        }
+        decomposed(&mut dec);
+        reference_gate(&mut reference);
+        let z = global_phase_between(&StateVector::run(&dec), &StateVector::run(&reference), name);
+        let expected = zac::circuit::complex::C64::cis(expected_phase);
+        assert!((z - expected).norm() < 1e-9, "{name}: phase {z:?} != {expected:?}");
+        // The phase must not depend on the input state (branch-independent).
+        let mut dec2 = Circuit::new("dec2", 1);
+        let mut ref2 = Circuit::new("ref2", 1);
+        for c in [&mut dec2, &mut ref2] {
+            c.x(0).ry(-1.1, 0);
+        }
+        decomposed(&mut dec2);
+        reference_gate(&mut ref2);
+        let z2 = global_phase_between(&StateVector::run(&dec2), &StateVector::run(&ref2), name);
+        assert!((z2 - expected).norm() < 1e-9, "{name}: state-dependent phase {z2:?}");
+    }
 }
 
 /// Parsing a corpus file and re-parsing its `to_qasm` emission agree —
