@@ -36,8 +36,10 @@ pub mod memo;
 pub mod model;
 pub mod presets;
 pub mod spec;
+pub mod trap;
 
 pub use architecture::{ArchError, Architecture};
 pub use geometry::{movement_time_us, Point, Rect, MOVE_ACCEL_UM_PER_US2};
 pub use memo::{GeomCache, Geometry};
 pub use model::{AodArray, Loc, SiteId, SlmArray, Zone, ZoneKind};
+pub use trap::{TrapIndex, TrapMap, TrapSet};

@@ -1,0 +1,349 @@
+//! Generation-stamped dense trap tables — the shared occupancy/bookkeeping
+//! substrate for the placement and scheduling hot paths.
+//!
+//! Both `zac-place` (the Eq. 3 return matching) and `zac-schedule` (the
+//! emission loop's trap occupancy and vacate times) repeatedly answer "is
+//! this trap in set S?" / "what value is attached to this trap?" for sets
+//! that are rebuilt hundreds of times per compilation. `HashSet<Loc>` /
+//! `HashMap<Loc, _>` answers cost a hash per probe and an allocation churn
+//! per rebuild; the tables here cost one array load per probe and a
+//! constant-time generation bump per rebuild:
+//!
+//! * [`TrapIndex`] maps every [`Loc`] of an [`Architecture`] — storage traps
+//!   first (zone-major, row-major), then entanglement-site slots — to a
+//!   dense `usize`.
+//! * [`TrapSet`] is a membership set over those indices: `clear` bumps a
+//!   generation counter instead of touching memory (the pattern PR 4
+//!   introduced privately in `zac_place::dynamic`, lifted here so both
+//!   crates share one implementation).
+//! * [`TrapMap`] attaches a value to stamped entries, with the same O(1)
+//!   clear.
+//!
+//! Stamps are `u32` generations; on the (astronomically rare) wrap-around
+//! the tables are hard-cleared so stale stamps can never alias a live
+//! generation.
+
+use crate::architecture::Architecture;
+use crate::model::Loc;
+
+/// Dense `Loc → usize` indexer over every trap of one architecture.
+///
+/// Storage zones come first, each row-major, so flat indices
+/// `0..num_storage_traps()` enumerate exactly the storage traps in
+/// `(zone, row, col)` order — the scan order of detour-trap searches.
+/// Entanglement-site slots follow, per zone and slot grid.
+///
+/// # Example
+///
+/// ```
+/// use zac_arch::{Architecture, Loc, TrapIndex};
+///
+/// let arch = Architecture::reference();
+/// let idx = TrapIndex::new(&arch);
+/// let trap = Loc::Storage { zone: 0, row: 99, col: 13 };
+/// assert_eq!(idx.storage_loc(idx.flat(trap)), trap);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrapIndex {
+    /// Flat offset of each storage zone's trap grid.
+    storage_offsets: Vec<usize>,
+    /// Column count per storage zone (row-major flattening).
+    storage_cols: Vec<usize>,
+    storage_total: usize,
+    /// Flat offset of each entanglement zone's slot grids.
+    site_offsets: Vec<usize>,
+    /// (rows, cols) per entanglement zone.
+    site_dims: Vec<(usize, usize)>,
+    total: usize,
+}
+
+impl TrapIndex {
+    /// Builds the indexer for `arch`.
+    pub fn new(arch: &Architecture) -> Self {
+        let mut storage_offsets = Vec::new();
+        let mut storage_cols = Vec::new();
+        let mut total = 0;
+        for z in 0..arch.storage_zones().len() {
+            let (rows, cols) = arch.storage_grid(z);
+            storage_offsets.push(total);
+            storage_cols.push(cols);
+            total += rows * cols;
+        }
+        let storage_total = total;
+        let mut site_offsets = Vec::new();
+        let mut site_dims = Vec::new();
+        for z in 0..arch.entanglement_zones().len() {
+            let (rows, cols) = arch.site_grid(z);
+            site_offsets.push(total);
+            site_dims.push((rows, cols));
+            total += rows * cols * arch.site_capacity(z);
+        }
+        Self { storage_offsets, storage_cols, storage_total, site_offsets, site_dims, total }
+    }
+
+    /// Total number of indexed traps (storage traps + site slots).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the architecture has no traps at all.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of storage traps; flat indices below this value are exactly
+    /// the storage traps, in `(zone, row, col)` order.
+    pub fn num_storage_traps(&self) -> usize {
+        self.storage_total
+    }
+
+    /// The flat index of a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via slice indexing) if the location's zone
+    /// does not exist; out-of-grid rows/columns silently alias and must be
+    /// validated upstream (the schedulers only index architecture-checked
+    /// locations).
+    #[inline]
+    pub fn flat(&self, loc: Loc) -> usize {
+        match loc {
+            Loc::Storage { zone, row, col } => {
+                self.storage_offsets[zone] + row * self.storage_cols[zone] + col
+            }
+            Loc::Site { zone, row, col, slot } => {
+                let (rows, cols) = self.site_dims[zone];
+                self.site_offsets[zone] + slot * rows * cols + row * cols + col
+            }
+        }
+    }
+
+    /// The storage trap at flat index `flat` (the inverse of [`flat`] over
+    /// the storage range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= num_storage_traps()`.
+    ///
+    /// [`flat`]: TrapIndex::flat
+    pub fn storage_loc(&self, flat: usize) -> Loc {
+        assert!(flat < self.storage_total, "flat {flat} is not a storage trap");
+        // Zones are few (1–2 in every preset); a linear scan beats a
+        // binary search at these sizes.
+        let zone = self
+            .storage_offsets
+            .iter()
+            .rposition(|&off| off <= flat)
+            .expect("offsets start at zero");
+        let rel = flat - self.storage_offsets[zone];
+        let cols = self.storage_cols[zone];
+        Loc::Storage { zone, row: rel / cols, col: rel % cols }
+    }
+}
+
+/// Bumps a generation counter, hard-resetting `stamps` on wrap-around so a
+/// stale stamp can never equal a live generation.
+fn next_generation(generation: &mut u32, stamps: &mut [u32]) {
+    *generation = generation.wrapping_add(1);
+    if *generation == 0 {
+        stamps.iter_mut().for_each(|s| *s = 0);
+        *generation = 1;
+    }
+}
+
+/// A set of traps over a [`TrapIndex`]'s flat range with O(1) `clear`.
+///
+/// # Example
+///
+/// ```
+/// use zac_arch::TrapSet;
+///
+/// let mut set = TrapSet::new(8);
+/// set.insert(3);
+/// assert!(set.contains(3));
+/// set.remove(3);
+/// assert!(!set.contains(3));
+/// set.insert(5);
+/// set.clear(); // O(1): no memory touched
+/// assert!(!set.contains(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrapSet {
+    stamps: Vec<u32>,
+    generation: u32,
+}
+
+impl TrapSet {
+    /// An empty set over `len` flat indices.
+    pub fn new(len: usize) -> Self {
+        Self { stamps: vec![0; len], generation: 1 }
+    }
+
+    /// Empties the set in constant time.
+    pub fn clear(&mut self) {
+        next_generation(&mut self.generation, &mut self.stamps);
+    }
+
+    /// Inserts a trap.
+    #[inline]
+    pub fn insert(&mut self, flat: usize) {
+        self.stamps[flat] = self.generation;
+    }
+
+    /// Removes a trap (a no-op if absent).
+    #[inline]
+    pub fn remove(&mut self, flat: usize) {
+        self.stamps[flat] = 0;
+    }
+
+    /// Membership probe: one array load.
+    #[inline]
+    pub fn contains(&self, flat: usize) -> bool {
+        self.stamps[flat] == self.generation
+    }
+}
+
+/// A `flat → T` map over a [`TrapIndex`]'s range with O(1) `clear`.
+///
+/// # Example
+///
+/// ```
+/// use zac_arch::TrapMap;
+///
+/// let mut vac: TrapMap<f64> = TrapMap::new(4);
+/// vac.set(2, 17.5);
+/// assert_eq!(vac.get(2), Some(17.5));
+/// vac.clear();
+/// assert_eq!(vac.get(2), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrapMap<T> {
+    stamps: Vec<u32>,
+    values: Vec<T>,
+    generation: u32,
+}
+
+impl<T: Copy + Default> TrapMap<T> {
+    /// An empty map over `len` flat indices.
+    pub fn new(len: usize) -> Self {
+        Self { stamps: vec![0; len], values: vec![T::default(); len], generation: 1 }
+    }
+
+    /// Empties the map in constant time.
+    pub fn clear(&mut self) {
+        next_generation(&mut self.generation, &mut self.stamps);
+    }
+
+    /// Sets the value for a trap.
+    #[inline]
+    pub fn set(&mut self, flat: usize, value: T) {
+        self.stamps[flat] = self.generation;
+        self.values[flat] = value;
+    }
+
+    /// The trap's value, if set since the last `clear`.
+    #[inline]
+    pub fn get(&self, flat: usize) -> Option<T> {
+        (self.stamps[flat] == self.generation).then(|| self.values[flat])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SiteId;
+
+    fn archs() -> Vec<Architecture> {
+        vec![
+            Architecture::reference(),
+            Architecture::arch1_small(),
+            Architecture::arch2_two_zones(),
+        ]
+    }
+
+    /// Every trap of every preset gets a unique flat index inside `len()`,
+    /// and storage traps occupy exactly the leading range in scan order.
+    #[test]
+    fn flat_indices_are_a_bijection() {
+        for arch in archs() {
+            let idx = TrapIndex::new(&arch);
+            let mut seen = vec![false; idx.len()];
+            let mut expected_storage = 0usize;
+            for z in 0..arch.storage_zones().len() {
+                let (rows, cols) = arch.storage_grid(z);
+                for row in 0..rows {
+                    for col in 0..cols {
+                        let loc = Loc::Storage { zone: z, row, col };
+                        let f = idx.flat(loc);
+                        assert_eq!(f, expected_storage, "{} {loc}", arch.name());
+                        assert!(!seen[f]);
+                        seen[f] = true;
+                        assert_eq!(idx.storage_loc(f), loc);
+                        expected_storage += 1;
+                    }
+                }
+            }
+            assert_eq!(expected_storage, idx.num_storage_traps());
+            for z in 0..arch.entanglement_zones().len() {
+                let (rows, cols) = arch.site_grid(z);
+                for slot in 0..arch.site_capacity(z) {
+                    for row in 0..rows {
+                        for col in 0..cols {
+                            let f = idx.flat(Loc::Site { zone: z, row, col, slot });
+                            assert!(f >= idx.num_storage_traps() && f < idx.len());
+                            assert!(!seen[f], "{} duplicate flat {f}", arch.name());
+                            seen[f] = true;
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{}: unassigned flat index", arch.name());
+            // Site ids resolve through the same index as their slot-0 locs.
+            let site = SiteId::new(0, 0, 0);
+            let loc = Loc::Site { zone: site.zone, row: site.row, col: site.col, slot: 0 };
+            assert_eq!(idx.flat(loc), idx.flat(loc));
+        }
+    }
+
+    #[test]
+    fn set_clear_is_complete() {
+        let mut set = TrapSet::new(10);
+        for f in 0..10 {
+            set.insert(f);
+        }
+        set.clear();
+        assert!((0..10).all(|f| !set.contains(f)));
+        set.insert(4);
+        assert!(set.contains(4));
+        assert!(!set.contains(5));
+    }
+
+    #[test]
+    fn map_clear_forgets_values() {
+        let mut map: TrapMap<usize> = TrapMap::new(6);
+        map.set(1, 42);
+        map.set(5, 7);
+        assert_eq!(map.get(1), Some(42));
+        assert_eq!(map.get(0), None);
+        map.clear();
+        assert_eq!(map.get(1), None);
+        map.set(1, 9);
+        assert_eq!(map.get(1), Some(9));
+    }
+
+    /// The wrap-around hard reset keeps stale stamps dead: drive a set
+    /// through the full u32 generation space.
+    #[test]
+    fn generation_wraparound_cannot_alias() {
+        let mut set = TrapSet::new(2);
+        set.insert(0);
+        // Force the counter to the edge instead of looping 2^32 times.
+        set.generation = u32::MAX;
+        set.insert(1);
+        set.clear(); // wraps: hard reset, generation restarts at 1
+        assert!(!set.contains(0));
+        assert!(!set.contains(1));
+        set.insert(0);
+        assert!(set.contains(0));
+    }
+}

@@ -25,6 +25,10 @@ use zac_core::{Compiler, Zac, ZacConfig};
 /// Schema version of the emitted JSON.
 const FORMAT_VERSION: u64 = 1;
 
+/// One sweep cell: circuit name, total compile seconds, optional
+/// (place, schedule) phase split.
+type Cell<'a> = (&'a str, f64, Option<(f64, f64)>);
+
 /// The large-circuit tier the acceptance criteria track (the suite's
 /// heaviest placement/scheduling instances).
 const LARGE_TIER: [&str; 3] = ["ising_n98", "qft_n18", "knn_n31"];
@@ -94,45 +98,93 @@ fn build_compilers(smoke: bool) -> Vec<Box<dyn Compiler>> {
 
 fn report(rows: &[ComparisonRow], compilers: &[Box<dyn Compiler>], smoke: bool) {
     println!(
-        "{:<26}{:>8}{:>14}{:>16}{:>18}",
-        "compiler", "cells", "total (s)", "geomean (s)", "large tier (s)"
+        "{:<26}{:>8}{:>14}{:>16}{:>18}{:>12}{:>12}",
+        "compiler", "cells", "total (s)", "geomean (s)", "large tier (s)", "place (s)", "sched (s)"
     );
     let mut compiler_objs: Vec<Value> = Vec::new();
     for compiler in compilers {
         let name = compiler.name();
-        let cells: Vec<(&str, f64)> = rows
+        let cells: Vec<Cell<'_>> = rows
             .iter()
-            .filter_map(|r| r.result(name).map(|x| (r.name.as_str(), x.compile_secs)))
+            .filter_map(|r| r.result(name).map(|x| (r.name.as_str(), x.compile_secs, x.phase_secs)))
             .collect();
         if cells.is_empty() {
             continue;
         }
-        let times: Vec<f64> = cells.iter().map(|&(_, t)| t).collect();
+        let times: Vec<f64> = cells.iter().map(|&(_, t, _)| t).collect();
         let total: f64 = times.iter().sum();
         let gm = geomean(&times);
         let large: f64 =
-            cells.iter().filter(|(n, _)| LARGE_TIER.contains(n)).map(|&(_, t)| t).sum();
-        println!("{name:<26}{:>8}{total:>14.4}{gm:>16.6}{large:>18.4}", cells.len());
+            cells.iter().filter(|(n, _, _)| LARGE_TIER.contains(n)).map(|&(_, t, _)| t).sum();
+        // Per-phase (place vs. schedule) breakdown, for compilers reporting
+        // one (ZAC's pipeline); the phase acceptance criteria track the
+        // schedule slice of the large tier.
+        let has_phases = cells.iter().any(|(_, _, p)| p.is_some());
+        let phase_sum = |pick: fn((f64, f64)) -> f64, large_only: bool| -> f64 {
+            cells
+                .iter()
+                .filter(|(n, _, _)| !large_only || LARGE_TIER.contains(n))
+                .filter_map(|&(_, _, p)| p.map(pick))
+                .sum()
+        };
+        let (place, sched) = (phase_sum(|p| p.0, false), phase_sum(|p| p.1, false));
+        if has_phases {
+            println!(
+                "{name:<26}{:>8}{total:>14.4}{gm:>16.6}{large:>18.4}{place:>12.4}{sched:>12.4}",
+                cells.len()
+            );
+        } else {
+            println!(
+                "{name:<26}{:>8}{total:>14.4}{gm:>16.6}{large:>18.4}{:>12}{:>12}",
+                cells.len(),
+                "-",
+                "-"
+            );
+        }
 
         let per_circuit = Value::Array(
             cells
                 .iter()
-                .map(|&(n, t)| {
-                    Value::Object(vec![
+                .map(|&(n, t, p)| {
+                    let mut fields = vec![
                         ("circuit".into(), Value::String(n.into())),
                         ("secs".into(), Value::Number(serde::Number::from_f64(t))),
-                    ])
+                    ];
+                    if let Some((pl, sc)) = p {
+                        fields.push((
+                            "place_secs".into(),
+                            Value::Number(serde::Number::from_f64(pl)),
+                        ));
+                        fields.push((
+                            "schedule_secs".into(),
+                            Value::Number(serde::Number::from_f64(sc)),
+                        ));
+                    }
+                    Value::Object(fields)
                 })
                 .collect(),
         );
-        compiler_objs.push(Value::Object(vec![
+        let mut fields = vec![
             ("name".into(), Value::String(name.into())),
             ("cells".into(), Value::Number(serde::Number::from_f64(cells.len() as f64))),
             ("total_secs".into(), Value::Number(serde::Number::from_f64(total))),
             ("geomean_secs".into(), Value::Number(serde::Number::from_f64(gm))),
             ("large_tier_secs".into(), Value::Number(serde::Number::from_f64(large))),
-            ("per_circuit".into(), per_circuit),
-        ]));
+        ];
+        if has_phases {
+            fields.push(("place_secs".into(), Value::Number(serde::Number::from_f64(place))));
+            fields.push(("schedule_secs".into(), Value::Number(serde::Number::from_f64(sched))));
+            fields.push((
+                "large_tier_place_secs".into(),
+                Value::Number(serde::Number::from_f64(phase_sum(|p| p.0, true))),
+            ));
+            fields.push((
+                "large_tier_schedule_secs".into(),
+                Value::Number(serde::Number::from_f64(phase_sum(|p| p.1, true))),
+            ));
+        }
+        fields.push(("per_circuit".into(), per_circuit));
+        compiler_objs.push(Value::Object(fields));
     }
 
     let doc = Value::Object(vec![
@@ -188,7 +240,14 @@ fn print_speedups(current: &Value, baseline: &Value, baseline_path: &str) {
     };
     for c in compilers {
         let Some(name) = c.get("name").and_then(Value::as_str) else { continue };
-        for (field, label) in [("geomean_secs", "geomean"), ("large_tier_secs", "large tier")] {
+        for (field, label) in [
+            ("geomean_secs", "geomean"),
+            ("large_tier_secs", "large tier"),
+            ("place_secs", "place phase"),
+            ("schedule_secs", "sched phase"),
+            ("large_tier_place_secs", "lt place"),
+            ("large_tier_schedule_secs", "lt sched"),
+        ] {
             if let (Some(now), Some(then)) =
                 (lookup(current, name, field), lookup(baseline, name, field))
             {

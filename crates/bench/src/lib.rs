@@ -35,6 +35,10 @@ pub struct RunResult {
     /// compile time recorded when the entry was produced — lookup times
     /// never pollute figure timing series (regression-tested below).
     pub compile_secs: f64,
+    /// Per-phase split of `compile_secs` as `(place, schedule)` seconds,
+    /// for pipeline compilers that report one (ZAC). Cache hits carry the
+    /// original split.
+    pub phase_secs: Option<(f64, f64)>,
     /// Whether the result was served from a [`CompileCache`] rather than
     /// freshly compiled.
     pub from_cache: bool,
@@ -47,6 +51,7 @@ impl RunResult {
             report: out.report,
             counts: out.counts,
             compile_secs: out.compile_time.as_secs_f64(),
+            phase_secs: out.phases.map(|p| (p.place.as_secs_f64(), p.schedule.as_secs_f64())),
             from_cache: out.from_cache,
         }
     }

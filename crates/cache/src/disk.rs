@@ -37,6 +37,10 @@ struct DiskEntry {
     circuit_fp: String,
     compiler_fp: String,
     compile_time_ns: u64,
+    /// Per-phase breakdown (place, schedule) in nanoseconds, for backends
+    /// that report one. Optional so pre-breakdown entries stay loadable.
+    place_time_ns: Option<u64>,
+    schedule_time_ns: Option<u64>,
     summary: ExecutionSummary,
     report: FidelityReport,
     program: Option<Program>,
@@ -49,6 +53,8 @@ impl Serialize for DiskEntry {
             ("circuit_fp".into(), self.circuit_fp.to_value()),
             ("compiler_fp".into(), self.compiler_fp.to_value()),
             ("compile_time_ns".into(), self.compile_time_ns.to_value()),
+            ("place_time_ns".into(), self.place_time_ns.to_value()),
+            ("schedule_time_ns".into(), self.schedule_time_ns.to_value()),
             ("summary".into(), self.summary.to_value()),
             ("report".into(), self.report.to_value()),
             ("program".into(), self.program.to_value()),
@@ -64,6 +70,8 @@ impl Deserialize for DiskEntry {
             circuit_fp: obj.field("circuit_fp")?,
             compiler_fp: obj.field("compiler_fp")?,
             compile_time_ns: obj.field("compile_time_ns")?,
+            place_time_ns: obj.opt_field("place_time_ns")?,
+            schedule_time_ns: obj.opt_field("schedule_time_ns")?,
             summary: obj.field("summary")?,
             report: obj.field("report")?,
             program: obj.opt_field("program")?,
@@ -109,12 +117,16 @@ impl DiskLayer {
         {
             return None;
         }
-        Some(CompileOutput::new(
+        let out = CompileOutput::new(
             entry.summary,
             entry.report,
             Duration::from_nanos(entry.compile_time_ns),
             entry.program,
-        ))
+        );
+        Some(match (entry.place_time_ns, entry.schedule_time_ns) {
+            (Some(p), Some(s)) => out.with_phases(Duration::from_nanos(p), Duration::from_nanos(s)),
+            _ => out,
+        })
     }
 
     /// Persists `key → output` atomically (temp file + rename).
@@ -131,6 +143,8 @@ impl DiskLayer {
             compiler_fp: format!("{:016x}", key.compiler),
             compile_time_ns: u64::try_from(output.compile_time.as_nanos())
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "compile time overflow"))?,
+            place_time_ns: output.phases.and_then(|p| u64::try_from(p.place.as_nanos()).ok()),
+            schedule_time_ns: output.phases.and_then(|p| u64::try_from(p.schedule.as_nanos()).ok()),
             summary: output.summary.clone(),
             report: output.report,
             program: output.program.clone(),
@@ -183,6 +197,7 @@ mod tests {
         assert_eq!(back.report, out.report);
         assert_eq!(back.counts, out.counts);
         assert_eq!(back.compile_time, out.compile_time);
+        assert_eq!(back.phases, out.phases, "phase breakdown round-trips");
         assert!(!back.from_cache, "disk layer returns pristine outputs");
         fs::remove_dir_all(&dir).ok();
     }

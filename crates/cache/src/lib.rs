@@ -351,6 +351,7 @@ pub(crate) mod test_support {
         };
         let report = evaluate_neutral_atom(&summary, &NeutralAtomParams::reference());
         CompileOutput::new(summary, report, Duration::from_micros(321), None)
+            .with_phases(Duration::from_micros(200), Duration::from_micros(121))
     }
 }
 

@@ -1,6 +1,7 @@
 //! The ZAC compilation pipeline: preprocess → place → schedule → evaluate.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use zac_arch::Architecture;
 use zac_circuit::{preprocess, Circuit, StagedCircuit};
@@ -8,7 +9,7 @@ use zac_fidelity::{evaluate_neutral_atom, ExecutionSummary, FidelityReport, Neut
 use zac_place::{
     plan_placement_cached, InitialPlacementCache, PlaceError, PlacementConfig, PlacementPlan,
 };
-use zac_schedule::{schedule, ScheduleConfig, ScheduleError};
+use zac_schedule::{schedule_with_workspace, ScheduleConfig, ScheduleError, ScheduleWorkspace};
 use zac_zair::{Program, ZairError};
 
 /// Full compiler configuration.
@@ -136,6 +137,10 @@ pub struct ZacOutput {
     pub report: FidelityReport,
     /// Wall-clock compilation time.
     pub compile_time: Duration,
+    /// Wall-clock time of the placement phase (preprocessing + plan).
+    pub place_time: Duration,
+    /// Wall-clock time of the scheduling phase (plan → ZAIR program).
+    pub schedule_time: Duration,
 }
 
 impl ZacOutput {
@@ -160,22 +165,43 @@ impl ZacOutput {
 /// assert_eq!(out.summary.n_exc, 0); // zoned: idle qubits shielded
 /// # Ok::<(), zac_core::ZacError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Zac {
     arch: Architecture,
     config: ZacConfig,
     placement_cache: Option<InitialPlacementCache>,
+    /// Reused scheduler scratch: dense trap tables, conflict-graph and job
+    /// buffers shared across `compile()` calls. Never affects results
+    /// (bit-identity is locked in `zac-schedule`); a contended or poisoned
+    /// lock just falls back to a fresh per-call workspace.
+    schedule_ws: Mutex<ScheduleWorkspace>,
+}
+
+impl Clone for Zac {
+    fn clone(&self) -> Self {
+        Self {
+            arch: self.arch.clone(),
+            config: self.config.clone(),
+            placement_cache: self.placement_cache.clone(),
+            schedule_ws: Mutex::new(ScheduleWorkspace::new()),
+        }
+    }
 }
 
 impl Zac {
     /// Creates a compiler with the default (full) configuration.
     pub fn new(arch: Architecture) -> Self {
-        Self { arch, config: ZacConfig::default(), placement_cache: None }
+        Self::with_config(arch, ZacConfig::default())
     }
 
     /// Creates a compiler with an explicit configuration.
     pub fn with_config(arch: Architecture, config: ZacConfig) -> Self {
-        Self { arch, config, placement_cache: None }
+        Self {
+            arch,
+            config,
+            placement_cache: None,
+            schedule_ws: Mutex::new(ScheduleWorkspace::new()),
+        }
     }
 
     /// Shares a [`InitialPlacementCache`] with other compiler instances, so
@@ -235,12 +261,27 @@ impl Zac {
             &self.config.placement,
             self.placement_cache.as_ref(),
         )?;
-        let program = schedule(&self.arch, staged, &plan, &self.config.schedule_config())?;
+        let place_time = start.elapsed();
+        let schedule_start = Instant::now();
+        let schedule_cfg = self.config.schedule_config();
+        // Reuse the compiler's scheduler workspace; under lock contention
+        // (parallel sweeps sharing one instance) fall back to a fresh one —
+        // results are bit-identical either way.
+        let program = match self.schedule_ws.try_lock() {
+            Ok(mut ws) => {
+                schedule_with_workspace(&self.arch, staged, &plan, &schedule_cfg, &mut ws)
+            }
+            Err(_) => {
+                let mut ws = ScheduleWorkspace::new();
+                schedule_with_workspace(&self.arch, staged, &plan, &schedule_cfg, &mut ws)
+            }
+        }?;
+        let schedule_time = schedule_start.elapsed();
         let compile_time = start.elapsed();
         let analysis = program.analyze(&self.arch)?;
         let summary = ExecutionSummary::from_analysis(&staged.name, &analysis);
         let report = evaluate_neutral_atom(&summary, &self.config.params);
-        Ok(ZacOutput { program, plan, summary, report, compile_time })
+        Ok(ZacOutput { program, plan, summary, report, compile_time, place_time, schedule_time })
     }
 }
 
@@ -270,7 +311,8 @@ impl crate::Compiler for Zac {
             }
             other => crate::CompileError::Failed(other.to_string()),
         })?;
-        Ok(crate::CompileOutput::new(out.summary, out.report, out.compile_time, Some(out.program)))
+        Ok(crate::CompileOutput::new(out.summary, out.report, out.compile_time, Some(out.program))
+            .with_phases(out.place_time, out.schedule_time))
     }
 }
 

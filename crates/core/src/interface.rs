@@ -44,6 +44,18 @@ impl fmt::Display for GateCounts {
     }
 }
 
+/// Per-phase compile-time breakdown for pipeline compilers: how the wall
+/// clock splits between placement and scheduling. Only backends with that
+/// pipeline shape (ZAC) report one; abstract-cost baselines leave
+/// [`CompileOutput::phases`] as `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Placement phase (initial + per-stage placement).
+    pub place: Duration,
+    /// Scheduling phase (placement plan → timed ZAIR program).
+    pub schedule: Duration,
+}
+
 /// Output of one [`Compiler::compile`] call: the common evaluation payload,
 /// plus the full ZAIR program when the backend produces one.
 #[derive(Debug, Clone)]
@@ -67,6 +79,10 @@ pub struct CompileOutput {
     /// freshly compiled. Always `false` from a bare compiler; set by
     /// `zac-cache`'s `CachedCompiler`/`CompileCache` on hits.
     pub from_cache: bool,
+    /// Per-phase (place vs. schedule) timing breakdown, when the backend
+    /// has that pipeline shape. Like [`compile_time`](Self::compile_time),
+    /// cache hits carry the *original* phase split.
+    pub phases: Option<PhaseTimings>,
 }
 
 impl CompileOutput {
@@ -78,7 +94,14 @@ impl CompileOutput {
         program: Option<Program>,
     ) -> Self {
         let counts = GateCounts::from(&summary);
-        Self { summary, report, counts, compile_time, program, from_cache: false }
+        Self { summary, report, counts, compile_time, program, from_cache: false, phases: None }
+    }
+
+    /// Attaches a per-phase timing breakdown.
+    #[must_use]
+    pub fn with_phases(mut self, place: Duration, schedule: Duration) -> Self {
+        self.phases = Some(PhaseTimings { place, schedule });
+        self
     }
 
     /// Total circuit fidelity.

@@ -37,6 +37,6 @@ pub use compiler::{Zac, ZacConfig, ZacError, ZacOutput};
 pub use ideal::{ideal_summary, zone_separation_um, IdealLevel};
 pub use interface::{
     write_arch_tokens, write_params_tokens, CompileError, CompileOutput, Compiler, GateCounts,
-    Labeled,
+    Labeled, PhaseTimings,
 };
 pub use zac_circuit::Fingerprint;

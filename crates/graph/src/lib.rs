@@ -39,4 +39,4 @@ pub mod reference;
 pub use assignment::{min_weight_full_matching, AssignmentError, AssignmentWorkspace, CostMatrix};
 pub use edge_coloring::{greedy_multigraph_edge_coloring, misra_gries_edge_coloring};
 pub use hopcroft_karp::max_bipartite_matching;
-pub use mis::greedy_maximal_independent_set;
+pub use mis::{greedy_maximal_independent_set, MisWorkspace};

@@ -107,6 +107,202 @@ pub fn partition_into_independent_sets(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
     result
 }
 
+/// Buffer-reusing MIS partitioner: the workspace entry point the scheduler's
+/// job-construction hot loop uses instead of
+/// [`partition_into_independent_sets`].
+///
+/// One conflict graph is partitioned per movement phase of every transition
+/// of a compilation — hundreds of small instances of similar shape. The
+/// workspace keeps the CSR adjacency, the per-round induced subgraph and all
+/// greedy-sweep scratch as reusable buffers, so steady-state partitions
+/// perform **zero** heap allocations (the buffers grow to the largest
+/// instance seen, then stay; asserted by `zac-schedule`'s counting-allocator
+/// test). Results are *identical* to [`partition_into_independent_sets`] on
+/// the same graph (locked by the equivalence proptest below).
+///
+/// # Example
+///
+/// ```
+/// use zac_graph::mis::MisWorkspace;
+///
+/// let mut ws = MisWorkspace::new();
+/// let mut sets: Vec<Vec<usize>> = Vec::new();
+/// // Triangle: every MIS is a single vertex, so 3 rounds.
+/// ws.reset(3);
+/// ws.add_edge(0, 1);
+/// ws.add_edge(1, 2);
+/// ws.add_edge(0, 2);
+/// let rounds = ws.partition_into(&mut sets);
+/// assert_eq!(rounds, 3);
+/// assert_eq!(sets[0], vec![0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct MisWorkspace {
+    n: usize,
+    /// Raw edges as added (unordered pairs; duplicates and self-loops are
+    /// tolerated and normalized away in [`partition_into`]).
+    ///
+    /// [`partition_into`]: MisWorkspace::partition_into
+    edges: Vec<(u32, u32)>,
+    /// Symmetrized, sorted, deduped CSR adjacency of the full graph.
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    /// Scratch: unassigned vertices (original ids, ascending).
+    alive: Vec<usize>,
+    /// Scratch: original id → index in `alive` (usize::MAX = dead).
+    index_of: Vec<usize>,
+    /// Scratch: per-round induced subgraph in CSR form.
+    sub_offsets: Vec<usize>,
+    sub_neighbors: Vec<u32>,
+    /// Scratch: greedy-sweep order and state.
+    order: Vec<usize>,
+    blocked: Vec<bool>,
+    chosen: Vec<bool>,
+}
+
+impl MisWorkspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new graph on vertices `0..n`, forgetting previous edges.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.edges.clear();
+    }
+
+    /// Adds an undirected edge; self-loops are ignored, duplicates merged.
+    #[inline]
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        debug_assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        if u != v {
+            self.edges.push((u as u32, v as u32));
+        }
+    }
+
+    /// Builds the symmetrized CSR adjacency from the staged edges.
+    fn build_csr(&mut self) {
+        let n = self.n;
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for &(u, v) in &self.edges {
+            self.offsets[u as usize + 1] += 1;
+            self.offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        self.neighbors.clear();
+        self.neighbors.resize(self.offsets[n], 0);
+        // Fill using the offsets as running cursors, then restore them.
+        for &(u, v) in &self.edges {
+            let (u, v) = (u as usize, v as usize);
+            self.neighbors[self.offsets[u]] = v as u32;
+            self.offsets[u] += 1;
+            self.neighbors[self.offsets[v]] = u as u32;
+            self.offsets[v] += 1;
+        }
+        for i in (1..=n).rev() {
+            self.offsets[i] = self.offsets[i - 1];
+        }
+        self.offsets[0] = 0;
+        // Sort + dedup each row, compacting in place.
+        let mut write = 0;
+        let mut row_start = 0;
+        for i in 0..n {
+            let row_end = self.offsets[i + 1];
+            let row = &mut self.neighbors[row_start..row_end];
+            row.sort_unstable();
+            let mut prev: Option<u32> = None;
+            let mut new_len = 0;
+            for k in 0..row.len() {
+                let x = row[k];
+                if prev != Some(x) {
+                    row[new_len] = x;
+                    new_len += 1;
+                    prev = Some(x);
+                }
+            }
+            self.neighbors.copy_within(row_start..row_start + new_len, write);
+            write += new_len;
+            row_start = row_end;
+            self.offsets[i + 1] = write;
+        }
+        self.neighbors.truncate(write);
+    }
+
+    /// Partitions the staged graph into maximal independent sets, writing
+    /// them into `sets` (inner `Vec`s are reused; entries past the returned
+    /// count are stale leftovers kept for reuse) and returning how many sets
+    /// were produced.
+    ///
+    /// The sets are identical — same vertices, same order, same number of
+    /// rounds — to `partition_into_independent_sets` on the same graph.
+    pub fn partition_into(&mut self, sets: &mut Vec<Vec<usize>>) -> usize {
+        self.build_csr();
+        let n = self.n;
+        self.alive.clear();
+        self.alive.extend(0..n);
+        self.index_of.clear();
+        self.index_of.resize(n, usize::MAX);
+        let mut rounds = 0;
+        while !self.alive.is_empty() {
+            let m = self.alive.len();
+            for (i, &v) in self.alive.iter().enumerate() {
+                self.index_of[v] = i;
+            }
+            // Induced subgraph on `alive` (already symmetric + deduped, and
+            // each row stays sorted: `alive` is ascending).
+            self.sub_offsets.clear();
+            self.sub_neighbors.clear();
+            self.sub_offsets.push(0);
+            for &v in &self.alive {
+                for &w in &self.neighbors[self.offsets[v]..self.offsets[v + 1]] {
+                    let i = self.index_of[w as usize];
+                    if i != usize::MAX {
+                        self.sub_neighbors.push(i as u32);
+                    }
+                }
+                self.sub_offsets.push(self.sub_neighbors.len());
+            }
+            // Greedy sweep in ascending (degree, vertex) order.
+            self.order.clear();
+            self.order.extend(0..m);
+            let sub_offsets = &self.sub_offsets;
+            self.order.sort_unstable_by_key(|&i| (sub_offsets[i + 1] - sub_offsets[i], i));
+            self.blocked.clear();
+            self.blocked.resize(m, false);
+            self.chosen.clear();
+            self.chosen.resize(m, false);
+            for &i in &self.order {
+                if !self.blocked[i] {
+                    self.chosen[i] = true;
+                    self.blocked[i] = true;
+                    for &w in &self.sub_neighbors[self.sub_offsets[i]..self.sub_offsets[i + 1]] {
+                        self.blocked[w as usize] = true;
+                    }
+                }
+            }
+            if rounds == sets.len() {
+                sets.push(Vec::new());
+            }
+            let set = &mut sets[rounds];
+            set.clear();
+            set.extend((0..m).filter(|&i| self.chosen[i]).map(|i| self.alive[i]));
+            rounds += 1;
+            // Retire chosen vertices; `index_of` marks them dead for the
+            // next round's induced-subgraph pass.
+            for &v in set.iter() {
+                self.index_of[v] = usize::MAX;
+            }
+            let index_of = &self.index_of;
+            self.alive.retain(|&v| index_of[v] != usize::MAX);
+        }
+        rounds
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +407,52 @@ mod tests {
         assert_eq!(partition_into_independent_sets(&adj).len(), 3);
     }
 
+    /// Feeds an adjacency-list graph into a workspace (each edge once).
+    fn load_workspace(ws: &mut MisWorkspace, adj: &[Vec<usize>]) {
+        ws.reset(adj.len());
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                ws.add_edge(u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_matches_partition_on_fixed_graphs() {
+        let graphs: Vec<Vec<Vec<usize>>> = vec![
+            vec![],
+            vec![vec![], vec![], vec![]],
+            vec![vec![1], vec![0, 2], vec![1]],
+            vec![vec![1, 2], vec![0, 2], vec![0, 1], vec![4], vec![3]],
+            vec![vec![1, 2, 3, 4, 5], vec![], vec![], vec![], vec![], vec![]],
+            vec![vec![1], vec![]],  // one-sided edge
+            vec![vec![0], vec![1]], // self-loops
+        ];
+        let mut ws = MisWorkspace::new();
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        for adj in &graphs {
+            let expect = partition_into_independent_sets(adj);
+            load_workspace(&mut ws, adj);
+            let rounds = ws.partition_into(&mut sets);
+            assert_eq!(&sets[..rounds], &expect[..], "{adj:?}");
+        }
+    }
+
+    /// Reused across many instances, the workspace keeps producing the same
+    /// partitions (stale buffers from larger graphs never leak).
+    #[test]
+    fn workspace_reuse_is_stateless_across_instances() {
+        let big = vec![vec![1, 2, 3], vec![0, 2], vec![0, 1], vec![0], vec![], vec![4]];
+        let small = vec![vec![1], vec![0, 2], vec![1]];
+        let mut ws = MisWorkspace::new();
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        for adj in [&big, &small, &big, &small] {
+            load_workspace(&mut ws, adj);
+            let rounds = ws.partition_into(&mut sets);
+            assert_eq!(&sets[..rounds], &partition_into_independent_sets(adj)[..]);
+        }
+    }
+
     mod prop {
         use super::*;
         use proptest::prelude::*;
@@ -239,6 +481,19 @@ mod tests {
                 for set in &sets {
                     prop_assert!(is_independent(&adj, set));
                 }
+            }
+
+            /// The workspace partitioner is exactly equivalent to the
+            /// allocating one — same sets, same order, same rounds — on
+            /// arbitrary graphs (incl. one-sided edges and self-loops).
+            #[test]
+            fn workspace_partition_equals_allocating_partition(adj in arb_graph()) {
+                let expect = partition_into_independent_sets(&adj);
+                let mut ws = MisWorkspace::new();
+                load_workspace(&mut ws, &adj);
+                let mut sets: Vec<Vec<usize>> = Vec::new();
+                let rounds = ws.partition_into(&mut sets);
+                prop_assert_eq!(&sets[..rounds], &expect[..]);
             }
         }
     }

@@ -19,7 +19,9 @@ use crate::cost::{gate_cost, nearest_gate_site, qubit_to_site_cost};
 use crate::initial::InitialPlacementCache;
 use crate::{PlaceError, PlacementConfig};
 use std::collections::{HashMap, HashSet};
-use zac_arch::{Architecture, GeomCache, Geometry, Loc, Point, SiteId};
+use zac_arch::{
+    Architecture, GeomCache, Geometry, Loc, Point, SiteId, TrapIndex, TrapMap, TrapSet,
+};
 use zac_circuit::{Gate2, StagedCircuit};
 use zac_graph::{max_bipartite_matching, AssignmentError, AssignmentWorkspace, CostMatrix};
 
@@ -151,78 +153,42 @@ impl StageWorkspace {
     }
 }
 
-/// Generation-stamped dense tables over the storage-trap grid, replacing the
-/// per-call `HashSet<Loc>` occupancy/reservation/dedup lookups of the Eq. 3
-/// return matching (the profiled hot spot of `solve_stage`): one array load
-/// per candidate trap instead of three hashes. Bumping `generation` clears
-/// all three tables in O(1).
+/// Per-call scratch of the Eq. 3 return matching, built on the shared
+/// generation-stamped trap tables in [`zac_arch::trap`] (lifted out of this
+/// module in the scheduler-core refactor so `zac-schedule`'s emission loop
+/// uses the same implementation): one array load per candidate-trap probe
+/// instead of three hashes, and `next_generation` clears all tables in O(1).
 struct TrapScratch {
-    /// Flat offset of each storage zone's trap grid.
-    zone_offsets: Vec<usize>,
-    /// Column count per storage zone (row-major flattening).
-    zone_cols: Vec<usize>,
-    /// Trap occupied by a non-returning storage resident this generation.
-    occupied: Vec<u32>,
-    /// Trap reserved (a stayer's or returner's home) this generation.
-    reserved: Vec<u32>,
-    /// Column-index dedup: stamp + assigned dense column.
-    index_stamp: Vec<u32>,
-    index_val: Vec<usize>,
-    generation: u32,
+    /// Dense `Loc → flat` indexer (shared layout with the scheduler).
+    index: TrapIndex,
+    /// Traps occupied by a non-returning storage resident this generation.
+    occupied: TrapSet,
+    /// Traps reserved (a stayer's or returner's home) this generation.
+    reserved: TrapSet,
+    /// Candidate-column dedup: trap → assigned dense column.
+    col_index: TrapMap<usize>,
     /// Per-qubit candidate buffer (reused across qubits and calls).
     cands: Vec<Loc>,
 }
 
 impl TrapScratch {
     fn new(arch: &Architecture) -> Self {
-        let mut zone_offsets = Vec::new();
-        let mut zone_cols = Vec::new();
-        let mut total = 0;
-        for z in 0..arch.storage_zones().len() {
-            let (rows, cols) = arch.storage_grid(z);
-            zone_offsets.push(total);
-            zone_cols.push(cols);
-            total += rows * cols;
-        }
+        let index = TrapIndex::new(arch);
+        let n = index.len();
         Self {
-            zone_offsets,
-            zone_cols,
-            occupied: vec![0; total],
-            reserved: vec![0; total],
-            index_stamp: vec![0; total],
-            index_val: vec![0; total],
-            generation: 0,
+            index,
+            occupied: TrapSet::new(n),
+            reserved: TrapSet::new(n),
+            col_index: TrapMap::new(n),
             cands: Vec::new(),
         }
     }
 
-    /// Flat index of a storage trap.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `loc` is not a storage location.
-    #[inline]
-    fn flat(&self, loc: Loc) -> usize {
-        match loc {
-            Loc::Storage { zone, row, col } => {
-                self.zone_offsets[zone] + row * self.zone_cols[zone] + col
-            }
-            Loc::Site { .. } => unreachable!("return candidates are storage traps"),
-        }
-    }
-
     /// Starts a fresh generation (constant-time clear of all tables).
-    fn next_generation(&mut self) -> u32 {
-        self.generation = self.generation.wrapping_add(1);
-        if self.generation == 0 {
-            // Reset to 0: generations restart at 1 and never take the
-            // value 0, so cleared stamps can never collide with a live one.
-            self.occupied.iter_mut().for_each(|s| *s = 0);
-            self.reserved.iter_mut().for_each(|s| *s = 0);
-            self.index_stamp.iter_mut().for_each(|s| *s = 0);
-            self.generation = 1;
-        }
-        self.generation
+    fn next_generation(&mut self) {
+        self.occupied.clear();
+        self.reserved.clear();
+        self.col_index.clear();
     }
 }
 
@@ -670,7 +636,7 @@ fn place_returns(
     cfg: &PlacementConfig,
 ) -> Result<(), PlaceError> {
     let n = during.len();
-    let generation = scratch.next_generation();
+    scratch.next_generation();
     let mut is_returning = vec![false; n];
     for &q in returning {
         is_returning[q] = true;
@@ -678,16 +644,16 @@ fn place_returns(
     // Storage occupancy after gate fetches: qubits whose `during` is storage.
     for q in 0..n {
         if !is_returning[q] && during[q].is_storage() {
-            let idx = scratch.flat(during[q]);
-            scratch.occupied[idx] = generation;
+            let idx = scratch.index.flat(during[q]);
+            scratch.occupied.insert(idx);
         }
     }
     // Homes of qubits staying in the zone stay reserved; homes of returning
     // qubits are private to their owner.
     for q in 0..n {
         if during[q].is_site() || is_returning[q] {
-            let idx = scratch.flat(home[q]);
-            scratch.reserved[idx] = generation;
+            let idx = scratch.index.flat(home[q]);
+            scratch.reserved.insert(idx);
         }
     }
 
@@ -701,14 +667,14 @@ fn place_returns(
         return_candidates(arch, geom, scratch, q_pos, related_pos, home[q], cfg.neighbor_k);
         let mut row = Vec::with_capacity(scratch.cands.len());
         for &trap in &scratch.cands {
-            let flat = scratch.flat(trap);
-            let idx = if scratch.index_stamp[flat] == generation {
-                scratch.index_val[flat]
-            } else {
-                scratch.index_stamp[flat] = generation;
-                scratch.index_val[flat] = traps.len();
-                traps.push(trap);
-                traps.len() - 1
+            let flat = scratch.index.flat(trap);
+            let idx = match scratch.col_index.get(flat) {
+                Some(idx) => idx,
+                None => {
+                    scratch.col_index.set(flat, traps.len());
+                    traps.push(trap);
+                    traps.len() - 1
+                }
             };
             let trap_pos = geom.position(trap);
             let mut c = trap_pos.distance(q_pos).sqrt();
@@ -718,8 +684,8 @@ fn place_returns(
             row.push((idx, c));
         }
         rows.push(row);
-        let hf = scratch.flat(home[q]);
-        home_cols.push((scratch.index_stamp[hf] == generation).then(|| scratch.index_val[hf]));
+        let hf = scratch.index.flat(home[q]);
+        home_cols.push(scratch.col_index.get(hf));
     }
 
     cost_buf.reset(returning.len(), traps.len(), f64::INFINITY);
@@ -786,7 +752,6 @@ fn return_candidates(
     }
 
     // Bounding box per storage zone (anchors may span zones).
-    let generation = scratch.generation;
     scratch.cands.clear();
     for z in 0..arch.storage_zones().len() {
         let zone_anchors: Vec<(usize, usize)> = anchor_traps
@@ -803,15 +768,11 @@ fn return_candidates(
         let r1 = zone_anchors.iter().map(|a| a.0).max().unwrap();
         let c0 = zone_anchors.iter().map(|a| a.1).min().unwrap();
         let c1 = zone_anchors.iter().map(|a| a.1).max().unwrap();
-        let zone_off = scratch.zone_offsets[z];
-        let zone_cols = scratch.zone_cols[z];
         for row in r0..=r1 {
-            let row_off = zone_off + row * zone_cols;
             for col in c0..=c1 {
                 let trap = Loc::Storage { zone: z, row, col };
-                let flat = row_off + col;
-                let free =
-                    scratch.occupied[flat] != generation && scratch.reserved[flat] != generation;
+                let flat = scratch.index.flat(trap);
+                let free = !scratch.occupied.contains(flat) && !scratch.reserved.contains(flat);
                 if trap == home || free {
                     scratch.cands.push(trap);
                 }

@@ -1,0 +1,100 @@
+//! Dependency resolution for rearrangement jobs (paper Fig. 7).
+//!
+//! Three constraint families decide when a ready job may begin:
+//!
+//! * **Qubit dependencies** (Fig. 7b) — no overlap with any instruction
+//!   touching the job's qubits: the job starts no earlier than each qubit's
+//!   `avail` time (and its AOD's availability).
+//! * **Trap dependencies** (Fig. 7a) — overlap with the job vacating a
+//!   target trap *is* allowed: only the transport's end (pickup + move) must
+//!   come after the vacating pickup ends, so `begin ≥ vacate − pick_move`.
+//! * **Rydberg windows** — a drop into an entanglement zone must wait for
+//!   the previous exposure to end (idle atoms must not be caught in a
+//!   Rydberg pulse), again shifted by `pick_move` because only the drop
+//!   phase matters.
+//!
+//! All lookups go through the workspace's dense trap tables
+//! ([`zac_arch::TrapMap`]) — the pre-refactor loop probed a
+//! `HashMap<Loc, f64>` per move.
+
+use crate::jobs::PendingJob;
+use zac_arch::TrapMap;
+
+/// The earliest begin time of `job` given the current dependency state.
+pub(crate) fn job_begin_time(
+    job: &PendingJob,
+    aod_free: f64,
+    avail: &[f64],
+    vacated: &TrapMap<f64>,
+    last_rydberg_end: f64,
+) -> f64 {
+    // Qubit dependencies: no overlap with anything touching these qubits.
+    let mut begin = aod_free;
+    for m in &job.moves {
+        begin = begin.max(avail[m.qubit]);
+    }
+    // Trap dependencies: our transport must end after the pickup that
+    // vacates each target trap (overlap allowed, Fig. 7a).
+    for (k, m) in job.moves.iter().enumerate() {
+        if let Some(vac) = vacated.get(job.to_flat[k] as usize) {
+            begin = begin.max(vac - job.pick_move);
+        }
+        // Entering an entanglement zone: the drop must come after the
+        // previous exposure has ended.
+        if m.to.is_site() {
+            begin = begin.max(last_rydberg_end - job.pick_move);
+        }
+    }
+    begin.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zac_arch::Loc;
+    use zac_zair::MoveSpec;
+
+    fn single_job(from: Loc, to: Loc, from_flat: u32, to_flat: u32) -> PendingJob {
+        PendingJob {
+            moves: vec![MoveSpec::new(0, from, to)],
+            own_source: vec![false],
+            from_flat: vec![from_flat],
+            to_flat: vec![to_flat],
+            spec_duration: 100.0,
+            pick_move: 70.0,
+        }
+    }
+
+    #[test]
+    fn qubit_and_aod_availability_dominate() {
+        let s = Loc::Storage { zone: 0, row: 0, col: 0 };
+        let t = Loc::Storage { zone: 0, row: 0, col: 1 };
+        let job = single_job(s, t, 0, 1);
+        let vacated: TrapMap<f64> = TrapMap::new(4);
+        assert_eq!(job_begin_time(&job, 5.0, &[12.0], &vacated, 0.0), 12.0);
+        assert_eq!(job_begin_time(&job, 50.0, &[12.0], &vacated, 0.0), 50.0);
+    }
+
+    #[test]
+    fn vacating_pickup_allows_overlap() {
+        let s = Loc::Storage { zone: 0, row: 0, col: 0 };
+        let t = Loc::Storage { zone: 0, row: 0, col: 1 };
+        let job = single_job(s, t, 0, 1);
+        let mut vacated: TrapMap<f64> = TrapMap::new(4);
+        // Target vacated at t=100; transport (pick+move = 70) must end
+        // after it: begin ≥ 100 − 70 = 30.
+        vacated.set(1, 100.0);
+        assert_eq!(job_begin_time(&job, 0.0, &[0.0], &vacated, 0.0), 30.0);
+    }
+
+    #[test]
+    fn zone_drops_wait_for_rydberg_but_storage_does_not() {
+        let s = Loc::Storage { zone: 0, row: 0, col: 0 };
+        let site = Loc::Site { zone: 0, row: 0, col: 0, slot: 0 };
+        let vacated: TrapMap<f64> = TrapMap::new(4);
+        let into_zone = single_job(s, site, 0, 1);
+        assert_eq!(job_begin_time(&into_zone, 0.0, &[0.0], &vacated, 200.0), 130.0);
+        let within_storage = single_job(s, Loc::Storage { zone: 0, row: 0, col: 1 }, 0, 2);
+        assert_eq!(job_begin_time(&within_storage, 0.0, &[0.0], &vacated, 200.0), 0.0);
+    }
+}

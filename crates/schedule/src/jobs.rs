@@ -1,0 +1,347 @@
+//! Transition-leg splitting, movement conflict graphs and MIS bundling —
+//! the job-construction stage of the scheduler (paper Sec. VI).
+//!
+//! A transition's qubit movements are split into legs (the non-reuse round
+//! trip first returns every zone resident to storage), each leg into two
+//! sequential phases (returns to storage, fetches into zones — the paper's
+//! grouping), and each phase into AOD-compatible bundles: maximal
+//! independent sets of the movement conflict graph, exactly as Enola does.
+//!
+//! The conflict graph is built with a **sorted coordinate-rank sweep**
+//! instead of the old `O(m²)` pairwise [`moves_compatible`] probes: each
+//! phase's begin/end x/y coordinates are sorted once and collapsed to dense
+//! integer ranks (ε-equal coordinates share a rank), after which a pair
+//! conflicts iff its begin-rank ordering differs from its end-rank ordering
+//! on either axis — two integer comparisons per pair instead of four
+//! position resolutions plus float ε-logic, with the edge set provably
+//! unchanged (locked by the unit test below and the bit-identity suite).
+//!
+//! Jobs are *planned*, not materialized: a [`PendingJob`] carries the moves
+//! plus the [`zac_zair::JobTiming`] the emission loop needs for LPT ordering
+//! and trap dependencies; the full [`zac_zair::RearrangeJob`] (machine-level
+//! expansion included) is built only when the job is actually emitted. All
+//! buffers — including the `PendingJob` shells themselves — come from the
+//! [`ScheduleWorkspace`], so steady-state job construction is
+//! allocation-free (`tests/alloc_free.rs`).
+//!
+//! [`moves_compatible`]: zac_zair::moves_compatible
+
+use crate::workspace::ScheduleWorkspace;
+use crate::{ScheduleConfig, ScheduleError};
+use zac_arch::{Architecture, Loc};
+use zac_place::StagePlan;
+use zac_zair::machine::POS_EPS;
+use zac_zair::MoveSpec;
+
+/// A planned rearrangement job awaiting emission.
+#[derive(Debug, Default)]
+pub struct PendingJob {
+    /// The moves the job realizes, in bundle order.
+    pub moves: Vec<MoveSpec>,
+    /// Per-move: does the target trap double as one of this job's own
+    /// sources? (The job picks everything up before dropping, so such
+    /// targets never block readiness.) Precomputed once — the old emission
+    /// loop rebuilt a `HashSet<Loc>` of sources per job per iteration.
+    pub own_source: Vec<bool>,
+    /// Flat trap index of every move's source.
+    pub from_flat: Vec<u32>,
+    /// Flat trap index of every move's target.
+    pub to_flat: Vec<u32>,
+    /// Total planned duration (LPT priority).
+    pub spec_duration: f64,
+    /// Pickup + transport duration (trap-dependency resolution, Fig. 7a).
+    pub pick_move: f64,
+}
+
+impl PendingJob {
+    /// Clears the buffers for reuse from the pool.
+    pub(crate) fn recycle(&mut self) {
+        self.moves.clear();
+        self.own_source.clear();
+        self.from_flat.clear();
+        self.to_flat.clear();
+        self.spec_duration = 0.0;
+        self.pick_move = 0.0;
+    }
+
+    /// Every moved qubit still sits at its claimed origin.
+    pub(crate) fn source_consistent(&self, current: &[Loc]) -> bool {
+        self.moves.iter().all(|m| current[m.qubit] == m.from)
+    }
+}
+
+/// Builds all pending jobs of one transition from the plan's location
+/// snapshots: the optional pre-return leg, then the fetch leg, appended to
+/// `ws.pending` in emission-candidate order.
+///
+/// # Errors
+///
+/// [`ScheduleError::Job`] if a bundle cannot be realized as a job.
+pub fn build_transition_pending(
+    arch: &Architecture,
+    cfg: &ScheduleConfig,
+    ws: &mut ScheduleWorkspace,
+    stage_plan: &StagePlan,
+) -> Result<(), ScheduleError> {
+    let n = ws.current.len();
+    // Without reuse, the plan inserts a round trip: first return every zone
+    // resident to storage, then fetch this stage's gate qubits.
+    ws.from_snapshot.clear();
+    ws.from_snapshot.extend_from_slice(&ws.current);
+    if let Some(pre) = &stage_plan.pre_returns {
+        ws.leg.clear();
+        for (q, &to) in pre.iter().enumerate().take(n) {
+            if ws.from_snapshot[q] != to {
+                ws.leg.push(MoveSpec::new(q, ws.from_snapshot[q], to));
+            }
+        }
+        build_leg_jobs(arch, cfg, ws)?;
+        ws.from_snapshot.clear();
+        ws.from_snapshot.extend_from_slice(pre);
+    }
+    ws.leg.clear();
+    for (q, &to) in stage_plan.during.iter().enumerate().take(n) {
+        if ws.from_snapshot[q] != to {
+            ws.leg.push(MoveSpec::new(q, ws.from_snapshot[q], to));
+        }
+    }
+    build_leg_jobs(arch, cfg, ws)
+}
+
+/// Splits one leg (`ws.leg`) into pending jobs: the returns-then-fetches
+/// phase split, a conflict graph per phase, and one job per MIS.
+fn build_leg_jobs(
+    arch: &Architecture,
+    cfg: &ScheduleConfig,
+    ws: &mut ScheduleWorkspace,
+) -> Result<(), ScheduleError> {
+    if ws.leg.is_empty() {
+        return Ok(());
+    }
+    // Returns to storage and fetches into zones are bundled separately (the
+    // paper's sequential grouping), preserving leg order within each phase.
+    let [returns, fetches] = &mut ws.phase_moves;
+    returns.clear();
+    fetches.clear();
+    for &m in &ws.leg {
+        if m.to.is_storage() {
+            returns.push(m);
+        } else {
+            fetches.push(m);
+        }
+    }
+
+    for phase_idx in 0..2 {
+        if ws.phase_moves[phase_idx].is_empty() {
+            continue;
+        }
+        let m = ws.phase_moves[phase_idx].len();
+
+        // --- sorted coordinate-rank sweep ---
+        compute_phase_ranks(arch, &ws.phase_moves[phase_idx], &mut ws.rank_keys, &mut ws.ranks);
+
+        // --- conflict edges from integer rank comparisons ---
+        ws.mis.reset(m);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if !ranks_compatible(&ws.ranks, i, j) {
+                    ws.mis.add_edge(i, j);
+                }
+            }
+        }
+
+        // --- one job per maximal independent set ---
+        let rounds = ws.mis.partition_into(&mut ws.mis_sets);
+        for set_idx in 0..rounds {
+            let mut job = ws.job_pool.pop().unwrap_or_default();
+            job.recycle();
+            for &mi in &ws.mis_sets[set_idx] {
+                job.moves.push(ws.phase_moves[phase_idx][mi]);
+            }
+            let geo = ws.geo.as_mut().expect("workspace prepared");
+            match plan_pending(arch, cfg, &mut ws.builder, geo, &mut job) {
+                Ok(()) => ws.pending.push(job),
+                Err(e) => {
+                    job.recycle();
+                    ws.job_pool.push(job);
+                    return Err(e);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Ranks the four coordinate roles (begin-x, begin-y, end-x, end-y) of one
+/// phase's moves independently: values are sorted once and ε-equal
+/// coordinates (the same physical AOD row/column) collapse to one dense
+/// integer rank. `ranks` receives `[bx, by, ex, ey]`, indexed by move.
+pub(crate) fn compute_phase_ranks(
+    arch: &Architecture,
+    phase: &[MoveSpec],
+    rank_keys: &mut Vec<(f64, u32)>,
+    ranks: &mut [Vec<u32>; 4],
+) {
+    let m = phase.len();
+    for (role, out) in ranks.iter_mut().enumerate() {
+        rank_keys.clear();
+        for (i, mv) in phase.iter().enumerate() {
+            let p = if role < 2 { arch.position(mv.from) } else { arch.position(mv.to) };
+            let v = if role % 2 == 0 { p.x } else { p.y };
+            rank_keys.push((v, i as u32));
+        }
+        rank_keys.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out.clear();
+        out.resize(m, 0);
+        let mut rank = 0u32;
+        let mut cluster_rep = f64::NAN;
+        for &(v, i) in rank_keys.iter() {
+            if cluster_rep.is_nan() || (v - cluster_rep).abs() >= POS_EPS {
+                if !cluster_rep.is_nan() {
+                    rank += 1;
+                }
+                cluster_rep = v;
+            }
+            out[i as usize] = rank;
+        }
+    }
+}
+
+/// Rank-space compatibility: begin ordering matches end ordering on both
+/// axes — the integer form of [`zac_zair::moves_compatible`]'s ε-probe
+/// (trap grids separate distinct coordinates by far more than ε, so rank
+/// equality is exactly ε-equality).
+#[inline]
+pub(crate) fn ranks_compatible(ranks: &[Vec<u32>; 4], i: usize, j: usize) -> bool {
+    let [bx, by, ex, ey] = ranks;
+    bx[i].cmp(&bx[j]) == ex[i].cmp(&ex[j]) && by[i].cmp(&by[j]) == ey[i].cmp(&ey[j])
+}
+
+/// Plans `job` (timing + dependency tables) from its `moves`. Takes the
+/// workspace parts it needs individually, so the emission loop — which
+/// holds field borrows across the whole workspace — can call it too.
+pub(crate) fn plan_pending(
+    arch: &Architecture,
+    cfg: &ScheduleConfig,
+    builder: &mut zac_zair::JobBuilder,
+    geo: &mut crate::workspace::GeoTables,
+    job: &mut PendingJob,
+) -> Result<(), ScheduleError> {
+    let timing = builder.plan(arch, &job.moves, cfg.t_tran_us)?;
+    job.spec_duration = timing.total();
+    job.pick_move = timing.pick_duration + timing.move_duration;
+    geo.sources.clear();
+    job.from_flat.clear();
+    job.to_flat.clear();
+    for m in &job.moves {
+        let f = geo.index.flat(m.from);
+        job.from_flat.push(f as u32);
+        geo.sources.insert(f);
+    }
+    job.own_source.clear();
+    for m in &job.moves {
+        let t = geo.index.flat(m.to);
+        job.to_flat.push(t as u32);
+        job.own_source.push(geo.sources.contains(t));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zac_zair::moves_compatible;
+
+    /// Exhaustive rank-vs-probe agreement over a dense family of realistic
+    /// move sets: every storage/site endpoint mix, shared rows and columns,
+    /// and order inversions on both axes.
+    #[test]
+    fn rank_sweep_matches_pairwise_probes() {
+        let arch = Architecture::reference();
+        let s = |row: usize, col: usize| Loc::Storage { zone: 0, row, col };
+        let w = |row: usize, col: usize, slot: usize| Loc::Site { zone: 0, row, col, slot };
+        let move_sets: Vec<Vec<MoveSpec>> = vec![
+            vec![
+                MoveSpec::new(0, s(99, 0), w(0, 0, 0)),
+                MoveSpec::new(1, s(99, 5), w(0, 1, 0)),
+                MoveSpec::new(2, s(99, 9), w(0, 0, 1)), // x inversion vs 1
+                MoveSpec::new(3, s(98, 0), w(1, 0, 0)),
+                MoveSpec::new(4, s(98, 4), w(0, 3, 0)), // y inversion vs 3
+                MoveSpec::new(5, s(97, 7), w(2, 2, 1)),
+            ],
+            vec![
+                MoveSpec::new(0, w(0, 0, 0), s(99, 0)),
+                MoveSpec::new(1, w(0, 0, 1), s(99, 40)), // same site, far column
+                MoveSpec::new(2, w(1, 2, 0), s(98, 2)),
+                MoveSpec::new(3, w(3, 1, 1), s(99, 1)),
+                MoveSpec::new(4, s(97, 2), s(96, 2)), // same-column vertical
+                MoveSpec::new(5, s(97, 8), s(97, 20)), // same-row horizontal
+            ],
+            // Same begin column diverging (incompatible) and converging ends.
+            vec![
+                MoveSpec::new(0, s(99, 4), w(0, 0, 0)),
+                MoveSpec::new(1, s(98, 4), w(1, 1, 0)),
+                MoveSpec::new(2, s(97, 4), w(2, 1, 1)),
+            ],
+        ];
+        let mut keys = Vec::new();
+        let mut ranks: [Vec<u32>; 4] = Default::default();
+        for (si, moves) in move_sets.iter().enumerate() {
+            compute_phase_ranks(&arch, moves, &mut keys, &mut ranks);
+            for i in 0..moves.len() {
+                for j in 0..moves.len() {
+                    if i == j {
+                        continue;
+                    }
+                    assert_eq!(
+                        moves_compatible(&arch, &moves[i], &moves[j]),
+                        ranks_compatible(&ranks, i, j),
+                        "set {si}, pair ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The bundles the sweep + MIS produce are mutually compatible move
+    /// sets that exactly cover the leg.
+    #[test]
+    fn bundles_cover_leg_with_compatible_moves() {
+        let arch = Architecture::reference();
+        let cfg = ScheduleConfig::default();
+        let s = |row: usize, col: usize| Loc::Storage { zone: 0, row, col };
+        let w = |row: usize, col: usize, slot: usize| Loc::Site { zone: 0, row, col, slot };
+        let moves = vec![
+            MoveSpec::new(0, s(99, 0), w(0, 0, 0)),
+            MoveSpec::new(1, s(99, 5), w(0, 1, 0)),
+            MoveSpec::new(2, s(99, 9), w(0, 0, 1)),
+            MoveSpec::new(3, s(98, 0), w(1, 0, 0)),
+            MoveSpec::new(4, s(98, 4), w(0, 3, 0)),
+            MoveSpec::new(5, w(3, 3, 0), s(97, 7)),
+        ];
+        let mut ws = ScheduleWorkspace::new();
+        let initial: Vec<Loc> = (0..6).map(|q| s(90, q)).collect();
+        ws.prepare(&arch, &initial, 1);
+        ws.leg.clear();
+        ws.leg.extend_from_slice(&moves);
+        build_leg_jobs(&arch, &cfg, &mut ws).unwrap();
+
+        let mut covered = 0;
+        for p in &ws.pending {
+            covered += p.moves.len();
+            for i in 0..p.moves.len() {
+                for j in (i + 1)..p.moves.len() {
+                    assert!(
+                        moves_compatible(&arch, &p.moves[i], &p.moves[j]),
+                        "bundle pair must be compatible"
+                    );
+                }
+            }
+            assert!(p.spec_duration > 0.0);
+            assert_eq!(p.moves.len(), p.own_source.len());
+        }
+        assert_eq!(covered, moves.len());
+        // Returns (move 5) bundle separately from fetches.
+        assert!(ws.pending.iter().any(|p| p.moves.iter().all(|m| m.to.is_storage())));
+    }
+}

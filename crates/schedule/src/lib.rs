@@ -3,30 +3,79 @@
 //! The scheduler turns a placement plan's per-stage location snapshots into a
 //! timed ZAIR program:
 //!
-//! 1. **Job generation** — the qubit movements of each transition are split
-//!    into rearrangement jobs: a conflict graph connects movements that
-//!    violate the AOD order-preservation constraint, and maximal independent
-//!    sets become jobs (Enola's strategy, which the paper adopts).
-//! 2. **Dependencies** — *trap dependencies* allow a job to overlap the job
-//!    vacating its target traps (the move phase only has to end after the
-//!    vacating pickup ends, Fig. 7a); *qubit dependencies* forbid any overlap
-//!    between instructions touching the same qubit (Fig. 7b).
-//! 3. **Load balancing** — ready jobs are assigned longest-first to the
-//!    earliest-available AOD (LPT), maximizing AOD utilization.
+//! 1. **Job generation** ([`jobs`]) — the qubit movements of each transition
+//!    are split into rearrangement jobs: a conflict graph (built by a sorted
+//!    coordinate-rank sweep) connects movements that violate the AOD
+//!    order-preservation constraint, and maximal independent sets become
+//!    jobs (Enola's strategy, which the paper adopts).
+//! 2. **Dependencies** ([`deps`]) — *trap dependencies* allow a job to
+//!    overlap the job vacating its target traps (the move phase only has to
+//!    end after the vacating pickup ends, Fig. 7a); *qubit dependencies*
+//!    forbid any overlap between instructions touching the same qubit
+//!    (Fig. 7b).
+//! 3. **Load balancing** ([`emit`]) — ready jobs are assigned longest-first
+//!    to the earliest-available AOD (LPT), maximizing AOD utilization. The
+//!    emission loop is event-driven: readiness is cached per job and only
+//!    re-examined when a blocking trap or qubit is released.
 //!
 //! Movement cycles (qubit A's target trap is held by B and vice versa) are
 //! broken by detouring one qubit through a free storage trap.
+//!
+//! All scratch state lives in a [`ScheduleWorkspace`] ([`workspace`]),
+//! reusable across transitions and across `compile()` calls;
+//! [`schedule_with_workspace`] threads one through, [`schedule`] creates a
+//! fresh one per call. The workspace never affects results — outputs are
+//! bit-identical either way (locked by `tests/bit_identity.rs` against
+//! golden digests of the pre-refactor scheduler).
 
-use std::collections::HashMap;
+mod deps;
+mod emit;
+mod jobs;
+mod workspace;
+
+/// Test-only access to the job-construction pipeline for the crate's own
+/// integration tests (`tests/alloc_free.rs`); **not** a stable API.
+#[doc(hidden)]
+pub mod internals {
+    pub use crate::jobs::{build_transition_pending, PendingJob};
+    use crate::workspace::ScheduleWorkspace;
+    use zac_arch::{Architecture, Loc};
+
+    /// Readies `ws` for job construction against `arch` (what
+    /// `schedule_with_workspace` does before its stage loop).
+    pub fn prepare_workspace(
+        ws: &mut ScheduleWorkspace,
+        arch: &Architecture,
+        initial: &[Loc],
+        num_aods: usize,
+    ) {
+        ws.prepare(arch, initial, num_aods);
+    }
+
+    /// Recycles every pending job back into the workspace pool, returning
+    /// how many there were (emission normally consumes them).
+    pub fn drain_pending(ws: &mut ScheduleWorkspace) -> usize {
+        let n = ws.pending.len();
+        while let Some(mut p) = ws.pending.pop() {
+            p.recycle();
+            ws.job_pool.push(p);
+        }
+        n
+    }
+
+    /// The planned durations of the pending jobs, in construction order.
+    pub fn pending_durations(ws: &ScheduleWorkspace) -> Vec<f64> {
+        ws.pending.iter().map(|p| p.spec_duration).collect()
+    }
+}
+
 use std::fmt;
 use zac_arch::{Architecture, Loc};
-use zac_circuit::{StagedCircuit, U3Op};
-use zac_graph::mis::partition_into_independent_sets;
+use zac_circuit::StagedCircuit;
 use zac_place::PlacementPlan;
-use zac_zair::{
-    build_job, moves_compatible, shift_job, Instruction, JobError, MoveSpec, Program, QubitLoc,
-    RearrangeJob, U3Application,
-};
+use zac_zair::{Instruction, JobError, Program, QubitLoc};
+
+pub use workspace::ScheduleWorkspace;
 
 /// Timing constants for scheduling (defaults match Table I).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,7 +102,12 @@ pub enum ScheduleError {
     /// No free storage trap was available for a cycle-breaking detour.
     NoDetourTrap,
     /// Plan and circuit disagree on stage count.
-    PlanMismatch,
+    PlanMismatch {
+        /// Stages in the placement plan.
+        plan_stages: usize,
+        /// Rydberg stages in the circuit.
+        circuit_stages: usize,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -61,7 +115,10 @@ impl fmt::Display for ScheduleError {
         match self {
             Self::Job(e) => write!(f, "job construction failed: {e}"),
             Self::NoDetourTrap => write!(f, "no free storage trap for detour"),
-            Self::PlanMismatch => write!(f, "placement plan does not match circuit"),
+            Self::PlanMismatch { plan_stages, circuit_stages } => write!(
+                f,
+                "placement plan has {plan_stages} stages but the circuit has {circuit_stages}"
+            ),
         }
     }
 }
@@ -75,6 +132,10 @@ impl From<JobError> for ScheduleError {
 }
 
 /// Schedules a placement plan into a timed ZAIR [`Program`].
+///
+/// Creates a fresh [`ScheduleWorkspace`] per call; callers compiling many
+/// circuits should hold one workspace and use [`schedule_with_workspace`]
+/// (same results, no per-call table setup).
 ///
 /// # Errors
 ///
@@ -102,8 +163,33 @@ pub fn schedule(
     plan: &PlacementPlan,
     cfg: &ScheduleConfig,
 ) -> Result<Program, ScheduleError> {
+    let mut ws = ScheduleWorkspace::new();
+    schedule_with_workspace(arch, staged, plan, cfg, &mut ws)
+}
+
+/// [`schedule`] with an explicit, reusable [`ScheduleWorkspace`].
+///
+/// The workspace's buffers and dense trap tables are grown on first use and
+/// reused across calls (geometry tables are rebuilt only when `arch`
+/// changes), making steady-state job construction allocation-free. The
+/// workspace carries no semantic state between calls: results are
+/// bit-identical to a fresh-workspace [`schedule`].
+///
+/// # Errors
+///
+/// Same as [`schedule`].
+pub fn schedule_with_workspace(
+    arch: &Architecture,
+    staged: &StagedCircuit,
+    plan: &PlacementPlan,
+    cfg: &ScheduleConfig,
+    ws: &mut ScheduleWorkspace,
+) -> Result<Program, ScheduleError> {
     if plan.stages.len() != staged.stages.len() {
-        return Err(ScheduleError::PlanMismatch);
+        return Err(ScheduleError::PlanMismatch {
+            plan_stages: plan.stages.len(),
+            circuit_stages: staged.stages.len(),
+        });
     }
     let n = staged.num_qubits;
     let num_aods = arch.aods().len();
@@ -118,122 +204,21 @@ pub fn schedule(
         .instructions
         .push(Instruction::Init { init_locs: (0..n).map(|q| qloc(q, plan.initial[q])).collect() });
 
-    let mut current: Vec<Loc> = plan.initial.clone();
-    let mut avail: Vec<f64> = vec![0.0; n];
-    let mut aod_avail: Vec<f64> = vec![0.0; num_aods];
+    ws.prepare(arch, &plan.initial, num_aods);
     let mut last_rydberg_end = 0.0f64;
 
     for (t, stage_plan) in plan.stages.iter().enumerate() {
         // ---- rearrangement jobs for this transition ----
-        // Without reuse, the plan inserts a round trip: first return every
-        // zone resident to storage, then fetch this stage's gate qubits.
-        let mut legs: Vec<Vec<MoveSpec>> = Vec::new();
-        let mut from = current.clone();
-        if let Some(pre) = &stage_plan.pre_returns {
-            legs.push(
-                (0..n)
-                    .filter(|&q| from[q] != pre[q])
-                    .map(|q| MoveSpec::new(q, from[q], pre[q]))
-                    .collect(),
-            );
-            from = pre.clone();
-        }
-        legs.push(
-            (0..n)
-                .filter(|&q| from[q] != stage_plan.during[q])
-                .map(|q| MoveSpec::new(q, from[q], stage_plan.during[q]))
-                .collect(),
-        );
-        let mut pending_jobs = Vec::new();
-        for leg in legs {
-            pending_jobs.extend(build_transition_jobs(arch, &leg, cfg)?);
-        }
-
-        let mut transition_end = last_rydberg_end;
-        // Vacate time per trap: pick_end of the job that empties it.
-        let mut vacated: HashMap<Loc, f64> = HashMap::new();
-        // Trap occupancy for emission ordering (execute-when-free).
-        let mut occupied: std::collections::HashSet<Loc> = current.iter().copied().collect();
-        while !pending_jobs.is_empty() {
-            // Ready = every qubit is actually at its claimed source (orders
-            // the round-trip legs) and all target traps are free (own
-            // sources excluded: the job picks everything up before dropping).
-            let ready_idx: Vec<usize> = (0..pending_jobs.len())
-                .filter(|&i| {
-                    let p = &pending_jobs[i];
-                    let sources: std::collections::HashSet<Loc> =
-                        p.moves.iter().map(|m| m.from).collect();
-                    p.moves.iter().all(|m| {
-                        current[m.qubit] == m.from
-                            && (!occupied.contains(&m.to) || sources.contains(&m.to))
-                    })
-                })
-                .collect();
-            if ready_idx.is_empty() {
-                // Deadlock: split a multi-move job, or detour a single move
-                // through a free storage trap. Only source-consistent jobs
-                // (qubits actually at their claimed origins) participate.
-                resolve_deadlock(arch, &occupied, &current, &mut pending_jobs, cfg)?;
-                continue;
-            }
-            // LPT: among ready jobs take the longest, assign the earliest
-            // available AOD.
-            let &i = ready_idx
-                .iter()
-                .max_by(|&&a, &&b| {
-                    pending_jobs[a].spec_duration.total_cmp(&pending_jobs[b].spec_duration)
-                })
-                .expect("nonempty ready set");
-            let pending = pending_jobs.swap_remove(i);
-            let (aod_id, _) = aod_avail
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-                .expect("at least one AOD");
-            let mut job = pending.job;
-            job.aod_id = aod_id;
-
-            // Qubit dependencies: no overlap with anything touching these
-            // qubits (Fig. 7b).
-            let mut begin = aod_avail[aod_id];
-            for m in &pending.moves {
-                begin = begin.max(avail[m.qubit]);
-            }
-            // Trap dependencies: our transport must end after the pickup
-            // that vacates each target trap (overlap allowed, Fig. 7a).
-            let pick_move = job.pick_duration + job.move_duration;
-            for m in &pending.moves {
-                if let Some(&vac) = vacated.get(&m.to) {
-                    begin = begin.max(vac - pick_move);
-                }
-                // Entering an entanglement zone: the drop must come after
-                // the previous exposure has ended.
-                if m.to.is_site() {
-                    begin = begin.max(last_rydberg_end - pick_move);
-                }
-            }
-            begin = begin.max(0.0);
-            shift_job(&mut job, begin);
-            for m in &pending.moves {
-                vacated.insert(m.from, job.pick_end());
-                avail[m.qubit] = job.end_time;
-                current[m.qubit] = m.to;
-                occupied.remove(&m.from);
-            }
-            for m in &pending.moves {
-                occupied.insert(m.to);
-            }
-            aod_avail[aod_id] = job.end_time;
-            transition_end = transition_end.max(job.end_time);
-            program.instructions.push(Instruction::RearrangeJob(job));
-        }
+        jobs::build_transition_pending(arch, cfg, ws, stage_plan)?;
+        let mut transition_end =
+            emit::emit_transition(arch, cfg, ws, &mut program, last_rydberg_end)?;
 
         // ---- 1Q gates preceding this stage's exposure ----
-        let one_q_end = emit_one_q_group(
+        let one_q_end = emit::emit_one_q_group(
             &mut program,
             &staged.stages[t].pre_1q,
-            &current,
-            &mut avail,
+            &ws.current,
+            &mut ws.avail,
             cfg,
             &qloc,
         );
@@ -242,7 +227,7 @@ pub fn schedule(
         // ---- Rydberg exposure ----
         let mut ryd_begin = transition_end;
         for g in &staged.stages[t].gates {
-            ryd_begin = ryd_begin.max(avail[g.a]).max(avail[g.b]);
+            ryd_begin = ryd_begin.max(ws.avail[g.a]).max(ws.avail[g.b]);
         }
         let ryd_end = ryd_begin + cfg.t_ryd_us;
         let mut zones: Vec<usize> = stage_plan.gate_sites.iter().map(|(_, s)| s.zone).collect();
@@ -256,165 +241,23 @@ pub fn schedule(
             });
         }
         for g in &staged.stages[t].gates {
-            avail[g.a] = ryd_end;
-            avail[g.b] = ryd_end;
+            ws.avail[g.a] = ryd_end;
+            ws.avail[g.b] = ryd_end;
         }
         last_rydberg_end = ryd_end;
     }
 
     // Trailing 1Q gates.
-    emit_one_q_group(&mut program, &staged.trailing_1q, &current, &mut avail, cfg, &qloc);
+    emit::emit_one_q_group(
+        &mut program,
+        &staged.trailing_1q,
+        &ws.current,
+        &mut ws.avail,
+        cfg,
+        &qloc,
+    );
 
     Ok(program)
-}
-
-/// Emits one sequential 1Q-gate group; returns its end time (or 0 if empty).
-fn emit_one_q_group(
-    program: &mut Program,
-    ops: &[U3Op],
-    current: &[Loc],
-    avail: &mut [f64],
-    cfg: &ScheduleConfig,
-    qloc: &impl Fn(usize, Loc) -> QubitLoc,
-) -> f64 {
-    if ops.is_empty() {
-        return 0.0;
-    }
-    let begin = ops.iter().map(|op| avail[op.qubit]).fold(0.0, f64::max);
-    let end = begin + cfg.t_1q_us * ops.len() as f64;
-    for op in ops {
-        avail[op.qubit] = end;
-    }
-    program.instructions.push(Instruction::OneQGate {
-        gates: ops
-            .iter()
-            .map(|op| U3Application {
-                theta: op.theta,
-                phi: op.phi,
-                lambda: op.lambda,
-                loc: qloc(op.qubit, current[op.qubit]),
-            })
-            .collect(),
-        begin_time: begin,
-        end_time: end,
-    });
-    end
-}
-
-/// A job plus the moves it realizes (kept for dependency bookkeeping).
-struct PendingJob {
-    job: RearrangeJob,
-    moves: Vec<MoveSpec>,
-    spec_duration: f64,
-}
-
-/// Splits a transition's moves into AOD-compatible jobs: returns to storage
-/// and fetches into zones are bundled separately (the paper's sequential
-/// grouping); within each phase, maximal independent sets of the movement
-/// conflict graph become jobs.
-fn build_transition_jobs(
-    arch: &Architecture,
-    moves: &[MoveSpec],
-    cfg: &ScheduleConfig,
-) -> Result<Vec<PendingJob>, ScheduleError> {
-    if moves.is_empty() {
-        return Ok(Vec::new());
-    }
-    let (returns, fetches): (Vec<MoveSpec>, Vec<MoveSpec>) =
-        moves.iter().partition(|m| m.to.is_storage());
-
-    let mut jobs: Vec<PendingJob> = Vec::new();
-    for phase in [returns, fetches] {
-        if phase.is_empty() {
-            continue;
-        }
-        // Conflict graph: edge when two moves cannot share one AOD.
-        let adj: Vec<Vec<usize>> = (0..phase.len())
-            .map(|i| {
-                (0..phase.len())
-                    .filter(|&j| j != i && !moves_compatible(arch, &phase[i], &phase[j]))
-                    .collect()
-            })
-            .collect();
-        let sets = partition_into_independent_sets(&adj);
-        for set in sets {
-            let bundle: Vec<MoveSpec> = set.iter().map(|&i| phase[i]).collect();
-            jobs.push(make_pending(arch, bundle, cfg)?);
-        }
-    }
-    Ok(jobs)
-}
-
-fn make_pending(
-    arch: &Architecture,
-    bundle: Vec<MoveSpec>,
-    cfg: &ScheduleConfig,
-) -> Result<PendingJob, ScheduleError> {
-    let job = build_job(arch, &bundle, cfg.t_tran_us)?;
-    let spec_duration = job.end_time - job.begin_time;
-    Ok(PendingJob { job, moves: bundle, spec_duration })
-}
-
-/// Resolves an emission deadlock: no pending job has all targets free.
-///
-/// Multi-move jobs are dissolved into single-move jobs; a deadlocked single
-/// move is detoured through a free storage trap (two jobs), which always
-/// makes progress because storage is far larger than the moving set.
-fn resolve_deadlock(
-    arch: &Architecture,
-    occupied: &std::collections::HashSet<Loc>,
-    current: &[Loc],
-    pending: &mut Vec<PendingJob>,
-    cfg: &ScheduleConfig,
-) -> Result<(), ScheduleError> {
-    let source_consistent =
-        |p: &PendingJob| -> bool { p.moves.iter().all(|m| current[m.qubit] == m.from) };
-    // Prefer dissolving a blocked multi-move job.
-    if let Some(i) = pending.iter().position(|p| p.moves.len() > 1 && source_consistent(p)) {
-        let dissolved = pending.swap_remove(i);
-        for m in dissolved.moves {
-            pending.push(make_pending(arch, vec![m], cfg)?);
-        }
-        return Ok(());
-    }
-    // All singles: detour the first occupancy-blocked, source-consistent one.
-    let i = pending
-        .iter()
-        .position(|p| source_consistent(p) && p.moves.iter().any(|m| occupied.contains(&m.to)))
-        .expect("deadlock implies a blocked source-consistent job");
-    let blocked = pending.swap_remove(i);
-    let m = blocked.moves[0];
-    let temp = free_storage_trap(arch, occupied, pending).ok_or(ScheduleError::NoDetourTrap)?;
-    pending.push(make_pending(arch, vec![MoveSpec::new(m.qubit, m.from, temp)], cfg)?);
-    pending.push(make_pending(arch, vec![MoveSpec::new(m.qubit, temp, m.to)], cfg)?);
-    Ok(())
-}
-
-/// Finds a storage trap neither occupied nor used as a pending endpoint.
-fn free_storage_trap(
-    arch: &Architecture,
-    occupied: &std::collections::HashSet<Loc>,
-    pending: &[PendingJob],
-) -> Option<Loc> {
-    let mut used: std::collections::HashSet<Loc> = occupied.clone();
-    for p in pending {
-        for m in &p.moves {
-            used.insert(m.from);
-            used.insert(m.to);
-        }
-    }
-    for z in 0..arch.storage_zones().len() {
-        let (rows, cols) = arch.storage_grid(z);
-        for row in 0..rows {
-            for col in 0..cols {
-                let trap = Loc::Storage { zone: z, row, col };
-                if !used.contains(&trap) {
-                    return Some(trap);
-                }
-            }
-        }
-    }
-    None
 }
 
 #[cfg(test)]
@@ -634,5 +477,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Reusing one workspace across many compiles (and across architectures)
+    /// is bit-identical to fresh workspaces.
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let cfg = ScheduleConfig::default();
+        let mut ws = ScheduleWorkspace::new();
+        for arch in [Architecture::reference(), Architecture::arch2_two_zones()] {
+            for circ in [bench_circuits::ghz(10), bench_circuits::ising(16), bench_circuits::qft(6)]
+            {
+                let staged = preprocess(&circ);
+                let plan = plan_placement(&arch, &staged, &quick_cfg()).unwrap();
+                let fresh = schedule(&arch, &staged, &plan, &cfg).unwrap();
+                let reused = schedule_with_workspace(&arch, &staged, &plan, &cfg, &mut ws).unwrap();
+                assert_eq!(fresh, reused, "{} on {}", staged.name, arch.name());
+                assert_eq!(fresh.content_fingerprint(), reused.content_fingerprint());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_mismatch_reports_stage_counts() {
+        let arch = Architecture::reference();
+        let staged = preprocess(&bench_circuits::ghz(4)); // 3 stages
+        let plan = PlacementPlan { initial: vec![], stages: vec![] };
+        let err = schedule(&arch, &staged, &plan, &ScheduleConfig::default()).unwrap_err();
+        match err {
+            ScheduleError::PlanMismatch { plan_stages, circuit_stages } => {
+                assert_eq!(plan_stages, 0);
+                assert_eq!(circuit_stages, staged.stages.len());
+            }
+            other => panic!("expected PlanMismatch, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("0 stages"), "{msg}");
+        assert!(msg.contains(&format!("{}", staged.stages.len())), "{msg}");
     }
 }

@@ -1,0 +1,236 @@
+//! The scheduler's reusable workspace.
+//!
+//! One [`ScheduleWorkspace`] serves every transition of a schedule and — via
+//! [`crate::schedule_with_workspace`] — every `compile()` call of a
+//! [`zac_core`-level] compiler instance: all job-construction, dependency
+//! and emission scratch lives here, grown once to the largest transition
+//! seen and then reused. Steady-state job construction performs zero heap
+//! allocations (asserted by `tests/alloc_free.rs`); the emission loop only
+//! allocates the output [`zac_zair::Program`] itself.
+//!
+//! The architecture-dependent tables (the dense [`TrapIndex`] over every
+//! trap plus the occupancy/vacate/detour tables built on it) are keyed by a
+//! full geometry signature and rebuilt only when the workspace is handed a
+//! different architecture.
+//!
+//! [`zac_core`-level]: crate::schedule_with_workspace
+
+use crate::jobs::PendingJob;
+use zac_arch::{Architecture, Loc, TrapIndex, TrapMap, TrapSet};
+use zac_circuit::Fingerprint;
+use zac_graph::MisWorkspace;
+use zac_zair::{JobBuilder, MoveSpec};
+
+/// Architecture-dependent tables, rebuilt only when the geometry changes.
+pub(crate) struct GeoTables {
+    /// Geometry signature the tables were built for.
+    pub sig: u64,
+    /// Dense `Loc → flat` indexer over storage traps and site slots.
+    pub index: TrapIndex,
+    /// Trap occupancy during emission (execute-when-free ordering).
+    pub occupied: TrapSet,
+    /// Vacate time per trap: pick-end of the job that empties it.
+    pub vacated: TrapMap<f64>,
+    /// Scratch for detour-trap search: pending-job endpoints.
+    pub detour_used: TrapSet,
+    /// Scratch for per-job own-source marking.
+    pub sources: TrapSet,
+}
+
+/// Reusable scratch for the whole scheduling pipeline; see the module docs.
+///
+/// Create once ([`ScheduleWorkspace::new`]) and pass to
+/// [`crate::schedule_with_workspace`] as often as desired — the workspace
+/// never influences results (locked by the bit-identity suite), only
+/// allocation behavior.
+#[derive(Default)]
+pub struct ScheduleWorkspace {
+    pub(crate) geo: Option<GeoTables>,
+
+    // ---- per-schedule state (reused buffers) ----
+    /// Current location of every qubit.
+    pub(crate) current: Vec<Loc>,
+    /// Per-qubit earliest next instruction time (qubit dependencies).
+    pub(crate) avail: Vec<f64>,
+    /// Per-AOD earliest availability (LPT load balancing).
+    pub(crate) aod_avail: Vec<f64>,
+
+    // ---- job construction ----
+    /// Leg scratch: the `from` snapshot of the leg under construction.
+    pub(crate) from_snapshot: Vec<Loc>,
+    /// Leg scratch: the moves of the leg under construction.
+    pub(crate) leg: Vec<MoveSpec>,
+    /// Phase split of a leg: returns-to-storage, fetches-into-zones.
+    pub(crate) phase_moves: [Vec<MoveSpec>; 2],
+    /// Coordinate-rank scratch for the sorted conflict sweep.
+    pub(crate) rank_keys: Vec<(f64, u32)>,
+    /// Begin-x/begin-y/end-x/end-y ranks per phase move.
+    pub(crate) ranks: [Vec<u32>; 4],
+    /// Conflict-graph partitioner.
+    pub(crate) mis: MisWorkspace,
+    /// MIS output sets (inner vectors pooled by the workspace).
+    pub(crate) mis_sets: Vec<Vec<usize>>,
+    /// Rearrangement-job planner (validation, layout, timing).
+    pub(crate) builder: JobBuilder,
+    /// Recycled [`PendingJob`] shells.
+    pub(crate) job_pool: Vec<PendingJob>,
+
+    // ---- emission ----
+    /// Jobs awaiting emission for the current transition.
+    pub(crate) pending: Vec<PendingJob>,
+    /// Cached readiness per pending job (kept in lockstep with `pending`).
+    pub(crate) ready: Vec<bool>,
+    /// Qubit → positions of pending jobs moving it.
+    pub(crate) jobs_by_qubit: Vec<Vec<u32>>,
+    /// Target trap (flat) → positions of pending jobs dropping there.
+    pub(crate) target_jobs: Vec<Vec<u32>>,
+    /// Which `target_jobs` entries are non-empty (for O(touched) clears).
+    pub(crate) touched_targets: Vec<u32>,
+    /// Which `jobs_by_qubit` entries are non-empty.
+    pub(crate) touched_qubits: Vec<u32>,
+    /// Positions to re-examine after a job executes.
+    pub(crate) dirty: Vec<u32>,
+    /// Rotating start cursor of the detour-trap scan.
+    pub(crate) detour_cursor: usize,
+}
+
+impl std::fmt::Debug for ScheduleWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScheduleWorkspace")
+            .field("prepared", &self.geo.is_some())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl ScheduleWorkspace {
+    /// A fresh workspace (buffers grow on first use, then stay).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Readies the workspace for one schedule: (re)builds the geometry
+    /// tables if `arch` changed, initializes the per-schedule state, and
+    /// clears any leftovers of an aborted previous run.
+    pub(crate) fn prepare(&mut self, arch: &Architecture, initial: &[Loc], num_aods: usize) {
+        let sig = arch_signature(arch);
+        if self.geo.as_ref().map(|g| g.sig) != Some(sig) {
+            let index = TrapIndex::new(arch);
+            let len = index.len();
+            self.geo = Some(GeoTables {
+                sig,
+                index,
+                occupied: TrapSet::new(len),
+                vacated: TrapMap::new(len),
+                detour_used: TrapSet::new(len),
+                sources: TrapSet::new(len),
+            });
+            // The flat range changed: drop the old target lists wholesale.
+            self.target_jobs.clear();
+            self.target_jobs.resize_with(len, Vec::new);
+            self.touched_targets.clear();
+        }
+        let n = initial.len();
+        self.current.clear();
+        self.current.extend_from_slice(initial);
+        self.avail.clear();
+        self.avail.resize(n, 0.0);
+        self.aod_avail.clear();
+        self.aod_avail.resize(num_aods, 0.0);
+        if self.jobs_by_qubit.len() < n {
+            self.jobs_by_qubit.resize_with(n, Vec::new);
+        }
+        // Aborted-run hygiene: stale registrations and pending jobs from a
+        // schedule that returned an error mid-transition.
+        self.clear_registrations();
+        while let Some(mut p) = self.pending.pop() {
+            p.recycle();
+            self.job_pool.push(p);
+        }
+        self.ready.clear();
+        self.detour_cursor = 0;
+    }
+
+    /// Empties the per-qubit and per-target job indexes in O(touched).
+    pub(crate) fn clear_registrations(&mut self) {
+        for &f in &self.touched_targets {
+            self.target_jobs[f as usize].clear();
+        }
+        self.touched_targets.clear();
+        for &q in &self.touched_qubits {
+            self.jobs_by_qubit[q as usize].clear();
+        }
+        self.touched_qubits.clear();
+    }
+}
+
+/// Folds the full architecture geometry (names, AODs, zones, SLM grids) into
+/// a signature; the workspace rebuilds its dense tables when it changes.
+fn arch_signature(arch: &Architecture) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.write_str(arch.name());
+    fp.write_usize(arch.aods().len());
+    for aod in arch.aods() {
+        fp.write_usize(aod.aod_id);
+        fp.write_f64(aod.min_sep);
+        fp.write_usize(aod.max_num_col);
+        fp.write_usize(aod.max_num_row);
+    }
+    for zones in [arch.storage_zones(), arch.entanglement_zones(), arch.readout_zones()] {
+        fp.write_usize(zones.len());
+        for zone in zones {
+            fp.write_usize(zone.zone_id);
+            fp.write_f64(zone.offset.x);
+            fp.write_f64(zone.offset.y);
+            fp.write_f64(zone.dimension.0);
+            fp.write_f64(zone.dimension.1);
+            fp.write_usize(zone.slms.len());
+            for slm in &zone.slms {
+                fp.write_usize(slm.slm_id);
+                fp.write_f64(slm.sep.0);
+                fp.write_f64(slm.sep.1);
+                fp.write_usize(slm.num_col);
+                fp.write_usize(slm.num_row);
+                fp.write_f64(slm.offset.x);
+                fp.write_f64(slm.offset.y);
+            }
+        }
+    }
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_separates_architectures() {
+        let a = arch_signature(&Architecture::reference());
+        let b = arch_signature(&Architecture::arch2_two_zones());
+        let c = arch_signature(&Architecture::arch1_small());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(a, arch_signature(&Architecture::reference()));
+        // AOD count is part of the signature: the same zones with more AODs
+        // rebuild the tables (aod_avail sizing happens separately anyway).
+        let d = arch_signature(&Architecture::reference().with_num_aods(3));
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn prepare_is_idempotent_and_rebuilds_on_arch_change() {
+        let reference = Architecture::reference();
+        let arch2 = Architecture::arch2_two_zones();
+        let initial = vec![Loc::Storage { zone: 0, row: 0, col: 0 }];
+        let mut ws = ScheduleWorkspace::new();
+        ws.prepare(&reference, &initial, 1);
+        let len_ref = ws.geo.as_ref().unwrap().index.len();
+        ws.prepare(&reference, &initial, 2);
+        assert_eq!(ws.geo.as_ref().unwrap().index.len(), len_ref);
+        assert_eq!(ws.aod_avail.len(), 2);
+        ws.prepare(&arch2, &initial, 1);
+        assert_ne!(ws.geo.as_ref().unwrap().index.len(), len_ref);
+        assert_eq!(ws.target_jobs.len(), ws.geo.as_ref().unwrap().index.len());
+    }
+}

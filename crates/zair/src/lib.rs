@@ -41,6 +41,8 @@ pub mod render;
 pub mod verify;
 
 pub use inst::{AodInst, Instruction, QubitLoc, RearrangeJob, U3Application};
-pub use machine::{build_job, moves_compatible, shift_job, JobError, MoveSpec};
+pub use machine::{
+    build_job, moves_compatible, shift_job, JobBuilder, JobError, JobTiming, MoveSpec,
+};
 pub use program::{Analysis, Program, ZairError, ZairStats};
 pub use verify::VerifyError;

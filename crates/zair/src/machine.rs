@@ -10,7 +10,7 @@
 
 use crate::inst::{AodInst, QubitLoc, RearrangeJob};
 use std::fmt;
-use zac_arch::{movement_time_us, Architecture, Loc};
+use zac_arch::{movement_time_us, Architecture, Loc, Point};
 
 /// Distance (µm) of a parking shift during pickup.
 const PARKING_SHIFT_UM: f64 = 0.5;
@@ -92,7 +92,31 @@ impl fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
-const POS_EPS: f64 = 1e-6;
+/// Coordinates closer than this (µm) are the same physical AOD row/column.
+/// Shared by [`moves_compatible`], [`JobBuilder`]'s row/column grouping, and
+/// `zac-schedule`'s coordinate-rank conflict sweep — all three must agree on
+/// one ε or the conflict graph drifts from job buildability.
+pub const POS_EPS: f64 = 1e-6;
+
+/// One axis of the order-preservation check: begin ordering of `p` vs. `q`
+/// must match end ordering of `pe` vs. `qe`, with ε-equal begins requiring
+/// ε-equal ends.
+#[inline]
+fn axis_ok(p: f64, q: f64, pe: f64, qe: f64) -> bool {
+    if (p - q).abs() < POS_EPS {
+        (pe - qe).abs() < POS_EPS
+    } else if p < q {
+        pe < qe - POS_EPS
+    } else {
+        pe > qe + POS_EPS
+    }
+}
+
+/// Point-level compatibility of two movements `a0 → a1` and `b0 → b1`.
+#[inline]
+fn points_compatible(a0: Point, a1: Point, b0: Point, b1: Point) -> bool {
+    axis_ok(a0.x, b0.x, a1.x, b1.x) && axis_ok(a0.y, b0.y, a1.y, b1.y)
+}
 
 /// Checks whether two movements can share one AOD (order preservation in
 /// both axes: `x` order of pickups must match `x` order of drop-offs, and
@@ -103,16 +127,7 @@ const POS_EPS: f64 = 1e-6;
 pub fn moves_compatible(arch: &Architecture, a: &MoveSpec, b: &MoveSpec) -> bool {
     let (a0, a1) = (arch.position(a.from), arch.position(a.to));
     let (b0, b1) = (arch.position(b.from), arch.position(b.to));
-    let axis_ok = |p: f64, q: f64, pe: f64, qe: f64| -> bool {
-        if (p - q).abs() < POS_EPS {
-            (pe - qe).abs() < POS_EPS
-        } else if p < q {
-            pe < qe - POS_EPS
-        } else {
-            pe > qe + POS_EPS
-        }
-    };
-    axis_ok(a0.x, b0.x, a1.x, b1.x) && axis_ok(a0.y, b0.y, a1.y, b1.y)
+    points_compatible(a0, a1, b0, b1)
 }
 
 /// Builds a rearrangement job from a set of mutually compatible moves.
@@ -145,173 +160,334 @@ pub fn build_job(
     moves: &[MoveSpec],
     transfer_time_us: f64,
 ) -> Result<RearrangeJob, JobError> {
-    if moves.is_empty() {
-        return Err(JobError::Empty);
+    JobBuilder::new().build(arch, moves, transfer_time_us)
+}
+
+/// The timing anatomy of a rearrangement job, computed without
+/// materializing it (see [`JobBuilder::plan`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobTiming {
+    /// Duration of the pickup phase (µs): one transfer per AOD row plus
+    /// parking shifts.
+    pub pick_duration: f64,
+    /// Duration of the transport phase (µs): the longest individual move.
+    pub move_duration: f64,
+    /// Duration of the drop-off phase (µs): one transfer.
+    pub drop_duration: f64,
+}
+
+impl JobTiming {
+    /// Total job duration (µs).
+    pub fn total(&self) -> f64 {
+        self.pick_duration + self.move_duration + self.drop_duration
     }
-    // Validate locations and uniqueness.
-    let mut seen = std::collections::HashSet::new();
-    for m in moves {
-        if !seen.insert(m.qubit) {
-            return Err(JobError::DuplicateQubit { qubit: m.qubit });
-        }
-        for loc in [m.from, m.to] {
-            arch.check_loc(loc).map_err(|_| JobError::InvalidLoc { qubit: m.qubit })?;
-        }
+}
+
+/// Workspace-backed job construction: validation, AOD row/column grouping,
+/// parking simulation and timing run on reused buffers, so steady-state
+/// [`plan`](JobBuilder::plan) calls perform **zero** heap allocations (the
+/// counting-allocator test in `tests/alloc_free.rs` asserts this).
+///
+/// The scheduler plans every candidate job during conflict-graph bundling —
+/// it only needs the [`JobTiming`] for LPT ordering and dependency
+/// resolution — and materializes a [`RearrangeJob`] with
+/// [`build`](JobBuilder::build) only when the job is actually emitted.
+/// `build` produces output bit-identical to the free function
+/// [`build_job`] (which is now a thin wrapper over a fresh builder).
+///
+/// # Example
+///
+/// ```
+/// use zac_arch::{Architecture, Loc};
+/// use zac_zair::machine::{JobBuilder, MoveSpec};
+///
+/// let arch = Architecture::reference();
+/// let mv = MoveSpec::new(0,
+///     Loc::Storage { zone: 0, row: 99, col: 1 },
+///     Loc::Site { zone: 0, row: 0, col: 0, slot: 0 });
+/// let mut builder = JobBuilder::new();
+/// let timing = builder.plan(&arch, &[mv], 15.0)?;
+/// let job = builder.build(&arch, &[mv], 15.0)?;
+/// assert_eq!(job.end_time - job.begin_time, timing.total());
+/// # Ok::<(), zac_zair::machine::JobError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct JobBuilder {
+    /// Cached (from, to) positions per move.
+    begins: Vec<Point>,
+    ends: Vec<Point>,
+    /// Move indices sorted by begin (y, x); AOD rows are contiguous runs.
+    sorted: Vec<usize>,
+    /// Start offset of each row group in `sorted` (plus a final sentinel).
+    row_start: Vec<usize>,
+    /// Distinct begin-column x coordinates, ascending.
+    col_xs: Vec<f64>,
+    /// Parking-simulation scratch.
+    needed: Vec<usize>,
+    new_cols: Vec<usize>,
+    active_cols: Vec<usize>,
+    active_rows: Vec<usize>,
+}
+
+impl JobBuilder {
+    /// A fresh builder (buffers grow on first use, then stay).
+    pub fn new() -> Self {
+        Self::default()
     }
-    for i in 0..moves.len() {
-        for j in (i + 1)..moves.len() {
-            if moves[i].to == moves[j].to {
-                return Err(JobError::TargetCollision { q1: moves[i].qubit, q2: moves[j].qubit });
+
+    /// Validates `moves` as a single-AOD job and computes its row/column
+    /// layout into the workspace buffers. All downstream passes read
+    /// `sorted`/`row_start`/`col_xs`.
+    fn layout(
+        &mut self,
+        arch: &Architecture,
+        moves: &[MoveSpec],
+        _transfer_time_us: f64,
+    ) -> Result<(), JobError> {
+        if moves.is_empty() {
+            return Err(JobError::Empty);
+        }
+        // Validate locations and uniqueness (input order, as the hash-set
+        // original did; the quadratic qubit scan is cheap at job sizes).
+        for (i, m) in moves.iter().enumerate() {
+            if moves[..i].iter().any(|p| p.qubit == m.qubit) {
+                return Err(JobError::DuplicateQubit { qubit: m.qubit });
             }
-            if !moves_compatible(arch, &moves[i], &moves[j]) {
-                return Err(JobError::Incompatible { q1: moves[i].qubit, q2: moves[j].qubit });
+            for loc in [m.from, m.to] {
+                arch.check_loc(loc).map_err(|_| JobError::InvalidLoc { qubit: m.qubit })?;
             }
         }
-    }
-
-    // Group by begin y (AOD rows), ascending; sort each row by x.
-    let mut sorted: Vec<&MoveSpec> = moves.iter().collect();
-    sorted.sort_by(|a, b| {
-        let pa = arch.position(a.from);
-        let pb = arch.position(b.from);
-        pa.y.total_cmp(&pb.y).then(pa.x.total_cmp(&pb.x))
-    });
-    let mut row_groups: Vec<Vec<&MoveSpec>> = Vec::new();
-    for m in sorted {
-        let y = arch.position(m.from).y;
-        match row_groups.last() {
-            Some(last) if (arch.position(last[0].from).y - y).abs() < POS_EPS => {
-                row_groups.last_mut().unwrap().push(m);
-            }
-            _ => row_groups.push(vec![m]),
+        // Cache positions once; every later pass reads the tables.
+        self.begins.clear();
+        self.ends.clear();
+        for m in moves {
+            self.begins.push(arch.position(m.from));
+            self.ends.push(arch.position(m.to));
         }
-    }
-
-    // Distinct begin columns, ascending.
-    let mut col_xs: Vec<f64> = moves.iter().map(|m| arch.position(m.from).x).collect();
-    col_xs.sort_by(f64::total_cmp);
-    col_xs.dedup_by(|a, b| (*a - *b).abs() < POS_EPS);
-
-    let num_rows = row_groups.len();
-    let num_cols = col_xs.len();
-    let aod = &arch.aods()[0];
-    if num_rows > aod.max_num_row || num_cols > aod.max_num_col {
-        return Err(JobError::CapacityExceeded { rows: num_rows, cols: num_cols });
-    }
-
-    let col_id_of = |x: f64| -> usize {
-        col_xs.iter().position(|&cx| (cx - x).abs() < POS_EPS).expect("column x registered")
-    };
-
-    // --- machine-level expansion: row-by-row pickup with parking ---
-    let mut insts: Vec<AodInst> = Vec::new();
-    let mut active_cols: Vec<usize> = Vec::new();
-    let mut active_rows: Vec<usize> = Vec::new();
-    let mut num_parkings = 0usize;
-    for (row_id, group) in row_groups.iter().enumerate() {
-        let y = arch.position(group[0].from).y;
-        let needed: Vec<usize> = group.iter().map(|m| col_id_of(arch.position(m.from).x)).collect();
-        let new_cols: Vec<usize> =
-            needed.iter().copied().filter(|c| !active_cols.contains(c)).collect();
-        let stale_cols_exist = active_cols.iter().any(|c| !needed.contains(c));
-        if !active_rows.is_empty() && (stale_cols_exist || !new_cols.is_empty()) {
-            // Parking: shift already-picked rows off the SLM grid so the next
-            // activation cannot capture unintended atoms (Fig. 18c).
-            insts.push(AodInst::Move {
-                row_id: active_rows.clone(),
-                row_y_begin: vec![f64::NAN; active_rows.len()],
-                row_y_end: vec![f64::NAN; active_rows.len()],
-                col_id: vec![],
-                col_x_begin: vec![],
-                col_x_end: vec![],
-            });
-            // NaN placeholders replaced below once exact y's are known; the
-            // shift itself is PARKING_SHIFT_UM.
-            num_parkings += 1;
-            if let Some(AodInst::Move { row_id, row_y_begin, row_y_end, .. }) = insts.last_mut() {
-                for (k, &r) in row_id.iter().enumerate() {
-                    let ry = arch.position(row_groups[r][0].from).y;
-                    row_y_begin[k] = ry;
-                    row_y_end[k] = ry + PARKING_SHIFT_UM;
+        for i in 0..moves.len() {
+            for j in (i + 1)..moves.len() {
+                if moves[i].to == moves[j].to {
+                    return Err(JobError::TargetCollision {
+                        q1: moves[i].qubit,
+                        q2: moves[j].qubit,
+                    });
+                }
+                if !points_compatible(self.begins[i], self.ends[i], self.begins[j], self.ends[j]) {
+                    return Err(JobError::Incompatible { q1: moves[i].qubit, q2: moves[j].qubit });
                 }
             }
         }
-        insts.push(AodInst::Activate {
-            row_id: vec![row_id],
-            row_y: vec![y],
-            col_id: if new_cols.is_empty() { needed.clone() } else { new_cols.clone() },
-            col_x: if new_cols.is_empty() {
-                needed.iter().map(|&c| col_xs[c]).collect()
-            } else {
-                new_cols.iter().map(|&c| col_xs[c]).collect()
-            },
+
+        // Group by begin y (AOD rows), ascending; sort each row by x. The
+        // index tie-break reproduces the original stable sort exactly.
+        self.sorted.clear();
+        self.sorted.extend(0..moves.len());
+        let begins = &self.begins;
+        self.sorted.sort_unstable_by(|&a, &b| {
+            begins[a]
+                .y
+                .total_cmp(&begins[b].y)
+                .then(begins[a].x.total_cmp(&begins[b].x))
+                .then(a.cmp(&b))
         });
-        for c in needed {
-            if !active_cols.contains(&c) {
-                active_cols.push(c);
+        self.row_start.clear();
+        self.row_start.push(0);
+        for k in 1..self.sorted.len() {
+            let rep = self.begins[self.sorted[self.row_start[self.row_start.len() - 1]]].y;
+            let y = self.begins[self.sorted[k]].y;
+            if (rep - y).abs() >= POS_EPS {
+                self.row_start.push(k);
             }
         }
-        active_rows.push(row_id);
+        self.row_start.push(self.sorted.len());
+
+        // Distinct begin columns, ascending.
+        self.col_xs.clear();
+        self.col_xs.extend(self.begins.iter().map(|p| p.x));
+        self.col_xs.sort_unstable_by(f64::total_cmp);
+        self.col_xs.dedup_by(|a, b| (*a - *b).abs() < POS_EPS);
+
+        let num_rows = self.num_rows();
+        let num_cols = self.col_xs.len();
+        let aod = &arch.aods()[0];
+        if num_rows > aod.max_num_row || num_cols > aod.max_num_col {
+            return Err(JobError::CapacityExceeded { rows: num_rows, cols: num_cols });
+        }
+        Ok(())
     }
-    active_cols.sort_unstable();
 
-    // --- transport move ---
-    // Row/column targets are consistent by the compatibility check.
-    let mut row_y_begin = Vec::with_capacity(num_rows);
-    let mut row_y_end = Vec::with_capacity(num_rows);
-    for group in &row_groups {
-        row_y_begin.push(arch.position(group[0].from).y);
-        row_y_end.push(arch.position(group[0].to).y);
+    fn num_rows(&self) -> usize {
+        self.row_start.len() - 1
     }
-    let mut col_x_begin = vec![f64::NAN; num_cols];
-    let mut col_x_end = vec![f64::NAN; num_cols];
-    for m in moves {
-        let c = col_id_of(arch.position(m.from).x);
-        col_x_begin[c] = arch.position(m.from).x;
-        col_x_end[c] = arch.position(m.to).x;
+
+    /// The moves of row `r`, as indices into the caller's move slice.
+    fn row(&self, r: usize) -> &[usize] {
+        &self.sorted[self.row_start[r]..self.row_start[r + 1]]
     }
-    insts.push(AodInst::Move {
-        row_id: (0..num_rows).collect(),
-        row_y_begin: row_y_begin.clone(),
-        row_y_end,
-        col_id: (0..num_cols).collect(),
-        col_x_begin,
-        col_x_end,
-    });
-    insts.push(AodInst::Deactivate {
-        row_id: (0..num_rows).collect(),
-        col_id: (0..num_cols).collect(),
-    });
 
-    // --- timing ---
-    let pick_duration = num_rows as f64 * transfer_time_us
-        + num_parkings as f64 * movement_time_us(PARKING_SHIFT_UM);
-    let move_duration = moves
-        .iter()
-        .map(|m| arch.position(m.from).move_time(arch.position(m.to)))
-        .fold(0.0, f64::max);
-    let drop_duration = transfer_time_us;
+    fn col_id_of(&self, x: f64) -> usize {
+        self.col_xs.iter().position(|&cx| (cx - x).abs() < POS_EPS).expect("column x registered")
+    }
 
-    let to_qloc = |m: &MoveSpec, loc: Loc| -> QubitLoc {
-        let (slm, r, c) = arch.loc_to_slm(loc);
-        QubitLoc::new(m.qubit, slm, r, c)
-    };
-    let begin_locs: Vec<Vec<QubitLoc>> =
-        row_groups.iter().map(|g| g.iter().map(|m| to_qloc(m, m.from)).collect()).collect();
-    let end_locs: Vec<Vec<QubitLoc>> =
-        row_groups.iter().map(|g| g.iter().map(|m| to_qloc(m, m.to)).collect()).collect();
+    /// Simulates the row-by-row pickup (Fig. 18), counting parking shifts;
+    /// when `insts` is given, also emits the machine-level `activate`/
+    /// parking-`move` instructions.
+    fn simulate_pickup(&mut self, insts: Option<&mut Vec<AodInst>>) -> usize {
+        let mut insts = insts;
+        self.active_cols.clear();
+        self.active_rows.clear();
+        let mut num_parkings = 0usize;
+        for row_id in 0..self.num_rows() {
+            let y = self.begins[self.sorted[self.row_start[row_id]]].y;
+            self.needed.clear();
+            for k in self.row_start[row_id]..self.row_start[row_id + 1] {
+                let x = self.begins[self.sorted[k]].x;
+                self.needed.push(self.col_id_of(x));
+            }
+            self.new_cols.clear();
+            self.new_cols
+                .extend(self.needed.iter().copied().filter(|c| !self.active_cols.contains(c)));
+            let stale_cols_exist = self.active_cols.iter().any(|c| !self.needed.contains(c));
+            if !self.active_rows.is_empty() && (stale_cols_exist || !self.new_cols.is_empty()) {
+                // Parking: shift already-picked rows off the SLM grid so the
+                // next activation cannot capture unintended atoms (Fig. 18c).
+                num_parkings += 1;
+                if let Some(insts) = insts.as_deref_mut() {
+                    let row_y: Vec<f64> = self
+                        .active_rows
+                        .iter()
+                        .map(|&r| self.begins[self.sorted[self.row_start[r]]].y)
+                        .collect();
+                    insts.push(AodInst::Move {
+                        row_id: self.active_rows.clone(),
+                        row_y_begin: row_y.clone(),
+                        row_y_end: row_y.iter().map(|&ry| ry + PARKING_SHIFT_UM).collect(),
+                        col_id: vec![],
+                        col_x_begin: vec![],
+                        col_x_end: vec![],
+                    });
+                }
+            }
+            if let Some(insts) = insts.as_deref_mut() {
+                let cols = if self.new_cols.is_empty() { &self.needed } else { &self.new_cols };
+                insts.push(AodInst::Activate {
+                    row_id: vec![row_id],
+                    row_y: vec![y],
+                    col_id: cols.clone(),
+                    col_x: cols.iter().map(|&c| self.col_xs[c]).collect(),
+                });
+            }
+            for &c in &self.needed {
+                if !self.active_cols.contains(&c) {
+                    self.active_cols.push(c);
+                }
+            }
+            self.active_rows.push(row_id);
+        }
+        num_parkings
+    }
 
-    Ok(RearrangeJob {
-        aod_id: 0,
-        begin_locs,
-        end_locs,
-        insts,
-        begin_time: 0.0,
-        end_time: pick_duration + move_duration + drop_duration,
-        pick_duration,
-        move_duration,
-        drop_duration,
-    })
+    fn timing(&self, moves: &[MoveSpec], transfer_time_us: f64, num_parkings: usize) -> JobTiming {
+        let pick_duration = self.num_rows() as f64 * transfer_time_us
+            + num_parkings as f64 * movement_time_us(PARKING_SHIFT_UM);
+        let move_duration =
+            (0..moves.len()).map(|i| self.begins[i].move_time(self.ends[i])).fold(0.0, f64::max);
+        JobTiming { pick_duration, move_duration, drop_duration: transfer_time_us }
+    }
+
+    /// Validates `moves` and computes the job's [`JobTiming`] without
+    /// materializing it. Steady-state calls are allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// The same [`JobError`]s as [`build_job`].
+    pub fn plan(
+        &mut self,
+        arch: &Architecture,
+        moves: &[MoveSpec],
+        transfer_time_us: f64,
+    ) -> Result<JobTiming, JobError> {
+        self.layout(arch, moves, transfer_time_us)?;
+        let num_parkings = self.simulate_pickup(None);
+        Ok(self.timing(moves, transfer_time_us, num_parkings))
+    }
+
+    /// Builds the full [`RearrangeJob`] (machine-level expansion included),
+    /// bit-identical to [`build_job`]. Only the returned job allocates; all
+    /// scratch comes from the workspace.
+    ///
+    /// # Errors
+    ///
+    /// The same [`JobError`]s as [`build_job`].
+    pub fn build(
+        &mut self,
+        arch: &Architecture,
+        moves: &[MoveSpec],
+        transfer_time_us: f64,
+    ) -> Result<RearrangeJob, JobError> {
+        self.layout(arch, moves, transfer_time_us)?;
+
+        // --- machine-level expansion: row-by-row pickup with parking ---
+        let mut insts: Vec<AodInst> = Vec::new();
+        let num_parkings = self.simulate_pickup(Some(&mut insts));
+
+        // --- transport move ---
+        // Row/column targets are consistent by the compatibility check.
+        let num_rows = self.num_rows();
+        let num_cols = self.col_xs.len();
+        let mut row_y_begin = Vec::with_capacity(num_rows);
+        let mut row_y_end = Vec::with_capacity(num_rows);
+        for r in 0..num_rows {
+            let first = self.sorted[self.row_start[r]];
+            row_y_begin.push(self.begins[first].y);
+            row_y_end.push(self.ends[first].y);
+        }
+        let mut col_x_begin = vec![f64::NAN; num_cols];
+        let mut col_x_end = vec![f64::NAN; num_cols];
+        for i in 0..moves.len() {
+            let c = self.col_id_of(self.begins[i].x);
+            col_x_begin[c] = self.begins[i].x;
+            col_x_end[c] = self.ends[i].x;
+        }
+        insts.push(AodInst::Move {
+            row_id: (0..num_rows).collect(),
+            row_y_begin,
+            row_y_end,
+            col_id: (0..num_cols).collect(),
+            col_x_begin,
+            col_x_end,
+        });
+        insts.push(AodInst::Deactivate {
+            row_id: (0..num_rows).collect(),
+            col_id: (0..num_cols).collect(),
+        });
+
+        // --- timing ---
+        let timing = self.timing(moves, transfer_time_us, num_parkings);
+
+        let to_qloc = |i: usize, loc: Loc| -> QubitLoc {
+            let (slm, r, c) = arch.loc_to_slm(loc);
+            QubitLoc::new(moves[i].qubit, slm, r, c)
+        };
+        let begin_locs: Vec<Vec<QubitLoc>> = (0..num_rows)
+            .map(|r| self.row(r).iter().map(|&i| to_qloc(i, moves[i].from)).collect())
+            .collect();
+        let end_locs: Vec<Vec<QubitLoc>> = (0..num_rows)
+            .map(|r| self.row(r).iter().map(|&i| to_qloc(i, moves[i].to)).collect())
+            .collect();
+
+        Ok(RearrangeJob {
+            aod_id: 0,
+            begin_locs,
+            end_locs,
+            insts,
+            begin_time: 0.0,
+            end_time: timing.total(),
+            pick_duration: timing.pick_duration,
+            move_duration: timing.move_duration,
+            drop_duration: timing.drop_duration,
+        })
+    }
 }
 
 /// Moves a job's time window so it begins at `begin_time`.

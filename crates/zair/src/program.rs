@@ -206,6 +206,115 @@ impl Program {
         serde_json::from_str(json)
     }
 
+    /// A stable 64-bit digest over the *entire* program content: names,
+    /// qubit count, and every field of every instruction, with `f64`s hashed
+    /// by IEEE-754 bit pattern. Two programs share a digest iff they are
+    /// bit-identical — the scheduler's refactor-regression tests key on this
+    /// (see `zac-schedule/tests/bit_identity.rs`).
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut fp = zac_circuit::Fingerprint::new();
+        fp.write_str(&self.circuit_name);
+        fp.write_str(&self.arch_name);
+        fp.write_usize(self.num_qubits);
+        fp.write_usize(self.instructions.len());
+        let write_qloc = |fp: &mut zac_circuit::Fingerprint, ql: &QubitLoc| {
+            fp.write_usize(ql.qubit);
+            fp.write_usize(ql.slm_id);
+            fp.write_usize(ql.row);
+            fp.write_usize(ql.col);
+        };
+        let write_ids = |fp: &mut zac_circuit::Fingerprint, ids: &[usize]| {
+            fp.write_usize(ids.len());
+            for &i in ids {
+                fp.write_usize(i);
+            }
+        };
+        let write_f64s = |fp: &mut zac_circuit::Fingerprint, vs: &[f64]| {
+            fp.write_usize(vs.len());
+            for &v in vs {
+                fp.write_f64(v);
+            }
+        };
+        for inst in &self.instructions {
+            fp.write_str(inst.kind());
+            match inst {
+                Instruction::Init { init_locs } => {
+                    fp.write_usize(init_locs.len());
+                    for ql in init_locs {
+                        write_qloc(&mut fp, ql);
+                    }
+                }
+                Instruction::OneQGate { gates, begin_time, end_time } => {
+                    fp.write_usize(gates.len());
+                    for g in gates {
+                        fp.write_f64(g.theta);
+                        fp.write_f64(g.phi);
+                        fp.write_f64(g.lambda);
+                        write_qloc(&mut fp, &g.loc);
+                    }
+                    fp.write_f64(*begin_time);
+                    fp.write_f64(*end_time);
+                }
+                Instruction::Rydberg { zone_id, begin_time, end_time } => {
+                    fp.write_usize(*zone_id);
+                    fp.write_f64(*begin_time);
+                    fp.write_f64(*end_time);
+                }
+                Instruction::RearrangeJob(j) => {
+                    fp.write_usize(j.aod_id);
+                    for locs in [&j.begin_locs, &j.end_locs] {
+                        fp.write_usize(locs.len());
+                        for row in locs.iter() {
+                            fp.write_usize(row.len());
+                            for ql in row {
+                                write_qloc(&mut fp, ql);
+                            }
+                        }
+                    }
+                    fp.write_usize(j.insts.len());
+                    for ai in &j.insts {
+                        match ai {
+                            crate::inst::AodInst::Activate { row_id, row_y, col_id, col_x } => {
+                                fp.write_u8(1);
+                                write_ids(&mut fp, row_id);
+                                write_f64s(&mut fp, row_y);
+                                write_ids(&mut fp, col_id);
+                                write_f64s(&mut fp, col_x);
+                            }
+                            crate::inst::AodInst::Deactivate { row_id, col_id } => {
+                                fp.write_u8(2);
+                                write_ids(&mut fp, row_id);
+                                write_ids(&mut fp, col_id);
+                            }
+                            crate::inst::AodInst::Move {
+                                row_id,
+                                row_y_begin,
+                                row_y_end,
+                                col_id,
+                                col_x_begin,
+                                col_x_end,
+                            } => {
+                                fp.write_u8(3);
+                                write_ids(&mut fp, row_id);
+                                write_f64s(&mut fp, row_y_begin);
+                                write_f64s(&mut fp, row_y_end);
+                                write_ids(&mut fp, col_id);
+                                write_f64s(&mut fp, col_x_begin);
+                                write_f64s(&mut fp, col_x_end);
+                            }
+                        }
+                    }
+                    fp.write_f64(j.begin_time);
+                    fp.write_f64(j.end_time);
+                    fp.write_f64(j.pick_duration);
+                    fp.write_f64(j.move_duration);
+                    fp.write_f64(j.drop_duration);
+                }
+            }
+        }
+        fp.finish()
+    }
+
     /// Validates the program against `arch` and extracts its [`Analysis`].
     ///
     /// The interpreter tracks qubit locations through every rearrangement

@@ -53,9 +53,11 @@ pub mod prelude {
     pub use zac_circuit::bench_circuits;
     pub use zac_circuit::{Circuit, Fingerprint};
     pub use zac_core::{
-        CompileError, CompileOutput, Compiler, GateCounts, Labeled, Zac, ZacConfig, ZacOutput,
+        CompileError, CompileOutput, Compiler, GateCounts, Labeled, PhaseTimings, Zac, ZacConfig,
+        ZacOutput,
     };
     pub use zac_fidelity::{FidelityReport, NeutralAtomParams};
+    pub use zac_schedule::ScheduleWorkspace;
     pub use zac_zair::Program;
 }
 
