@@ -15,12 +15,18 @@
 //! * `ZAC_BENCH_OUT=<path>` — overrides the JSON output path.
 //! * `ZAC_BENCH_BASELINE=<path>` — a previous `BENCH_compile_time.json`;
 //!   when set, the report prints per-compiler geomean speedups vs. it.
+//! * `--engine exhaustive|windowed|both` (or `ZAC_BENCH_ENGINE`) — which
+//!   ZAC placement-engine arms to sweep. `both` (the default) runs the
+//!   exhaustive pipeline *and* a `Zoned-ZAC-windowed` arm, and emits a
+//!   quality/speed `frontier` block into the JSON: per-circuit compile-time
+//!   speedup, fidelity delta, and placement movement-cost ratio.
 
 use serde::Value;
-use zac_arch::Architecture;
+use zac_arch::{Architecture, GeomCache};
 use zac_bench::{default_compilers, geomean, print_header, BatchRunner, ComparisonRow};
 use zac_circuit::{bench_circuits, preprocess, StagedCircuit};
-use zac_core::{Compiler, Zac, ZacConfig};
+use zac_core::{Compiler, Labeled, Zac, ZacConfig};
+use zac_place::{plan_placement, PlacementEngine};
 
 /// Schema version of the emitted JSON.
 const FORMAT_VERSION: u64 = 1;
@@ -33,8 +39,47 @@ type Cell<'a> = (&'a str, f64, Option<(f64, f64)>);
 /// heaviest placement/scheduling instances).
 const LARGE_TIER: [&str; 3] = ["ising_n98", "qft_n18", "knn_n31"];
 
+/// The two ZAC placement-engine arms of the frontier.
+const ZAC_EXHAUSTIVE: &str = "Zoned-ZAC";
+const ZAC_WINDOWED: &str = "Zoned-ZAC-windowed";
+
+/// Which placement-engine arms to sweep (the `--engine` axis).
+#[derive(Clone, Copy, PartialEq)]
+enum EngineAxis {
+    Exhaustive,
+    Windowed,
+    Both,
+}
+
+impl EngineAxis {
+    /// Parses `--engine <value>` from the CLI (after cargo-bench's `--`),
+    /// falling back to `ZAC_BENCH_ENGINE`, defaulting to `both`.
+    fn parse() -> Self {
+        let mut args = std::env::args();
+        let cli = std::iter::from_fn(|| args.next())
+            .skip_while(|a| a != "--engine")
+            .nth(1)
+            .or_else(|| std::env::var("ZAC_BENCH_ENGINE").ok());
+        match cli.as_deref() {
+            Some("exhaustive") => Self::Exhaustive,
+            Some("windowed") => Self::Windowed,
+            Some("both") | None => Self::Both,
+            Some(other) => panic!("unknown --engine '{other}' (exhaustive|windowed|both)"),
+        }
+    }
+
+    fn runs(self, arm: &str) -> bool {
+        match self {
+            Self::Exhaustive => arm == ZAC_EXHAUSTIVE,
+            Self::Windowed => arm == ZAC_WINDOWED,
+            Self::Both => true,
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::var("ZAC_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let axis = EngineAxis::parse();
     print_header(
         "Compile-time trajectory (wall-clock per compiler, serial sweep)",
         "perf PRs are measured, not asserted: this JSON accumulates per PR",
@@ -44,10 +89,10 @@ fn main() {
     }
 
     let suite = build_suite(smoke);
-    let compilers = build_compilers(smoke);
+    let compilers = build_compilers(smoke, axis);
     let rows = BatchRunner::serial().run(&compilers, &suite);
 
-    report(&rows, &compilers, smoke);
+    report(&rows, &compilers, &suite, smoke);
 }
 
 /// The 17-circuit paper suite plus the bundled corpus; smoke mode keeps one
@@ -80,23 +125,50 @@ fn build_suite(smoke: bool) -> Vec<StagedCircuit> {
     suite
 }
 
-/// The six-compiler lineup; smoke mode swaps ZAC for a reduced-SA variant so
-/// the sweep finishes quickly (the relabeled compiler keeps the paper name so
-/// JSON rows stay comparable within one mode).
-fn build_compilers(smoke: bool) -> Vec<Box<dyn Compiler>> {
-    if !smoke {
-        return default_compilers();
-    }
+/// ZAC's pipeline configuration for one engine arm (smoke mode reduces the
+/// SA budget identically for both arms, keeping the frontier comparable).
+fn arm_config(engine: PlacementEngine, smoke: bool) -> ZacConfig {
     let mut cfg = ZacConfig::full();
-    cfg.placement.sa_iterations = 100;
-    let reduced_zac = Zac::with_config(Architecture::reference(), cfg);
+    cfg.placement.engine = engine;
+    if smoke {
+        cfg.placement.sa_iterations = 100;
+    }
+    cfg
+}
+
+/// The compiler lineup: the six-compiler paper comparison plus (under
+/// `--engine both`/`windowed`) the windowed-engine ZAC arm. Smoke mode swaps
+/// ZAC for a reduced-SA variant so the sweep finishes quickly (the relabeled
+/// compiler keeps the paper name so JSON rows stay comparable within one
+/// mode).
+fn build_compilers(smoke: bool, axis: EngineAxis) -> Vec<Box<dyn Compiler>> {
+    let exhaustive =
+        Zac::with_config(Architecture::reference(), arm_config(PlacementEngine::Exhaustive, smoke));
     let mut compilers: Vec<Box<dyn Compiler>> =
-        default_compilers().into_iter().filter(|c| c.name() != reduced_zac.name()).collect();
-    compilers.push(Box::new(reduced_zac));
+        default_compilers().into_iter().filter(|c| c.name() != ZAC_EXHAUSTIVE).collect();
+    if axis.runs(ZAC_EXHAUSTIVE) {
+        // `Zac`'s own name is already the paper label; the engine is pinned
+        // explicitly so `ZAC_PLACER` in the environment cannot skew the arm.
+        compilers.push(Box::new(exhaustive));
+    }
+    if axis.runs(ZAC_WINDOWED) {
+        compilers.push(Box::new(Labeled::new(
+            ZAC_WINDOWED,
+            Zac::with_config(
+                Architecture::reference(),
+                arm_config(PlacementEngine::windowed(), smoke),
+            ),
+        )));
+    }
     compilers
 }
 
-fn report(rows: &[ComparisonRow], compilers: &[Box<dyn Compiler>], smoke: bool) {
+fn report(
+    rows: &[ComparisonRow],
+    compilers: &[Box<dyn Compiler>],
+    suite: &[StagedCircuit],
+    smoke: bool,
+) {
     println!(
         "{:<26}{:>8}{:>14}{:>16}{:>18}{:>12}{:>12}",
         "compiler", "cells", "total (s)", "geomean (s)", "large tier (s)", "place (s)", "sched (s)"
@@ -187,7 +259,7 @@ fn report(rows: &[ComparisonRow], compilers: &[Box<dyn Compiler>], smoke: bool) 
         compiler_objs.push(Value::Object(fields));
     }
 
-    let doc = Value::Object(vec![
+    let mut doc_fields = vec![
         ("version".into(), Value::Number(serde::Number::from_f64(FORMAT_VERSION as f64))),
         ("smoke".into(), Value::Bool(smoke)),
         (
@@ -196,7 +268,11 @@ fn report(rows: &[ComparisonRow], compilers: &[Box<dyn Compiler>], smoke: bool) 
         ),
         ("num_circuits".into(), Value::Number(serde::Number::from_f64(rows.len() as f64))),
         ("compilers".into(), Value::Array(compiler_objs)),
-    ]);
+    ];
+    if let Some(frontier) = frontier_block(rows, suite, smoke) {
+        doc_fields.push(("frontier".into(), frontier));
+    }
+    let doc = Value::Object(doc_fields);
 
     let out_path = std::env::var("ZAC_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile_time.json").to_owned()
@@ -214,6 +290,111 @@ fn report(rows: &[ComparisonRow], compilers: &[Box<dyn Compiler>], smoke: bool) 
             None => eprintln!("warning: could not read baseline {baseline_path}"),
         }
     }
+}
+
+/// Placement movement cost (paper Eq. 1) of one circuit under one engine,
+/// mirroring `Zac::compile_staged`'s stage-width splitting so the plan is the
+/// one the compiler arm actually scheduled.
+fn movement_cost(
+    arch: &Architecture,
+    geom: &GeomCache,
+    staged: &StagedCircuit,
+    engine: PlacementEngine,
+    smoke: bool,
+) -> Option<f64> {
+    let num_sites = arch.num_sites();
+    let split;
+    let staged = if staged.max_parallelism() > num_sites && num_sites > 0 {
+        split = staged.with_max_stage_width(num_sites);
+        &split
+    } else {
+        staged
+    };
+    let cfg = arm_config(engine, smoke).placement;
+    plan_placement(arch, staged, &cfg).ok().map(|plan| plan.movement_cost(geom))
+}
+
+/// The quality/speed frontier between the exhaustive and windowed ZAC arms:
+/// per-circuit compile-time speedup, fidelity delta, and placement
+/// movement-cost ratio, plus the large-tier aggregates the acceptance
+/// criteria track. `None` unless both arms were swept.
+fn frontier_block(rows: &[ComparisonRow], suite: &[StagedCircuit], smoke: bool) -> Option<Value> {
+    let arch = Architecture::reference();
+    let geom = GeomCache::new(&arch);
+    let num = serde::Number::from_f64;
+    let mut per_circuit = Vec::new();
+    let (mut exh_large, mut win_large) = (0.0, 0.0);
+    let (mut exh_cost_all, mut win_cost_all) = (0.0, 0.0);
+    let (mut exh_cost_large, mut win_cost_large) = (0.0, 0.0);
+    println!(
+        "\nengine frontier ({ZAC_EXHAUSTIVE} vs. {ZAC_WINDOWED}):\n\
+         {:<20}{:>10}{:>10}{:>8}{:>12}{:>12}{:>10}",
+        "circuit", "exh (ms)", "win (ms)", "speed", "Δfidelity", "cost ratio", ""
+    );
+    for row in rows {
+        let Some((exh, win)) = row.result(ZAC_EXHAUSTIVE).zip(row.result(ZAC_WINDOWED)) else {
+            continue;
+        };
+        let Some(staged) = suite.iter().find(|s| s.name == row.name) else { continue };
+        let speedup = exh.compile_secs / win.compile_secs;
+        let fid_delta = win.fidelity() - exh.fidelity();
+        let costs = movement_cost(&arch, &geom, staged, PlacementEngine::Exhaustive, smoke)
+            .zip(movement_cost(&arch, &geom, staged, PlacementEngine::windowed(), smoke));
+        if LARGE_TIER.contains(&row.name.as_str()) {
+            exh_large += exh.compile_secs;
+            win_large += win.compile_secs;
+        }
+        let mut fields = vec![
+            ("circuit".into(), Value::String(row.name.clone())),
+            ("exhaustive_secs".into(), Value::Number(num(exh.compile_secs))),
+            ("windowed_secs".into(), Value::Number(num(win.compile_secs))),
+            ("speedup".into(), Value::Number(num(speedup))),
+            ("fidelity_delta".into(), Value::Number(num(fid_delta))),
+        ];
+        let mut ratio_str = "-".to_owned();
+        if let Some((ce, cw)) = costs {
+            exh_cost_all += ce;
+            win_cost_all += cw;
+            if LARGE_TIER.contains(&row.name.as_str()) {
+                exh_cost_large += ce;
+                win_cost_large += cw;
+            }
+            fields.push(("exhaustive_movement_cost".into(), Value::Number(num(ce))));
+            fields.push(("windowed_movement_cost".into(), Value::Number(num(cw))));
+            if ce > 0.0 {
+                ratio_str = format!("{:.4}", cw / ce);
+            }
+        }
+        println!(
+            "{:<20}{:>10.3}{:>10.3}{:>8.2}{:>12.2e}{:>12}{:>10}",
+            row.name,
+            exh.compile_secs * 1e3,
+            win.compile_secs * 1e3,
+            speedup,
+            fid_delta,
+            ratio_str,
+            ""
+        );
+        per_circuit.push(Value::Object(fields));
+    }
+    if per_circuit.is_empty() {
+        return None;
+    }
+    let large_speedup = if win_large > 0.0 { exh_large / win_large } else { 1.0 };
+    let cost_ratio = if exh_cost_all > 0.0 { win_cost_all / exh_cost_all } else { 1.0 };
+    let large_cost_ratio = if exh_cost_large > 0.0 { win_cost_large / exh_cost_large } else { 1.0 };
+    println!(
+        "frontier aggregates: large-tier speedup {large_speedup:.2}x, suite cost ratio \
+         {cost_ratio:.4}, large-tier cost ratio {large_cost_ratio:.4}"
+    );
+    Some(Value::Object(vec![
+        ("reference".into(), Value::String(ZAC_EXHAUSTIVE.into())),
+        ("fast".into(), Value::String(ZAC_WINDOWED.into())),
+        ("large_tier_speedup".into(), Value::Number(num(large_speedup))),
+        ("movement_cost_ratio".into(), Value::Number(num(cost_ratio))),
+        ("large_tier_movement_cost_ratio".into(), Value::Number(num(large_cost_ratio))),
+        ("per_circuit".into(), Value::Array(per_circuit)),
+    ]))
 }
 
 /// Prints per-compiler geomean and large-tier speedups vs. a previous run.

@@ -72,16 +72,23 @@ proptest! {
         prop_assert!(base.fingerprint() != widened.fingerprint());
     }
 
-    /// Sensitivity on the compiler half: every placement-config field and
-    /// every hardware parameter feeds the compiler fingerprint.
+    /// Sensitivity on the compiler half: every placement-config field,
+    /// the placement-engine choice (and each windowed-engine parameter),
+    /// and every hardware parameter feeds the compiler fingerprint. The
+    /// engine is pinned on both sides so the test is meaningful under
+    /// `ZAC_PLACER=windowed` runs too.
     #[test]
     fn compiler_fingerprint_changes_with_any_config_field(
-        field in 0usize..9,
+        field in 0usize..13,
         nudge in 1u64..1000,
     ) {
-        let reference = Zac::new(Architecture::reference());
-        let mut config = ZacConfig::full();
+        use zac_place::{PlacementEngine, WindowedPlacer};
+        let mut base = ZacConfig::full();
+        base.placement.engine = PlacementEngine::Exhaustive;
+        let reference = Zac::with_config(Architecture::reference(), base.clone());
+        let mut config = base;
         let p = &mut config.placement;
+        let windowed = |w: WindowedPlacer| PlacementEngine::Windowed(w);
         match field {
             0 => p.use_sa = !p.use_sa,
             1 => p.dynamic = !p.dynamic,
@@ -91,6 +98,19 @@ proptest! {
             5 => p.window_expansion += nudge as usize,
             6 => p.neighbor_k += nudge as usize,
             7 => p.lookahead_alpha += nudge as f64 * 1e-6,
+            8 => p.engine = PlacementEngine::windowed(),
+            9 => p.engine = windowed(WindowedPlacer {
+                window_min_width: 1 + nudge as usize,
+                ..WindowedPlacer::default()
+            }),
+            10 => p.engine = windowed(WindowedPlacer {
+                window_ratio: 0.5 + nudge as f64 * 1e-6,
+                ..WindowedPlacer::default()
+            }),
+            11 => p.engine = windowed(WindowedPlacer {
+                quality_factor: 1.5 + nudge as f64 * 1e-6,
+                ..WindowedPlacer::default()
+            }),
             _ => config.params.f_2q -= nudge as f64 * 1e-9,
         }
         let tweaked = Zac::with_config(Architecture::reference(), config);

@@ -399,8 +399,9 @@ fn parse_gate_def(stmt: &str, line: usize) -> Result<(String, GateDef), QasmErro
     Ok((name.to_string(), GateDef { params, args, body }))
 }
 
-/// A resolved gate operand: a single qubit (`q[3]`) or a whole register
-/// (`q`), which the OpenQASM 2.0 spec broadcasts across.
+/// A resolved gate operand: a single qubit (`q[3]`), or a whole register
+/// (`q`) / register slice (`q[2:5]`, inclusive ends as in OpenQASM 3),
+/// either of which broadcasts across its qubits.
 #[derive(Debug, Clone, Copy)]
 enum Operand {
     Single(usize),
@@ -416,10 +417,28 @@ fn resolve_operand(
     if let Some(open) = t.find('[') {
         let close = t.find(']').ok_or_else(|| err(line, "missing ']' in operand"))?;
         let rname = t[..open].trim();
-        let idx: usize =
-            t[open + 1..close].trim().parse().map_err(|_| err(line, "malformed qubit index"))?;
         let &(offset, size) =
             regs.get(rname).ok_or_else(|| err(line, format!("unknown register '{rname}'")))?;
+        let index_text = t[open + 1..close].trim();
+        if let Some((lo_text, hi_text)) = index_text.split_once(':') {
+            // Register slice `q[lo:hi]`: both ends inclusive, broadcast like
+            // a whole register of width `hi - lo + 1`.
+            let parse = |s: &str| -> Result<usize, QasmError> {
+                s.trim().parse().map_err(|_| err(line, format!("malformed slice bound '{s}'")))
+            };
+            let (lo, hi) = (parse(lo_text)?, parse(hi_text)?);
+            if lo > hi {
+                return Err(err(line, format!("reversed slice {rname}[{lo}:{hi}]")));
+            }
+            if hi >= size {
+                return Err(err(
+                    line,
+                    format!("slice {rname}[{lo}:{hi}] out of range for {rname}[{size}]"),
+                ));
+            }
+            return Ok(Operand::Reg { offset: offset + lo, size: hi - lo + 1 });
+        }
+        let idx: usize = index_text.parse().map_err(|_| err(line, "malformed qubit index"))?;
         if idx >= size {
             return Err(err(line, format!("index {idx} out of range for {rname}[{size}]")));
         }
@@ -961,6 +980,41 @@ mod tests {
     fn broadcast_size_mismatch_rejected() {
         let e = parse_qasm("OPENQASM 2.0; qreg a[2]; qreg b[3]; cx a, b;", "bad").unwrap_err();
         assert!(e.message.contains("mismatched register sizes"), "{e}");
+    }
+
+    #[test]
+    fn register_slices_broadcast() {
+        // Slice ⊗ slice: pairwise over the inclusive ranges.
+        let c = parse_qasm("OPENQASM 2.0; qreg q[6]; cx q[0:2], q[3:5];", "slice2").unwrap();
+        assert_eq!(c.interaction_pairs(), vec![(0, 3), (1, 4), (2, 5)]);
+        // Slice ⊗ single: the indexed operand is held fixed.
+        let c = parse_qasm("OPENQASM 2.0; qreg q[5]; cx q[1:3], q[4];", "slicefix").unwrap();
+        assert_eq!(c.interaction_pairs(), vec![(1, 4), (2, 4), (3, 4)]);
+        // One-qubit gates broadcast over a slice too.
+        let c = parse_qasm("OPENQASM 2.0; qreg q[5]; h q[2:4];", "slice1").unwrap();
+        assert_eq!(c.num_1q_gates(), 3);
+        for (k, g) in c.gates().iter().enumerate() {
+            assert_eq!(*g, Gate::OneQ { gate: OneQGate::H, qubit: k + 2 });
+        }
+        // A width-1 slice behaves like the indexed qubit.
+        let c = parse_qasm("OPENQASM 2.0; qreg q[3]; cx q[1:1], q[2];", "slicew1").unwrap();
+        assert_eq!(c.interaction_pairs(), vec![(1, 2)]);
+        // Slices of different widths are a broadcast mismatch.
+        let e = parse_qasm("OPENQASM 2.0; qreg q[6]; cx q[0:1], q[2:5];", "slicemis").unwrap_err();
+        assert!(e.message.contains("mismatched register sizes"), "{e}");
+    }
+
+    #[test]
+    fn malformed_register_slices_rejected() {
+        let e = parse_qasm("OPENQASM 2.0;\nqreg q[6];\ncx q[3:1], q[4:5];", "rev").unwrap_err();
+        assert!(e.message.contains("reversed slice"), "{e}");
+        assert_eq!(e.line, 3, "error carries the offending line");
+        let e = parse_qasm("OPENQASM 2.0; qreg q[4]; h q[2:7];", "oob").unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+        let e = parse_qasm("OPENQASM 2.0; qreg q[4]; h q[1:x];", "badhi").unwrap_err();
+        assert!(e.message.contains("malformed slice bound"), "{e}");
+        let e = parse_qasm("OPENQASM 2.0; qreg q[4]; h q[:2];", "nolo").unwrap_err();
+        assert!(e.message.contains("malformed slice bound"), "{e}");
     }
 
     #[test]

@@ -73,6 +73,14 @@ impl ZacConfig {
         Self::default()
     }
 
+    /// The full pipeline with the windowed placement engine (default window
+    /// parameters): the compile-time/quality frontier's fast arm.
+    pub fn windowed() -> Self {
+        let mut cfg = Self::default();
+        cfg.placement.engine = zac_place::PlacementEngine::windowed();
+        cfg
+    }
+
     fn schedule_config(&self) -> ScheduleConfig {
         ScheduleConfig {
             t_tran_us: self.params.t_tran_us,
@@ -301,6 +309,10 @@ impl crate::Compiler for Zac {
         fp.write_usize(p.window_expansion);
         fp.write_usize(p.neighbor_k);
         fp.write_f64(p.lookahead_alpha);
+        // Engine choice (and its window parameters) are part of the
+        // compiler's identity: outputs differ across engines, so cached
+        // artifacts must never be shared between them.
+        p.engine.config_tokens(fp);
         crate::interface::write_params_tokens(fp, &self.config.params);
     }
 
@@ -393,6 +405,29 @@ mod tests {
             assert_eq!(plain.summary, cached.summary, "{k} AODs");
         }
         assert_eq!(cache.len(), 1, "one SA entry serves every AOD arm");
+    }
+
+    /// The windowed engine produces a valid end-to-end compilation and a
+    /// distinct compiler fingerprint (so compile caches never mix engines).
+    #[test]
+    fn windowed_engine_compiles_and_fingerprints_separately() {
+        use crate::Compiler;
+        use zac_place::PlacementEngine;
+        let mut exhaustive_cfg = quick();
+        exhaustive_cfg.placement.engine = PlacementEngine::Exhaustive;
+        let mut windowed_cfg = quick();
+        windowed_cfg.placement.engine = PlacementEngine::windowed();
+        let exhaustive = Zac::with_config(Architecture::reference(), exhaustive_cfg);
+        let windowed = Zac::with_config(Architecture::reference(), windowed_cfg);
+        assert_ne!(
+            exhaustive.fingerprint(),
+            windowed.fingerprint(),
+            "engine choice must alter the compiler fingerprint"
+        );
+        let out = windowed.compile(&bench_circuits::ghz(10)).unwrap();
+        assert_eq!(out.summary.g2, 9);
+        assert_eq!(out.summary.n_exc, 0);
+        assert!(out.total_fidelity() > 0.0 && out.total_fidelity() < 1.0);
     }
 
     #[test]

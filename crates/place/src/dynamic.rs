@@ -16,9 +16,10 @@
 //!    (paper Sec. V-B: "we commit to the better solution between the two").
 
 use crate::cost::{gate_cost, nearest_gate_site, qubit_to_site_cost};
+use crate::engine::WindowPolicy;
 use crate::initial::InitialPlacementCache;
 use crate::{PlaceError, PlacementConfig};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use zac_arch::{
     Architecture, GeomCache, Geometry, Loc, Point, SiteId, TrapIndex, TrapMap, TrapSet,
 };
@@ -57,6 +58,32 @@ impl PlacementPlan {
     /// Total count of in-place qubit reuses across all stages.
     pub fn total_reused_qubits(&self) -> usize {
         self.stages.iter().map(|s| s.reused_qubits).sum()
+    }
+
+    /// Total movement cost of the plan under the paper's Eq. 1 metric:
+    /// the sum over every stage transition of √distance per moved qubit,
+    /// including the intermediate pre-return leg of non-reuse stages. This
+    /// is the quantity the per-stage solver minimizes, so it is the quality
+    /// axis the engine frontier (exhaustive vs. windowed) is measured on.
+    pub fn movement_cost<G: Geometry>(&self, geom: &G) -> f64 {
+        let leg = |from: &[Loc], to: &[Loc]| -> f64 {
+            from.iter()
+                .zip(to)
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| geom.position(*a).distance(geom.position(*b)).sqrt())
+                .sum::<f64>()
+        };
+        let mut current: &[Loc] = &self.initial;
+        let mut total = 0.0;
+        for stage in &self.stages {
+            if let Some(pre) = &stage.pre_returns {
+                total += leg(current, pre) + leg(pre, &stage.during);
+            } else {
+                total += leg(current, &stage.during);
+            }
+            current = &stage.during;
+        }
+        total
     }
 
     /// Checks the plan's invariants against the architecture and circuit.
@@ -140,6 +167,7 @@ struct StageWorkspace {
     assign: AssignmentWorkspace,
     cost: CostMatrix,
     traps: TrapScratch,
+    stage: StageScratch,
 }
 
 impl StageWorkspace {
@@ -149,6 +177,103 @@ impl StageWorkspace {
             assign: AssignmentWorkspace::new(),
             cost: CostMatrix::new(0, 0, 0.0),
             traps: TrapScratch::new(arch),
+            stage: StageScratch::new(arch),
+        }
+    }
+}
+
+/// Dense qubit → next-stage-partner map (`usize::MAX` = none), reused across
+/// stages through a touched list: the allocation-free replacement for the
+/// per-stage `HashMap` the solver used to build.
+#[derive(Default)]
+struct RelatedMap {
+    vals: Vec<usize>,
+    touched: Vec<usize>,
+}
+
+impl RelatedMap {
+    /// Clears previous entries and guarantees capacity for qubits `0..n`.
+    fn reset(&mut self, n: usize) {
+        for &q in &self.touched {
+            self.vals[q] = usize::MAX;
+        }
+        self.touched.clear();
+        if self.vals.len() < n {
+            self.vals.resize(n, usize::MAX);
+        }
+    }
+
+    /// Records `b` as `a`'s partner (later inserts overwrite, matching the
+    /// `HashMap::insert` semantics this replaced).
+    fn insert(&mut self, a: usize, b: usize) {
+        if self.vals[a] == usize::MAX {
+            self.touched.push(a);
+        }
+        self.vals[a] = b;
+    }
+
+    fn get(&self, q: usize) -> Option<usize> {
+        match self.vals.get(q) {
+            Some(&v) if v != usize::MAX => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Reusable buffers of the per-stage solver (reuse matching + gate
+/// placement), so steady-state stages allocate nothing on the hot path.
+struct StageScratch {
+    /// Flat site index: per-zone offsets and column counts.
+    site_offsets: Vec<usize>,
+    site_grid_cols: Vec<usize>,
+    /// Next-stage partner per qubit (lookahead + Eq. 3 anchors).
+    related: RelatedMap,
+    /// This-stage partner per qubit (non-reuse pre-return anchors).
+    related_this: RelatedMap,
+    /// Reuse-matching adjacency rows (outer and inner buffers reused).
+    adj: Vec<Vec<usize>>,
+    /// Site flat index → dense matrix column (`usize::MAX` = unset; reset by
+    /// walking `sites` between attempts).
+    site_cols: Vec<usize>,
+    /// Dense column → site of the gate matching.
+    sites: Vec<SiteId>,
+    /// Per-gate candidate columns (outer and inner buffers reused).
+    per_gate: Vec<Vec<usize>>,
+    /// Per-gate window centers.
+    centers: Vec<SiteId>,
+    /// Site neighborhood buffer.
+    neigh: Vec<SiteId>,
+    /// Sites pinned by the reuse matching (flat-indexed; cleared on the
+    /// *next* call by walking `pinned_touched`, so early error returns can
+    /// never leave stale pins behind).
+    pinned_site: Vec<bool>,
+    pinned_touched: Vec<usize>,
+}
+
+impl StageScratch {
+    fn new(arch: &Architecture) -> Self {
+        let mut site_offsets = Vec::new();
+        let mut site_grid_cols = Vec::new();
+        let mut total = 0usize;
+        for z in 0..arch.entanglement_zones().len() {
+            let (rows, cols) = arch.site_grid(z);
+            site_offsets.push(total);
+            site_grid_cols.push(cols);
+            total += rows * cols;
+        }
+        Self {
+            site_offsets,
+            site_grid_cols,
+            related: RelatedMap::default(),
+            related_this: RelatedMap::default(),
+            adj: Vec::new(),
+            site_cols: vec![usize::MAX; total],
+            sites: Vec::new(),
+            per_gate: Vec::new(),
+            centers: Vec::new(),
+            neigh: Vec::new(),
+            pinned_site: vec![false; total],
+            pinned_touched: Vec::new(),
         }
     }
 }
@@ -167,8 +292,19 @@ struct TrapScratch {
     reserved: TrapSet,
     /// Candidate-column dedup: trap → assigned dense column.
     col_index: TrapMap<usize>,
+    /// Per-qubit candidate dedup for the windowed engine (anchor windows
+    /// overlap, unlike the exhaustive bounding box).
+    seen: TrapSet,
     /// Per-qubit candidate buffer (reused across qubits and calls).
     cands: Vec<Loc>,
+    /// Dense column → trap table of the return matching (reused per call).
+    ret_traps: Vec<Loc>,
+    /// Per-returner sparse cost rows (outer and inner buffers reused).
+    rows: Vec<Vec<(usize, f64)>>,
+    /// Per-returner home-column indices (reused per call).
+    home_cols: Vec<Option<usize>>,
+    /// Per-qubit "is returning" flags (cleared after each use).
+    flags: Vec<bool>,
 }
 
 impl TrapScratch {
@@ -180,7 +316,12 @@ impl TrapScratch {
             occupied: TrapSet::new(n),
             reserved: TrapSet::new(n),
             col_index: TrapMap::new(n),
+            seen: TrapSet::new(n),
             cands: Vec::new(),
+            ret_traps: Vec::new(),
+            rows: Vec::new(),
+            home_cols: Vec::new(),
+            flags: Vec::new(),
         }
     }
 
@@ -192,7 +333,8 @@ impl TrapScratch {
     }
 }
 
-/// Plans placement for the whole circuit.
+/// Plans placement for the whole circuit with the engine selected in
+/// `cfg.engine` (see [`crate::Placer`]).
 ///
 /// # Errors
 ///
@@ -209,8 +351,9 @@ pub fn plan_placement(
 /// [`plan_placement`] with an optional [`InitialPlacementCache`]: the SA
 /// initial placement — which depends only on the zone geometry and the
 /// circuit, never on AOD count — is computed once per (geometry, circuit,
-/// SA-config) key and shared across callers (e.g. the fig14 multi-AOD sweep
-/// arms). Results are bit-identical with and without the cache.
+/// SA-config, engine) key and shared across callers (e.g. the fig14
+/// multi-AOD sweep arms). Results are bit-identical with and without the
+/// cache.
 ///
 /// # Errors
 ///
@@ -221,12 +364,23 @@ pub fn plan_placement_cached(
     cfg: &PlacementConfig,
     cache: Option<&InitialPlacementCache>,
 ) -> Result<PlacementPlan, PlaceError> {
+    cfg.engine.placer().plan_cached(arch, staged, cfg, cache)
+}
+
+/// Shared planning loop behind both engines: `window` is `None` for the
+/// exhaustive search (whose output is bit-identity locked) and carries the
+/// [`WindowPolicy`] for the windowed search.
+pub(crate) fn plan_with_window(
+    arch: &Architecture,
+    staged: &StagedCircuit,
+    cfg: &PlacementConfig,
+    cache: Option<&InitialPlacementCache>,
+    window: Option<WindowPolicy>,
+) -> Result<PlacementPlan, PlaceError> {
     let initial = if cfg.use_sa {
         match cache {
             Some(cache) => cache.get_or_compute(arch, staged, cfg)?,
-            None => {
-                crate::initial::sa_initial_placement(arch, staged, cfg.sa_iterations, cfg.seed)?
-            }
+            None => crate::initial::sa_for_engine(arch, staged, cfg)?,
         }
     } else {
         crate::initial::trivial_initial_placement(arch, staged.num_qubits)?
@@ -249,6 +403,7 @@ pub fn plan_placement_cached(
             &stage.gates,
             next_gates,
             cfg,
+            window,
             false,
         )?;
         let (solution, used_reuse) = if cfg.reuse && !prev_gates.is_empty() {
@@ -261,6 +416,7 @@ pub fn plan_placement_cached(
                 &stage.gates,
                 next_gates,
                 cfg,
+                window,
                 true,
             )?;
             if reuse.transition_cost <= plain.transition_cost {
@@ -301,9 +457,15 @@ pub fn plan_placement_cached(
 }
 
 /// All sites within Chebyshev radius `delta` of the per-zone projection of
-/// point `p` (the δ-expanded neighborhood Ω_near of the paper).
-fn neighborhood_sites(arch: &Architecture, center: SiteId, delta: usize) -> Vec<SiteId> {
-    let mut out = Vec::new();
+/// point `p` (the δ-expanded neighborhood Ω_near of the paper), filled into
+/// the reusable `out` buffer.
+fn neighborhood_sites_into(
+    arch: &Architecture,
+    center: SiteId,
+    delta: usize,
+    out: &mut Vec<SiteId>,
+) {
+    out.clear();
     for z in 0..arch.entanglement_zones().len() {
         let (rows, cols) = arch.site_grid(z);
         if z == center.zone {
@@ -327,7 +489,6 @@ fn neighborhood_sites(arch: &Architecture, center: SiteId, delta: usize) -> Vec<
             }
         }
     }
-    out
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -340,24 +501,41 @@ fn solve_stage(
     gates: &[Gate2],
     next_gates: Option<&[Gate2]>,
     cfg: &PlacementConfig,
+    window: Option<WindowPolicy>,
     use_reuse: bool,
 ) -> Result<StageSolution, PlaceError> {
     // Split borrows: the memo tables are read-only while the solver scratch
     // is mutated.
-    let StageWorkspace { geom, assign: assign_ws, cost: cost_buf, traps: trap_scratch } = ws;
+    let StageWorkspace { geom, assign: assign_ws, cost: cost_buf, traps: trap_scratch, stage } = ws;
+    let StageScratch {
+        site_offsets,
+        site_grid_cols,
+        related,
+        related_this,
+        adj,
+        site_cols,
+        sites,
+        per_gate,
+        centers,
+        neigh,
+        pinned_site,
+        pinned_touched,
+    } = stage;
+    let site_flat = |s: SiteId| site_offsets[s.zone] + s.row * site_grid_cols[s.zone] + s.col;
+    for &f in pinned_touched.iter() {
+        pinned_site[f] = false;
+    }
+    pinned_touched.clear();
     let n = current.len();
 
     // Related qubit in the next stage (for lookahead and Eq. 3).
-    let related: HashMap<usize, usize> = next_gates
-        .map(|ng| {
-            let mut m = HashMap::new();
-            for g in ng {
-                m.insert(g.a, g.b);
-                m.insert(g.b, g.a);
-            }
-            m
-        })
-        .unwrap_or_default();
+    related.reset(n);
+    if let Some(ng) = next_gates {
+        for g in ng {
+            related.insert(g.a, g.b);
+            related.insert(g.b, g.a);
+        }
+    }
 
     // Without reuse, the paper's pipeline returns *every* zone resident to
     // storage before placing this stage's gates (the non-reuse round trip).
@@ -369,14 +547,11 @@ fn solve_stage(
         } else {
             let mut snapshot = current.to_vec();
             if cfg.dynamic {
-                let this_stage_related: HashMap<usize, usize> = {
-                    let mut m = HashMap::new();
-                    for g in gates {
-                        m.insert(g.a, g.b);
-                        m.insert(g.b, g.a);
-                    }
-                    m
-                };
+                related_this.reset(n);
+                for g in gates {
+                    related_this.insert(g.a, g.b);
+                    related_this.insert(g.b, g.a);
+                }
                 place_returns(
                     arch,
                     geom,
@@ -387,8 +562,9 @@ fn solve_stage(
                     current,
                     home,
                     &residents,
-                    &this_stage_related,
+                    related_this,
                     cfg,
+                    window,
                 )?;
             } else {
                 for &q in &residents {
@@ -411,18 +587,20 @@ fn solve_stage(
     let mut pinned: Vec<Option<SiteId>> = vec![None; gates.len()];
     let mut reused_qubits_of: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
     if use_reuse && !prev_gates.is_empty() {
-        let adj: Vec<Vec<usize>> = prev_gates
-            .iter()
-            .map(|(pg, _)| {
+        if adj.len() < prev_gates.len() {
+            adj.resize_with(prev_gates.len(), Vec::new);
+        }
+        for ((pg, _), row) in prev_gates.iter().zip(adj.iter_mut()) {
+            row.clear();
+            row.extend(
                 gates
                     .iter()
                     .enumerate()
                     .filter(|(_, g)| g.touches(pg.a) || g.touches(pg.b))
-                    .map(|(i, _)| i)
-                    .collect()
-            })
-            .collect();
-        let matching = max_bipartite_matching(&adj, gates.len());
+                    .map(|(i, _)| i),
+            );
+        }
+        let matching = max_bipartite_matching(&adj[..prev_gates.len()], gates.len());
         for (pi, m) in matching.iter().enumerate() {
             if let Some(gi) = m {
                 let (pg, site) = &prev_gates[pi];
@@ -440,7 +618,11 @@ fn solve_stage(
 
     // ---- 2. gate placement for unpinned gates --------------------------
     let unpinned: Vec<usize> = (0..gates.len()).filter(|&i| pinned[i].is_none()).collect();
-    let pinned_sites: HashSet<SiteId> = pinned.iter().filter_map(|s| *s).collect();
+    for s in pinned.iter().filter_map(|s| *s) {
+        let f = site_flat(s);
+        pinned_site[f] = true;
+        pinned_touched.push(f);
+    }
     let total_sites = arch.num_sites();
     if gates.len() > total_sites {
         return Err(PlaceError::TooManyGates { gates: gates.len(), sites: total_sites });
@@ -448,13 +630,11 @@ fn solve_stage(
 
     let mut assignment: Vec<Option<SiteId>> = pinned.clone();
     if !unpinned.is_empty() {
-        let centers: Vec<SiteId> = unpinned
-            .iter()
-            .map(|&gi| {
-                let g = &gates[gi];
-                nearest_gate_site(geom, pos(g.a), pos(g.b))
-            })
-            .collect();
+        centers.clear();
+        centers.extend(unpinned.iter().map(|&gi| {
+            let g = &gates[gi];
+            nearest_gate_site(geom, pos(g.a), pos(g.b))
+        }));
         let max_dim = arch
             .entanglement_zones()
             .iter()
@@ -465,31 +645,45 @@ fn solve_stage(
             })
             .max()
             .unwrap_or(1);
-        let mut delta = cfg.window_expansion.max(1);
+        let mut delta = match window {
+            None => cfg.window_expansion.max(1),
+            Some(w) => w.min_width.max(1),
+        };
+        if per_gate.len() < unpinned.len() {
+            per_gate.resize_with(unpinned.len(), Vec::new);
+        }
         loop {
-            // Collect the candidate-site union.
-            let mut site_index: HashMap<SiteId, usize> = HashMap::new();
-            let mut sites: Vec<SiteId> = Vec::new();
-            let mut per_gate: Vec<Vec<usize>> = Vec::with_capacity(unpinned.len());
-            for center in &centers {
-                let cand = neighborhood_sites(arch, *center, delta);
-                let mut cols = Vec::new();
-                for s in cand {
-                    if pinned_sites.contains(&s) {
+            // Collect the candidate-site union (dense site → column map,
+            // reset by walking the previous attempt's column list).
+            for &s in sites.iter() {
+                site_cols[site_flat(s)] = usize::MAX;
+            }
+            sites.clear();
+            for (row, center) in centers.iter().enumerate() {
+                neighborhood_sites_into(arch, *center, delta, neigh);
+                let cols = &mut per_gate[row];
+                cols.clear();
+                for &s in neigh.iter() {
+                    let f = site_flat(s);
+                    if pinned_site[f] {
                         continue;
                     }
-                    let idx = *site_index.entry(s).or_insert_with(|| {
+                    let idx = if site_cols[f] != usize::MAX {
+                        site_cols[f]
+                    } else {
+                        site_cols[f] = sites.len();
                         sites.push(s);
                         sites.len() - 1
-                    });
+                    };
                     cols.push(idx);
                 }
-                per_gate.push(cols);
             }
             if sites.len() >= unpinned.len() {
                 cost_buf.reset(unpinned.len(), sites.len(), f64::INFINITY);
+                let mut lower_bound = 0.0;
                 for (row, &gi) in unpinned.iter().enumerate() {
                     let g = &gates[gi];
+                    let mut row_min = f64::INFINITY;
                     for &col in &per_gate[row] {
                         let site = sites[col];
                         let mut c = gate_cost(geom, pos(g.a), pos(g.b), site);
@@ -497,22 +691,33 @@ fn solve_stage(
                         // g'(q, q'') next stage, add the cost of moving q''
                         // to this site.
                         for q in [g.a, g.b] {
-                            if let Some(&q2) = related.get(&q) {
+                            if let Some(q2) = related.get(q) {
                                 if !gates[gi].touches(q2) {
                                     c += qubit_to_site_cost(geom, pos(q2), site);
                                     break;
                                 }
                             }
                         }
+                        row_min = row_min.min(c);
                         cost_buf.set(row, col, c);
+                    }
+                    if row_min.is_finite() {
+                        lower_bound += row_min;
                     }
                 }
                 match assign_ws.solve(cost_buf) {
-                    Ok(_) => {
-                        for (row, &gi) in unpinned.iter().enumerate() {
-                            assignment[gi] = Some(sites[assign_ws.assignment()[row]]);
+                    Ok(total) => {
+                        // Windowed engine: re-solve with a wider window when
+                        // conflicts pushed the matching past the quality
+                        // guard (unless the window already covers the grid).
+                        let grow = delta <= max_dim
+                            && window.is_some_and(|w| w.violates_guard(total, lower_bound));
+                        if !grow {
+                            for (row, &gi) in unpinned.iter().enumerate() {
+                                assignment[gi] = Some(sites[assign_ws.assignment()[row]]);
+                            }
+                            break;
                         }
-                        break;
                     }
                     Err(AssignmentError::Infeasible | AssignmentError::MoreRowsThanColumns) => {}
                     Err(e) => return Err(PlaceError::Invalid(format!("gate matching: {e}"))),
@@ -588,8 +793,9 @@ fn solve_stage(
                 &working,
                 home,
                 &returning,
-                &related,
+                related,
                 cfg,
+                window,
             )?;
         } else {
             for &q in &returning {
@@ -618,9 +824,19 @@ fn solve_stage(
     Ok(StageSolution { gate_sites, pre_returns, during, transition_cost, reused_qubits })
 }
 
+/// Matchings smaller than this stay exhaustive even under the windowed
+/// engine: a tiny matching is cheap to solve anyway, and it is the most
+/// window-sensitive case — with one or two movers the best trap often lies
+/// just outside a small window, and the in-window lower bound cannot see it,
+/// so the quality guard never fires.
+const WINDOW_MIN_MOVERS: usize = 4;
+
 /// Eq. 3: assign returning qubits to candidate storage traps by min-weight
 /// full matching (solved in the shared workspace, allocation-free in steady
-/// state).
+/// state). Under a [`WindowPolicy`] (and at least [`WINDOW_MIN_MOVERS`]
+/// returners) the candidate pool is the union of rectangular windows around
+/// each qubit's anchor traps, regrown (×2) and re-solved only when the
+/// matching is infeasible or breaches the quality guard.
 #[allow(clippy::too_many_arguments)]
 fn place_returns(
     arch: &Architecture,
@@ -632,84 +848,173 @@ fn place_returns(
     current: &[Loc],
     home: &[Loc],
     returning: &[usize],
-    related: &HashMap<usize, usize>,
+    related: &RelatedMap,
     cfg: &PlacementConfig,
+    window: Option<WindowPolicy>,
 ) -> Result<(), PlaceError> {
     let n = during.len();
     scratch.next_generation();
-    let mut is_returning = vec![false; n];
+    if scratch.flags.len() < n {
+        scratch.flags.resize(n, false);
+    }
     for &q in returning {
-        is_returning[q] = true;
+        scratch.flags[q] = true;
     }
     // Storage occupancy after gate fetches: qubits whose `during` is storage.
-    for q in 0..n {
-        if !is_returning[q] && during[q].is_storage() {
-            let idx = scratch.index.flat(during[q]);
+    for (q, &loc) in during.iter().enumerate() {
+        if !scratch.flags[q] && loc.is_storage() {
+            let idx = scratch.index.flat(loc);
             scratch.occupied.insert(idx);
         }
     }
     // Homes of qubits staying in the zone stay reserved; homes of returning
     // qubits are private to their owner.
     for q in 0..n {
-        if during[q].is_site() || is_returning[q] {
+        if during[q].is_site() || scratch.flags[q] {
             let idx = scratch.index.flat(home[q]);
             scratch.reserved.insert(idx);
         }
     }
-
-    // Collect candidates per qubit.
-    let mut traps: Vec<Loc> = Vec::new();
-    let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(returning.len());
-    let mut home_cols: Vec<Option<usize>> = Vec::with_capacity(returning.len());
     for &q in returning {
+        scratch.flags[q] = false;
+    }
+
+    // Single-returner fast path: a 1×C matching is an argmin scan. The JV
+    // solver scans the columns in order and moves to a later column on cost
+    // ties (its tie-break favors unmatched columns), so `<=` reproduces its
+    // choice exactly — bit-identical to solving the 1×C matrix.
+    if let [q] = *returning {
         let q_pos = geom.position(current[q]);
-        let related_pos = related.get(&q).map(|&q2| geom.position(current[q2]));
+        let related_pos = related.get(q).map(|q2| geom.position(current[q2]));
         return_candidates(arch, geom, scratch, q_pos, related_pos, home[q], cfg.neighbor_k);
-        let mut row = Vec::with_capacity(scratch.cands.len());
+        let mut best = f64::INFINITY;
+        let mut best_trap = None;
         for &trap in &scratch.cands {
-            let flat = scratch.index.flat(trap);
-            let idx = match scratch.col_index.get(flat) {
-                Some(idx) => idx,
-                None => {
-                    scratch.col_index.set(flat, traps.len());
-                    traps.push(trap);
-                    traps.len() - 1
-                }
-            };
             let trap_pos = geom.position(trap);
             let mut c = trap_pos.distance(q_pos).sqrt();
             if let Some(rp) = related_pos {
                 c += cfg.lookahead_alpha * trap_pos.distance(rp).sqrt();
             }
-            row.push((idx, c));
+            if c <= best {
+                best = c;
+                best_trap = Some(trap);
+            }
         }
-        rows.push(row);
-        let hf = scratch.index.flat(home[q]);
-        home_cols.push(scratch.col_index.get(hf));
+        during[q] = best_trap.expect("own home is always a finite-cost candidate");
+        return Ok(());
     }
 
-    cost_buf.reset(returning.len(), traps.len(), f64::INFINITY);
-    for (r, row) in rows.iter().enumerate() {
-        for &(c, v) in row {
-            cost_buf.set(r, c, v);
-        }
+    // A window this wide covers every storage zone from any anchor, so the
+    // growth loop below always terminates in the exhaustive regime.
+    let full_width = (0..arch.storage_zones().len())
+        .map(|z| {
+            let (rows, cols) = arch.storage_grid(z);
+            rows.max(cols)
+        })
+        .max()
+        .unwrap_or(1);
+    let window = window.filter(|_| returning.len() >= WINDOW_MIN_MOVERS);
+    let mut width = window.map(|w| w.min_width.max(1));
+
+    if scratch.rows.len() < returning.len() {
+        scratch.rows.resize_with(returning.len(), Vec::new);
     }
-    // Private homes: forbid other qubits from taking a returner's home.
-    for (r, _) in returning.iter().enumerate() {
-        if let Some(ci) = home_cols[r] {
-            for r2 in 0..returning.len() {
-                if r2 != r {
-                    cost_buf.set(r2, ci, f64::INFINITY);
+    loop {
+        // Collect candidates per qubit (fresh per attempt: a wider window
+        // re-derives the dense column numbering from scratch).
+        scratch.col_index.clear();
+        scratch.ret_traps.clear();
+        scratch.home_cols.clear();
+        let mut lower_bound = 0.0;
+        for (r, &q) in returning.iter().enumerate() {
+            let q_pos = geom.position(current[q]);
+            let related_pos = related.get(q).map(|q2| geom.position(current[q2]));
+            match (window, width) {
+                (Some(w), Some(half_rows)) => {
+                    let (hr, hc) = w.half_extent(half_rows);
+                    windowed_return_candidates(
+                        arch,
+                        geom,
+                        scratch,
+                        q_pos,
+                        related_pos,
+                        home[q],
+                        hr,
+                        hc,
+                    )
+                }
+                _ => return_candidates(
+                    arch,
+                    geom,
+                    scratch,
+                    q_pos,
+                    related_pos,
+                    home[q],
+                    cfg.neighbor_k,
+                ),
+            }
+            let row = &mut scratch.rows[r];
+            row.clear();
+            let mut row_min = f64::INFINITY;
+            for &trap in &scratch.cands {
+                let flat = scratch.index.flat(trap);
+                let idx = match scratch.col_index.get(flat) {
+                    Some(idx) => idx,
+                    None => {
+                        scratch.col_index.set(flat, scratch.ret_traps.len());
+                        scratch.ret_traps.push(trap);
+                        scratch.ret_traps.len() - 1
+                    }
+                };
+                let trap_pos = geom.position(trap);
+                let mut c = trap_pos.distance(q_pos).sqrt();
+                if let Some(rp) = related_pos {
+                    c += cfg.lookahead_alpha * trap_pos.distance(rp).sqrt();
+                }
+                row_min = row_min.min(c);
+                row.push((idx, c));
+            }
+            if row_min.is_finite() {
+                lower_bound += row_min;
+            }
+            let hf = scratch.index.flat(home[q]);
+            scratch.home_cols.push(scratch.col_index.get(hf));
+        }
+
+        cost_buf.reset(returning.len(), scratch.ret_traps.len(), f64::INFINITY);
+        for (r, row) in scratch.rows[..returning.len()].iter().enumerate() {
+            for &(c, v) in row {
+                cost_buf.set(r, c, v);
+            }
+        }
+        // Private homes: forbid other qubits from taking a returner's home.
+        for (r, _) in returning.iter().enumerate() {
+            if let Some(ci) = scratch.home_cols[r] {
+                for r2 in 0..returning.len() {
+                    if r2 != r {
+                        cost_buf.set(r2, ci, f64::INFINITY);
+                    }
                 }
             }
         }
-    }
 
-    assign_ws.solve(cost_buf).map_err(|e| PlaceError::Invalid(format!("return matching: {e}")))?;
-    for (r, &q) in returning.iter().enumerate() {
-        during[q] = traps[assign_ws.assignment()[r]];
+        let can_grow = width.is_some_and(|w| w < full_width);
+        match assign_ws.solve(cost_buf) {
+            Ok(total) => {
+                let grow = can_grow && window.is_some_and(|w| w.violates_guard(total, lower_bound));
+                if !grow {
+                    for (r, &q) in returning.iter().enumerate() {
+                        during[q] = scratch.ret_traps[assign_ws.assignment()[r]];
+                    }
+                    return Ok(());
+                }
+            }
+            Err(AssignmentError::Infeasible | AssignmentError::MoreRowsThanColumns) if can_grow => {
+            }
+            Err(e) => return Err(PlaceError::Invalid(format!("return matching: {e}"))),
+        }
+        width = width.map(|w| (w * 2).min(full_width));
     }
-    Ok(())
 }
 
 /// Candidate storage traps for a returning qubit (paper Sec. V-B.3): the
@@ -782,17 +1087,75 @@ fn return_candidates(
     if !scratch.cands.contains(&home) {
         scratch.cands.push(home);
     }
-    // Cap the candidate set, keeping the nearest traps (home always kept).
-    const CAP: usize = 400;
-    if scratch.cands.len() > CAP {
-        scratch.cands.sort_by(|a, b| {
+    cap_candidates(geom, &mut scratch.cands, q_pos, home);
+}
+
+/// Caps a candidate set to the [`CANDIDATE_CAP`] traps nearest `q_pos`
+/// (the qubit's home always kept).
+const CANDIDATE_CAP: usize = 400;
+fn cap_candidates(geom: &GeomCache, cands: &mut Vec<Loc>, q_pos: Point, home: Loc) {
+    if cands.len() > CANDIDATE_CAP {
+        cands.sort_by(|a, b| {
             geom.position(*a).distance(q_pos).total_cmp(&geom.position(*b).distance(q_pos))
         });
-        scratch.cands.truncate(CAP);
-        if !scratch.cands.contains(&home) {
-            scratch.cands.push(home);
+        cands.truncate(CANDIDATE_CAP);
+        if !cands.contains(&home) {
+            cands.push(home);
         }
     }
+}
+
+/// Windowed-engine replacement for [`return_candidates`]: instead of the
+/// full bounding box over the anchors (which can span most of the storage
+/// grid when a qubit's home lies far from its current position), each anchor
+/// — the home trap, the nearest trap to the qubit, and the nearest trap to
+/// its related next-stage partner — contributes only the traps within a
+/// `half_rows × half_cols` rectangle (wide and flat under the default
+/// aspect, matching the cheap same-row direction of the movement model).
+/// Overlapping windows are deduplicated through the generation-stamped
+/// `seen` table; the same free/reserved filtering and private-home rule
+/// apply as in the exhaustive path.
+#[allow(clippy::too_many_arguments)]
+fn windowed_return_candidates(
+    arch: &Architecture,
+    geom: &GeomCache,
+    scratch: &mut TrapScratch,
+    q_pos: Point,
+    related_pos: Option<Point>,
+    home: Loc,
+    half_rows: usize,
+    half_cols: usize,
+) {
+    scratch.cands.clear();
+    scratch.seen.clear();
+    let anchors = [
+        Some(home),
+        Some(geom.nearest_storage_trap(q_pos)),
+        related_pos.map(|rp| geom.nearest_storage_trap(rp)),
+    ];
+    for anchor in anchors.into_iter().flatten() {
+        let Loc::Storage { zone, row, col } = anchor else { continue };
+        let (rows, cols) = arch.storage_grid(zone);
+        let r0 = row.saturating_sub(half_rows);
+        let r1 = (row + half_rows).min(rows - 1);
+        let c0 = col.saturating_sub(half_cols);
+        let c1 = (col + half_cols).min(cols - 1);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                let trap = Loc::Storage { zone, row: r, col: c };
+                let flat = scratch.index.flat(trap);
+                if scratch.seen.contains(flat) {
+                    continue;
+                }
+                scratch.seen.insert(flat);
+                let free = !scratch.occupied.contains(flat) && !scratch.reserved.contains(flat);
+                if trap == home || free {
+                    scratch.cands.push(trap);
+                }
+            }
+        }
+    }
+    cap_candidates(geom, &mut scratch.cands, q_pos, home);
 }
 
 #[cfg(test)]
@@ -814,6 +1177,7 @@ mod tests {
             window_expansion: 2,
             neighbor_k: 1,
             lookahead_alpha: 0.1,
+            engine: crate::PlacementEngine::Exhaustive,
         }
     }
 

@@ -24,9 +24,13 @@ use zac_circuit::{Gate2, StagedCircuit};
 /// closest to a zone first, then columns left to right. This is the fill
 /// order the paper's trivial ("Vanilla") placement uses.
 pub fn storage_traps_by_proximity(arch: &Architecture) -> Vec<Loc> {
-    let mut traps: Vec<(f64, Loc)> = Vec::new();
+    // The sort key (row-to-zone distance, then Loc order) is constant along
+    // a row, so sorting whole rows and emitting their columns in order gives
+    // the same trap sequence as sorting every trap individually — at a tiny
+    // fraction of the comparisons (this runs inside every SA call).
+    let mut row_keys: Vec<(f64, usize, usize)> = Vec::new();
     for (z, _zone) in arch.storage_zones().iter().enumerate() {
-        let (rows, cols) = arch.storage_grid(z);
+        let (rows, _cols) = arch.storage_grid(z);
         for row in 0..rows {
             // Distance from this row to the nearest entanglement zone, taken
             // at the row's left edge (x plays no role row-to-row).
@@ -45,13 +49,18 @@ pub fn storage_traps_by_proximity(arch: &Architecture) -> Vec<Loc> {
                         .fold(f64::INFINITY, f64::min)
                 })
                 .fold(f64::INFINITY, f64::min);
-            for col in 0..cols {
-                traps.push((d, Loc::Storage { zone: z, row, col }));
-            }
+            row_keys.push((d, z, row));
         }
     }
-    traps.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-    traps.into_iter().map(|(_, l)| l).collect()
+    row_keys.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| (a.1, a.2).cmp(&(b.1, b.2))));
+    let mut traps = Vec::new();
+    for (_, z, row) in row_keys {
+        let (_, cols) = arch.storage_grid(z);
+        for col in 0..cols {
+            traps.push(Loc::Storage { zone: z, row, col });
+        }
+    }
+    traps
 }
 
 /// Row-filling over an already-ordered trap list (the shared core of
@@ -248,6 +257,63 @@ pub fn sa_initial_placement(
     iterations: usize,
     seed: u64,
 ) -> Result<Vec<Loc>, PlaceError> {
+    sa_anneal(arch, staged, iterations, seed, None)
+}
+
+/// [`sa_initial_placement`] with an early-stop guard: the anneal ends once
+/// `patience` consecutive iterations fail to improve the best placement
+/// found. The temperature schedule is unchanged (it is derived from the full
+/// `iterations` budget), and the accept/reject decision stream is identical
+/// to the full run up to the stopping point — the truncation only skips the
+/// cold tail where improvements have dried up. Used by the windowed
+/// placement engine ("search smarter"); the exhaustive engine always runs
+/// the full budget.
+///
+/// # Errors
+///
+/// [`PlaceError::StorageFull`] if the circuit does not fit in storage.
+pub fn sa_initial_placement_early_stop(
+    arch: &Architecture,
+    staged: &StagedCircuit,
+    iterations: usize,
+    seed: u64,
+    patience: usize,
+) -> Result<Vec<Loc>, PlaceError> {
+    sa_anneal(arch, staged, iterations, seed, (patience > 0).then_some(patience))
+}
+
+/// The SA initial placement selected by `cfg.engine`: the exhaustive engine
+/// runs the full iteration budget; the windowed engine applies its
+/// `sa_patience` early stop. Both the direct path and
+/// [`InitialPlacementCache::get_or_compute`] route through here, so cached
+/// and uncached compilations agree per engine (and the cache key's engine
+/// tokens keep the entries apart).
+pub(crate) fn sa_for_engine(
+    arch: &Architecture,
+    staged: &StagedCircuit,
+    cfg: &crate::PlacementConfig,
+) -> Result<Vec<Loc>, PlaceError> {
+    match &cfg.engine {
+        crate::PlacementEngine::Exhaustive => {
+            sa_initial_placement(arch, staged, cfg.sa_iterations, cfg.seed)
+        }
+        crate::PlacementEngine::Windowed(w) => sa_initial_placement_early_stop(
+            arch,
+            staged,
+            cfg.sa_iterations.min(350),
+            cfg.seed,
+            w.sa_patience,
+        ),
+    }
+}
+
+fn sa_anneal(
+    arch: &Architecture,
+    staged: &StagedCircuit,
+    iterations: usize,
+    seed: u64,
+    patience: Option<usize>,
+) -> Result<Vec<Loc>, PlaceError> {
     let n = staged.num_qubits;
     // One proximity-ordered trap scan serves both the trivial seed placement
     // and the jump-target pool.
@@ -278,8 +344,13 @@ pub fn sa_initial_placement(
     let t_end = 1e-3;
     let alpha = (t_end / t0).powf(1.0 / iterations.max(1) as f64);
     let mut temp = t0;
+    let mut since_best = 0usize;
 
     for _ in 0..iterations {
+        if patience.is_some_and(|p| since_best >= p) {
+            break;
+        }
+        since_best += 1;
         let q = rng.gen_range(0..n);
         let old_loc = placement[q];
         enum MoveKind {
@@ -325,6 +396,7 @@ pub fn sa_initial_placement(
             if cost < best_cost {
                 best_cost = cost;
                 best.clone_from(&placement);
+                since_best = 0;
             }
         } else {
             // Revert.
@@ -394,13 +466,18 @@ impl InitialPlacementCache {
         self.len() == 0
     }
 
-    /// Everything the SA output depends on: zone geometry (storage and
-    /// entanglement SLMs), the circuit fingerprint, and the SA parameters.
-    fn key(arch: &Architecture, staged: &StagedCircuit, iterations: usize, seed: u64) -> u64 {
+    /// Everything the SA output depends on — zone geometry (storage and
+    /// entanglement SLMs), the circuit fingerprint, and the SA parameters —
+    /// plus the placement-engine tokens. The SA itself is engine-independent
+    /// today, but keying on the engine keeps the cache trivially sound if an
+    /// engine ever shapes the initial placement, and guarantees two engines
+    /// never share a slot.
+    fn key(arch: &Architecture, staged: &StagedCircuit, cfg: &crate::PlacementConfig) -> u64 {
         let mut fp = zac_circuit::Fingerprint::new();
         fp.write_u64(staged.fingerprint());
-        fp.write_usize(iterations);
-        fp.write_u64(seed);
+        fp.write_usize(cfg.sa_iterations);
+        fp.write_u64(cfg.seed);
+        cfg.engine.config_tokens(&mut fp);
         for zones in [arch.storage_zones(), arch.entanglement_zones()] {
             fp.write_usize(zones.len());
             for z in zones {
@@ -437,10 +514,10 @@ impl InitialPlacementCache {
         staged: &StagedCircuit,
         cfg: &crate::PlacementConfig,
     ) -> Result<Vec<Loc>, PlaceError> {
-        let key = Self::key(arch, staged, cfg.sa_iterations, cfg.seed);
+        let key = Self::key(arch, staged, cfg);
         let slot =
             self.inner.lock().expect("placement cache poisoned").entry(key).or_default().clone();
-        slot.get_or_init(|| sa_initial_placement(arch, staged, cfg.sa_iterations, cfg.seed)).clone()
+        slot.get_or_init(|| sa_for_engine(arch, staged, cfg)).clone()
     }
 }
 
@@ -664,6 +741,38 @@ mod tests {
                 assert_eq!(fast, slow, "{} seed {seed}", staged.name);
             }
         }
+    }
+
+    /// Regression for the engine-aware cache key: configurations differing
+    /// only in the placement engine must occupy distinct cache slots (a
+    /// shared slot would let one engine's artifacts leak into the other's
+    /// compilations if an engine ever shapes the initial placement).
+    #[test]
+    fn cache_never_shares_a_slot_across_engines() {
+        use crate::{PlacementConfig, PlacementEngine, WindowedPlacer};
+        let arch = arch();
+        let staged = preprocess(&bench_circuits::ghz(8));
+        let cache = InitialPlacementCache::new();
+        let mut cfg = PlacementConfig {
+            sa_iterations: 100,
+            engine: PlacementEngine::Exhaustive,
+            ..PlacementConfig::default()
+        };
+        let exhaustive = cache.get_or_compute(&arch, &staged, &cfg).unwrap();
+        cfg.engine = PlacementEngine::windowed();
+        let windowed = cache.get_or_compute(&arch, &staged, &cfg).unwrap();
+        assert_eq!(cache.len(), 2, "two engines must never share a cache slot");
+        // The windowed engine caps and early-stops its anneal, so the cached
+        // values themselves diverge — exactly why a shared slot would be
+        // unsound.
+        assert_ne!(exhaustive, windowed, "engines anneal differently; a shared slot would leak");
+        // Same engine, different window parameters: a third slot.
+        cfg.engine = PlacementEngine::Windowed(WindowedPlacer {
+            window_min_width: 4,
+            ..WindowedPlacer::default()
+        });
+        cache.get_or_compute(&arch, &staged, &cfg).unwrap();
+        assert_eq!(cache.len(), 3, "window parameters are part of the key");
     }
 
     /// Same check on a multi-zone architecture (different geometry paths).

@@ -30,11 +30,13 @@
 
 pub mod cost;
 pub mod dynamic;
+pub mod engine;
 pub mod initial;
 
 use std::fmt;
 
 pub use dynamic::{plan_placement, plan_placement_cached, PlacementPlan, StagePlan};
+pub use engine::{ExhaustivePlacer, PlacementEngine, Placer, WindowedPlacer};
 pub use initial::{sa_initial_placement, trivial_initial_placement, InitialPlacementCache};
 
 /// Configuration of the placement pipeline; the paper's ablation settings
@@ -58,6 +60,11 @@ pub struct PlacementConfig {
     pub neighbor_k: usize,
     /// Lookahead weight α in the return cost (Eq. 3; the paper uses 0.1).
     pub lookahead_alpha: f64,
+    /// Placement engine driving the per-stage candidate search. The default
+    /// honors the `ZAC_PLACER` environment variable (see
+    /// [`PlacementEngine::from_env`]); golden-locked tests pin
+    /// [`PlacementEngine::Exhaustive`] explicitly.
+    pub engine: PlacementEngine,
 }
 
 impl Default for PlacementConfig {
@@ -71,6 +78,7 @@ impl Default for PlacementConfig {
             window_expansion: 2,
             neighbor_k: 2,
             lookahead_alpha: 0.1,
+            engine: PlacementEngine::from_env(),
         }
     }
 }

@@ -1,0 +1,120 @@
+//! Quality guarantees of the windowed placement engine.
+//!
+//! Two layers: a property test that windowed plans are *valid* placements
+//! (every invariant of [`PlacementPlan::validate`]) for arbitrary circuits
+//! and window parameters, and a suite-wide guard that the windowed engine's
+//! movement cost (paper Eq. 1) stays within the configured quality bound of
+//! the exhaustive engine on all 17 paper circuits.
+
+use proptest::prelude::*;
+use zac_arch::{Architecture, GeomCache};
+use zac_circuit::{bench_circuits, preprocess, Circuit, StagedCircuit};
+use zac_place::{plan_placement, PlacementConfig, PlacementEngine, PlacementPlan, WindowedPlacer};
+
+/// A random but valid circuit: CZs from the pair list (self pairs skipped).
+fn build_circuit(nq: usize, pairs: &[(usize, usize)]) -> Circuit {
+    let mut c = Circuit::new("prop", nq);
+    for &(a, b) in pairs {
+        let (a, b) = (a % nq, b % nq);
+        if a != b {
+            c.cz(a, b);
+        }
+    }
+    c
+}
+
+/// Mirrors `Zac::compile_staged`: stages wider than the site count split.
+fn fit(arch: &Architecture, staged: StagedCircuit) -> StagedCircuit {
+    let num_sites = arch.num_sites();
+    if staged.max_parallelism() > num_sites && num_sites > 0 {
+        staged.with_max_stage_width(num_sites)
+    } else {
+        staged
+    }
+}
+
+fn windowed_cfg(engine: WindowedPlacer, use_sa: bool, seed: u64) -> PlacementConfig {
+    PlacementConfig {
+        use_sa,
+        sa_iterations: 40,
+        seed,
+        engine: PlacementEngine::Windowed(engine),
+        ..PlacementConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every windowed plan — any circuit, any window geometry, any quality
+    /// factor, both architectures — satisfies the full placement contract:
+    /// distinct traps, gate qubits co-located at their site, no idle qubit
+    /// left in an entanglement zone.
+    #[test]
+    fn windowed_plans_always_validate(
+        nq in 2usize..40,
+        pairs in proptest::collection::vec((0usize..40, 0usize..40), 1..60),
+        min_width in 1usize..6,
+        ratio in 0.25..2.0f64,
+        quality in 1.05..2.0f64,
+        patience in 0usize..24,
+        use_sa in any::<bool>(),
+        two_zone in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let arch = if two_zone {
+            Architecture::arch2_two_zones()
+        } else {
+            Architecture::reference()
+        };
+        let engine = WindowedPlacer {
+            window_min_width: min_width,
+            window_ratio: ratio,
+            quality_factor: quality,
+            sa_patience: patience,
+        };
+        let staged = fit(&arch, preprocess(&build_circuit(nq, &pairs)));
+        let cfg = windowed_cfg(engine, use_sa, seed);
+        let plan = plan_placement(&arch, &staged, &cfg).unwrap();
+        plan.validate(&arch, &staged).unwrap();
+    }
+}
+
+/// Suite-wide quality guard: on every paper circuit the windowed engine's
+/// movement cost stays within the engine's `quality_factor` of the
+/// exhaustive cost, and in aggregate the regression is at most 2% (the
+/// acceptance bound of the engine frontier; in practice the windowed SA's
+/// different anneal makes several circuits *cheaper*).
+#[test]
+fn windowed_cost_within_guard_across_paper_suite() {
+    let arch = Architecture::reference();
+    let geom = GeomCache::new(&arch);
+    let windowed = WindowedPlacer::default();
+    let quality = windowed.quality_factor;
+    let cost = |staged: &StagedCircuit, engine: PlacementEngine| -> f64 {
+        let cfg = PlacementConfig { sa_iterations: 120, engine, ..PlacementConfig::default() };
+        let plan: PlacementPlan = plan_placement(&arch, staged, &cfg).unwrap();
+        plan.movement_cost(&geom)
+    };
+    let suite = bench_circuits::paper_suite();
+    assert_eq!(suite.len(), 17);
+    let (mut total_exh, mut total_win) = (0.0, 0.0);
+    for entry in suite {
+        let staged = fit(&arch, preprocess(&entry.circuit));
+        let exhaustive = cost(&staged, PlacementEngine::Exhaustive);
+        let win = cost(&staged, PlacementEngine::Windowed(windowed.clone()));
+        assert!(
+            win <= quality * exhaustive + 1e-9,
+            "{}: windowed cost {win:.2} breaches the {quality}x guard of exhaustive {exhaustive:.2}",
+            staged.name
+        );
+        total_exh += exhaustive;
+        total_win += win;
+    }
+    let ratio = total_win / total_exh;
+    assert!(
+        ratio <= 1.02,
+        "suite-wide movement-cost regression {:.2}% exceeds the 2% bound",
+        (ratio - 1.0) * 100.0
+    );
+}

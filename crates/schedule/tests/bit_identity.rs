@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use zac_arch::Architecture;
 use zac_circuit::{bench_circuits, preprocess, qasm::parse_qasm, StagedCircuit};
-use zac_place::{plan_placement, PlacementConfig};
+use zac_place::{plan_placement, PlacementConfig, PlacementEngine};
 use zac_schedule::{schedule, ScheduleConfig};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/schedule_digests.txt");
@@ -37,7 +37,14 @@ const SA_ITERATIONS: usize = 60;
 const FAST_QUBIT_CAP: usize = 31;
 
 fn place_cfg(seed: u64) -> PlacementConfig {
-    PlacementConfig { sa_iterations: SA_ITERATIONS, seed, ..PlacementConfig::default() }
+    // The goldens were captured from the exhaustive search; pin the engine so
+    // the matrix stays meaningful under `ZAC_PLACER=windowed` runs.
+    PlacementConfig {
+        sa_iterations: SA_ITERATIONS,
+        seed,
+        engine: PlacementEngine::Exhaustive,
+        ..PlacementConfig::default()
+    }
 }
 
 fn archs() -> Vec<Architecture> {

@@ -57,6 +57,9 @@ pub mod prelude {
         ZacOutput,
     };
     pub use zac_fidelity::{FidelityReport, NeutralAtomParams};
+    pub use zac_place::{
+        ExhaustivePlacer, PlacementConfig, PlacementEngine, Placer, WindowedPlacer,
+    };
     pub use zac_schedule::ScheduleWorkspace;
     pub use zac_zair::Program;
 }
