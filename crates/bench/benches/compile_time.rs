@@ -20,10 +20,18 @@
 //!   exhaustive pipeline *and* a `Zoned-ZAC-windowed` arm, and emits a
 //!   quality/speed `frontier` block into the JSON: per-circuit compile-time
 //!   speedup, fidelity delta, and placement movement-cost ratio.
+//! * `ZAC_TELEMETRY=1` — records the sweep through `zac-telemetry`: the JSON
+//!   gains a `metrics` block (one counter/histogram snapshot per circuit,
+//!   attributed via `BatchRunner::run_with_metrics`) and the span tree is
+//!   exported as a Chrome-trace file.
+//! * `ZAC_TRACE_OUT=<path>` — overrides the Chrome-trace output path
+//!   (default `BENCH_compile_time.trace.json` at the workspace root).
 
 use serde::Value;
 use zac_arch::{Architecture, GeomCache};
-use zac_bench::{default_compilers, geomean, print_header, BatchRunner, ComparisonRow};
+use zac_bench::{
+    default_compilers, geomean, print_header, BatchRunner, CircuitMetrics, ComparisonRow,
+};
 use zac_circuit::{bench_circuits, preprocess, StagedCircuit};
 use zac_core::{Compiler, Labeled, Zac, ZacConfig};
 use zac_place::{plan_placement, PlacementEngine};
@@ -90,9 +98,41 @@ fn main() {
 
     let suite = build_suite(smoke);
     let compilers = build_compilers(smoke, axis);
-    let rows = BatchRunner::serial().run(&compilers, &suite);
+    // With telemetry on, `run_with_metrics` snapshots the registry around
+    // each circuit so counters are attributed per circuit; the plain path
+    // stays byte-for-byte what it was when telemetry is off.
+    let telemetry = zac_telemetry::enabled();
+    let (rows, metrics) = if telemetry {
+        let (rows, metrics) = BatchRunner::serial().run_with_metrics(&compilers, &suite);
+        (rows, Some(metrics))
+    } else {
+        (BatchRunner::serial().run(&compilers, &suite), None)
+    };
 
-    report(&rows, &compilers, &suite, smoke);
+    report(&rows, &compilers, &suite, smoke, metrics.as_deref());
+    if telemetry {
+        write_chrome_trace();
+    }
+}
+
+/// Drains the recorded spans and writes them as a Chrome-trace-format file
+/// (loadable in `chrome://tracing` or Perfetto). Sanity-checks that the
+/// pipeline phase spans actually made it into the tree so CI fails loudly
+/// if instrumentation regresses.
+fn write_chrome_trace() {
+    let spans = zac_telemetry::take_spans();
+    for phase in ["core.compile", "core.place", "core.schedule"] {
+        assert!(
+            spans.iter().any(|s| s.name == phase),
+            "telemetry enabled but no '{phase}' span was recorded"
+        );
+    }
+    let path = std::env::var("ZAC_TRACE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile_time.trace.json").to_owned()
+    });
+    std::fs::write(&path, zac_telemetry::chrome_trace_json(&spans))
+        .expect("write Chrome-trace JSON");
+    println!("wrote {path} ({} spans)", spans.len());
 }
 
 /// The 17-circuit paper suite plus the bundled corpus; smoke mode keeps one
@@ -168,6 +208,7 @@ fn report(
     compilers: &[Box<dyn Compiler>],
     suite: &[StagedCircuit],
     smoke: bool,
+    metrics: Option<&[CircuitMetrics]>,
 ) {
     println!(
         "{:<26}{:>8}{:>14}{:>16}{:>18}{:>12}{:>12}",
@@ -272,6 +313,9 @@ fn report(
     if let Some(frontier) = frontier_block(rows, suite, smoke) {
         doc_fields.push(("frontier".into(), frontier));
     }
+    if let Some(per) = metrics {
+        doc_fields.push(("metrics".into(), metrics_block(per)));
+    }
     let doc = Value::Object(doc_fields);
 
     let out_path = std::env::var("ZAC_BENCH_OUT").unwrap_or_else(|_| {
@@ -290,6 +334,46 @@ fn report(
             None => eprintln!("warning: could not read baseline {baseline_path}"),
         }
     }
+}
+
+/// The per-circuit telemetry block: one `zac-telemetry` snapshot delta per
+/// circuit (counters accumulated across every compiler arm that swept it)
+/// plus a whole-run total. Each snapshot is validated before it is embedded
+/// so the CI assertion on the emitted JSON cannot silently pass on an empty
+/// block.
+fn metrics_block(per: &[CircuitMetrics]) -> Value {
+    let mut per_circuit = Vec::with_capacity(per.len());
+    for cm in per {
+        // Every circuit is swept by at least one ZAC arm, so the pipeline
+        // counters must be non-zero; a zero here means instrumentation or
+        // attribution broke.
+        assert!(
+            cm.metrics.counter("core.pipeline.compiles") >= 1,
+            "no core.pipeline.compiles recorded for {}",
+            cm.circuit
+        );
+        for prefix in ["place.", "schedule."] {
+            assert!(
+                cm.metrics.counter_sum_with_prefix(prefix) > 0,
+                "no {prefix} counters recorded for {}",
+                cm.circuit
+            );
+        }
+        let snapshot = serde_json::from_str::<Value>(&cm.metrics.to_json())
+            .expect("telemetry snapshot is valid JSON");
+        assert!(snapshot.get("counters").is_some(), "snapshot missing 'counters'");
+        per_circuit.push(Value::Object(vec![
+            ("circuit".into(), Value::String(cm.circuit.clone())),
+            ("snapshot".into(), snapshot),
+        ]));
+    }
+    let totals =
+        serde_json::from_str::<Value>(&zac_telemetry::MetricsSnapshot::capture().to_json())
+            .expect("telemetry snapshot is valid JSON");
+    Value::Object(vec![
+        ("per_circuit".into(), Value::Array(per_circuit)),
+        ("totals".into(), totals),
+    ])
 }
 
 /// Placement movement cost (paper Eq. 1) of one circuit under one engine,

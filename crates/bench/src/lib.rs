@@ -21,6 +21,7 @@ use zac_cache::{CacheKey, CompileCache};
 use zac_circuit::{bench_circuits, preprocess, StagedCircuit};
 use zac_core::{CompileError, CompileOutput, Compiler, GateCounts, Zac, ZacConfig};
 use zac_fidelity::FidelityReport;
+use zac_telemetry::MetricsSnapshot;
 
 /// One compiler's results on one circuit.
 #[derive(Debug, Clone)]
@@ -354,6 +355,45 @@ impl BatchRunner {
         }
         rows
     }
+
+    /// [`run`](BatchRunner::run) with per-circuit telemetry attribution:
+    /// sweeps circuit by circuit (cells within a circuit still follow the
+    /// runner's [`BatchMode`]) and captures the process-global metrics
+    /// registry delta across each circuit's cells.
+    ///
+    /// Rows are identical to [`run`](BatchRunner::run) — telemetry only
+    /// observes. Attribution relies on the registry deltas, so enable
+    /// recording first ([`zac_telemetry::set_enabled`] or `ZAC_TELEMETRY=1`)
+    /// and keep other compilation work off the process while sweeping;
+    /// with recording disabled every delta is zero.
+    pub fn run_with_metrics(
+        &self,
+        compilers: &[Box<dyn Compiler>],
+        suite: &[StagedCircuit],
+    ) -> (Vec<ComparisonRow>, Vec<CircuitMetrics>) {
+        let mut rows = Vec::with_capacity(suite.len());
+        let mut metrics = Vec::with_capacity(suite.len());
+        for staged in suite {
+            let before = MetricsSnapshot::capture();
+            rows.extend(self.run(compilers, std::slice::from_ref(staged)));
+            let after = MetricsSnapshot::capture();
+            metrics.push(CircuitMetrics {
+                circuit: staged.name.clone(),
+                metrics: after.delta_since(&before),
+            });
+        }
+        (rows, metrics)
+    }
+}
+
+/// The telemetry delta attributed to one circuit's sweep cells by
+/// [`BatchRunner::run_with_metrics`].
+#[derive(Debug, Clone)]
+pub struct CircuitMetrics {
+    /// Circuit name (paper naming, e.g. `bv_n14`).
+    pub circuit: String,
+    /// Counter/histogram increases recorded while this circuit's cells ran.
+    pub metrics: MetricsSnapshot,
 }
 
 /// The paper's 17-circuit evaluation suite, preprocessed — the default
@@ -652,6 +692,48 @@ mod tests {
         let after_warm: usize =
             counters.iter().map(|c| c.load(std::sync::atomic::Ordering::Relaxed)).sum();
         assert_eq!(after_warm, after_cold, "warm sweep performs zero compile() calls");
+    }
+
+    /// `run_with_metrics` returns the same rows as `run` (telemetry only
+    /// observes) and, with the recorder on, attributes nonzero core, place,
+    /// and schedule counters to every circuit of the sweep.
+    #[test]
+    fn run_with_metrics_attributes_counters_per_circuit() {
+        let suite = small_suite();
+        let compilers = default_compilers();
+        let plain = BatchRunner::serial().run(&compilers, &suite);
+
+        zac_telemetry::set_enabled(true);
+        let (rows, metrics) = BatchRunner::serial().run_with_metrics(&compilers, &suite);
+        zac_telemetry::set_enabled(false);
+
+        assert_eq!(rows.len(), plain.len());
+        for (r, p) in rows.iter().zip(&plain) {
+            assert_eq!(r.name, p.name);
+            assert_eq!(r.results.len(), p.results.len(), "{}", r.name);
+            for (rr, pr) in r.results.iter().zip(&p.results) {
+                assert_eq!(rr.report, pr.report, "{} / {}", r.name, rr.compiler);
+                assert_eq!(rr.counts, pr.counts, "{} / {}", r.name, rr.compiler);
+            }
+        }
+
+        assert_eq!(metrics.len(), suite.len());
+        for m in &metrics {
+            // ≥, not ==: other tests in this binary may compile concurrently
+            // while the recorder is on, inflating a delta.
+            assert!(
+                m.metrics.counter("core.pipeline.compiles") >= 1,
+                "{}: ZAC compiles through the instrumented pipeline",
+                m.circuit
+            );
+            for prefix in ["place.", "schedule."] {
+                assert!(
+                    m.metrics.counter_sum_with_prefix(prefix) > 0,
+                    "{}: no {prefix} activity recorded",
+                    m.circuit
+                );
+            }
+        }
     }
 
     /// The cache composes across differently-shaped sweeps: a serial rerun

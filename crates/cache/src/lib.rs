@@ -61,6 +61,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use zac_circuit::StagedCircuit;
 use zac_core::{CompileError, CompileOutput, Compiler};
+use zac_telemetry::metrics;
 
 pub use zac_circuit::Fingerprint;
 
@@ -204,19 +205,23 @@ impl CompileCache {
         let c = &self.inner.counters;
         if let Some(mut out) = self.inner.lru.get(key) {
             c.hits.fetch_add(1, Ordering::Relaxed);
+            metrics::CACHE_HITS.incr();
             out.from_cache = true;
             return Some(out);
         }
         if let Some(disk) = &self.inner.disk {
             if let Some(mut out) = disk.load(key) {
                 c.disk_hits.fetch_add(1, Ordering::Relaxed);
+                metrics::CACHE_DISK_HITS.incr();
                 let evicted = self.inner.lru.insert(key, out.clone());
                 c.evictions.fetch_add(evicted, Ordering::Relaxed);
+                metrics::CACHE_EVICTIONS.add(evicted);
                 out.from_cache = true;
                 return Some(out);
             }
         }
         c.misses.fetch_add(1, Ordering::Relaxed);
+        metrics::CACHE_MISSES.incr();
         None
     }
 
@@ -236,6 +241,8 @@ impl CompileCache {
         let evicted = self.inner.lru.insert(key, pristine);
         c.evictions.fetch_add(evicted, Ordering::Relaxed);
         c.insertions.fetch_add(1, Ordering::Relaxed);
+        metrics::CACHE_EVICTIONS.add(evicted);
+        metrics::CACHE_INSERTIONS.incr();
     }
 
     /// Whether a disk layer is configured.
@@ -520,5 +527,69 @@ mod tests {
     fn key_file_stem_is_stable_hex() {
         let key = CacheKey { circuit: 0xABC, compiler: 0x1 };
         assert_eq!(key.file_stem(), "0000000000000abc-0000000000000001");
+    }
+
+    /// Regression (PR 7): warm rows must report the place/schedule phase
+    /// split — a memory hit may not drop `PhaseTimings`.
+    #[test]
+    fn memory_hit_preserves_phase_timings() {
+        let cache = CompileCache::in_memory(64);
+        let zac = CachedCompiler::new(quick_zac(), cache);
+        let staged = preprocess(&bench_circuits::ghz(10));
+        let cold = zac.compile(&staged).unwrap();
+        let phases = cold.phases.expect("a Zac compile reports phase timings");
+        let warm = zac.compile(&staged).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.phases, Some(phases), "memory hit kept the phase split");
+    }
+
+    /// Regression (PR 7): the phase split survives the disk envelope too
+    /// (persisted via `opt_fields`, restored on load), so a fresh process
+    /// warming from disk still reports phases.
+    #[test]
+    fn disk_hit_preserves_phase_timings() {
+        let dir = temp_cache_dir("phase-roundtrip");
+        let staged = preprocess(&bench_circuits::ghz(9));
+        let phases;
+        {
+            let cache = CompileCache::with_disk(32, &dir).unwrap();
+            let zac = CachedCompiler::new(quick_zac(), cache);
+            phases = zac.compile(&staged).unwrap().phases.expect("phases on the cold compile");
+        }
+        let cache = CompileCache::with_disk(32, &dir).unwrap();
+        let zac = CachedCompiler::new(Counting::new(quick_zac()), cache.clone());
+        let warm = zac.compile(&staged).unwrap();
+        assert_eq!(zac.into_inner().calls.into_inner(), 0, "served entirely from disk");
+        assert_eq!(warm.phases, Some(phases), "disk envelope round-tripped the phase split");
+        // The promoted in-memory copy keeps them as well.
+        let remembered = cache.get(CacheKey::compute(&quick_zac(), &staged)).unwrap();
+        assert_eq!(remembered.phases, Some(phases));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression (PR 7): hit-rate reporting must not divide by zero.
+    #[test]
+    fn hit_rate_is_zero_on_an_untouched_cache() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let cache = CompileCache::in_memory(8);
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 0);
+        assert_eq!(stats.hit_rate(), 0.0, "untouched cache reports 0.0, not NaN");
+        assert!(stats.hit_rate().is_finite());
+    }
+
+    #[test]
+    fn hit_rate_counts_all_layers_once_touched() {
+        // Single-shard usage: every key folds into shard 0, so one shard
+        // sees all traffic and the other fifteen stay empty.
+        let cache = CompileCache::in_memory(lru::SHARDS);
+        let key = CacheKey { circuit: 0, compiler: 0 };
+        assert!(cache.get(key).is_none());
+        assert_eq!(cache.stats().hit_rate(), 0.0, "all-miss history is 0.0");
+        cache.put(key, &sample_output("s", 1));
+        assert!(cache.get(key).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 2);
+        assert_eq!(stats.hit_rate(), 0.5);
     }
 }

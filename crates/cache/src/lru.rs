@@ -10,10 +10,15 @@ use crate::CacheKey;
 use std::collections::HashMap;
 use std::sync::Mutex;
 use zac_core::CompileOutput;
+use zac_telemetry::metrics;
 
 /// Number of independently locked shards. A power of two so the modulo
 /// compiles to a mask; 16 comfortably exceeds typical rayon pool widths.
 pub const SHARDS: usize = 16;
+
+// The per-shard telemetry families are sized once, in zac-telemetry; keep
+// the two constants from drifting apart.
+const _: () = assert!(SHARDS == metrics::CACHE_SHARDS);
 
 struct Entry {
     output: CompileOutput,
@@ -59,17 +64,27 @@ impl ShardedLru {
         }
     }
 
-    fn shard(&self, key: CacheKey) -> &Mutex<Shard> {
+    /// Shard index for `key` (exposed so per-shard statistics line up with
+    /// the actual placement of entries).
+    pub fn shard_index(key: CacheKey) -> usize {
         // Fingerprints are uniform; fold the two halves and mask.
-        &self.shards[(key.circuit ^ key.compiler) as usize % SHARDS]
+        (key.circuit ^ key.compiler) as usize % SHARDS
+    }
+
+    fn shard(&self, key: CacheKey) -> &Mutex<Shard> {
+        &self.shards[Self::shard_index(key)]
     }
 
     /// Looks up `key`, refreshing its recency. Returns a clone.
     pub fn get(&self, key: CacheKey) -> Option<CompileOutput> {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         let tick = shard.touch();
-        let entry = shard.map.get_mut(&key)?;
+        let Some(entry) = shard.map.get_mut(&key) else {
+            metrics::CACHE_SHARD_MISSES.add(Self::shard_index(key), 1);
+            return None;
+        };
         entry.tick = tick;
+        metrics::CACHE_SHARD_HITS.add(Self::shard_index(key), 1);
         Some(entry.output.clone())
     }
 
@@ -79,20 +94,34 @@ impl ShardedLru {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         let tick = shard.touch();
         let mut evicted = 0;
-        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+        let is_new = !shard.map.contains_key(&key);
+        if is_new && shard.map.len() >= self.per_shard_capacity {
             let victim = shard.map.iter().min_by_key(|(_, e)| e.tick).map(|(&k, _)| k);
             if let Some(lru) = victim {
                 shard.map.remove(&lru);
                 evicted = 1;
+                metrics::CACHE_SHARD_EVICTIONS.add(Self::shard_index(key), 1);
             }
         }
         shard.map.insert(key, Entry { output, tick });
+        if is_new && evicted == 0 {
+            metrics::CACHE_RESIDENT.add(1);
+        }
         evicted
     }
 
     /// Number of resident entries across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Resident entries per shard, in shard-index order.
+    pub fn shard_lens(&self) -> [usize; SHARDS] {
+        let mut lens = [0usize; SHARDS];
+        for (len, shard) in lens.iter_mut().zip(&self.shards) {
+            *len = shard.lock().expect("cache shard poisoned").map.len();
+        }
+        lens
     }
 
     /// Whether the map holds no entries.
@@ -165,5 +194,22 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         ShardedLru::new(0);
+    }
+
+    /// Per-shard occupancy is observable, and empty shards report zero
+    /// (the empty-shard side of the hit-rate regression: statistics over a
+    /// shard with no traffic must be well-defined, never a division).
+    #[test]
+    fn shard_lens_reports_empty_shards_as_zero() {
+        let lru = ShardedLru::new(4 * SHARDS);
+        assert_eq!(lru.shard_lens(), [0; SHARDS], "fresh map: every shard empty");
+        for i in 0..3 {
+            lru.insert(same_shard_key(i), output(i as usize));
+        }
+        let lens = lru.shard_lens();
+        let target = ShardedLru::shard_index(same_shard_key(0));
+        assert_eq!(lens[target], 3, "all keys fold into one shard");
+        assert_eq!(lens.iter().sum::<usize>(), lru.len());
+        assert_eq!(lens.iter().filter(|&&l| l == 0).count(), SHARDS - 1);
     }
 }

@@ -507,6 +507,7 @@ fn expand_broadcast(operands: &[Operand], line: usize) -> Result<Vec<Vec<usize>>
 /// ```
 pub fn parse_qasm(source: &str, name: &str) -> Result<Circuit, QasmError> {
     let ops = split_statements(source);
+    zac_telemetry::metrics::QASM_STATEMENTS.add(ops.len() as u64);
 
     // First pass: register declarations and user gate definitions (both may
     // legally appear after their textual position would suggest — QASMBench

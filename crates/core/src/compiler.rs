@@ -254,6 +254,8 @@ impl Zac {
     ///
     /// [`ZacError`] if placement or scheduling fails.
     pub fn compile_staged(&self, staged: &StagedCircuit) -> Result<ZacOutput, ZacError> {
+        let _span = zac_telemetry::span!("core.compile", &staged.name);
+        zac_telemetry::metrics::CORE_COMPILES.incr();
         let start = Instant::now();
         let num_sites = self.arch.num_sites();
         let split;
@@ -263,29 +265,36 @@ impl Zac {
         } else {
             staged
         };
-        let plan = plan_placement_cached(
-            &self.arch,
-            staged,
-            &self.config.placement,
-            self.placement_cache.as_ref(),
-        )?;
+        let plan = {
+            let _span = zac_telemetry::span!("core.place", &staged.name);
+            plan_placement_cached(
+                &self.arch,
+                staged,
+                &self.config.placement,
+                self.placement_cache.as_ref(),
+            )?
+        };
         let place_time = start.elapsed();
         let schedule_start = Instant::now();
         let schedule_cfg = self.config.schedule_config();
         // Reuse the compiler's scheduler workspace; under lock contention
         // (parallel sweeps sharing one instance) fall back to a fresh one —
         // results are bit-identical either way.
-        let program = match self.schedule_ws.try_lock() {
-            Ok(mut ws) => {
-                schedule_with_workspace(&self.arch, staged, &plan, &schedule_cfg, &mut ws)
-            }
-            Err(_) => {
-                let mut ws = ScheduleWorkspace::new();
-                schedule_with_workspace(&self.arch, staged, &plan, &schedule_cfg, &mut ws)
-            }
-        }?;
+        let program = {
+            let _span = zac_telemetry::span!("core.schedule", &staged.name);
+            match self.schedule_ws.try_lock() {
+                Ok(mut ws) => {
+                    schedule_with_workspace(&self.arch, staged, &plan, &schedule_cfg, &mut ws)
+                }
+                Err(_) => {
+                    let mut ws = ScheduleWorkspace::new();
+                    schedule_with_workspace(&self.arch, staged, &plan, &schedule_cfg, &mut ws)
+                }
+            }?
+        };
         let schedule_time = schedule_start.elapsed();
         let compile_time = start.elapsed();
+        let _span_analyze = zac_telemetry::span!("core.analyze", &staged.name);
         let analysis = program.analyze(&self.arch)?;
         let summary = ExecutionSummary::from_analysis(&staged.name, &analysis);
         let report = evaluate_neutral_atom(&summary, &self.config.params);

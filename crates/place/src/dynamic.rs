@@ -25,6 +25,7 @@ use zac_arch::{
 };
 use zac_circuit::{Gate2, StagedCircuit};
 use zac_graph::{max_bipartite_matching, AssignmentError, AssignmentWorkspace, CostMatrix};
+use zac_telemetry::metrics;
 
 /// Placement decisions for one Rydberg stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -377,6 +378,7 @@ pub(crate) fn plan_with_window(
     cache: Option<&InitialPlacementCache>,
     window: Option<WindowPolicy>,
 ) -> Result<PlacementPlan, PlaceError> {
+    let _span = zac_telemetry::span!("place.plan", &staged.name);
     let initial = if cfg.use_sa {
         match cache {
             Some(cache) => cache.get_or_compute(arch, staged, cfg)?,
@@ -705,13 +707,18 @@ fn solve_stage(
                         lower_bound += row_min;
                     }
                 }
+                metrics::PLACE_ASSIGNMENT_SOLVES.incr();
+                metrics::PLACE_ASSIGNMENT_MOVERS.observe(unpinned.len() as u64);
                 match assign_ws.solve(cost_buf) {
                     Ok(total) => {
                         // Windowed engine: re-solve with a wider window when
                         // conflicts pushed the matching past the quality
                         // guard (unless the window already covers the grid).
-                        let grow = delta <= max_dim
-                            && window.is_some_and(|w| w.violates_guard(total, lower_bound));
+                        let breach = window.is_some_and(|w| w.violates_guard(total, lower_bound));
+                        if breach {
+                            metrics::PLACE_WINDOW_GUARD_BREACHES.incr();
+                        }
+                        let grow = delta <= max_dim && breach;
                         if !grow {
                             for (row, &gi) in unpinned.iter().enumerate() {
                                 assignment[gi] = Some(sites[assign_ws.assignment()[row]]);
@@ -725,6 +732,9 @@ fn solve_stage(
             }
             if delta > max_dim * 2 {
                 return Err(PlaceError::TooManyGates { gates: gates.len(), sites: total_sites });
+            }
+            if window.is_some() {
+                metrics::PLACE_WINDOW_GROWS.incr();
             }
             delta *= 2;
         }
@@ -999,9 +1009,15 @@ fn place_returns(
         }
 
         let can_grow = width.is_some_and(|w| w < full_width);
+        metrics::PLACE_ASSIGNMENT_SOLVES.incr();
+        metrics::PLACE_ASSIGNMENT_MOVERS.observe(returning.len() as u64);
         match assign_ws.solve(cost_buf) {
             Ok(total) => {
-                let grow = can_grow && window.is_some_and(|w| w.violates_guard(total, lower_bound));
+                let breach = window.is_some_and(|w| w.violates_guard(total, lower_bound));
+                if breach {
+                    metrics::PLACE_WINDOW_GUARD_BREACHES.incr();
+                }
+                let grow = can_grow && breach;
                 if !grow {
                     for (r, &q) in returning.iter().enumerate() {
                         during[q] = scratch.ret_traps[assign_ws.assignment()[r]];
@@ -1012,6 +1028,9 @@ fn place_returns(
             Err(AssignmentError::Infeasible | AssignmentError::MoreRowsThanColumns) if can_grow => {
             }
             Err(e) => return Err(PlaceError::Invalid(format!("return matching: {e}"))),
+        }
+        if window.is_some() {
+            metrics::PLACE_WINDOW_GROWS.incr();
         }
         width = width.map(|w| (w * 2).min(full_width));
     }

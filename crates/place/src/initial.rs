@@ -118,6 +118,9 @@ pub(crate) struct IncrementalCost<'a> {
     stamp: Vec<u32>,
     generation: u32,
     commits_since_resum: usize,
+    /// Full re-summations performed so far (telemetry: drained into
+    /// `place.sa.cost_resyncs` by the caller).
+    resyncs: u64,
 }
 
 impl<'a> IncrementalCost<'a> {
@@ -154,7 +157,13 @@ impl<'a> IncrementalCost<'a> {
             stamp: vec![0; gates.len()],
             generation: 0,
             commits_since_resum: 0,
+            resyncs: 0,
         }
+    }
+
+    /// Number of drift-bounding full re-sums performed so far.
+    pub(crate) fn resyncs(&self) -> u64 {
+        self.resyncs
     }
 
     /// The current total cost (equals a fresh [`initial_placement_cost`] up
@@ -224,6 +233,7 @@ impl<'a> IncrementalCost<'a> {
         if self.commits_since_resum >= Self::RESUM_INTERVAL {
             self.total = self.terms.iter().sum();
             self.commits_since_resum = 0;
+            self.resyncs += 1;
         }
     }
 
@@ -314,6 +324,7 @@ fn sa_anneal(
     seed: u64,
     patience: Option<usize>,
 ) -> Result<Vec<Loc>, PlaceError> {
+    let _span = zac_telemetry::span!("place.sa_anneal", &staged.name);
     let n = staged.num_qubits;
     // One proximity-ordered trap scan serves both the trivial seed placement
     // and the jump-target pool.
@@ -345,6 +356,9 @@ fn sa_anneal(
     let alpha = (t_end / t0).powf(1.0 / iterations.max(1) as f64);
     let mut temp = t0;
     let mut since_best = 0usize;
+    // Telemetry is batched in locals and flushed once after the loop: the
+    // anneal body stays free of atomics even when recording.
+    let (mut accepted, mut rejected) = (0u64, 0u64);
 
     for _ in 0..iterations {
         if patience.is_some_and(|p| since_best >= p) {
@@ -384,6 +398,7 @@ fn sa_anneal(
         };
         if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp() {
             // Accept.
+            accepted += 1;
             inc.commit(delta);
             match kind {
                 MoveKind::Jump(target) => {
@@ -400,6 +415,7 @@ fn sa_anneal(
             }
         } else {
             // Revert.
+            rejected += 1;
             inc.reject();
             match kind {
                 MoveKind::Swap(other) => {
@@ -412,6 +428,10 @@ fn sa_anneal(
         }
         temp *= alpha;
     }
+
+    zac_telemetry::metrics::PLACE_SA_ACCEPTED.add(accepted);
+    zac_telemetry::metrics::PLACE_SA_REJECTED.add(rejected);
+    zac_telemetry::metrics::PLACE_SA_RESYNCS.add(inc.resyncs());
 
     Ok(best)
 }

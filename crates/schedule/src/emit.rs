@@ -160,6 +160,10 @@ pub(crate) fn emit_transition(
     }
 
     let mut transition_end = last_rydberg_end;
+    // Telemetry batched in locals; one flush per transition keeps the
+    // emission loop free of atomics (counts are dropped on the error paths,
+    // which abort the compile anyway).
+    let (mut jobs_emitted, mut readiness_reexams) = (0u64, 0u64);
     while !pending.is_empty() {
         // LPT: among ready jobs take the longest; the ascending scan with a
         // `≥` update reproduces `max_by`'s last-max tie-break exactly.
@@ -229,6 +233,7 @@ pub(crate) fn emit_transition(
         aod_avail[aod_id] = job.end_time;
         transition_end = transition_end.max(job.end_time);
         program.instructions.push(Instruction::RearrangeJob(job));
+        jobs_emitted += 1;
 
         // Event-driven recheck: only jobs registered against the released
         // sources, the newly occupied targets, or the moved qubits can have
@@ -239,6 +244,7 @@ pub(crate) fn emit_transition(
             dirty.extend_from_slice(&target_jobs[p.to_flat[k] as usize]);
             dirty.extend_from_slice(&jobs_by_qubit[m.qubit]);
         }
+        readiness_reexams += dirty.len() as u64;
         for &pos in dirty.iter() {
             ready[pos as usize] = is_ready(&pending[pos as usize], current, &geo.occupied);
         }
@@ -247,6 +253,8 @@ pub(crate) fn emit_transition(
         p.recycle();
         job_pool.push(p);
     }
+    zac_telemetry::metrics::SCHEDULE_JOBS_EMITTED.add(jobs_emitted);
+    zac_telemetry::metrics::SCHEDULE_READINESS_REEXAMS.add(readiness_reexams);
     Ok(transition_end)
 }
 

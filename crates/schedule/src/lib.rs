@@ -185,6 +185,7 @@ pub fn schedule_with_workspace(
     cfg: &ScheduleConfig,
     ws: &mut ScheduleWorkspace,
 ) -> Result<Program, ScheduleError> {
+    let _span = zac_telemetry::span!("schedule.run", &staged.name);
     if plan.stages.len() != staged.stages.len() {
         return Err(ScheduleError::PlanMismatch {
             plan_stages: plan.stages.len(),

@@ -1,0 +1,101 @@
+//! Chrome-trace-format span export.
+//!
+//! Emits the JSON object format understood by `chrome://tracing` and
+//! Perfetto (<https://ui.perfetto.dev>): one complete (`"ph":"X"`) event per
+//! span, timestamps and durations in microseconds. The viewers rebuild the
+//! span tree from per-thread `ts`/`dur` containment, which matches how the
+//! recorder nests guards; the recorded parent name is also attached under
+//! `args` for tooling that wants it explicit.
+
+use crate::metrics::push_json_str;
+use crate::SpanRecord;
+
+/// Renders drained spans (from [`crate::take_spans`]) as a Chrome trace.
+///
+/// The output is a complete, self-contained JSON document; write it to a
+/// `.json` file and load it in `chrome://tracing` or Perfetto.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, span.name);
+        out.push_str(",\"cat\":\"zac\",\"ph\":\"X\",\"ts\":");
+        push_micros(&mut out, span.start_ns);
+        out.push_str(",\"dur\":");
+        push_micros(&mut out, span.dur_ns);
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&span.tid.to_string());
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        if let Some(label) = &span.label {
+            out.push_str("\"label\":");
+            push_json_str(&mut out, label);
+            first = false;
+        }
+        if let Some(parent) = span.parent {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("\"parent\":");
+            push_json_str(&mut out, parent);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds rendered as a decimal microsecond value (`1234` → `1.234`),
+/// avoiding float formatting entirely.
+fn push_micros(out: &mut String, ns: u64) {
+    out.push_str(&(ns / 1_000).to_string());
+    let frac = ns % 1_000;
+    if frac != 0 {
+        out.push('.');
+        out.push_str(&format!("{frac:03}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_json_has_one_complete_event_per_span() {
+        let spans = vec![
+            SpanRecord {
+                name: "core.compile",
+                label: Some("ghz\"n4".to_owned()),
+                start_ns: 1_500,
+                dur_ns: 2_000_000,
+                tid: 1,
+                parent: None,
+            },
+            SpanRecord {
+                name: "core.place",
+                label: None,
+                start_ns: 2_000,
+                dur_ns: 1_000_000,
+                tid: 1,
+                parent: Some("core.compile"),
+            },
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2000"));
+        assert!(json.contains("\"label\":\"ghz\\\"n4\""));
+        assert!(json.contains("\"parent\":\"core.compile\""));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        assert_eq!(chrome_trace_json(&[]), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+}

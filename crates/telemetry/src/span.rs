@@ -1,0 +1,226 @@
+//! Hierarchical spans with per-thread buffers.
+//!
+//! Each recording thread owns a buffer of finished [`SpanRecord`]s plus a
+//! stack of open span names (the stack gives each record its parent). The
+//! buffers are registered in a process-global list the first time a thread
+//! records, and [`take_spans`] drains them all — so the hot path touches
+//! only thread-local state plus one uncontended mutex per finished span.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name from the taxonomy (e.g. `"place.sa_anneal"`).
+    pub name: &'static str,
+    /// Optional dynamic label, typically the circuit name.
+    pub label: Option<String>,
+    /// Start time in nanoseconds since the process telemetry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Recorder-assigned thread id (sequential from 1, not the OS tid).
+    pub tid: u32,
+    /// Name of the innermost span open on the same thread when this one
+    /// closed, if any.
+    pub parent: Option<&'static str>,
+}
+
+type SharedBuf = Arc<Mutex<Vec<SpanRecord>>>;
+
+static REGISTRY: Mutex<Vec<SharedBuf>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+struct LocalBuf {
+    buf: SharedBuf,
+    stack: Vec<&'static str>,
+    tid: u32,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalBuf>> = const { RefCell::new(None) };
+}
+
+fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// RAII guard created by [`crate::span!`]. Records a [`SpanRecord`] on drop
+/// when the recorder was enabled at entry; otherwise completely inert.
+///
+/// Guards are meant to be scoped (dropped in LIFO order on the thread that
+/// created them); a guard dropped on another thread is silently discarded
+/// rather than corrupting that thread's span stack.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct SpanGuard {
+    name: &'static str,
+    label: Option<String>,
+    start_ns: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Opens an unlabeled span (no-op while the recorder is disabled).
+    #[inline]
+    pub fn enter(name: &'static str) -> Self {
+        if !crate::enabled() {
+            return Self { name, label: None, start_ns: 0, active: false };
+        }
+        Self::enter_active(name, None)
+    }
+
+    /// Opens a span labeled with `label` (copied only when recording).
+    #[inline]
+    pub fn enter_labeled(name: &'static str, label: &str) -> Self {
+        if !crate::enabled() {
+            return Self { name, label: None, start_ns: 0, active: false };
+        }
+        Self::enter_active(name, Some(label.to_owned()))
+    }
+
+    #[cold]
+    fn enter_active(name: &'static str, label: Option<String>) -> Self {
+        let start_ns = now_ns();
+        let entered = LOCAL
+            .try_with(|local| {
+                let mut local = local.borrow_mut();
+                let buf = local.get_or_insert_with(|| {
+                    let buf: SharedBuf = Arc::new(Mutex::new(Vec::new()));
+                    REGISTRY.lock().unwrap().push(Arc::clone(&buf));
+                    LocalBuf {
+                        buf,
+                        stack: Vec::new(),
+                        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                    }
+                });
+                buf.stack.push(name);
+            })
+            .is_ok();
+        Self { name, label, start_ns, active: entered }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur_ns = now_ns().saturating_sub(self.start_ns);
+        let name = self.name;
+        let label = self.label.take();
+        let start_ns = self.start_ns;
+        // try_with: thread-local storage may already be gone during thread
+        // teardown; losing the span beats aborting the process.
+        let _ = LOCAL.try_with(|local| {
+            let mut local = local.borrow_mut();
+            let Some(buf) = local.as_mut() else {
+                return; // guard moved to a thread that never recorded
+            };
+            // The matching name sits on top unless the guard was dropped on
+            // a different recording thread; only pop what we pushed.
+            if buf.stack.last() == Some(&name) {
+                buf.stack.pop();
+            } else {
+                return;
+            }
+            let parent = buf.stack.last().copied();
+            buf.buf.lock().unwrap().push(SpanRecord {
+                name,
+                label,
+                start_ns,
+                dur_ns,
+                tid: buf.tid,
+                parent,
+            });
+        });
+    }
+}
+
+/// Drains every thread's finished spans, merged and sorted by start time.
+///
+/// Open spans are not included — they are recorded when their guard drops.
+/// Calling this concurrently with recording is safe; each span lands in
+/// exactly one drain.
+pub fn take_spans() -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    {
+        let registry = REGISTRY.lock().unwrap();
+        for buf in registry.iter() {
+            out.append(&mut buf.lock().unwrap());
+        }
+    }
+    out.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(a.tid.cmp(&b.tid)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Serialize tests that toggle the global recorder.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _gate = GATE.lock().unwrap();
+        crate::set_enabled(false);
+        let _ = take_spans();
+        {
+            let _a = crate::span!("test.outer");
+            let _b = crate::span!("test.inner", "label");
+        }
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn nesting_is_captured_via_parents() {
+        let _gate = GATE.lock().unwrap();
+        crate::set_enabled(true);
+        let _ = take_spans();
+        {
+            let _a = crate::span!("test.outer");
+            {
+                let _b = crate::span!("test.mid", "c1");
+                let _c = crate::span!("test.leaf");
+            }
+        }
+        crate::set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 3);
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("test.outer").parent, None);
+        assert_eq!(by_name("test.mid").parent, Some("test.outer"));
+        assert_eq!(by_name("test.mid").label.as_deref(), Some("c1"));
+        assert_eq!(by_name("test.leaf").parent, Some("test.mid"));
+        // Children are contained in their parent's [start, start+dur].
+        let outer = by_name("test.outer");
+        let leaf = by_name("test.leaf");
+        assert!(leaf.start_ns >= outer.start_ns);
+        assert!(leaf.start_ns + leaf.dur_ns <= outer.start_ns + outer.dur_ns);
+        assert!(take_spans().is_empty(), "drain must consume the buffers");
+    }
+
+    #[test]
+    fn spans_from_other_threads_are_merged() {
+        let _gate = GATE.lock().unwrap();
+        crate::set_enabled(true);
+        let _ = take_spans();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let _s = crate::span!("test.worker");
+                });
+            }
+        });
+        crate::set_enabled(false);
+        let spans = take_spans();
+        let workers: Vec<_> = spans.iter().filter(|s| s.name == "test.worker").collect();
+        assert_eq!(workers.len(), 2);
+        assert_ne!(workers[0].tid, workers[1].tid, "threads get distinct tids");
+    }
+}

@@ -7,6 +7,11 @@
 //! Load failures and per-cell compile failures are reported as values —
 //! the sweep never panics on a bad file — and the parallel sweep is
 //! verified bit-identical to a serial rerun through the shared cache.
+//!
+//! With `ZAC_TELEMETRY=1` the sweep also prints the telemetry counter
+//! snapshot accumulated across both passes (and asserts every pipeline
+//! namespace reported in), and `ZAC_TRACE_OUT=<path>` additionally dumps
+//! the recorded span tree as a Chrome-trace JSON file.
 
 use zac::bench::{
     compiler_geomean, corpus::load_corpus, default_compilers, BatchRunner, COMPILERS,
@@ -91,5 +96,30 @@ fn main() -> Result<(), zac::Error> {
         rows.len() * compilers.len(),
         cache.stats().hit_rate() * 100.0
     );
+
+    if zac::telemetry::enabled() {
+        report_telemetry()?;
+    }
+    Ok(())
+}
+
+/// Prints the telemetry snapshot for the whole sweep, asserts that every
+/// pipeline namespace recorded counters (the CI smoke contract), and
+/// optionally exports the span tree as a Chrome trace.
+fn report_telemetry() -> Result<(), zac::Error> {
+    let snapshot = zac::telemetry::MetricsSnapshot::capture();
+    println!("\ntelemetry counters:");
+    for ns in ["core.", "circuit.", "place.", "schedule.", "cache."] {
+        let sum = snapshot.counter_sum_with_prefix(ns);
+        assert!(sum > 0, "telemetry enabled but namespace '{ns}' recorded no counters");
+        println!("  {ns:<12}{sum:>12}");
+    }
+
+    let spans = zac::telemetry::take_spans();
+    println!("telemetry spans: {} recorded", spans.len());
+    if let Ok(path) = std::env::var("ZAC_TRACE_OUT") {
+        std::fs::write(&path, zac::telemetry::chrome_trace_json(&spans))?;
+        println!("wrote {path}");
+    }
     Ok(())
 }

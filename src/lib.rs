@@ -39,6 +39,7 @@ pub use zac_graph as graph;
 pub use zac_place as place;
 pub use zac_schedule as schedule;
 pub use zac_sim as sim;
+pub use zac_telemetry as telemetry;
 pub use zac_zair as zair;
 
 /// Convenience error alias for examples and doctests.
@@ -61,6 +62,7 @@ pub mod prelude {
         ExhaustivePlacer, PlacementConfig, PlacementEngine, Placer, WindowedPlacer,
     };
     pub use zac_schedule::ScheduleWorkspace;
+    pub use zac_telemetry::{MetricsSnapshot, SpanRecord};
     pub use zac_zair::Program;
 }
 
