@@ -1,0 +1,204 @@
+//! Load generator for the `zac-serve` compile service: replays the bundled
+//! QASM corpus (`tests/corpus/` at the workspace root) against an
+//! in-process [`Service`] at a target client concurrency, through the same
+//! wire entry point (`submit_line`) the binary uses.
+//!
+//! Two waves run back to back: a cold wave that populates the shared
+//! cache, then — after a barrier — a warm wave that must be served from
+//! it. Reported per wave: request latency percentiles (p50/p90/p99),
+//! throughput, aggregate phase timings, and the cache hit rate; the warm
+//! wave must hit on ≥ 90% of lookups (asserted — this bench doubles as the
+//! serving-layer load test).
+//!
+//! Run with `cargo bench -p zac-bench --bench serve_load`. Environment:
+//!
+//! * `ZAC_LOAD_CONCURRENCY` — concurrent client threads (default 4);
+//! * `ZAC_LOAD_REQUESTS`    — requests per client per wave (default 4);
+//! * `ZAC_SERVE_WORKERS`    — service worker threads (default: CPUs ≤ 8);
+//! * `ZAC_SERVE_LOAD_OUT`   — write the full report as JSON to this path.
+
+use std::path::Path;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+use zac_bench::print_header;
+use zac_serve::{CircuitEntry, Request, Response, Service, ServiceConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One request's observables, as reported by its terminal `Done`.
+struct Sample {
+    latency_ms: u64,
+    place_ns: u64,
+    schedule_ns: u64,
+}
+
+fn percentile(sorted_ms: &[u64], p: f64) -> u64 {
+    if sorted_ms.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Replays `requests` corpus batches per client across `clients` threads;
+/// returns every request's sample.
+fn wave(
+    service: &Arc<Service>,
+    corpus: &Arc<Vec<(String, String)>>,
+    wave_name: &str,
+    clients: usize,
+    requests: usize,
+) -> Vec<Sample> {
+    let samples = Arc::new(Mutex::new(Vec::new()));
+    let start = Arc::new(Barrier::new(clients));
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let service = Arc::clone(service);
+            let corpus = Arc::clone(corpus);
+            let samples = Arc::clone(&samples);
+            let start = Arc::clone(&start);
+            let wave_name = wave_name.to_string();
+            scope.spawn(move || {
+                start.wait();
+                for seq in 0..requests {
+                    let request = Request::new(
+                        format!("{wave_name}-c{client}-r{seq}"),
+                        "Zoned-ZAC",
+                        corpus
+                            .iter()
+                            .map(|(name, qasm)| CircuitEntry {
+                                name: name.clone(),
+                                qasm: qasm.clone(),
+                            })
+                            .collect(),
+                    );
+                    // The wire entry point, exactly as the binary drives it.
+                    let line = serde_json::to_string(&request).expect("request serializes");
+                    for response in service.submit_line(&line) {
+                        match response {
+                            Response::Result { name, outcome, .. } => {
+                                assert!(outcome.output().is_some(), "{name} must compile");
+                            }
+                            Response::Done(done) => {
+                                assert_eq!(done.ok, corpus.len(), "{}", done.id);
+                                samples.lock().unwrap().push(Sample {
+                                    latency_ms: done.latency_ms,
+                                    place_ns: done.phase_totals.place_ns,
+                                    schedule_ns: done.phase_totals.schedule_ns,
+                                });
+                            }
+                            other => panic!("unexpected response: {other:?}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    Arc::try_unwrap(samples).ok().expect("clients joined").into_inner().unwrap()
+}
+
+fn report_wave(name: &str, samples: &[Sample], wall_secs: f64) -> serde::Value {
+    use serde::Serialize;
+    let mut latencies: Vec<u64> = samples.iter().map(|s| s.latency_ms).collect();
+    latencies.sort_unstable();
+    let (p50, p90, p99) =
+        (percentile(&latencies, 50.0), percentile(&latencies, 90.0), percentile(&latencies, 99.0));
+    let place_ms: f64 = samples.iter().map(|s| s.place_ns as f64 / 1e6).sum();
+    let schedule_ms: f64 = samples.iter().map(|s| s.schedule_ns as f64 / 1e6).sum();
+    println!(
+        "{name:<6} {:>4} requests in {wall_secs:>6.3} s ({:>7.1} req/s)   \
+         p50 {p50:>3} ms  p90 {p90:>3} ms  p99 {p99:>3} ms   \
+         phases: place {place_ms:>8.1} ms, schedule {schedule_ms:>7.1} ms",
+        samples.len(),
+        samples.len() as f64 / wall_secs,
+    );
+    serde::Value::Object(vec![
+        ("requests".into(), samples.len().to_value()),
+        ("wall_secs".into(), wall_secs.to_value()),
+        ("p50_ms".into(), p50.to_value()),
+        ("p90_ms".into(), p90.to_value()),
+        ("p99_ms".into(), p99.to_value()),
+        ("place_ms_total".into(), place_ms.to_value()),
+        ("schedule_ms_total".into(), schedule_ms.to_value()),
+    ])
+}
+
+fn main() {
+    use serde::Serialize;
+    print_header(
+        "Serve load — corpus replay against the compile service",
+        "(repo extension; load-tests the zac-serve worker pool and shared cache)",
+    );
+
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("bundled corpus directory")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x.eq_ignore_ascii_case("qasm")))
+        .collect();
+    files.sort();
+    let corpus: Arc<Vec<(String, String)>> = Arc::new(
+        files
+            .iter()
+            .map(|p| {
+                let stem = p.file_stem().unwrap().to_string_lossy().into_owned();
+                (stem, std::fs::read_to_string(p).expect("corpus file readable"))
+            })
+            .collect(),
+    );
+
+    let clients = env_usize("ZAC_LOAD_CONCURRENCY", 4);
+    let requests = env_usize("ZAC_LOAD_REQUESTS", 4);
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    println!(
+        "corpus: {} circuits × {} clients × {} requests per wave\n",
+        corpus.len(),
+        clients,
+        requests
+    );
+
+    let t0 = Instant::now();
+    let cold = wave(&service, &corpus, "cold", clients, requests);
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let cold_stats = service.cache().stats();
+
+    let t1 = Instant::now();
+    let warm = wave(&service, &corpus, "warm", clients, requests);
+    let warm_secs = t1.elapsed().as_secs_f64();
+    let stats = service.cache().stats();
+
+    // The warm wave performs one lookup per (request, circuit); its hits
+    // are the delta over the cold wave.
+    let warm_lookups = stats.lookups() - cold_stats.lookups();
+    let warm_hits = (stats.hits + stats.disk_hits) - (cold_stats.hits + cold_stats.disk_hits);
+    let warm_hit_rate = warm_hits as f64 / warm_lookups as f64;
+
+    let cold_json = report_wave("cold", &cold, cold_secs);
+    let warm_json = report_wave("warm", &warm, warm_secs);
+    println!(
+        "\nwarm wave: {warm_hits}/{warm_lookups} lookups served from cache \
+         (hit rate {:.1}%)",
+        warm_hit_rate * 100.0
+    );
+    assert!(
+        warm_hit_rate >= 0.9,
+        "warm wave must be served from cache (hit rate {warm_hit_rate:.3})"
+    );
+
+    if let Ok(path) = std::env::var("ZAC_SERVE_LOAD_OUT") {
+        let report = serde::Value::Object(vec![
+            ("concurrency".into(), clients.to_value()),
+            ("requests_per_client".into(), requests.to_value()),
+            ("corpus_circuits".into(), corpus.len().to_value()),
+            ("cold".into(), cold_json),
+            ("warm".into(), warm_json),
+            ("warm_hit_rate".into(), warm_hit_rate.to_value()),
+        ]);
+        std::fs::write(&path, serde_json::to_string(&report).expect("report serializes"))
+            .expect("write load report");
+        println!("report written to {path}");
+    }
+}

@@ -77,40 +77,14 @@ pub struct CellFailure {
 /// for the old "`Option<RunResult>` plus a stderr warning" shape: callers
 /// and tests can now observe *why* a cell is blank instead of scraping
 /// stderr.
-#[derive(Debug, Clone)]
-pub enum RunOutcome {
-    /// The compiler produced a result.
-    Ok(RunResult),
-    /// The circuit does not fit the compiler's target hardware; the
-    /// paper's figures leave these cells blank.
-    TooLarge {
-        /// Qubits (or storage traps) the circuit needs.
-        needed: usize,
-        /// What the target provides.
-        available: usize,
-    },
-    /// Any other pipeline failure — a compiler bug, not a capacity limit.
-    Failed(String),
-}
+///
+/// Since the serving refactor the three-way shape itself lives in
+/// [`zac_core::admission::Outcome`] (the serving layer uses it with
+/// `T = CompileOutput`); this alias keeps the harness vocabulary — and all
+/// existing `RunOutcome::...` construction and matching — unchanged.
+pub type RunOutcome = Outcome<RunResult>;
 
-impl RunOutcome {
-    /// The result, if the cell succeeded (blank-cell semantics: both
-    /// [`RunOutcome::TooLarge`] and [`RunOutcome::Failed`] yield `None`).
-    pub fn into_result(self) -> Option<RunResult> {
-        match self {
-            Self::Ok(r) => Some(r),
-            Self::TooLarge { .. } | Self::Failed(_) => None,
-        }
-    }
-
-    /// A shared reference to the result, if the cell succeeded.
-    pub fn result(&self) -> Option<&RunResult> {
-        match self {
-            Self::Ok(r) => Some(r),
-            _ => None,
-        }
-    }
-}
+pub use zac_core::admission::{AdmissionLimits, Outcome, RejectReason};
 
 /// All compilers' results on one circuit.
 #[derive(Debug, Clone)]

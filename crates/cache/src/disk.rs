@@ -7,24 +7,27 @@
 //! anything unreadable (corrupt JSON, wrong format version, fingerprint
 //! mismatch from a renamed file) is treated as a miss, never an error.
 //!
-//! Serialization reuses the workspace's hand-written JSON impls:
-//! [`ExecutionSummary`]/[`FidelityReport`] from `zac-fidelity` and the full
-//! ZAIR [`Program`] from `zac-zair`, wrapped in a versioned envelope.
+//! Since envelope v2 the entry body *is* the versioned [`CompileOutput`]
+//! document from `zac_core::output_json` — the same schema the serving
+//! layer streams to clients — wrapped with the cache key's fingerprints.
+//! One schema, one golden lock, no drift between what the cache persists
+//! and what the service returns.
 
 use crate::CacheKey;
 use serde::{DeError, Deserialize, ObjectView, Serialize, Value};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
 use zac_core::CompileOutput;
-use zac_fidelity::{ExecutionSummary, FidelityReport};
-use zac_zair::Program;
 
 /// On-disk format version. Bump whenever the entry envelope *or* the
 /// fingerprint scheme (`zac_circuit::Fingerprint`'s golden tests) changes;
 /// entries with any other version are ignored as misses.
-pub const DISK_FORMAT_VERSION: u64 = 1;
+///
+/// v2 replaced the inlined summary/report/timing fields with the embedded
+/// [`CompileOutput`] envelope; v1 entries are treated as misses and
+/// recompiled, which is the cache's normal degradation mode.
+pub const DISK_FORMAT_VERSION: u64 = 2;
 
 /// The serialized envelope of one cache entry.
 ///
@@ -36,14 +39,7 @@ struct DiskEntry {
     version: u64,
     circuit_fp: String,
     compiler_fp: String,
-    compile_time_ns: u64,
-    /// Per-phase breakdown (place, schedule) in nanoseconds, for backends
-    /// that report one. Optional so pre-breakdown entries stay loadable.
-    place_time_ns: Option<u64>,
-    schedule_time_ns: Option<u64>,
-    summary: ExecutionSummary,
-    report: FidelityReport,
-    program: Option<Program>,
+    output: CompileOutput,
 }
 
 impl Serialize for DiskEntry {
@@ -52,12 +48,7 @@ impl Serialize for DiskEntry {
             ("version".into(), self.version.to_value()),
             ("circuit_fp".into(), self.circuit_fp.to_value()),
             ("compiler_fp".into(), self.compiler_fp.to_value()),
-            ("compile_time_ns".into(), self.compile_time_ns.to_value()),
-            ("place_time_ns".into(), self.place_time_ns.to_value()),
-            ("schedule_time_ns".into(), self.schedule_time_ns.to_value()),
-            ("summary".into(), self.summary.to_value()),
-            ("report".into(), self.report.to_value()),
-            ("program".into(), self.program.to_value()),
+            ("output".into(), self.output.to_value()),
         ])
     }
 }
@@ -69,12 +60,7 @@ impl Deserialize for DiskEntry {
             version: obj.field("version")?,
             circuit_fp: obj.field("circuit_fp")?,
             compiler_fp: obj.field("compiler_fp")?,
-            compile_time_ns: obj.field("compile_time_ns")?,
-            place_time_ns: obj.opt_field("place_time_ns")?,
-            schedule_time_ns: obj.opt_field("schedule_time_ns")?,
-            summary: obj.field("summary")?,
-            report: obj.field("report")?,
-            program: obj.opt_field("program")?,
+            output: obj.field("output")?,
         })
     }
 }
@@ -117,16 +103,11 @@ impl DiskLayer {
         {
             return None;
         }
-        let out = CompileOutput::new(
-            entry.summary,
-            entry.report,
-            Duration::from_nanos(entry.compile_time_ns),
-            entry.program,
-        );
-        Some(match (entry.place_time_ns, entry.schedule_time_ns) {
-            (Some(p), Some(s)) => out.with_phases(Duration::from_nanos(p), Duration::from_nanos(s)),
-            _ => out,
-        })
+        let mut out = entry.output;
+        // The disk layer hands back pristine outputs; the in-memory layer
+        // owns the `from_cache` marking on hits.
+        out.from_cache = false;
+        Some(out)
     }
 
     /// Persists `key → output` atomically (temp file + rename).
@@ -137,17 +118,13 @@ impl DiskLayer {
     /// contains non-finite numbers (JSON cannot represent them; such an
     /// output is an upstream compiler bug and must not poison the cache).
     pub fn store(&self, key: CacheKey, output: &CompileOutput) -> io::Result<()> {
+        let mut pristine = output.clone();
+        pristine.from_cache = false;
         let entry = DiskEntry {
             version: DISK_FORMAT_VERSION,
             circuit_fp: format!("{:016x}", key.circuit),
             compiler_fp: format!("{:016x}", key.compiler),
-            compile_time_ns: u64::try_from(output.compile_time.as_nanos())
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "compile time overflow"))?,
-            place_time_ns: output.phases.and_then(|p| u64::try_from(p.place.as_nanos()).ok()),
-            schedule_time_ns: output.phases.and_then(|p| u64::try_from(p.schedule.as_nanos()).ok()),
-            summary: output.summary.clone(),
-            report: output.report,
-            program: output.program.clone(),
+            output: pristine,
         };
         let value = entry.to_value();
         if !value.all_numbers_finite() {
@@ -202,6 +179,23 @@ mod tests {
         fs::remove_dir_all(&dir).ok();
     }
 
+    /// The entry body is the shared `CompileOutput` envelope verbatim, so
+    /// what the cache persists and what the service streams never drift.
+    #[test]
+    fn entry_embeds_the_compile_output_envelope() {
+        let dir = temp_cache_dir("disk-envelope");
+        let layer = DiskLayer::new(&dir).unwrap();
+        let out = sample_output("env", 2);
+        layer.store(key(), &out).unwrap();
+        let text = fs::read_to_string(layer.entry_path(key())).unwrap();
+        let mut pristine = out.clone();
+        pristine.from_cache = false;
+        let embedded = format!("\"output\":{}", pristine.to_json().unwrap());
+        assert!(text.starts_with(&format!("{{\"version\":{DISK_FORMAT_VERSION},")), "{text}");
+        assert!(text.ends_with(&format!("{embedded}}}")), "{text}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn no_tmp_files_left_behind() {
         let dir = temp_cache_dir("disk-tmp");
@@ -227,9 +221,17 @@ mod tests {
 
         layer.store(key(), &sample_output("v", 1)).unwrap();
         let text = fs::read_to_string(layer.entry_path(key())).unwrap();
-        fs::write(layer.entry_path(key()), text.replace("\"version\":1", "\"version\":999"))
+        // The outer (first) version tag is the disk envelope's; the inner
+        // one belongs to the embedded CompileOutput document.
+        fs::write(layer.entry_path(key()), text.replacen("\"version\":2", "\"version\":999", 1))
             .unwrap();
         assert!(layer.load(key()).is_none(), "future version");
+
+        // Pre-v2 (v1) entries are misses too — the v1 body shape no longer
+        // parses, and even a well-formed v1 tag fails the version gate.
+        fs::write(layer.entry_path(key()), text.replacen("\"version\":2", "\"version\":1", 1))
+            .unwrap();
+        assert!(layer.load(key()).is_none(), "v1 entry");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,166 @@
+//! Concurrent `CompileCache` hammering — the serving workload's shape.
+//!
+//! `zac-serve` shares one cache across a worker pool, so N threads racing
+//! get/put on overlapping keys is the *normal* regime, not an edge case.
+//! These tests lock the three invariants that regime depends on:
+//!
+//! * counters sum consistently — every lookup is exactly one of hit,
+//!   disk hit, or miss, no matter how the threads interleave;
+//! * the atomic write-then-rename path never publishes a torn disk
+//!   envelope, even with many writers racing on one directory;
+//! * a warm second wave over a populated cache is 100% hits.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use zac_cache::{CacheKey, CompileCache};
+use zac_core::CompileOutput;
+use zac_fidelity::{evaluate_neutral_atom, ExecutionSummary, NeutralAtomParams};
+
+const THREADS: usize = 8;
+const KEYS: usize = 24;
+const ROUNDS: usize = 4;
+
+fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "zac-cache-conc-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn key(i: usize) -> CacheKey {
+    CacheKey { circuit: 0x5eed_0000 + i as u64, compiler: 0xc0_ffee }
+}
+
+/// A small deterministic output whose identity is recoverable from `i`.
+fn output(i: usize) -> CompileOutput {
+    let summary = ExecutionSummary {
+        name: format!("conc-{i}"),
+        num_qubits: 2,
+        duration_us: 10.0 + i as f64,
+        g1: i,
+        g2: 1,
+        n_exc: 0,
+        n_tran: 2,
+        idle_us: vec![1.0, 2.5],
+    };
+    let report = evaluate_neutral_atom(&summary, &NeutralAtomParams::reference());
+    CompileOutput::new(summary, report, Duration::from_micros(321), None)
+        .with_phases(Duration::from_micros(200), Duration::from_micros(121))
+}
+
+/// Spawns `THREADS` threads, each sweeping all keys `ROUNDS` times with the
+/// serving pattern (get → on miss, "compile" and put). Returns how many
+/// misses the threads observed.
+fn hammer(cache: &CompileCache) -> usize {
+    let observed_misses = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = cache.clone();
+            let observed_misses = Arc::clone(&observed_misses);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    for j in 0..KEYS {
+                        // Stagger the sweep per thread so the interleaving
+                        // actually overlaps distinct keys.
+                        let i = (j + t * 3 + round) % KEYS;
+                        match cache.get(key(i)) {
+                            Some(out) => {
+                                assert_eq!(out.summary.name, format!("conc-{i}"));
+                                assert_eq!(out.counts.g1, i);
+                            }
+                            None => {
+                                observed_misses.fetch_add(1, Ordering::Relaxed);
+                                cache.put(key(i), &output(i));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    observed_misses.load(Ordering::Relaxed)
+}
+
+fn assert_counters_consistent(cache: &CompileCache, observed_misses: usize) {
+    let stats = cache.stats();
+    assert_eq!(
+        stats.lookups(),
+        stats.hits + stats.disk_hits + stats.misses,
+        "every lookup is exactly one of hit / disk hit / miss: {stats:?}"
+    );
+    assert_eq!(
+        stats.lookups() as usize,
+        THREADS * ROUNDS * KEYS,
+        "no lookup lost or double-counted: {stats:?}"
+    );
+    assert_eq!(
+        stats.misses as usize, observed_misses,
+        "the cache's miss counter matches what the threads observed: {stats:?}"
+    );
+    assert!(
+        stats.misses as usize >= KEYS,
+        "each key misses at least once on a cold cache: {stats:?}"
+    );
+    assert_eq!(stats.disk_errors, 0, "{stats:?}");
+}
+
+#[test]
+fn concurrent_memory_cache_counters_sum_consistently() {
+    let cache = CompileCache::in_memory(KEYS);
+    let observed = hammer(&cache);
+    assert_counters_consistent(&cache, observed);
+    assert_eq!(cache.stats().resident, KEYS, "all keys resident afterwards");
+}
+
+#[test]
+fn concurrent_disk_cache_is_consistent_and_untorn() {
+    let dir = temp_cache_dir("hammer");
+    // Memory capacity below the key count forces evictions mid-hammer, so
+    // the disk path serves hits while writers are still racing renames.
+    let cache = CompileCache::with_disk(KEYS / 3, &dir).unwrap();
+    let observed = hammer(&cache);
+    assert_counters_consistent(&cache, observed);
+
+    // No torn envelopes: every entry file is complete, parseable JSON that
+    // embeds a loadable CompileOutput, and no temp files leaked.
+    let mut entries = 0;
+    for file in std::fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
+        let name = file.file_name().to_string_lossy().into_owned();
+        assert!(!name.contains(".tmp"), "leaked temp file {name}");
+        assert!(name.ends_with(".json"), "stray file {name}");
+        entries += 1;
+        let text = std::fs::read_to_string(file.path()).unwrap();
+        let value: serde::Value = serde_json::from_str(&text).expect("untorn JSON");
+        let obj = serde::ObjectView::new(&value).unwrap();
+        let embedded: CompileOutput = obj.field("output").expect("loadable embedded output");
+        assert!(embedded.summary.name.starts_with("conc-"), "{}", embedded.summary.name);
+    }
+    assert_eq!(entries, KEYS, "one entry file per key");
+
+    // Warm second wave through a *fresh* cache over the same directory —
+    // empty memory, so every hit is a disk hit — must be 100% hits.
+    let warm = CompileCache::with_disk(KEYS, &dir).unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let warm = warm.clone();
+            scope.spawn(move || {
+                for i in 0..KEYS {
+                    let out = warm.get(key(i)).expect("warm wave never misses");
+                    assert_eq!(out.summary.name, format!("conc-{i}"));
+                    assert!(out.from_cache);
+                }
+            });
+        }
+    });
+    let stats = warm.stats();
+    assert_eq!(stats.misses, 0, "{stats:?}");
+    assert!((stats.hit_rate() - 1.0).abs() < f64::EPSILON, "{stats:?}");
+    assert_eq!(stats.lookups() as usize, THREADS * KEYS, "{stats:?}");
+    assert!(stats.disk_hits >= KEYS as u64, "first touch of each key comes from disk: {stats:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -29,14 +29,18 @@
 //! # Ok::<(), zac_core::ZacError>(())
 //! ```
 
+pub mod admission;
 pub mod compiler;
 pub mod ideal;
 pub mod interface;
+pub mod output_json;
 
+pub use admission::{AdmissionLimits, Outcome, RejectReason};
 pub use compiler::{Zac, ZacConfig, ZacError, ZacOutput};
 pub use ideal::{ideal_summary, zone_separation_um, IdealLevel};
 pub use interface::{
     write_arch_tokens, write_params_tokens, CompileError, CompileOutput, Compiler, GateCounts,
     Labeled, PhaseTimings,
 };
+pub use output_json::COMPILE_OUTPUT_FORMAT_VERSION;
 pub use zac_circuit::Fingerprint;

@@ -1,0 +1,354 @@
+//! The executor: a worker pool draining a priority queue of compile jobs.
+//!
+//! Each admitted entry becomes one job, so a request's entries fan out
+//! across workers and stream back as they finish. Jobs order by (priority
+//! desc, submission seq asc) — higher-priority requests overtake, ties are
+//! FIFO. Deadlines are enforced at *dequeue*: work whose request deadline
+//! passed while it sat in the queue is rejected with the measured wait, not
+//! compiled. Queue capacity is enforced at *enqueue*: a request whose
+//! admitted entries would not fit is rejected whole with
+//! [`RejectReason::QueueFull`].
+//!
+//! The compile path is byte-for-byte the bench harness's `run_cell_with`:
+//! cache get → compile → cache put, against one [`CompileCache`] shared by
+//! every worker. The serving layer never touches compilation semantics —
+//! that is the bit-identity guarantee, locked by `tests/serve.rs` at the
+//! workspace root.
+
+use crate::plan::{PlannedEntry, PlannedRequest};
+use crate::protocol::{Done, EntryOutcome, PhaseTotals, Response};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use zac_cache::{CacheKey, CompileCache};
+use zac_circuit::StagedCircuit;
+use zac_core::admission::RejectReason;
+use zac_core::{CompileError, Compiler};
+use zac_telemetry::metrics::{
+    SERVE_ENTRIES_FAILED, SERVE_ENTRIES_OK, SERVE_ENTRIES_REJECTED, SERVE_QUEUE_DEPTH,
+    SERVE_REQUESTS_COMPLETED, SERVE_REQUESTS_REJECTED, SERVE_REQUEST_LATENCY_MS,
+};
+use zac_telemetry::{redact, span, MetricsSnapshot};
+
+/// Shared state of one in-flight request.
+struct RequestRun {
+    id: String,
+    compiler: Arc<dyn Compiler>,
+    tx: Sender<Response>,
+    start: Instant,
+    deadline_ms: Option<u64>,
+    trace: bool,
+    /// Entries not yet reported; the worker that drops this to zero sends
+    /// the `Done`.
+    remaining: AtomicUsize,
+    ok: AtomicUsize,
+    rejected: AtomicUsize,
+    failed: AtomicUsize,
+    place_ns: AtomicU64,
+    schedule_ns: AtomicU64,
+    /// Registry snapshot at submission, for the `Done` metrics delta
+    /// (captured only while telemetry is enabled).
+    base: Option<MetricsSnapshot>,
+}
+
+/// One queued unit of work: one admitted entry of one request.
+struct Job {
+    priority: i64,
+    seq: u64,
+    run: Arc<RequestRun>,
+    index: usize,
+    staged: StagedCircuit,
+}
+
+impl PartialEq for Job {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Job {}
+impl PartialOrd for Job {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Job {
+    // Max-heap: higher priority first, then earlier submission.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct QueueState {
+    heap: BinaryHeap<Job>,
+    next_seq: u64,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    cache: CompileCache,
+    capacity: usize,
+}
+
+/// The worker pool. Dropping it drains nothing: queued jobs are abandoned,
+/// workers exit after their current job (in-flight receivers see their
+/// channels close). Services are expected to outlive their requests.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns `workers` threads sharing `cache`, with a queue capacity of
+    /// `capacity` jobs.
+    pub fn new(workers: usize, capacity: usize, cache: CompileCache) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState { heap: BinaryHeap::new(), next_seq: 0, closed: false }),
+            available: Condvar::new(),
+            cache,
+            capacity,
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("zac-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The shared compile cache.
+    pub fn cache(&self) -> &CompileCache {
+        &self.shared.cache
+    }
+
+    /// Enqueues an admitted request; every response (per-entry results and
+    /// the terminal line) goes to `tx`. Pre-judged rejections are reported
+    /// immediately; a queue that cannot fit the admitted entries rejects
+    /// the request whole.
+    pub fn submit(
+        &self,
+        planned: PlannedRequest,
+        tx: Sender<Response>,
+        base: Option<MetricsSnapshot>,
+    ) {
+        let total = planned.entries.len();
+        let run = Arc::new(RequestRun {
+            id: planned.id,
+            compiler: planned.compiler,
+            tx,
+            start: Instant::now(),
+            deadline_ms: planned.deadline_ms,
+            trace: planned.trace,
+            remaining: AtomicUsize::new(total),
+            ok: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            place_ns: AtomicU64::new(0),
+            schedule_ns: AtomicU64::new(0),
+            base,
+        });
+        if total == 0 {
+            finalize(&run);
+            return;
+        }
+
+        let mut runnable = Vec::new();
+        let mut prejudged = Vec::new();
+        for entry in planned.entries {
+            match entry {
+                PlannedEntry::Run { index, staged } => runnable.push((index, staged)),
+                PlannedEntry::Reject { index, name, reason } => {
+                    prejudged.push((index, name, reason));
+                }
+            }
+        }
+
+        // Capacity check and enqueue under one lock, so two racing submits
+        // cannot both squeeze past the cap.
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            let depth = queue.heap.len();
+            if depth + runnable.len() > self.shared.capacity {
+                drop(queue);
+                SERVE_REQUESTS_REJECTED.incr();
+                let reason = RejectReason::QueueFull { depth, cap: self.shared.capacity };
+                run.tx.send(Response::Rejected { id: run.id.clone(), reason }).ok();
+                return;
+            }
+            for (index, staged) in runnable {
+                let seq = queue.next_seq;
+                queue.next_seq += 1;
+                queue.heap.push(Job {
+                    priority: planned.priority,
+                    seq,
+                    run: Arc::clone(&run),
+                    index,
+                    staged,
+                });
+                SERVE_QUEUE_DEPTH.add(1);
+            }
+        }
+        self.shared.available.notify_all();
+
+        // Report the pre-judged rejections after the runnable entries are
+        // queued; each one counts toward the request's completion.
+        for (index, name, reason) in prejudged {
+            run.rejected.fetch_add(1, AtomicOrdering::Relaxed);
+            SERVE_ENTRIES_REJECTED.incr();
+            run.tx
+                .send(Response::Result {
+                    id: run.id.clone(),
+                    entry: index,
+                    name,
+                    outcome: EntryOutcome::Rejected(reason),
+                })
+                .ok();
+            complete_entry(&run);
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.closed = true;
+            let abandoned = queue.heap.len();
+            queue.heap.clear();
+            SERVE_QUEUE_DEPTH.add(-(abandoned as i64));
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().ok();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.heap.pop() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        SERVE_QUEUE_DEPTH.add(-1);
+        process(shared, job);
+    }
+}
+
+/// Runs one job: deadline check, then the bench harness's exact cache
+/// get → compile → put sequence.
+fn process(shared: &Shared, job: Job) {
+    let run = &job.run;
+    let waited_ms = u64::try_from(run.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let outcome = match run.deadline_ms {
+        Some(deadline_ms) if waited_ms > deadline_ms => {
+            EntryOutcome::Rejected(RejectReason::DeadlineExpired { deadline_ms, waited_ms })
+        }
+        _ => {
+            // Span labels go through redaction: with `ZAC_REDACT=1` a trace
+            // shows `[redacted:xxxxxxxx]`, not the customer's circuit name.
+            let _span = span!("serve.exec.compile", &redact(&job.staged.name));
+            let key = CacheKey::compute(&*run.compiler, &job.staged);
+            match shared.cache.get(key) {
+                Some(out) => EntryOutcome::Ok(Box::new(out)),
+                None => match run.compiler.compile(&job.staged) {
+                    Ok(out) => {
+                        shared.cache.put(key, &out);
+                        EntryOutcome::Ok(Box::new(out))
+                    }
+                    Err(CompileError::CircuitTooLarge { needed, available }) => {
+                        EntryOutcome::Rejected(RejectReason::TooLarge { needed, available })
+                    }
+                    Err(CompileError::Failed(reason)) => EntryOutcome::Failed(reason),
+                },
+            }
+        }
+    };
+
+    match &outcome {
+        EntryOutcome::Ok(out) => {
+            run.ok.fetch_add(1, AtomicOrdering::Relaxed);
+            SERVE_ENTRIES_OK.incr();
+            if let Some(phases) = out.phases {
+                let ns = |d: std::time::Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+                run.place_ns.fetch_add(ns(phases.place), AtomicOrdering::Relaxed);
+                run.schedule_ns.fetch_add(ns(phases.schedule), AtomicOrdering::Relaxed);
+            }
+        }
+        EntryOutcome::Rejected(_) => {
+            run.rejected.fetch_add(1, AtomicOrdering::Relaxed);
+            SERVE_ENTRIES_REJECTED.incr();
+        }
+        EntryOutcome::Failed(_) => {
+            run.failed.fetch_add(1, AtomicOrdering::Relaxed);
+            SERVE_ENTRIES_FAILED.incr();
+        }
+    }
+    run.tx
+        .send(Response::Result {
+            id: run.id.clone(),
+            entry: job.index,
+            name: job.staged.name.clone(),
+            outcome,
+        })
+        .ok();
+    complete_entry(run);
+}
+
+/// Marks one entry reported; the caller that retires the last one sends
+/// the terminal `Done`.
+fn complete_entry(run: &Arc<RequestRun>) {
+    if run.remaining.fetch_sub(1, AtomicOrdering::AcqRel) == 1 {
+        finalize(run);
+    }
+}
+
+fn finalize(run: &RequestRun) {
+    let latency_ms = u64::try_from(run.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    // The metrics delta and trace are process-global: under concurrent
+    // requests they include overlapping activity, exactly like
+    // `BatchRunner::run_with_metrics` (see DESIGN.md §9).
+    let metrics = run.base.as_ref().map(|base| {
+        let delta = MetricsSnapshot::capture().delta_since(base);
+        serde_json::from_str(&delta.to_json()).expect("snapshot JSON is well-formed")
+    });
+    let trace = (run.trace && zac_telemetry::enabled()).then(|| {
+        let spans = zac_telemetry::take_spans();
+        serde_json::from_str(&zac_telemetry::chrome_trace_json(&spans))
+            .expect("trace JSON is well-formed")
+    });
+    SERVE_REQUESTS_COMPLETED.incr();
+    SERVE_REQUEST_LATENCY_MS.observe(latency_ms);
+    run.tx
+        .send(Response::Done(Done {
+            id: run.id.clone(),
+            ok: run.ok.load(AtomicOrdering::Relaxed),
+            rejected: run.rejected.load(AtomicOrdering::Relaxed),
+            failed: run.failed.load(AtomicOrdering::Relaxed),
+            latency_ms,
+            phase_totals: PhaseTotals {
+                place_ns: run.place_ns.load(AtomicOrdering::Relaxed),
+                schedule_ns: run.schedule_ns.load(AtomicOrdering::Relaxed),
+            },
+            metrics,
+            trace,
+        }))
+        .ok();
+}

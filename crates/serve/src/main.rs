@@ -1,0 +1,68 @@
+//! `zac-serve` — the compile service over stdin/stdout.
+//!
+//! Reads one JSON request per line from stdin, streams JSON responses one
+//! per line on stdout (interleaved across in-flight requests; correlate by
+//! `id`). Exits when stdin closes and every submitted request has
+//! terminated. Diagnostics go to stderr.
+//!
+//! Environment:
+//!
+//! * `ZAC_SERVE_WORKERS`  — worker threads (default: CPUs, capped at 8);
+//! * `ZAC_SERVE_QUEUE`    — queue capacity in jobs (default 1024);
+//! * `ZAC_SERVE_LOG`      — per-request stderr logging (names redacted
+//!   when `ZAC_REDACT=1`);
+//! * `ZAC_TELEMETRY`      — attach metrics deltas (and traces on request)
+//!   to `Done` responses.
+
+use std::io::{BufRead, Write};
+use std::sync::mpsc::channel;
+use zac_serve::{Response, Service, ServiceConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let mut config = ServiceConfig::default();
+    config.workers = env_usize("ZAC_SERVE_WORKERS", config.workers);
+    config.queue_capacity = env_usize("ZAC_SERVE_QUEUE", config.queue_capacity);
+    let service = Service::new(config);
+
+    // One writer thread serializes all responses; per-request forwarders
+    // feed it so streams interleave without tearing lines.
+    let (out_tx, out_rx) = channel::<Response>();
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        for response in out_rx {
+            let mut lock = stdout.lock();
+            if writeln!(lock, "{}", serde_json::to_string(&response).unwrap_or_default()).is_err()
+                || lock.flush().is_err()
+            {
+                return; // downstream closed; keep draining silently
+            }
+        }
+    });
+
+    let mut forwarders = Vec::new();
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rx = service.submit_line(&line);
+        let out_tx = out_tx.clone();
+        forwarders.push(std::thread::spawn(move || {
+            for response in rx {
+                if out_tx.send(response).is_err() {
+                    return;
+                }
+            }
+        }));
+    }
+
+    for forwarder in forwarders {
+        forwarder.join().ok();
+    }
+    drop(out_tx);
+    writer.join().ok();
+}

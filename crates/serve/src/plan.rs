@@ -1,0 +1,185 @@
+//! The planner: admission control over bound requests.
+//!
+//! The planner owns *policy*: it tightens the request's own caps against
+//! the service's ([`AdmissionLimits::tightened`] — strictest wins, so a
+//! client can never widen what the operator allows), rejects whole requests
+//! that blow the batch cap, and pre-judges each circuit against the
+//! per-circuit caps. Oversized circuits become per-entry rejections with
+//! typed payloads rather than sinking the request: a batch with one
+//! too-large circuit still compiles the other N−1, mirroring the bench
+//! harness's blank-cell semantics.
+//!
+//! Deadlines and queue capacity are *runtime* conditions, so they are
+//! checked where the clock and the queue live — in the executor — against
+//! the limits this planner stamped on the work.
+
+use crate::bind::BoundRequest;
+use std::sync::Arc;
+use zac_circuit::StagedCircuit;
+use zac_core::admission::{AdmissionLimits, RejectReason};
+use zac_core::Compiler;
+
+/// One planned entry: either runnable work or a pre-judged rejection.
+pub enum PlannedEntry {
+    /// Admitted — the executor will compile it.
+    Run {
+        /// Index within the request's `circuits`.
+        index: usize,
+        /// The staged circuit.
+        staged: StagedCircuit,
+    },
+    /// Turned away at admission; the executor only reports it.
+    Reject {
+        /// Index within the request's `circuits`.
+        index: usize,
+        /// The circuit's name (for the streamed response).
+        name: String,
+        /// The typed reason.
+        reason: RejectReason,
+    },
+}
+
+/// An admitted request, ready for the executor.
+pub struct PlannedRequest {
+    /// Echoed request id.
+    pub id: String,
+    /// The resolved compiler.
+    pub compiler: Arc<dyn Compiler>,
+    /// Scheduling priority (higher first).
+    pub priority: i64,
+    /// Deadline budget in milliseconds from submission (already the
+    /// tightened value).
+    pub deadline_ms: Option<u64>,
+    /// Whether the client asked for a Chrome trace.
+    pub trace: bool,
+    /// Per-entry plan, in request order.
+    pub entries: Vec<PlannedEntry>,
+}
+
+/// Applies the service's admission policy to bound requests.
+pub struct Planner {
+    policy: AdmissionLimits,
+}
+
+impl Planner {
+    /// A planner enforcing `policy` on top of whatever each request asks.
+    pub fn new(policy: AdmissionLimits) -> Self {
+        Self { policy }
+    }
+
+    /// Admission-checks `bound`.
+    ///
+    /// # Errors
+    ///
+    /// A request-level [`RejectReason`] (currently only
+    /// [`RejectReason::TooManyCircuits`]) when the whole request must be
+    /// turned away; per-circuit violations come back as
+    /// [`PlannedEntry::Reject`] instead.
+    pub fn plan(&self, bound: BoundRequest) -> Result<PlannedRequest, RejectReason> {
+        let limits = self.policy.tightened(&bound.limits);
+        limits.admit_batch(bound.circuits.len())?;
+        // The request's top-level `deadline_ms` is sugar for the limit of
+        // the same name; tightening applies across both spellings.
+        let deadline_ms = match (bound.deadline_ms, limits.deadline_ms) {
+            (Some(request), Some(policy)) => Some(request.min(policy)),
+            (request, policy) => request.or(policy),
+        };
+        let entries = bound
+            .circuits
+            .into_iter()
+            .enumerate()
+            .map(|(index, staged)| match limits.admit_circuit(&staged) {
+                Ok(()) => PlannedEntry::Run { index, staged },
+                Err(reason) => PlannedEntry::Reject { index, name: staged.name, reason },
+            })
+            .collect();
+        Ok(PlannedRequest {
+            id: bound.id,
+            compiler: bound.compiler,
+            priority: bound.priority,
+            deadline_ms,
+            trace: bound.trace,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::Binder;
+    use crate::protocol::{CircuitEntry, Request};
+    use zac_circuit::bench_circuits;
+    use zac_circuit::qasm::to_qasm;
+
+    fn request(sizes: &[usize]) -> BoundRequest {
+        let circuits = sizes
+            .iter()
+            .map(|&n| {
+                let c = bench_circuits::ghz(n);
+                CircuitEntry { name: c.name().to_string(), qasm: to_qasm(&c) }
+            })
+            .collect();
+        Binder::new(zac_bench::zac_config()).bind(Request::new("r", "Zoned-ZAC", circuits)).unwrap()
+    }
+
+    #[test]
+    fn batch_cap_rejects_the_whole_request() {
+        let planner = Planner::new(AdmissionLimits { max_circuits: Some(2), ..Default::default() });
+        assert_eq!(
+            planner.plan(request(&[3, 3, 3])).err(),
+            Some(RejectReason::TooManyCircuits { circuits: 3, cap: 2 })
+        );
+    }
+
+    #[test]
+    fn oversized_circuits_reject_per_entry_not_per_request() {
+        let planner = Planner::new(AdmissionLimits { max_qubits: Some(8), ..Default::default() });
+        let planned = planner.plan(request(&[4, 12, 6])).unwrap();
+        assert_eq!(planned.entries.len(), 3);
+        assert!(matches!(planned.entries[0], PlannedEntry::Run { index: 0, .. }));
+        match &planned.entries[1] {
+            PlannedEntry::Reject { index: 1, name, reason } => {
+                assert_eq!(name, "ghz_n12");
+                assert_eq!(*reason, RejectReason::TooLarge { needed: 12, available: 8 });
+            }
+            _ => panic!("entry 1 must be rejected"),
+        }
+        assert!(matches!(planned.entries[2], PlannedEntry::Run { index: 2, .. }));
+    }
+
+    #[test]
+    fn request_limits_tighten_but_never_widen_policy() {
+        let planner = Planner::new(AdmissionLimits {
+            max_qubits: Some(8),
+            deadline_ms: Some(1_000),
+            ..Default::default()
+        });
+        let mut bound = request(&[12]);
+        bound.limits = AdmissionLimits {
+            max_qubits: Some(100), // wider than policy: policy still wins
+            deadline_ms: Some(50), // tighter than policy: request wins
+            ..Default::default()
+        };
+        let planned = planner.plan(bound).unwrap();
+        assert!(matches!(planned.entries[0], PlannedEntry::Reject { .. }));
+        assert_eq!(planned.deadline_ms, Some(50));
+    }
+
+    #[test]
+    fn top_level_deadline_tightens_like_the_limit_spelling() {
+        let planner = Planner::new(AdmissionLimits::default());
+        let mut bound = request(&[3]);
+        bound.deadline_ms = Some(20);
+        bound.limits.deadline_ms = Some(50);
+        assert_eq!(planner.plan(bound).unwrap().deadline_ms, Some(20));
+
+        let mut bound = request(&[3]);
+        bound.deadline_ms = Some(80);
+        assert_eq!(
+            planner.plan(bound).unwrap().deadline_ms,
+            Some(80),
+            "top-level deadline survives without a limits spelling"
+        );
+    }
+}

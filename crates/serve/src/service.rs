@@ -1,0 +1,138 @@
+//! The session layer: one [`Service`] value owning the whole stack.
+//!
+//! `submit` carries a request through binder → planner → executor and hands
+//! back the response stream; `submit_line` is the same entry point for raw
+//! protocol lines (stdin, sockets, load generators). Every failure mode is
+//! a response on the stream — the methods themselves never fail.
+
+use crate::bind::Binder;
+use crate::exec::Executor;
+use crate::plan::Planner;
+use crate::protocol::{Request, Response};
+use std::sync::mpsc::{channel, Receiver};
+use zac_cache::CompileCache;
+use zac_core::admission::AdmissionLimits;
+use zac_core::ZacConfig;
+use zac_telemetry::metrics::{SERVE_REQUESTS_REJECTED, SERVE_REQUESTS_SUBMITTED};
+use zac_telemetry::{MetricsSnapshot, Redacted};
+
+/// Service construction knobs.
+pub struct ServiceConfig {
+    /// Worker threads in the executor pool.
+    pub workers: usize,
+    /// Maximum queued jobs (admitted entries) across all requests; a
+    /// request that would overflow it is rejected whole.
+    pub queue_capacity: usize,
+    /// Service-side admission policy, tightened against each request's own
+    /// caps (strictest wins).
+    pub limits: AdmissionLimits,
+    /// Configuration for `Zoned-ZAC` requests. The default is the paper
+    /// configuration (`zac_bench::zac_config()`); tests inject reduced-SA
+    /// configs here and compare against direct compiles with the same one.
+    pub zac_config: ZacConfig,
+    /// The compile cache shared by all workers. Inject a disk-backed or
+    /// pre-warmed cache to share state with other runners; the default is
+    /// a fresh in-memory cache.
+    pub cache: CompileCache,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            queue_capacity: 1024,
+            limits: AdmissionLimits::default(),
+            zac_config: zac_bench::zac_config(),
+            cache: CompileCache::in_memory(256),
+        }
+    }
+}
+
+/// A running compile service: binder + planner + worker pool over one
+/// shared cache. Dropping it stops the workers.
+pub struct Service {
+    binder: Binder,
+    planner: Planner,
+    executor: Executor,
+    log: bool,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+}
+
+impl Service {
+    /// Builds the stack from `config`.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self {
+            binder: Binder::new(config.zac_config),
+            planner: Planner::new(config.limits),
+            executor: Executor::new(config.workers, config.queue_capacity, config.cache),
+            log: std::env::var("ZAC_SERVE_LOG").is_ok_and(|v| !v.is_empty() && v != "0"),
+        }
+    }
+
+    /// The shared compile cache (inspect hit rates, pre-warm, persist).
+    pub fn cache(&self) -> &CompileCache {
+        self.executor.cache()
+    }
+
+    /// Submits one request; the returned receiver streams every response
+    /// for it, ending with a terminal `Done`/`Rejected`/`Error`. Draining
+    /// it is the in-process API; serializing each response is the wire
+    /// protocol.
+    pub fn submit(&self, request: Request) -> Receiver<Response> {
+        let (tx, rx) = channel();
+        SERVE_REQUESTS_SUBMITTED.incr();
+        // Snapshot before any work so the Done delta covers binding too.
+        let base = zac_telemetry::enabled().then(MetricsSnapshot::capture);
+        if self.log {
+            // Log surfaces mask circuit names; the protocol keeps them (the
+            // client sent them in the first place).
+            for entry in &request.circuits {
+                eprintln!(
+                    "zac-serve: request {} [{}] circuit {}",
+                    request.id,
+                    request.compiler,
+                    Redacted(&entry.name)
+                );
+            }
+        }
+        let id = request.id.clone();
+        let bound = match self.binder.bind(request) {
+            Ok(bound) => bound,
+            Err(reason) => {
+                tx.send(Response::Error { id: Some(id), reason }).ok();
+                return rx;
+            }
+        };
+        let planned = match self.planner.plan(bound) {
+            Ok(planned) => planned,
+            Err(reason) => {
+                SERVE_REQUESTS_REJECTED.incr();
+                tx.send(Response::Rejected { id, reason }).ok();
+                return rx;
+            }
+        };
+        self.executor.submit(planned, tx, base);
+        rx
+    }
+
+    /// [`submit`](Self::submit) for one raw protocol line.
+    pub fn submit_line(&self, line: &str) -> Receiver<Response> {
+        match serde_json::from_str::<Request>(line) {
+            Ok(request) => self.submit(request),
+            Err(e) => {
+                let (tx, rx) = channel();
+                // Best-effort id recovery so the client can correlate.
+                let id = serde_json::from_str::<serde::Value>(line)
+                    .ok()
+                    .and_then(|v| serde::ObjectView::new(&v).ok()?.opt_field("id").ok()?);
+                tx.send(Response::Error { id, reason: format!("malformed request: {e}") }).ok();
+                rx
+            }
+        }
+    }
+}

@@ -13,6 +13,9 @@
 //! * **Exporters** — [`chrome_trace_json`] renders drained spans in Chrome
 //!   trace format (load in `chrome://tracing` or <https://ui.perfetto.dev>);
 //!   [`MetricsSnapshot::to_json`] is the metrics dump.
+//! * **Redaction** — [`redact`]/[`Redacted`] mask circuit labels and file
+//!   paths on log surfaces (`[redacted:xxxxxxxx]`, stable per label) when
+//!   `ZAC_REDACT=1` or [`set_redaction`] turns it on.
 //!
 //! Recording is off unless `ZAC_TELEMETRY` is set to a non-empty value other
 //! than `0` (checked once, at the first [`enabled`] query), or a test/tool
@@ -26,10 +29,12 @@
 
 mod export;
 pub mod metrics;
+pub mod redact;
 mod span;
 
 pub use export::chrome_trace_json;
 pub use metrics::MetricsSnapshot;
+pub use redact::{redact, redaction_enabled, set_redaction, Redacted};
 pub use span::{take_spans, SpanGuard, SpanRecord};
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -236,6 +236,18 @@ pub static CACHE_SHARD_MISSES: CounterFamily<CACHE_SHARDS> =
 pub static CACHE_SHARD_EVICTIONS: CounterFamily<CACHE_SHARDS> =
     CounterFamily::new("cache.lru.shard_evictions", "shard");
 
+/// `zac-serve`: request/entry lifecycle counters, queue depth, and
+/// end-to-end request latency.
+pub static SERVE_REQUESTS_SUBMITTED: Counter = Counter::new("serve.request.submitted");
+pub static SERVE_REQUESTS_COMPLETED: Counter = Counter::new("serve.request.completed");
+pub static SERVE_REQUESTS_REJECTED: Counter = Counter::new("serve.request.rejected");
+pub static SERVE_ENTRIES_OK: Counter = Counter::new("serve.entry.ok");
+pub static SERVE_ENTRIES_REJECTED: Counter = Counter::new("serve.entry.rejected");
+pub static SERVE_ENTRIES_FAILED: Counter = Counter::new("serve.entry.failed");
+pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new("serve.queue.depth");
+pub static SERVE_REQUEST_LATENCY_MS: Histogram =
+    Histogram::new("serve.request.latency_ms", &[1, 5, 25, 100, 500, 2_000, 10_000, 60_000]);
+
 static COUNTERS: &[&Counter] = &[
     &CORE_COMPILES,
     &QASM_STATEMENTS,
@@ -252,9 +264,15 @@ static COUNTERS: &[&Counter] = &[
     &CACHE_MISSES,
     &CACHE_INSERTIONS,
     &CACHE_EVICTIONS,
+    &SERVE_REQUESTS_SUBMITTED,
+    &SERVE_REQUESTS_COMPLETED,
+    &SERVE_REQUESTS_REJECTED,
+    &SERVE_ENTRIES_OK,
+    &SERVE_ENTRIES_REJECTED,
+    &SERVE_ENTRIES_FAILED,
 ];
-static GAUGES: &[&Gauge] = &[&CACHE_RESIDENT];
-static HISTOGRAMS: &[&Histogram] = &[&PLACE_ASSIGNMENT_MOVERS];
+static GAUGES: &[&Gauge] = &[&CACHE_RESIDENT, &SERVE_QUEUE_DEPTH];
+static HISTOGRAMS: &[&Histogram] = &[&PLACE_ASSIGNMENT_MOVERS, &SERVE_REQUEST_LATENCY_MS];
 static FAMILIES: &[&CounterFamily<CACHE_SHARDS>] =
     &[&CACHE_SHARD_HITS, &CACHE_SHARD_MISSES, &CACHE_SHARD_EVICTIONS];
 

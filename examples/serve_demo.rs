@@ -1,0 +1,71 @@
+//! Drive the compile service in-process: submit the 17-circuit paper suite
+//! as OpenQASM, stream per-entry results as workers finish them, then
+//! resubmit the identical batch to show the warm wave served entirely from
+//! the shared cache.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+//! Set `ZAC_TELEMETRY=1` to also print the request's metrics delta.
+
+use zac::circuit::bench_circuits;
+use zac::circuit::qasm::to_qasm;
+use zac::serve::{CircuitEntry, EntryOutcome, Request, Response, Service, ServiceConfig};
+
+fn suite_request(id: &str) -> Request {
+    let circuits = bench_circuits::paper_suite()
+        .iter()
+        .map(|bench| CircuitEntry {
+            name: bench.circuit.name().to_string(),
+            qasm: to_qasm(&bench.circuit),
+        })
+        .collect();
+    Request::new(id, "Zoned-ZAC", circuits)
+}
+
+fn run_wave(service: &Service, id: &str) {
+    println!("── wave `{id}` ──");
+    for response in service.submit(suite_request(id)) {
+        match response {
+            Response::Result { name, outcome, .. } => match outcome {
+                EntryOutcome::Ok(out) => println!(
+                    "  {name:<18} fidelity {:.4}  2q {:>4}  {:>9.2?}{}",
+                    out.report.total(),
+                    out.counts.g2,
+                    out.compile_time,
+                    if out.from_cache { "  (cache hit)" } else { "" }
+                ),
+                EntryOutcome::Rejected(reason) => println!("  {name:<18} rejected: {reason}"),
+                EntryOutcome::Failed(reason) => println!("  {name:<18} FAILED: {reason}"),
+            },
+            Response::Done(done) => {
+                println!(
+                    "  done: ok {} / rejected {} / failed {} in {} ms (place {:.2} ms, schedule {:.2} ms)",
+                    done.ok,
+                    done.rejected,
+                    done.failed,
+                    done.latency_ms,
+                    done.phase_totals.place_ns as f64 / 1e6,
+                    done.phase_totals.schedule_ns as f64 / 1e6,
+                );
+                if let Some(metrics) = &done.metrics {
+                    println!("  metrics delta: {}", serde_json::to_string(metrics).unwrap());
+                }
+            }
+            Response::Rejected { reason, .. } => println!("  request rejected: {reason}"),
+            Response::Error { reason, .. } => println!("  request error: {reason}"),
+        }
+    }
+}
+
+fn main() {
+    let service = Service::new(ServiceConfig::default());
+    run_wave(&service, "cold");
+    run_wave(&service, "warm");
+    let stats = service.cache().stats();
+    println!(
+        "cache: {} lookups, {} hits, {} misses — hit rate {:.0}%",
+        stats.lookups(),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}

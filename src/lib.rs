@@ -38,6 +38,7 @@ pub use zac_ftqc as ftqc;
 pub use zac_graph as graph;
 pub use zac_place as place;
 pub use zac_schedule as schedule;
+pub use zac_serve as serve;
 pub use zac_sim as sim;
 pub use zac_telemetry as telemetry;
 pub use zac_zair as zair;
@@ -62,6 +63,10 @@ pub mod prelude {
         ExhaustivePlacer, PlacementConfig, PlacementEngine, Placer, WindowedPlacer,
     };
     pub use zac_schedule::ScheduleWorkspace;
+    pub use zac_serve::{
+        AdmissionLimits, CircuitEntry, EntryOutcome, RejectReason, Request, Response, Service,
+        ServiceConfig,
+    };
     pub use zac_telemetry::{MetricsSnapshot, SpanRecord};
     pub use zac_zair::Program;
 }

@@ -1,0 +1,149 @@
+//! Serving bit-identity contract: routing the full 17-circuit paper suite
+//! through `zac-serve` must produce exactly what a direct compile — and a
+//! direct [`BatchRunner`] sweep — produces, for both placement engines.
+//!
+//! "Bit-identical" here means every semantic field: program, execution
+//! summary, fidelity report, gate counts, and phase-timing *presence*.
+//! Wall-clock fields (`compile_time`, phase durations) legitimately differ
+//! between runs, so fresh compiles compare via the versioned envelope's
+//! `semantic_json()`; warm-wave responses additionally compare raw bytes
+//! against the cold wave (cache hits preserve the original timings, so
+//! only the `from_cache` flag may differ).
+
+use std::collections::HashMap;
+use zac::circuit::qasm::{parse_qasm, to_qasm};
+use zac::circuit::{bench_circuits, preprocess, StagedCircuit};
+use zac::compiler::{Zac, ZacConfig};
+use zac::prelude::*;
+use zac::serve::{Request, Response, Service, ServiceConfig};
+
+/// Full pipeline with a reduced SA budget so the multi-engine double sweep
+/// stays quick; the service and every direct path use the identical value.
+fn engine_config(engine: &PlacementEngine) -> ZacConfig {
+    let mut cfg = ZacConfig::full();
+    cfg.placement.sa_iterations = 100;
+    cfg.placement.engine = engine.clone();
+    cfg
+}
+
+/// The paper suite as wire entries, plus the staged circuits a direct
+/// compile sees — both derived from the same QASM text, so the service and
+/// the reference path get byte-identical inputs.
+fn suite() -> (Vec<CircuitEntry>, Vec<StagedCircuit>) {
+    let mut entries = Vec::new();
+    let mut staged = Vec::new();
+    for bench in bench_circuits::paper_suite() {
+        let name = bench.circuit.name().to_string();
+        let qasm = to_qasm(&bench.circuit);
+        let circuit = parse_qasm(&qasm, &name).expect("suite QASM round-trips");
+        staged.push(preprocess(&circuit));
+        entries.push(CircuitEntry { name, qasm });
+    }
+    (entries, staged)
+}
+
+/// Drains one request into (entry index → output), asserting every entry
+/// succeeded and the terminal `Done` agrees.
+fn serve_suite(
+    service: &Service,
+    request: Request,
+) -> HashMap<usize, zac::compiler::CompileOutput> {
+    let expected = request.circuits.len();
+    let mut outputs = HashMap::new();
+    for response in service.submit(request) {
+        match response {
+            Response::Result { entry, name, outcome, .. } => {
+                let out = outcome.output().unwrap_or_else(|| panic!("{name} compiles")).clone();
+                assert!(outputs.insert(entry, out).is_none(), "{name} reported once");
+            }
+            Response::Done(done) => {
+                assert_eq!((done.ok, done.rejected, done.failed), (expected, 0, 0));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(outputs.len(), expected);
+    outputs
+}
+
+#[test]
+fn served_suite_is_bit_identical_to_direct_and_batch_runs() {
+    let (entries, staged) = suite();
+    assert_eq!(entries.len(), 17, "the full paper suite");
+
+    // One service; the windowed run exercises the request-side engine
+    // override. The injected cache is shared with the BatchRunner below.
+    let cache = CompileCache::in_memory(256);
+    let service = Service::new(ServiceConfig {
+        workers: 4,
+        zac_config: engine_config(&PlacementEngine::Exhaustive),
+        cache: cache.clone(),
+        ..Default::default()
+    });
+
+    let engines = [
+        ("exhaustive", None, PlacementEngine::Exhaustive),
+        ("windowed", Some("windowed"), PlacementEngine::windowed()),
+    ];
+    let mut served: Vec<HashMap<usize, zac::compiler::CompileOutput>> = Vec::new();
+    for (label, engine_override, engine) in &engines {
+        let mut request = Request::new(format!("suite-{label}"), "Zoned-ZAC", entries.clone());
+        request.engine = engine_override.map(str::to_string);
+        let outputs = serve_suite(&service, request);
+
+        // Fresh compiles: semantically bit-identical to direct compiles of
+        // the same staged circuits under the same configuration.
+        let zac = Zac::with_config(Architecture::reference(), engine_config(engine));
+        for (index, circuit) in staged.iter().enumerate() {
+            let direct = Compiler::compile(&zac, circuit)
+                .unwrap_or_else(|e| panic!("{}: {e}", circuit.name));
+            let out = &outputs[&index];
+            assert!(!out.from_cache, "{label}/{}: cold wave compiles fresh", circuit.name);
+            assert_eq!(
+                out.semantic_json(),
+                direct.semantic_json(),
+                "{label}/{}: served output diverges from the direct compile",
+                circuit.name
+            );
+        }
+        served.push(outputs);
+    }
+
+    // Warm wave (exhaustive): responses must be byte-identical to the cold
+    // wave modulo the cache-hit flag — hits preserve original timings.
+    let warm = serve_suite(&service, Request::new("warm", "Zoned-ZAC", entries.clone()));
+    for (index, cold_out) in &served[0] {
+        let mut warm_out = warm[index].clone();
+        assert!(warm_out.from_cache, "warm wave is served from cache");
+        warm_out.from_cache = false;
+        assert_eq!(
+            serde_json::to_string(&warm_out).unwrap(),
+            serde_json::to_string(cold_out).unwrap(),
+            "entry {index}: warm response must be byte-identical modulo from_cache"
+        );
+    }
+
+    // A direct BatchRunner sweep over the same cache: every cell is a hit
+    // of what serving compiled, and the figures-facing fields agree.
+    let compilers: Vec<Box<dyn Compiler>> = engines
+        .iter()
+        .map(|(_, _, engine)| {
+            Box::new(Zac::with_config(Architecture::reference(), engine_config(engine)))
+                as Box<dyn Compiler>
+        })
+        .collect();
+    let rows = BatchRunner::serial().with_cache(cache.clone()).run(&compilers, &staged);
+    assert_eq!(rows.len(), staged.len());
+    for (index, row) in rows.iter().enumerate() {
+        assert!(row.failures.is_empty(), "{}: {:?}", row.name, row.failures);
+        assert_eq!(row.results.len(), engines.len());
+        for (engine_idx, result) in row.results.iter().enumerate() {
+            let out = &served[engine_idx][&index];
+            assert!(result.from_cache, "{}: the sweep reuses served compilations", row.name);
+            assert_eq!(result.report, out.report, "{}: fidelity agrees", row.name);
+            assert_eq!(result.counts, out.counts, "{}: counts agree", row.name);
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses as usize, 2 * staged.len(), "one miss per engine per circuit, ever");
+}
