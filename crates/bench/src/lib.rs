@@ -174,6 +174,7 @@ fn outcome_from_error(e: CompileError) -> RunOutcome {
             RunOutcome::TooLarge { needed, available }
         }
         CompileError::Failed(reason) => RunOutcome::Failed(reason),
+        CompileError::Cancelled => RunOutcome::Failed("compilation cancelled".into()),
     }
 }
 

@@ -4,8 +4,21 @@
 //! into place) so a concurrent reader — another process sharing the cache
 //! directory, or a crashed writer's successor — never observes a torn file.
 //! Reads are lazy: the disk is only consulted on an in-memory miss, and
-//! anything unreadable (corrupt JSON, wrong format version, fingerprint
-//! mismatch from a renamed file) is treated as a miss, never an error.
+//! anything unreadable is treated as a miss, never an error. [`LoadOutcome`]
+//! classifies the misses: a file that no longer *parses* (torn, truncated,
+//! or garbage — something atomic rename should have made impossible, so
+//! likely bit rot or an interrupted foreign writer) is **quarantined**,
+//! renamed to `*.quarantine` so it is inspected once, never re-parsed on
+//! every lookup; version or fingerprint mismatches are plain misses (the
+//! cache's normal degradation mode — old formats and renamed files are
+//! well-formed, just not usable).
+//!
+//! Writes retry transient failures a bounded number of times with a small
+//! deterministic jittered backoff; opening a directory runs a recovery scan
+//! that reports quarantined entries and sweeps orphaned temp files from
+//! crashed writers. Both paths carry [`fault_point!`](zac_telemetry::fault_point)s
+//! (`cache.disk.read`, `cache.disk.write`) so the failure handling is
+//! exercised deterministically under an armed `ZAC_FAULTS` plan.
 //!
 //! Since envelope v2 the entry body *is* the versioned [`CompileOutput`]
 //! document from `zac_core::output_json` — the same schema the serving
@@ -65,21 +78,70 @@ impl Deserialize for DiskEntry {
     }
 }
 
+/// How a disk lookup resolved — the classification behind `CompileCache`'s
+/// `quarantined` / `disk_errors` counters.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// The entry was present, intact, and keyed correctly.
+    Hit(Box<CompileOutput>),
+    /// No usable entry: absent file, or a well-formed entry whose version
+    /// or fingerprints do not match (normal degradation, recompile).
+    Miss,
+    /// The file existed but did not parse as JSON; it has been renamed to
+    /// `*.quarantine` and the lookup proceeds as a clean miss.
+    Quarantined,
+    /// The read itself failed (filesystem error or an injected
+    /// `cache.disk.read` fault); a miss, but counted as a disk error.
+    ReadError,
+}
+
+/// What [`DiskLayer::new`]'s recovery scan found in the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// `*.quarantine` files present (from this or earlier runs) — corrupt
+    /// entries set aside for inspection.
+    pub quarantined: usize,
+    /// Orphaned `*.tmp.*` files swept away (debris from crashed writers).
+    pub tmp_removed: usize,
+}
+
+/// Transient-write retry budget: 1 initial attempt + 2 retries.
+const STORE_ATTEMPTS: u32 = 3;
+
 /// The disk layer of a `CompileCache`: a directory of JSON entries.
 pub struct DiskLayer {
     dir: PathBuf,
+    recovery: RecoveryReport,
 }
 
 impl DiskLayer {
-    /// Opens (creating if needed) a cache directory.
+    /// Opens (creating if needed) a cache directory, then runs a recovery
+    /// scan: orphaned temp files from crashed writers are removed, and
+    /// quarantined entries are counted into the [`RecoveryReport`]
+    /// (available via [`recovery`](Self::recovery)).
     ///
     /// # Errors
     ///
-    /// [`io::Error`] if the directory cannot be created.
+    /// [`io::Error`] if the directory cannot be created or scanned.
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        let mut recovery = RecoveryReport::default();
+        for entry in fs::read_dir(&dir)? {
+            let Ok(entry) = entry else { continue };
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".quarantine") {
+                recovery.quarantined += 1;
+            } else if name.contains(".tmp.") {
+                // Temp names are unique per (pid, write): anything still
+                // here belongs to a writer that died mid-store.
+                if fs::remove_file(entry.path()).is_ok() {
+                    recovery.tmp_removed += 1;
+                }
+            }
+        }
+        Ok(Self { dir, recovery })
     }
 
     /// The cache directory.
@@ -87,37 +149,76 @@ impl DiskLayer {
         &self.dir
     }
 
+    /// What the opening recovery scan found.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
     /// Path of `key`'s entry file.
     pub fn entry_path(&self, key: CacheKey) -> PathBuf {
         self.dir.join(format!("{}.json", key.file_stem()))
     }
 
-    /// Loads `key`'s entry, if present and intact. Any failure — missing
-    /// file, corrupt JSON, version or fingerprint mismatch — is a miss.
+    /// Loads `key`'s entry, if present and intact (the [`LoadOutcome::Miss`]
+    /// folding of [`load_classified`](Self::load_classified)).
     pub fn load(&self, key: CacheKey) -> Option<CompileOutput> {
-        let text = fs::read_to_string(self.entry_path(key)).ok()?;
-        let entry: DiskEntry = serde_json::from_str(&text).ok()?;
+        match self.load_classified(key) {
+            LoadOutcome::Hit(out) => Some(*out),
+            _ => None,
+        }
+    }
+
+    /// Loads `key`'s entry and says *how* the lookup resolved. Never an
+    /// error: every failure mode degrades to a (classified) miss, and a
+    /// file that fails to parse is quarantined on the spot so the corrupt
+    /// bytes are kept for inspection without being re-read on every lookup.
+    pub fn load_classified(&self, key: CacheKey) -> LoadOutcome {
+        let path = self.entry_path(key);
+        if zac_telemetry::fault_point!("cache.disk.read").is_some() {
+            return LoadOutcome::ReadError;
+        }
+        // Raw bytes, not `read_to_string`: garbage that isn't UTF-8 is
+        // *corruption* (quarantine below), not a read error — only the read
+        // itself failing counts as one.
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Miss,
+            Err(_) => return LoadOutcome::ReadError,
+        };
+        let entry = std::str::from_utf8(&bytes)
+            .ok()
+            .and_then(|text| serde_json::from_str::<DiskEntry>(text).ok());
+        let Some(entry) = entry else {
+            // Torn, truncated, or garbage: set the bytes aside. If the
+            // rename fails (another reader quarantined it first, or the
+            // filesystem is unhappy) the entry is simply gone next lookup.
+            fs::rename(&path, path.with_extension("quarantine")).ok();
+            return LoadOutcome::Quarantined;
+        };
         if entry.version != DISK_FORMAT_VERSION
             || entry.circuit_fp != format!("{:016x}", key.circuit)
             || entry.compiler_fp != format!("{:016x}", key.compiler)
         {
-            return None;
+            return LoadOutcome::Miss;
         }
         let mut out = entry.output;
         // The disk layer hands back pristine outputs; the in-memory layer
         // owns the `from_cache` marking on hits.
         out.from_cache = false;
-        Some(out)
+        LoadOutcome::Hit(Box::new(out))
     }
 
-    /// Persists `key → output` atomically (temp file + rename).
+    /// Persists `key → output` atomically (temp file + rename), retrying
+    /// transient failures up to twice with a small deterministic jittered
+    /// backoff. Returns how many retries were needed (0 on a clean write).
     ///
     /// # Errors
     ///
-    /// [`io::Error`] on filesystem failure, or `InvalidData` if the output
-    /// contains non-finite numbers (JSON cannot represent them; such an
-    /// output is an upstream compiler bug and must not poison the cache).
-    pub fn store(&self, key: CacheKey, output: &CompileOutput) -> io::Result<()> {
+    /// [`io::Error`] once the retry budget is exhausted, or immediately
+    /// with `InvalidData` if the output contains non-finite numbers (JSON
+    /// cannot represent them; such an output is an upstream compiler bug
+    /// and must not poison the cache — retrying cannot help).
+    pub fn store(&self, key: CacheKey, output: &CompileOutput) -> io::Result<u64> {
         let mut pristine = output.clone();
         pristine.from_cache = false;
         let entry = DiskEntry {
@@ -135,6 +236,32 @@ impl DiskLayer {
         }
         let json = serde_json::to_string(&value)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+
+        let mut retries = 0u64;
+        loop {
+            let err = match self.write_once(key, &json) {
+                Ok(()) => return Ok(retries),
+                Err(e) => e,
+            };
+            // Deterministic failures (non-finite data is caught above, but
+            // e.g. a read-only filesystem also returns the same error every
+            // time) still burn the budget — the classification a kernel
+            // gives us is not reliable enough to special-case, and two
+            // extra millisecond-scale attempts are cheap.
+            if err.kind() == io::ErrorKind::InvalidData || retries + 1 >= u64::from(STORE_ATTEMPTS)
+            {
+                return Err(err);
+            }
+            retries += 1;
+            std::thread::sleep(backoff(key, retries));
+        }
+    }
+
+    /// One atomic write attempt: temp file + rename, temp removed on error.
+    fn write_once(&self, key: CacheKey, json: &str) -> io::Result<()> {
+        if let Some(e) = zac_telemetry::fault_point!("cache.disk.write") {
+            return Err(e);
+        }
         let path = self.entry_path(key);
         // Unique per writer (pid + in-process counter): two threads or
         // processes racing on the same key must not truncate each other's
@@ -152,6 +279,21 @@ impl DiskLayer {
             fs::remove_file(&tmp).ok();
         })
     }
+}
+
+/// Retry backoff: ~0.5 ms doubling per attempt, jittered by a hash of
+/// (key, attempt) so concurrent writers racing on one entry spread out —
+/// deterministically, keeping the no-RNG-in-tree invariant.
+fn backoff(key: CacheKey, attempt: u64) -> std::time::Duration {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [key.circuit, key.compiler, attempt] {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    let base_us = 500u64 << (attempt - 1).min(4);
+    std::time::Duration::from_micros(base_us + h % base_us)
 }
 
 #[cfg(test)]
@@ -243,6 +385,45 @@ mod tests {
         let other = CacheKey { circuit: 1, compiler: 2 };
         fs::rename(layer.entry_path(key()), layer.entry_path(other)).unwrap();
         assert!(layer.load(other).is_none(), "stored fingerprints beat the filename");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_not_reparsed() {
+        let dir = temp_cache_dir("disk-quarantine");
+        let layer = DiskLayer::new(&dir).unwrap();
+        fs::write(layer.entry_path(key()), "{\"version\":2,\"circ").unwrap();
+
+        assert!(matches!(layer.load_classified(key()), LoadOutcome::Quarantined));
+        let quarantine = layer.entry_path(key()).with_extension("quarantine");
+        assert!(quarantine.exists(), "corrupt bytes are set aside");
+        assert!(!layer.entry_path(key()).exists(), "the entry slot is freed");
+        // The next lookup is a plain miss — the corrupt file is gone.
+        assert!(matches!(layer.load_classified(key()), LoadOutcome::Miss));
+
+        // A fresh store reclaims the slot; the quarantined bytes survive.
+        layer.store(key(), &sample_output("q", 1)).unwrap();
+        assert!(matches!(layer.load_classified(key()), LoadOutcome::Hit(_)));
+        assert!(quarantine.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_scan_counts_quarantine_and_sweeps_orphan_temps() {
+        let dir = temp_cache_dir("disk-recovery");
+        {
+            let layer = DiskLayer::new(&dir).unwrap();
+            assert_eq!(layer.recovery(), RecoveryReport::default(), "fresh directory");
+            layer.store(key(), &sample_output("r", 1)).unwrap();
+        }
+        // Simulate a crashed writer and an earlier quarantine.
+        fs::write(dir.join("0000000000000001-0000000000000002.json.tmp.999.0"), "torn").unwrap();
+        fs::write(dir.join("dead-beef.quarantine"), "garbage").unwrap();
+
+        let layer = DiskLayer::new(&dir).unwrap();
+        assert_eq!(layer.recovery(), RecoveryReport { quarantined: 1, tmp_removed: 1 });
+        assert!(!dir.join("0000000000000001-0000000000000002.json.tmp.999.0").exists());
+        assert!(layer.load(key()).is_some(), "intact entries survive recovery");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -104,6 +104,12 @@ pub struct CacheStats {
     /// Disk store/load failures ignored at the API surface (I/O errors,
     /// non-finite outputs) — nonzero values merit investigation.
     pub disk_errors: u64,
+    /// Corrupt disk entries renamed to `*.quarantine` and treated as clean
+    /// misses (see [`disk::LoadOutcome::Quarantined`]).
+    pub quarantined: u64,
+    /// Transient disk-write failures absorbed by the store retry loop
+    /// (successful writes only; exhausted budgets count in `disk_errors`).
+    pub disk_retries: u64,
     /// Entries currently resident in memory.
     pub resident: usize,
 }
@@ -134,6 +140,8 @@ struct Counters {
     evictions: AtomicU64,
     disk_writes: AtomicU64,
     disk_errors: AtomicU64,
+    quarantined: AtomicU64,
+    disk_retries: AtomicU64,
 }
 
 struct Inner {
@@ -210,14 +218,25 @@ impl CompileCache {
             return Some(out);
         }
         if let Some(disk) = &self.inner.disk {
-            if let Some(mut out) = disk.load(key) {
-                c.disk_hits.fetch_add(1, Ordering::Relaxed);
-                metrics::CACHE_DISK_HITS.incr();
-                let evicted = self.inner.lru.insert(key, out.clone());
-                c.evictions.fetch_add(evicted, Ordering::Relaxed);
-                metrics::CACHE_EVICTIONS.add(evicted);
-                out.from_cache = true;
-                return Some(out);
+            match disk.load_classified(key) {
+                disk::LoadOutcome::Hit(out) => {
+                    let mut out = *out;
+                    c.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    metrics::CACHE_DISK_HITS.incr();
+                    let evicted = self.inner.lru.insert(key, out.clone());
+                    c.evictions.fetch_add(evicted, Ordering::Relaxed);
+                    metrics::CACHE_EVICTIONS.add(evicted);
+                    out.from_cache = true;
+                    return Some(out);
+                }
+                disk::LoadOutcome::Quarantined => {
+                    c.quarantined.fetch_add(1, Ordering::Relaxed);
+                    metrics::CACHE_DISK_QUARANTINED.incr();
+                }
+                disk::LoadOutcome::ReadError => {
+                    c.disk_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                disk::LoadOutcome::Miss => {}
             }
         }
         c.misses.fetch_add(1, Ordering::Relaxed);
@@ -234,8 +253,14 @@ impl CompileCache {
         pristine.from_cache = false;
         if let Some(disk) = &self.inner.disk {
             match disk.store(key, &pristine) {
-                Ok(()) => c.disk_writes.fetch_add(1, Ordering::Relaxed),
-                Err(_) => c.disk_errors.fetch_add(1, Ordering::Relaxed),
+                Ok(retries) => {
+                    c.disk_writes.fetch_add(1, Ordering::Relaxed);
+                    c.disk_retries.fetch_add(retries, Ordering::Relaxed);
+                    metrics::CACHE_DISK_RETRIES.add(retries);
+                }
+                Err(_) => {
+                    c.disk_errors.fetch_add(1, Ordering::Relaxed);
+                }
             };
         }
         let evicted = self.inner.lru.insert(key, pristine);
@@ -262,8 +287,16 @@ impl CompileCache {
             evictions: c.evictions.load(Ordering::Relaxed),
             disk_writes: c.disk_writes.load(Ordering::Relaxed),
             disk_errors: c.disk_errors.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
+            disk_retries: c.disk_retries.load(Ordering::Relaxed),
             resident: self.inner.lru.len(),
         }
+    }
+
+    /// What the disk layer's opening recovery scan found (`None` for
+    /// memory-only caches).
+    pub fn recovery_report(&self) -> Option<disk::RecoveryReport> {
+        self.inner.disk.as_ref().map(DiskLayer::recovery)
     }
 }
 

@@ -10,6 +10,7 @@
 //!   envelope, even with many writers racing on one directory;
 //! * a warm second wave over a populated cache is 100% hits.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -161,6 +162,98 @@ fn concurrent_disk_cache_is_consistent_and_untorn() {
     assert!((stats.hit_rate() - 1.0).abs() < f64::EPSILON, "{stats:?}");
     assert_eq!(stats.lookups() as usize, THREADS * KEYS, "{stats:?}");
     assert!(stats.disk_hits >= KEYS as u64, "first touch of each key comes from disk: {stats:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The fault-injecting writer: overwrites `key(i)`'s entry file with one of
+/// the three corruption shapes a crashed or interrupted writer leaves
+/// behind — a *torn* write (a valid prefix of the real envelope, cut
+/// mid-JSON), a *truncated* file (zero bytes), or *garbage* (bytes that
+/// were never JSON).
+fn corrupt_entry(dir: &Path, i: usize) {
+    let path = dir.join(format!("{}.json", key(i).file_stem()));
+    let intact = std::fs::read_to_string(&path).expect("entry exists before corruption");
+    let corrupted: Vec<u8> = match i % 3 {
+        0 => intact.as_bytes()[..intact.len() / 2].to_vec(),
+        1 => Vec::new(),
+        _ => b"\x00\xffnot json at all\x7f".to_vec(),
+    };
+    std::fs::write(&path, corrupted).expect("fault-injecting writer");
+}
+
+#[test]
+fn corrupted_disk_entries_quarantine_then_recompile_cleanly() {
+    const CORRUPT: usize = 6;
+    let dir = temp_cache_dir("corrupt");
+    {
+        let cache = CompileCache::with_disk(KEYS, &dir).unwrap();
+        for i in 0..KEYS {
+            cache.put(key(i), &output(i));
+        }
+    }
+    for i in 0..CORRUPT {
+        corrupt_entry(&dir, i);
+    }
+    // Crashed-writer debris on top: recovery must sweep it at open.
+    std::fs::write(dir.join("deadbeef.json.tmp.999"), b"partial").unwrap();
+
+    let cache = CompileCache::with_disk(KEYS, &dir).unwrap();
+    let recovery = cache.recovery_report().expect("disk-backed cache has a recovery report");
+    assert_eq!(recovery.tmp_removed, 1, "orphaned temp file swept: {recovery:?}");
+    assert_eq!(recovery.quarantined, 0, "nothing quarantined before any lookup: {recovery:?}");
+
+    // First wave: corrupt entries are clean misses (quarantined, not
+    // errors); intact entries still hit from disk.
+    for i in 0..KEYS {
+        match cache.get(key(i)) {
+            None => assert!(i < CORRUPT, "intact key {i} must hit"),
+            Some(out) => {
+                assert!(i >= CORRUPT, "corrupt key {i} must miss");
+                assert_eq!(out.counts.g1, i);
+            }
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.quarantined, CORRUPT as u64, "{stats:?}");
+    assert_eq!(stats.disk_errors, 0, "corruption is quarantine, not an error: {stats:?}");
+    assert_eq!(stats.misses, CORRUPT as u64, "{stats:?}");
+    assert_eq!(
+        stats.lookups(),
+        stats.hits + stats.disk_hits + stats.misses,
+        "counter identity holds through quarantining: {stats:?}"
+    );
+    for i in 0..CORRUPT {
+        let q = dir.join(format!("{}.quarantine", key(i).file_stem()));
+        assert!(q.exists(), "corrupt bytes kept for inspection at {q:?}");
+    }
+
+    // Recompile the quarantined keys: the slots are free again and the
+    // rewritten entries serve hits.
+    for i in 0..CORRUPT {
+        cache.put(key(i), &output(i));
+    }
+    // A fresh cache (empty memory) over the repaired directory, hammered
+    // concurrently: counters stay consistent and nothing re-quarantines.
+    // Every key is back on disk, so the hammer never misses at all.
+    let repaired = CompileCache::with_disk(KEYS / 3, &dir).unwrap();
+    let observed = hammer(&repaired);
+    let stats = repaired.stats();
+    assert_eq!(observed, 0, "the repaired directory serves everything: {stats:?}");
+    assert_eq!(
+        stats.lookups(),
+        stats.hits + stats.disk_hits + stats.misses,
+        "counter identity holds over the repaired directory: {stats:?}"
+    );
+    assert_eq!(stats.lookups() as usize, THREADS * ROUNDS * KEYS, "{stats:?}");
+    assert_eq!(stats.quarantined, 0, "repaired entries are intact: {stats:?}");
+    assert_eq!(stats.disk_errors, 0, "{stats:?}");
+
+    // The quarantine files survive for post-mortem until an operator (or a
+    // fresh open's recovery report) deals with them.
+    let reopened = CompileCache::with_disk(KEYS, &dir).unwrap();
+    let recovery = reopened.recovery_report().expect("recovery report");
+    assert_eq!(recovery.quarantined, CORRUPT, "{recovery:?}");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,117 @@
+//! Seeded fault-plan tests for the disk layer's crash-safety: bounded
+//! write retries under injected IO faults, and read faults classifying as
+//! disk errors (never quarantine — the bytes on disk are fine).
+//!
+//! Fault plans are **process-global**, which is why these tests live in
+//! their own binary (a plan armed here can never leak into the
+//! `concurrency` suite) and serialize on [`GATE`] within it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use zac_cache::{CacheKey, CompileCache};
+use zac_core::CompileOutput;
+use zac_fidelity::{evaluate_neutral_atom, ExecutionSummary, NeutralAtomParams};
+use zac_telemetry::{fault, FaultPlan};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "zac-cache-rec-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn key(i: usize) -> CacheKey {
+    CacheKey { circuit: 0xfa_0000 + i as u64, compiler: 0xdeed }
+}
+
+fn output(i: usize) -> CompileOutput {
+    let summary = ExecutionSummary {
+        name: format!("rec-{i}"),
+        num_qubits: 2,
+        duration_us: 10.0 + i as f64,
+        g1: i,
+        g2: 1,
+        n_exc: 0,
+        n_tran: 2,
+        idle_us: vec![1.0, 2.5],
+    };
+    let report = evaluate_neutral_atom(&summary, &NeutralAtomParams::reference());
+    CompileOutput::new(summary, report, Duration::from_micros(321), None)
+}
+
+#[test]
+fn injected_write_faults_retry_and_every_store_resolves() {
+    let _gate = gate();
+    const N: usize = 24;
+    let dir = temp_cache_dir("write-faults");
+    let cache = CompileCache::with_disk(N, &dir).unwrap();
+
+    // 40% of write attempts fail: most stores succeed within the 3-attempt
+    // budget (retries counted), a store whose three draws all fail surfaces
+    // as a disk error — never a torn or half-written entry.
+    fault::arm(FaultPlan::parse("9:cache.disk.write=io@0.4").expect("plan parses"));
+    for i in 0..N {
+        cache.put(key(i), &output(i));
+    }
+    fault::disarm();
+
+    let stats = cache.stats();
+    assert!(stats.disk_retries > 0, "a 40% fault rate must force retries: {stats:?}");
+
+    // Every store resolved exactly one way: a readable entry on disk or a
+    // counted disk error. A fresh cache (cold memory) proves the survivors
+    // are intact — and none of the failures left debris behind.
+    let fresh = CompileCache::with_disk(N, &dir).unwrap();
+    let readable = (0..N).filter(|&i| fresh.get(key(i)).is_some()).count();
+    assert_eq!(
+        readable + stats.disk_errors as usize,
+        N,
+        "readable entries + write failures account for every store: {stats:?}"
+    );
+    assert!(readable > 0, "at a 40% fault rate most stores must get through");
+    let fresh_stats = fresh.stats();
+    assert_eq!(fresh_stats.quarantined, 0, "failed writes never publish bytes: {fresh_stats:?}");
+    for file in std::fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
+        let name = file.file_name().to_string_lossy().into_owned();
+        assert!(!name.contains(".tmp."), "leaked temp file {name}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_read_faults_are_disk_errors_not_quarantine() {
+    let _gate = gate();
+    let dir = temp_cache_dir("read-faults");
+    {
+        let cache = CompileCache::with_disk(4, &dir).unwrap();
+        cache.put(key(0), &output(0));
+    }
+
+    let cache = CompileCache::with_disk(4, &dir).unwrap();
+    fault::arm(FaultPlan::parse("10:cache.disk.read=io").expect("plan parses"));
+    assert!(cache.get(key(0)).is_none(), "a failed read degrades to a miss");
+    fault::disarm();
+
+    let stats = cache.stats();
+    assert_eq!(stats.disk_errors, 1, "{stats:?}");
+    assert_eq!(stats.quarantined, 0, "the entry's bytes are fine — no quarantine: {stats:?}");
+
+    // The fault was transient: the same entry serves a disk hit afterwards.
+    let out = cache.get(key(0)).expect("entry survives the injected read fault");
+    assert_eq!(out.counts.g1, 0);
+    let stats = cache.stats();
+    assert_eq!(stats.disk_hits, 1, "{stats:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

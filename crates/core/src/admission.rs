@@ -172,6 +172,23 @@ pub enum RejectReason {
         /// The queue capacity.
         cap: usize,
     },
+    /// The target compiler's circuit breaker is open: recent compiles
+    /// panicked or timed out, and the service is refusing new work for that
+    /// compiler until a half-open probe succeeds.
+    BreakerOpen {
+        /// Consecutive failures that tripped the breaker.
+        failures: u32,
+        /// How long the breaker stays open before probing, in milliseconds.
+        cooldown_ms: u64,
+    },
+    /// The entry was shed from a saturated queue to make room for
+    /// higher-priority work.
+    Shed {
+        /// Jobs queued when the shed decision was made.
+        depth: usize,
+        /// The queue capacity.
+        cap: usize,
+    },
 }
 
 impl fmt::Display for RejectReason {
@@ -191,6 +208,15 @@ impl fmt::Display for RejectReason {
             }
             Self::QueueFull { depth, cap } => {
                 write!(f, "queue holds {depth} jobs, capacity is {cap}")
+            }
+            Self::BreakerOpen { failures, cooldown_ms } => {
+                write!(
+                    f,
+                    "circuit breaker open after {failures} failures (cooldown {cooldown_ms} ms)"
+                )
+            }
+            Self::Shed { depth, cap } => {
+                write!(f, "shed from a saturated queue ({depth} jobs, capacity {cap})")
             }
         }
     }
@@ -229,6 +255,16 @@ impl Serialize for RejectReason {
                 "queue_full",
                 vec![("depth".into(), depth.to_value()), ("cap".into(), cap.to_value())],
             ),
+            Self::BreakerOpen { failures, cooldown_ms } => (
+                "breaker_open",
+                vec![
+                    ("failures".into(), failures.to_value()),
+                    ("cooldown_ms".into(), cooldown_ms.to_value()),
+                ],
+            ),
+            Self::Shed { depth, cap } => {
+                ("shed", vec![("depth".into(), depth.to_value()), ("cap".into(), cap.to_value())])
+            }
         };
         let mut obj = vec![("kind".into(), kind.to_value())];
         obj.extend(fields);
@@ -254,6 +290,11 @@ impl Deserialize for RejectReason {
                 waited_ms: obj.field("waited_ms")?,
             },
             "queue_full" => Self::QueueFull { depth: obj.field("depth")?, cap: obj.field("cap")? },
+            "breaker_open" => Self::BreakerOpen {
+                failures: obj.field("failures")?,
+                cooldown_ms: obj.field("cooldown_ms")?,
+            },
+            "shed" => Self::Shed { depth: obj.field("depth")?, cap: obj.field("cap")? },
             other => return Err(DeError::msg(format!("unknown reject kind `{other}`"))),
         })
     }
@@ -367,6 +408,8 @@ mod tests {
             RejectReason::TooManyCircuits { circuits: 65, cap: 64 },
             RejectReason::DeadlineExpired { deadline_ms: 5, waited_ms: 9 },
             RejectReason::QueueFull { depth: 12, cap: 12 },
+            RejectReason::BreakerOpen { failures: 3, cooldown_ms: 250 },
+            RejectReason::Shed { depth: 12, cap: 12 },
         ];
         for reason in reasons {
             let json = serde_json::to_string(&reason).unwrap();

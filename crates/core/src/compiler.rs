@@ -330,6 +330,10 @@ impl crate::Compiler for Zac {
             ZacError::Place(PlaceError::StorageFull { qubits, traps }) => {
                 crate::CompileError::CircuitTooLarge { needed: qubits, available: traps }
             }
+            ZacError::Place(PlaceError::Cancelled)
+            | ZacError::Schedule(zac_schedule::ScheduleError::Cancelled) => {
+                crate::CompileError::Cancelled
+            }
             other => crate::CompileError::Failed(other.to_string()),
         })?;
         Ok(crate::CompileOutput::new(out.summary, out.report, out.compile_time, Some(out.program))

@@ -122,6 +122,10 @@ pub enum CompileError {
     },
     /// Any other pipeline failure, with the backend's own message.
     Failed(String),
+    /// The compile was cancelled cooperatively (a deadline watchdog fired a
+    /// [`zac_telemetry::cancel::CancelToken`] mid-pipeline). Not a property
+    /// of the circuit: retrying with a longer budget may succeed.
+    Cancelled,
 }
 
 impl fmt::Display for CompileError {
@@ -131,6 +135,7 @@ impl fmt::Display for CompileError {
                 write!(f, "circuit needs {needed} qubits, target fits {available}")
             }
             Self::Failed(msg) => write!(f, "compilation failed: {msg}"),
+            Self::Cancelled => write!(f, "compilation cancelled"),
         }
     }
 }

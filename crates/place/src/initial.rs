@@ -360,7 +360,13 @@ fn sa_anneal(
     // anneal body stays free of atomics even when recording.
     let (mut accepted, mut rejected) = (0u64, 0u64);
 
-    for _ in 0..iterations {
+    for i in 0..iterations {
+        // Cooperative cancellation, polled before any RNG draw so the
+        // random stream (and thus bit-identity) is untouched on the
+        // uncancelled path.
+        if i & 63 == 0 && zac_telemetry::cancel::cancelled() {
+            return Err(PlaceError::Cancelled);
+        }
         if patience.is_some_and(|p| since_best >= p) {
             break;
         }

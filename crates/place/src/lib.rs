@@ -102,6 +102,9 @@ pub enum PlaceError {
     },
     /// An internal invariant was violated (with description).
     Invalid(String),
+    /// An installed [`zac_telemetry::cancel::CancelToken`] fired; the
+    /// placement was abandoned cooperatively (no partial plan escapes).
+    Cancelled,
 }
 
 impl fmt::Display for PlaceError {
@@ -114,6 +117,7 @@ impl fmt::Display for PlaceError {
                 write!(f, "stage with {gates} gates exceeds {sites} Rydberg sites")
             }
             Self::Invalid(msg) => write!(f, "invalid placement: {msg}"),
+            Self::Cancelled => write!(f, "placement cancelled"),
         }
     }
 }

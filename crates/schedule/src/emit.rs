@@ -164,7 +164,14 @@ pub(crate) fn emit_transition(
     // emission loop free of atomics (counts are dropped on the error paths,
     // which abort the compile anyway).
     let (mut jobs_emitted, mut readiness_reexams) = (0u64, 0u64);
+    let mut rounds = 0u64;
     while !pending.is_empty() {
+        // Cooperative cancellation: a watchdog-fired token aborts the
+        // emission cleanly instead of holding the worker past its deadline.
+        rounds += 1;
+        if rounds & 63 == 0 && zac_telemetry::cancel::cancelled() {
+            return Err(ScheduleError::Cancelled);
+        }
         // LPT: among ready jobs take the longest; the ascending scan with a
         // `≥` update reproduces `max_by`'s last-max tie-break exactly.
         let mut winner: Option<usize> = None;

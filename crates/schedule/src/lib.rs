@@ -108,6 +108,9 @@ pub enum ScheduleError {
         /// Rydberg stages in the circuit.
         circuit_stages: usize,
     },
+    /// An installed [`zac_telemetry::cancel::CancelToken`] fired; the
+    /// schedule was abandoned cooperatively (no partial program escapes).
+    Cancelled,
 }
 
 impl fmt::Display for ScheduleError {
@@ -119,6 +122,7 @@ impl fmt::Display for ScheduleError {
                 f,
                 "placement plan has {plan_stages} stages but the circuit has {circuit_stages}"
             ),
+            Self::Cancelled => write!(f, "scheduling cancelled"),
         }
     }
 }

@@ -127,6 +127,7 @@ impl Binder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::protocol::CircuitEntry;

@@ -25,6 +25,14 @@
 //! changes compilation semantics (locked by `tests/serve.rs` at the
 //! workspace root; see DESIGN.md §9).
 //!
+//! The service is hardened against faults (DESIGN.md §10): compiler panics
+//! are isolated per entry (the worker respawns), compile deadlines cancel
+//! runaway work cooperatively, a per-compiler circuit breaker sheds load
+//! off crashing compilers, and overload sheds strictly-lower-priority
+//! queued work first. Every submitted entry receives exactly one terminal
+//! response, whatever faults fire — the crate denies `clippy::unwrap_used`
+//! so no serving path can abort the process.
+//!
 //! # Example
 //!
 //! ```
@@ -44,6 +52,8 @@
 //! assert!(matches!(responses.last(), Some(Response::Done(d)) if d.ok == 1));
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 pub mod bind;
 pub mod exec;
 pub mod plan;
@@ -51,7 +61,7 @@ pub mod protocol;
 mod service;
 
 pub use protocol::{
-    CircuitEntry, Done, EntryOutcome, PhaseTotals, Request, Response, PROTOCOL_VERSION,
+    CircuitEntry, Done, EntryError, EntryOutcome, PhaseTotals, Request, Response, PROTOCOL_VERSION,
 };
 pub use service::{Service, ServiceConfig};
 pub use zac_core::admission::{AdmissionLimits, Outcome, RejectReason};

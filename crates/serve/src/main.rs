@@ -3,7 +3,9 @@
 //! Reads one JSON request per line from stdin, streams JSON responses one
 //! per line on stdout (interleaved across in-flight requests; correlate by
 //! `id`). Exits when stdin closes and every submitted request has
-//! terminated. Diagnostics go to stderr.
+//! terminated: EOF starts a graceful drain — no new requests are accepted,
+//! every in-flight entry still gets its terminal response, the writer
+//! flushes, and the process exits 0.
 //!
 //! Environment:
 //!
@@ -12,7 +14,11 @@
 //! * `ZAC_SERVE_LOG`      — per-request stderr logging (names redacted
 //!   when `ZAC_REDACT=1`);
 //! * `ZAC_TELEMETRY`      — attach metrics deltas (and traces on request)
-//!   to `Done` responses.
+//!   to `Done` responses;
+//! * `ZAC_FAULTS`         — arm a seeded fault plan (`seed:point=kind@rate,
+//!   …`) for resilience testing; see DESIGN.md §10.
+
+#![deny(clippy::unwrap_used)]
 
 use std::io::{BufRead, Write};
 use std::sync::mpsc::channel;
@@ -20,6 +26,26 @@ use zac_serve::{Response, Service, ServiceConfig};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Writes one response line, retrying transient failures (including
+/// injected ones at the `serve.session.write_line` fault point) a bounded
+/// number of times. Output I/O is the one seam the service cannot route a
+/// typed response through — the retry keeps a transient stdout hiccup from
+/// silently dropping a terminal response.
+fn write_line(lock: &mut impl Write, line: &str) -> std::io::Result<()> {
+    let mut last = std::io::Error::other("write failed");
+    for _ in 0..3 {
+        let attempt = match zac_telemetry::fault_point!("serve.session.write_line") {
+            Some(e) => Err(e),
+            None => writeln!(lock, "{line}").and_then(|()| lock.flush()),
+        };
+        match attempt {
+            Ok(()) => return Ok(()),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
 }
 
 fn main() {
@@ -34,11 +60,10 @@ fn main() {
     let writer = std::thread::spawn(move || {
         let stdout = std::io::stdout();
         for response in out_rx {
+            let line = serde_json::to_string(&response).unwrap_or_default();
             let mut lock = stdout.lock();
-            if writeln!(lock, "{}", serde_json::to_string(&response).unwrap_or_default()).is_err()
-                || lock.flush().is_err()
-            {
-                return; // downstream closed; keep draining silently
+            if write_line(&mut lock, &line).is_err() {
+                return; // downstream closed for good; keep draining silently
             }
         }
     });
@@ -60,6 +85,9 @@ fn main() {
         }));
     }
 
+    // Graceful drain: each forwarder's stream ends only after its request's
+    // terminal response, so joining them guarantees no in-flight work is
+    // abandoned; dropping the sender then lets the writer flush and exit.
     for forwarder in forwarders {
         forwarder.join().ok();
     }

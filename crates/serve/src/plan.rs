@@ -105,6 +105,7 @@ impl Planner {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::bind::Binder;

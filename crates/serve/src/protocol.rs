@@ -127,6 +127,52 @@ impl Deserialize for Request {
     }
 }
 
+/// Why an entry failed terminally (produced no output). On the wire the
+/// `reason` field stays a human-readable string for every kind — pre-9
+/// readers keep working — and a `kind` tag ("compile" / "panic" /
+/// "cancelled") plus kind-specific fields carry the typed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryError {
+    /// The compiler reported a failure — a bug, not a capacity limit.
+    Compile(String),
+    /// The compiler panicked mid-entry; the worker was respawned and the
+    /// panic payload is reported here instead of taking the process down.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The compile was cancelled by the deadline watchdog.
+    Cancelled {
+        /// Milliseconds the compile ran before cancellation took effect.
+        after_ms: u64,
+    },
+}
+
+impl EntryError {
+    /// The wire `kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Compile(_) => "compile",
+            Self::Panicked { .. } => "panic",
+            Self::Cancelled { .. } => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for EntryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Compile(reason) => write!(f, "{reason}"),
+            Self::Panicked { message } => write!(f, "compiler panicked: {message}"),
+            Self::Cancelled { after_ms } => {
+                write!(f, "compile cancelled after {after_ms} ms (deadline)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EntryError {}
+
 /// How one entry ended: the serving-side mirror of the bench harness's
 /// three-way `RunOutcome`, with the full output (not a row projection) on
 /// success.
@@ -137,8 +183,8 @@ pub enum EntryOutcome {
     /// Turned away by admission control or hardware capacity, with the
     /// typed reason.
     Rejected(RejectReason),
-    /// The compiler itself failed — a bug, not a capacity limit.
-    Failed(String),
+    /// The entry failed terminally, with the typed [`EntryError`].
+    Failed(EntryError),
 }
 
 impl EntryOutcome {
@@ -162,10 +208,23 @@ impl Serialize for EntryOutcome {
                 ("status".into(), "rejected".to_value()),
                 ("reason".into(), reason.to_value()),
             ]),
-            Self::Failed(reason) => Value::Object(vec![
-                ("status".into(), "failed".to_value()),
-                ("reason".into(), reason.to_value()),
-            ]),
+            Self::Failed(err) => {
+                let mut obj = vec![
+                    ("status".into(), "failed".to_value()),
+                    ("kind".into(), err.kind().to_value()),
+                    ("reason".into(), err.to_string().to_value()),
+                ];
+                match err {
+                    EntryError::Compile(_) => {}
+                    EntryError::Panicked { message } => {
+                        obj.push(("message".into(), message.to_value()));
+                    }
+                    EntryError::Cancelled { after_ms } => {
+                        obj.push(("after_ms".into(), after_ms.to_value()));
+                    }
+                }
+                Value::Object(obj)
+            }
         }
     }
 }
@@ -176,7 +235,17 @@ impl Deserialize for EntryOutcome {
         Ok(match obj.tag("status")? {
             "ok" => Self::Ok(Box::new(obj.field("output")?)),
             "rejected" => Self::Rejected(obj.field("reason")?),
-            "failed" => Self::Failed(obj.field("reason")?),
+            "failed" => {
+                // Pre-9 writers emitted no `kind`; their failures were all
+                // compiler failures.
+                let kind: Option<String> = obj.opt_field("kind")?;
+                Self::Failed(match kind.as_deref().unwrap_or("compile") {
+                    "compile" => EntryError::Compile(obj.field("reason")?),
+                    "panic" => EntryError::Panicked { message: obj.field("message")? },
+                    "cancelled" => EntryError::Cancelled { after_ms: obj.field("after_ms")? },
+                    other => return Err(DeError::msg(format!("unknown failure kind `{other}`"))),
+                })
+            }
             other => return Err(DeError::msg(format!("unknown entry status `{other}`"))),
         })
     }
@@ -363,6 +432,7 @@ impl Deserialize for Response {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -450,10 +520,37 @@ mod tests {
             serde_json::from_str::<EntryOutcome>(&json).unwrap(),
             EntryOutcome::Rejected(RejectReason::TooLarge { needed: 40, available: 16 })
         ));
-        let failed = EntryOutcome::Failed("boom".into());
+        let failed = EntryOutcome::Failed(EntryError::Compile("boom".into()));
         assert!(failed.output().is_none());
-        let back: EntryOutcome =
-            serde_json::from_str(&serde_json::to_string(&failed).unwrap()).unwrap();
-        assert!(matches!(back, EntryOutcome::Failed(r) if r == "boom"));
+        let json = serde_json::to_string(&failed).unwrap();
+        assert!(json.contains("\"kind\":\"compile\""), "{json}");
+        let back: EntryOutcome = serde_json::from_str(&json).unwrap();
+        assert!(matches!(back, EntryOutcome::Failed(EntryError::Compile(r)) if r == "boom"));
+    }
+
+    #[test]
+    fn entry_errors_roundtrip_with_typed_payloads() {
+        for err in [
+            EntryError::Compile("no detour trap".into()),
+            EntryError::Panicked { message: "index out of bounds".into() },
+            EntryError::Cancelled { after_ms: 125 },
+        ] {
+            let json = serde_json::to_string(&EntryOutcome::Failed(err.clone())).unwrap();
+            assert!(json.contains(&format!("\"kind\":\"{}\"", err.kind())), "{json}");
+            assert!(json.contains("\"reason\":"), "every kind keeps the legacy string: {json}");
+            match serde_json::from_str::<EntryOutcome>(&json).unwrap() {
+                EntryOutcome::Failed(back) => assert_eq!(back, err),
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+
+        // Pre-9 lines carried no kind: they deserialize as compiler failures.
+        let legacy = "{\"status\":\"failed\",\"reason\":\"boom\"}";
+        assert!(matches!(
+            serde_json::from_str::<EntryOutcome>(legacy).unwrap(),
+            EntryOutcome::Failed(EntryError::Compile(r)) if r == "boom"
+        ));
+        let unknown = "{\"status\":\"failed\",\"kind\":\"martian\",\"reason\":\"x\"}";
+        assert!(serde_json::from_str::<EntryOutcome>(unknown).is_err());
     }
 }

@@ -6,7 +6,7 @@
 //! a response on the stream — the methods themselves never fail.
 
 use crate::bind::Binder;
-use crate::exec::Executor;
+use crate::exec::{Executor, ResilienceConfig};
 use crate::plan::Planner;
 use crate::protocol::{Request, Response};
 use std::sync::mpsc::{channel, Receiver};
@@ -34,6 +34,17 @@ pub struct ServiceConfig {
     /// pre-warmed cache to share state with other runners; the default is
     /// a fresh in-memory cache.
     pub cache: CompileCache,
+    /// Per-entry compile budget in milliseconds, enforced by the executor's
+    /// watchdog through cooperative cancellation. `None` (the default)
+    /// disables the service-wide budget; request deadlines still apply.
+    pub compile_deadline_ms: Option<u64>,
+    /// Consecutive panics/cancellations that open a compiler's circuit
+    /// breaker (`0` disables it). While open, entries for that compiler are
+    /// rejected with `breaker_open` instead of risking another dead worker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before admitting one half-open
+    /// probe compile.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -44,6 +55,9 @@ impl Default for ServiceConfig {
             limits: AdmissionLimits::default(),
             zac_config: zac_bench::zac_config(),
             cache: CompileCache::in_memory(256),
+            compile_deadline_ms: None,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 250,
         }
     }
 }
@@ -66,10 +80,20 @@ impl Default for Service {
 impl Service {
     /// Builds the stack from `config`.
     pub fn new(config: ServiceConfig) -> Self {
+        let resilience = ResilienceConfig {
+            compile_deadline_ms: config.compile_deadline_ms,
+            breaker_threshold: config.breaker_threshold,
+            breaker_cooldown_ms: config.breaker_cooldown_ms,
+        };
         Self {
             binder: Binder::new(config.zac_config),
             planner: Planner::new(config.limits),
-            executor: Executor::new(config.workers, config.queue_capacity, config.cache),
+            executor: Executor::new(
+                config.workers,
+                config.queue_capacity,
+                config.cache,
+                resilience,
+            ),
             log: std::env::var("ZAC_SERVE_LOG").is_ok_and(|v| !v.is_empty() && v != "0"),
         }
     }
@@ -77,6 +101,13 @@ impl Service {
     /// The shared compile cache (inspect hit rates, pre-warm, persist).
     pub fn cache(&self) -> &CompileCache {
         self.executor.cache()
+    }
+
+    /// Worker panics recovered by the executor's supervisor so far. Always
+    /// counted (independent of the telemetry recorder); a non-zero value
+    /// with the service still answering is the panic-isolation guarantee.
+    pub fn worker_respawns(&self) -> u64 {
+        self.executor.worker_respawns()
     }
 
     /// Submits one request; the returned receiver streams every response

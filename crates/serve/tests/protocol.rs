@@ -141,3 +141,55 @@ fn binary_serves_the_bundled_corpus_over_the_wire() {
         std::fs::write(&path, artifact).expect("write metrics artifact");
     }
 }
+
+#[test]
+fn stdin_eof_drains_in_flight_work_and_exits_zero() {
+    let corpus = bundled_corpus();
+    // One worker plus an injected 100 ms delay per compile guarantees the
+    // batch is still genuinely in flight when stdin closes below — the
+    // graceful drain, not scheduling luck, is what delivers the responses.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_zac-serve"))
+        .env("ZAC_SERVE_WORKERS", "1")
+        .env("ZAC_FAULTS", "11:serve.exec.compile=delay100")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn zac-serve");
+
+    let total = 4usize;
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        let request = Request::new(
+            "drain",
+            "Zoned-ZAC",
+            (0..total)
+                .map(|i| CircuitEntry { name: format!("e{i}"), qasm: corpus[0].1.clone() })
+                .collect(),
+        );
+        writeln!(stdin, "{}", serde_json::to_string(&request).unwrap()).unwrap();
+        // stdin drops here, long before the delayed compiles can finish.
+    }
+
+    let mut results = 0usize;
+    let mut done = None;
+    for line in BufReader::new(child.stdout.take().unwrap()).lines() {
+        let line = line.expect("read response line");
+        match serde_json::from_str::<Response>(&line)
+            .unwrap_or_else(|e| panic!("bad line `{line}`: {e}"))
+        {
+            Response::Result { id, outcome, .. } => {
+                assert_eq!(id, "drain");
+                assert!(outcome.output().is_some(), "in-flight entries still compile");
+                results += 1;
+            }
+            Response::Done(d) => done = Some(d),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    let status = child.wait().expect("binary exits");
+    assert!(status.success(), "graceful shutdown exits 0, got {status:?}");
+    assert_eq!(results, total, "every in-flight entry got its terminal response");
+    let done = done.expect("the request terminates with Done after EOF");
+    assert_eq!((done.ok, done.rejected, done.failed), (total, 0, 0));
+}

@@ -1,0 +1,118 @@
+//! Cooperative cancellation for long compiles.
+//!
+//! A watchdog (or any other supervisor) holds a [`CancelToken`] and flips it
+//! when a deadline passes; the worker thread [`install`](CancelToken::install)s
+//! the token for the duration of one compile, and the expensive inner loops
+//! (the SA anneal, the scheduler emit loop) poll [`cancelled`] every few
+//! dozen iterations. A positive poll unwinds as an explicit
+//! `Cancelled` error through the normal `Result` path — no thread is ever
+//! killed, and no partial output escapes.
+//!
+//! The disarmed fast path is one relaxed load of a global counter of
+//! installed tokens: when nothing in the process uses cancellation (every
+//! direct CLI/bench compile), [`cancelled`] is `false` without touching
+//! thread-local storage, so the polls are free to leave in the hot loops
+//! and compiler output stays bit-identical.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of currently installed scopes across all threads. Zero means
+/// [`cancelled`] can answer `false` from a single relaxed load.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<AtomicBool>>> = const { RefCell::new(None) };
+}
+
+/// A shared cancellation flag: cloned freely, flipped once, polled cheaply.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the next poll.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Installs this token as the current thread's cancellation flag until
+    /// the returned scope drops. Scopes nest: dropping restores whatever
+    /// was installed before.
+    pub fn install(&self) -> CancelScope {
+        let previous = CURRENT.with(|c| c.replace(Some(Arc::clone(&self.0))));
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+        CancelScope { previous }
+    }
+}
+
+/// Guard returned by [`CancelToken::install`]; restores the previous
+/// thread-local flag (usually none) on drop.
+pub struct CancelScope {
+    previous: Option<Arc<AtomicBool>>,
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.previous.take());
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Whether the current thread's installed token (if any) has been
+/// cancelled. With no scopes installed anywhere in the process this is one
+/// relaxed load; inside a scope it adds a thread-local read.
+#[inline]
+pub fn cancelled() -> bool {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    CURRENT.with(|c| c.borrow().as_ref().is_some_and(|flag| flag.load(Ordering::Relaxed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polls_see_the_installed_token_and_scopes_restore() {
+        assert!(!cancelled(), "no scope installed");
+        let token = CancelToken::new();
+        {
+            let _scope = token.install();
+            assert!(!cancelled(), "installed but not yet cancelled");
+            token.cancel();
+            assert!(token.is_cancelled());
+            assert!(cancelled(), "the installed token is polled");
+
+            // Nested scope shadows, drop restores.
+            let inner = CancelToken::new();
+            {
+                let _inner = inner.install();
+                assert!(!cancelled(), "inner scope shadows the cancelled outer token");
+            }
+            assert!(cancelled(), "outer token visible again after the inner scope");
+        }
+        assert!(!cancelled(), "scope dropped: back to the fast path");
+    }
+
+    #[test]
+    fn cancellation_crosses_threads_through_the_clone() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let flipper = std::thread::spawn(move || remote.cancel());
+        flipper.join().expect("flipper thread");
+        let _scope = token.install();
+        assert!(cancelled(), "a clone cancelled on another thread is observed here");
+    }
+}

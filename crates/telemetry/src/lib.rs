@@ -16,6 +16,12 @@
 //! * **Redaction** — [`redact`]/[`Redacted`] mask circuit labels and file
 //!   paths on log surfaces (`[redacted:xxxxxxxx]`, stable per label) when
 //!   `ZAC_REDACT=1` or [`set_redaction`] turns it on.
+//! * **Fault injection** — [`fault_point!`] marks failure-capable sites;
+//!   a seeded [`fault::FaultPlan`] (env `ZAC_FAULTS=seed:spec`) injects IO
+//!   errors, panics, and delays deterministically. Disarmed, every point is
+//!   one relaxed load.
+//! * **Cancellation** — [`cancel::CancelToken`] + [`cancel::cancelled`]
+//!   give watchdogs a cooperative way to stop runaway compiles.
 //!
 //! Recording is off unless `ZAC_TELEMETRY` is set to a non-empty value other
 //! than `0` (checked once, at the first [`enabled`] query), or a test/tool
@@ -27,12 +33,16 @@
 //! entirely: [`enabled`] folds to `false` at compile time and the optimizer
 //! deletes every guard and counter behind it.
 
+pub mod cancel;
 mod export;
+pub mod fault;
 pub mod metrics;
 pub mod redact;
 mod span;
 
+pub use cancel::CancelToken;
 pub use export::chrome_trace_json;
+pub use fault::FaultPlan;
 pub use metrics::MetricsSnapshot;
 pub use redact::{redact, redaction_enabled, set_redaction, Redacted};
 pub use span::{take_spans, SpanGuard, SpanRecord};
@@ -101,6 +111,25 @@ macro_rules! span {
     };
     ($name:expr, $label:expr) => {
         $crate::SpanGuard::enter_labeled($name, $label)
+    };
+}
+
+/// Evaluates the named fault point (see [`fault`]).
+///
+/// Expands to [`fault::hit`]: `None` passes (and is the only possible
+/// answer while no plan is armed — one relaxed load, no allocation);
+/// `Some(io::Error)` is an injected failure for the caller to propagate.
+/// Armed `delay` rules sleep inside the call, `panic` rules panic there.
+///
+/// ```
+/// if let Some(e) = zac_telemetry::fault_point!("doc.example.write") {
+///     let _: std::io::Error = e; // propagate as the real failure would
+/// }
+/// ```
+#[macro_export]
+macro_rules! fault_point {
+    ($name:expr) => {
+        $crate::fault::hit($name)
     };
 }
 

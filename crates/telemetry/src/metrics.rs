@@ -248,6 +248,23 @@ pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new("serve.queue.depth");
 pub static SERVE_REQUEST_LATENCY_MS: Histogram =
     Histogram::new("serve.request.latency_ms", &[1, 5, 25, 100, 500, 2_000, 10_000, 60_000]);
 
+/// `zac-serve`: resilience — worker respawns after a panic, circuit-breaker
+/// transitions and rejections, and queued entries shed under overload.
+pub static SERVE_WORKER_RESPAWNS: Counter = Counter::new("serve.worker.respawns");
+pub static SERVE_BREAKER_OPENED: Counter = Counter::new("serve.breaker.opened");
+pub static SERVE_BREAKER_REJECTED: Counter = Counter::new("serve.breaker.rejected");
+pub static SERVE_BREAKER_HALF_OPEN_PROBES: Counter = Counter::new("serve.breaker.half_open_probes");
+pub static SERVE_QUEUE_SHED: Counter = Counter::new("serve.queue.shed");
+
+/// `zac-cache`: crash-safety — corrupt disk entries quarantined and
+/// transient write errors retried.
+pub static CACHE_DISK_QUARANTINED: Counter = Counter::new("cache.disk.quarantined");
+pub static CACHE_DISK_RETRIES: Counter = Counter::new("cache.disk.retries");
+
+/// `zac-telemetry`: faults actually injected by an armed [`crate::fault`]
+/// plan (the always-on mirror is [`crate::fault::injected`]).
+pub static FAULT_INJECTED: Counter = Counter::new("fault.injected");
+
 static COUNTERS: &[&Counter] = &[
     &CORE_COMPILES,
     &QASM_STATEMENTS,
@@ -270,6 +287,14 @@ static COUNTERS: &[&Counter] = &[
     &SERVE_ENTRIES_OK,
     &SERVE_ENTRIES_REJECTED,
     &SERVE_ENTRIES_FAILED,
+    &SERVE_WORKER_RESPAWNS,
+    &SERVE_BREAKER_OPENED,
+    &SERVE_BREAKER_REJECTED,
+    &SERVE_BREAKER_HALF_OPEN_PROBES,
+    &SERVE_QUEUE_SHED,
+    &CACHE_DISK_QUARANTINED,
+    &CACHE_DISK_RETRIES,
+    &FAULT_INJECTED,
 ];
 static GAUGES: &[&Gauge] = &[&CACHE_RESIDENT, &SERVE_QUEUE_DEPTH];
 static HISTOGRAMS: &[&Histogram] = &[&PLACE_ASSIGNMENT_MOVERS, &SERVE_REQUEST_LATENCY_MS];

@@ -51,6 +51,10 @@ fn instrumented_work(round: u64, label: &str) {
     metrics::SCHEDULE_JOBS_EMITTED.add(3);
     metrics::CACHE_SHARD_HITS.add((round % 16) as usize, 1);
     metrics::CACHE_RESIDENT.add(1);
+    // The resilience fast paths ride the same hot loops: a disarmed fault
+    // point and an uninstalled cancellation poll must both be free.
+    assert!(zac_telemetry::fault_point!("test.alloc_free.point").is_none());
+    assert!(!zac_telemetry::cancel::cancelled());
 }
 
 // One test with ordered phases: the recorder state is process-global, so
