@@ -235,6 +235,7 @@ impl CompileCache {
                 }
                 disk::LoadOutcome::ReadError => {
                     c.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    metrics::CACHE_DISK_READ_ERRORS.incr();
                 }
                 disk::LoadOutcome::Miss => {}
             }

@@ -99,6 +99,8 @@ fn injected_read_faults_are_disk_errors_not_quarantine() {
     }
 
     let cache = CompileCache::with_disk(4, &dir).unwrap();
+    zac_telemetry::set_enabled(true);
+    let metric_before = zac_telemetry::metrics::CACHE_DISK_READ_ERRORS.get();
     fault::arm(FaultPlan::parse("10:cache.disk.read=io").expect("plan parses"));
     assert!(cache.get(key(0)).is_none(), "a failed read degrades to a miss");
     fault::disarm();
@@ -106,6 +108,12 @@ fn injected_read_faults_are_disk_errors_not_quarantine() {
     let stats = cache.stats();
     assert_eq!(stats.disk_errors, 1, "{stats:?}");
     assert_eq!(stats.quarantined, 0, "the entry's bytes are fine — no quarantine: {stats:?}");
+    assert_eq!(
+        zac_telemetry::metrics::CACHE_DISK_READ_ERRORS.get(),
+        metric_before + 1,
+        "read errors surface in telemetry, not just internal stats"
+    );
+    zac_telemetry::set_enabled(false);
 
     // The fault was transient: the same entry serves a disk hit afterwards.
     let out = cache.get(key(0)).expect("entry survives the injected read fault");

@@ -211,6 +211,23 @@ impl Breaker {
         states.remove(&fingerprint);
     }
 
+    /// A compile ended without saying anything about the compiler's
+    /// health — cancelled by the request's own deadline, not the
+    /// watchdog budget. A half-open probe reverts to `Open` so a fresh
+    /// probe runs after the cooldown instead of wedging in `HalfOpen`;
+    /// the failure count is untouched either way.
+    fn record_inconclusive(&self, fingerprint: u64) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut states = self.states.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(state) = states.get_mut(&fingerprint) {
+            if matches!(state.phase, BreakerPhase::HalfOpen) {
+                state.phase = BreakerPhase::Open { until: Instant::now() + self.cooldown };
+            }
+        }
+    }
+
     /// A panic or cancellation: count it, and open the breaker at the
     /// threshold (or immediately when a half-open probe fails).
     fn record_failure(&self, fingerprint: u64) {
@@ -373,10 +390,14 @@ impl Executor {
         // the lock drops — senders may block, and the victims' channels
         // must never hold the queue hostage.
         let mut shed: Vec<Job> = Vec::new();
+        // Queue depth at the moment the shed decision was made, reported
+        // in the victims' `Shed` reasons.
+        let mut shed_depth = 0;
         {
             let mut queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             let depth = queue.heap.len();
             if depth + runnable.len() > self.shared.capacity {
+                shed_depth = depth;
                 let needed = depth + runnable.len() - self.shared.capacity;
                 if !shed_lower_priority(&mut queue, planned.priority, needed, &mut shed) {
                     drop(queue);
@@ -409,7 +430,7 @@ impl Executor {
                 &job.run,
                 job.index,
                 job.staged.name.clone(),
-                EntryOutcome::Rejected(RejectReason::Shed { depth: cap, cap }),
+                EntryOutcome::Rejected(RejectReason::Shed { depth: shed_depth, cap }),
             );
         }
 
@@ -574,11 +595,17 @@ fn process(shared: &Shared, slot: &Slot, job: Job) {
 
     // The effective compile budget: the stricter of the service-wide
     // per-entry deadline and what is left of the request's own budget.
+    let service_ms = shared.resilience.compile_deadline_ms;
     let remaining_ms = run.deadline_ms.map(|d| d.saturating_sub(waited_ms));
-    let budget_ms = match (shared.resilience.compile_deadline_ms, remaining_ms) {
+    let budget_ms = match (service_ms, remaining_ms) {
         (Some(a), Some(b)) => Some(a.min(b)),
         (x, None) | (None, x) => x,
     };
+    // Whether a deadline cancellation would be attributable to the
+    // service-wide watchdog budget: only then does it say the *compiler*
+    // hangs. A cancel bound by the request's own tighter deadline must
+    // not open the breaker for unrelated clients of the same compiler.
+    let watchdog_bound = service_ms.is_some_and(|a| remaining_ms.is_none_or(|b| a <= b));
     let token = CancelToken::new();
     let started = Instant::now();
     *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(CurrentJob {
@@ -597,14 +624,27 @@ fn process(shared: &Shared, slot: &Slot, job: Job) {
     slot.lock().unwrap_or_else(PoisonError::into_inner).take();
 
     match &outcome {
-        EntryOutcome::Ok(_) => shared.breaker.record_success(fingerprint),
         // Only availability failures count against the breaker; compile
         // errors and capacity rejections are deterministic properties of
         // the circuit, not signs the compiler will hang or crash again.
+        // A cancel bound by the request's own deadline is inconclusive:
+        // it neither counts as a failure nor closes a half-open breaker
+        // (the probe slot reverts to open so a fresh probe can run).
         EntryOutcome::Failed(EntryError::Cancelled { .. }) => {
-            shared.breaker.record_failure(fingerprint);
+            if watchdog_bound {
+                shared.breaker.record_failure(fingerprint);
+            } else {
+                shared.breaker.record_inconclusive(fingerprint);
+            }
         }
-        _ => {}
+        // Panics never reach here — they unwind into the supervisor,
+        // which records the failure off the worker's slot.
+        EntryOutcome::Failed(EntryError::Panicked { .. }) => {}
+        // Every other completion — success, deterministic compile error,
+        // capacity rejection — proves the compiler is alive and closes
+        // the breaker. A half-open probe in particular must always end in
+        // success/failure/inconclusive, or the breaker wedges half-open.
+        _ => shared.breaker.record_success(fingerprint),
     }
     report(&run, job.index, job.staged.name.clone(), outcome);
 }

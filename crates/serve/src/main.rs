@@ -35,12 +35,25 @@ fn env_usize(name: &str, default: usize) -> usize {
 /// silently dropping a terminal response.
 fn write_line(lock: &mut impl Write, line: &str) -> std::io::Result<()> {
     let mut last = std::io::Error::other("write failed");
+    // Once the line is buffered, only the flush is retried — re-running
+    // the write after a transient flush failure would emit the response
+    // twice, breaking the exactly-one-terminal-response invariant.
+    let mut written = false;
     for _ in 0..3 {
-        let attempt = match zac_telemetry::fault_point!("serve.session.write_line") {
-            Some(e) => Err(e),
-            None => writeln!(lock, "{line}").and_then(|()| lock.flush()),
-        };
-        match attempt {
+        if !written {
+            let wrote = match zac_telemetry::fault_point!("serve.session.write_line") {
+                Some(e) => Err(e),
+                None => writeln!(lock, "{line}"),
+            };
+            match wrote {
+                Ok(()) => written = true,
+                Err(e) => {
+                    last = e;
+                    continue;
+                }
+            }
+        }
+        match lock.flush() {
             Ok(()) => return Ok(()),
             Err(e) => last = e,
         }

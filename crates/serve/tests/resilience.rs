@@ -158,6 +158,91 @@ fn breaker_opens_after_consecutive_panics_and_recovers_through_a_probe() {
 }
 
 #[test]
+fn half_open_probe_ending_deterministically_closes_the_breaker() {
+    let _gate = gate();
+    let service = Service::new(ServiceConfig {
+        workers: 1,
+        breaker_threshold: 2,
+        breaker_cooldown_ms: 100,
+        zac_config: test_zac_config(),
+        ..Default::default()
+    });
+
+    // Two consecutive panics open the breaker.
+    fault::arm(FaultPlan::parse("5:serve.exec.compile=panic").expect("plan parses"));
+    for id in ["p1", "p2"] {
+        let responses = drain(&service, Request::new(id, "Zoned-ZAC", vec![entry(3)]));
+        assert!(
+            matches!(&outcomes(&responses)[0].1, EntryOutcome::Failed(EntryError::Panicked { .. })),
+            "{responses:?}"
+        );
+    }
+    fault::disarm();
+
+    // The half-open probe ends in a *deterministic* failure — an injected
+    // io fault surfacing as a typed compile error, not a panic or hang.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    fault::arm(FaultPlan::parse("5:serve.exec.compile=io").expect("plan parses"));
+    let responses = drain(&service, Request::new("probe", "Zoned-ZAC", vec![entry(3)]));
+    fault::disarm();
+    assert!(
+        matches!(&outcomes(&responses)[0].1, EntryOutcome::Failed(EntryError::Compile(_))),
+        "the probe is admitted and fails deterministically: {responses:?}"
+    );
+
+    // The compiler answered, so the probe closes the breaker: the next
+    // entry is admitted immediately — no cooldown, no breaker_open. (This
+    // wedged permanently half-open before the deterministic-completion
+    // outcomes counted as probe successes.)
+    let responses = drain(&service, Request::new("after", "Zoned-ZAC", vec![entry(3)]));
+    assert!(
+        matches!(responses.last(), Some(Response::Done(d)) if d.ok == 1),
+        "a deterministic probe outcome closes the breaker: {responses:?}"
+    );
+}
+
+#[test]
+fn request_deadline_cancellations_do_not_open_the_breaker() {
+    let _gate = gate();
+    let mut slow = zac_bench::zac_config();
+    // Compiles run far past any request deadline unless cancelled (see
+    // `compile_deadlines_cancel_runaway_work_cooperatively`). No
+    // service-wide budget: every cancel is bound by the request's own.
+    slow.placement.sa_iterations = 50_000_000;
+    slow.placement.engine = zac_place::PlacementEngine::Exhaustive;
+    let service = Service::new(ServiceConfig {
+        workers: 1,
+        breaker_threshold: 2,
+        breaker_cooldown_ms: 60_000,
+        zac_config: slow,
+        ..Default::default()
+    });
+
+    // Threshold-many cancellations, all caused by the requests' own tight
+    // deadlines — one impatient client must not trip the breaker.
+    for id in ["c1", "c2"] {
+        let mut request = Request::new(id, "Zoned-ZAC", vec![entry(8)]);
+        request.deadline_ms = Some(5);
+        let responses = drain(&service, request);
+        assert!(
+            matches!(&outcomes(&responses)[0].1, EntryOutcome::Failed(EntryError::Cancelled { .. })),
+            "{responses:?}"
+        );
+    }
+
+    // A third short-deadline entry is still *admitted* (cancelled by its
+    // own deadline, not rejected breaker_open): with the one-hour cooldown
+    // an opened breaker could not have recovered here.
+    let mut request = Request::new("c3", "Zoned-ZAC", vec![entry(8)]);
+    request.deadline_ms = Some(5);
+    let responses = drain(&service, request);
+    assert!(
+        matches!(&outcomes(&responses)[0].1, EntryOutcome::Failed(EntryError::Cancelled { .. })),
+        "client-deadline cancels never open the breaker: {responses:?}"
+    );
+}
+
+#[test]
 fn compile_deadlines_cancel_runaway_work_cooperatively() {
     let _gate = gate();
     let mut slow = zac_bench::zac_config();

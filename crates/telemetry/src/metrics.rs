@@ -256,10 +256,12 @@ pub static SERVE_BREAKER_REJECTED: Counter = Counter::new("serve.breaker.rejecte
 pub static SERVE_BREAKER_HALF_OPEN_PROBES: Counter = Counter::new("serve.breaker.half_open_probes");
 pub static SERVE_QUEUE_SHED: Counter = Counter::new("serve.queue.shed");
 
-/// `zac-cache`: crash-safety — corrupt disk entries quarantined and
-/// transient write errors retried.
+/// `zac-cache`: crash-safety — corrupt disk entries quarantined,
+/// transient write errors retried, and failing read syscalls (which
+/// degrade to clean misses) counted.
 pub static CACHE_DISK_QUARANTINED: Counter = Counter::new("cache.disk.quarantined");
 pub static CACHE_DISK_RETRIES: Counter = Counter::new("cache.disk.retries");
+pub static CACHE_DISK_READ_ERRORS: Counter = Counter::new("cache.disk.read_errors");
 
 /// `zac-telemetry`: faults actually injected by an armed [`crate::fault`]
 /// plan (the always-on mirror is [`crate::fault::injected`]).
@@ -294,6 +296,7 @@ static COUNTERS: &[&Counter] = &[
     &SERVE_QUEUE_SHED,
     &CACHE_DISK_QUARANTINED,
     &CACHE_DISK_RETRIES,
+    &CACHE_DISK_READ_ERRORS,
     &FAULT_INJECTED,
 ];
 static GAUGES: &[&Gauge] = &[&CACHE_RESIDENT, &SERVE_QUEUE_DEPTH];
