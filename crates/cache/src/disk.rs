@@ -283,8 +283,9 @@ impl DiskLayer {
 
 /// Retry backoff: ~0.5 ms doubling per attempt, jittered by a hash of
 /// (key, attempt) so concurrent writers racing on one entry spread out —
-/// deterministically, keeping the no-RNG-in-tree invariant.
-fn backoff(key: CacheKey, attempt: u64) -> std::time::Duration {
+/// deterministically, keeping the no-RNG-in-tree invariant. Shared with the
+/// segment tier's append retry loop.
+pub(crate) fn backoff(key: CacheKey, attempt: u64) -> std::time::Duration {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for word in [key.circuit, key.compiler, attempt] {
         for b in word.to_le_bytes() {

@@ -14,12 +14,16 @@
 //! that determinism into two cache layers:
 //!
 //! * [`lru::ShardedLru`] — an in-process, `Mutex`-per-shard LRU holding
-//!   [`CompileOutput`] clones, sized in entries;
-//! * [`disk::DiskLayer`] — an optional directory of versioned JSON entries
-//!   (atomic write-then-rename), consulted lazily on in-memory misses and
-//!   shared across processes.
+//!   [`CompileOutput`] clones, sized in entries, with cost-aware eviction
+//!   (cheap-to-recompute entries evict before expensive ones at comparable
+//!   recency);
+//! * a disk tier — either [`disk::DiskLayer`] (one versioned JSON file per
+//!   entry; the legacy layout) or [`segment::SegmentStore`] (an append-only
+//!   segment log with an in-memory index, compaction, crash-safe tail
+//!   recovery, and advisory cross-process sharing), consulted lazily on
+//!   in-memory misses and shared across processes.
 //!
-//! [`CompileCache`] composes the two behind one `get`/`put` API with
+//! [`CompileCache`] composes the layers behind one `get`/`put` API with
 //! [`CacheStats`] counters, and [`CachedCompiler`] wraps any compiler so
 //! caching slots transparently into harness code — including
 //! `zac_bench::BatchRunner::with_cache`, which shares one cache across a
@@ -52,15 +56,17 @@
 
 pub mod disk;
 pub mod lru;
+pub mod segment;
 
 use disk::DiskLayer;
 use lru::ShardedLru;
+use segment::{SegmentStats, SegmentStore};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use zac_circuit::StagedCircuit;
-use zac_core::{CompileError, CompileOutput, Compiler};
+use zac_core::{CompileError, CompileOutput, Compiler, CorpusManifest};
 use zac_telemetry::metrics;
 
 pub use zac_circuit::Fingerprint;
@@ -144,10 +150,50 @@ struct Counters {
     disk_retries: AtomicU64,
 }
 
+/// The persistent layer behind the in-memory LRU.
+enum DiskTier {
+    /// Legacy layout: one versioned JSON file per entry.
+    PerFile(DiskLayer),
+    /// Segment-log layout: append-only records, shared across processes.
+    Segment(Box<SegmentStore>),
+}
+
+impl DiskTier {
+    fn load_classified(&self, key: CacheKey) -> disk::LoadOutcome {
+        match self {
+            DiskTier::PerFile(d) => d.load_classified(key),
+            DiskTier::Segment(s) => s.load_classified(key),
+        }
+    }
+
+    fn store(&self, key: CacheKey, output: &CompileOutput) -> io::Result<u64> {
+        match self {
+            DiskTier::PerFile(d) => d.store(key, output),
+            DiskTier::Segment(s) => s.append(key, output),
+        }
+    }
+
+    fn dir(&self) -> &std::path::Path {
+        match self {
+            DiskTier::PerFile(d) => d.dir(),
+            DiskTier::Segment(s) => s.dir(),
+        }
+    }
+}
+
 struct Inner {
     lru: ShardedLru,
-    disk: Option<DiskLayer>,
+    disk: Option<DiskTier>,
     counters: Counters,
+}
+
+/// What [`CompileCache::warm_from_manifest`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmReport {
+    /// Cells the manifest asked for.
+    pub requested: usize,
+    /// Cells found on disk and promoted into the memory tier.
+    pub warmed: usize,
 }
 
 /// A two-layer (memory + optional disk) compilation cache.
@@ -165,6 +211,7 @@ impl std::fmt::Debug for CompileCache {
         f.debug_struct("CompileCache")
             .field("stats", &self.stats())
             .field("disk", &self.inner.disk.as_ref().map(|d| d.dir().to_path_buf()))
+            .field("segment", &self.segment_stats())
             .finish()
     }
 }
@@ -200,7 +247,32 @@ impl CompileCache {
         Ok(Self {
             inner: Arc::new(Inner {
                 lru: ShardedLru::new(capacity),
-                disk: Some(DiskLayer::new(dir)?),
+                disk: Some(DiskTier::PerFile(DiskLayer::new(dir)?)),
+                counters: Counters::default(),
+            }),
+        })
+    }
+
+    /// A cache backed by the segment-log store: misses fall through to the
+    /// log's index, every `put` appends a record, and N processes opening
+    /// the same `dir` share one store (each appends to its own active
+    /// segment; readers pick up foreign records on miss). Legacy per-file
+    /// entries already in `dir` are still readable and migrate into the log
+    /// on first read.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the directory cannot be created or the opening
+    /// recovery/compaction scan fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_segment_store(capacity: usize, dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Ok(Self {
+            inner: Arc::new(Inner {
+                lru: ShardedLru::new(capacity),
+                disk: Some(DiskTier::Segment(Box::new(SegmentStore::open(dir)?))),
                 counters: Counters::default(),
             }),
         })
@@ -295,9 +367,61 @@ impl CompileCache {
     }
 
     /// What the disk layer's opening recovery scan found (`None` for
-    /// memory-only caches).
+    /// memory-only caches). For the segment tier this reports the legacy
+    /// per-file sweep that runs beneath it.
     pub fn recovery_report(&self) -> Option<disk::RecoveryReport> {
-        self.inner.disk.as_ref().map(DiskLayer::recovery)
+        self.inner.disk.as_ref().map(|tier| match tier {
+            DiskTier::PerFile(d) => d.recovery(),
+            DiskTier::Segment(s) => s.legacy().recovery(),
+        })
+    }
+
+    /// Segment-store counters (`None` unless built with
+    /// [`with_segment_store`](Self::with_segment_store)).
+    pub fn segment_stats(&self) -> Option<SegmentStats> {
+        match self.inner.disk.as_ref()? {
+            DiskTier::Segment(s) => Some(s.stats()),
+            DiskTier::PerFile(_) => None,
+        }
+    }
+
+    /// Preloads the manifest's cells from the disk tier into the memory
+    /// tier, so the first client wave hits memory instead of paying disk
+    /// rehydration per request. Cells absent from disk are skipped (they
+    /// warm naturally on first compile). A memory-only cache warms nothing.
+    ///
+    /// The segment tier services this with one sequential read per touched
+    /// segment rather than one lookup per cell.
+    pub fn warm_from_manifest(&self, manifest: &CorpusManifest) -> WarmReport {
+        let mut report = WarmReport { requested: manifest.len(), warmed: 0 };
+        let Some(tier) = self.inner.disk.as_ref() else { return report };
+        let keys: Vec<CacheKey> = manifest
+            .entries
+            .iter()
+            .map(|e| CacheKey { circuit: e.circuit, compiler: e.compiler })
+            .collect();
+        let c = &self.inner.counters;
+        let mut insert = |key: CacheKey, out: CompileOutput| {
+            let evicted = self.inner.lru.insert(key, out);
+            c.evictions.fetch_add(evicted, Ordering::Relaxed);
+            metrics::CACHE_EVICTIONS.add(evicted);
+            report.warmed += 1;
+        };
+        match tier {
+            DiskTier::Segment(s) => {
+                for (key, out) in s.bulk_load(&keys) {
+                    insert(key, out);
+                }
+            }
+            DiskTier::PerFile(d) => {
+                for key in keys {
+                    if let disk::LoadOutcome::Hit(out) = d.load_classified(key) {
+                        insert(key, *out);
+                    }
+                }
+            }
+        }
+        report
     }
 }
 

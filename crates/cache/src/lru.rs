@@ -5,6 +5,16 @@
 //! shards with high probability, so contention stays negligible next to
 //! compile times. Keys are already uniform 64-bit fingerprints, so shard
 //! selection is a simple XOR-fold — no re-hashing needed.
+//!
+//! Eviction is cost-aware (a GreedyDual-style twist on LRU): each entry
+//! carries a bonus of `8 × log2(recompile-µs)` logical ticks, derived from
+//! its recorded [`zac_core::PhaseTimings`] (placement + scheduling — the
+//! dominant, deterministic recompute cost) with `compile_time` as the
+//! fallback. The victim minimizes `tick + bonus`, so at equal recency the
+//! cheap-to-recompute entry goes first, while a merely-expensive entry
+//! cannot pin itself forever: every access to anything else advances the
+//! clock, and a stale entry's finite bonus is eventually outrun. Entries
+//! with equal cost tie-break on `tick` alone — classic LRU.
 
 use crate::CacheKey;
 use std::collections::HashMap;
@@ -24,6 +34,21 @@ struct Entry {
     output: CompileOutput,
     /// Logical access time within the owning shard (monotonic per shard).
     tick: u64,
+    /// Cost-aware eviction credit, in ticks (see module docs).
+    bonus: u64,
+}
+
+/// Ticks of eviction credit per doubling of recompute cost.
+const BONUS_PER_DOUBLING: u64 = 8;
+
+/// Eviction credit for `output`: `8 × log2(recompile-µs)` ticks.
+fn cost_bonus(output: &CompileOutput) -> u64 {
+    let recompute = match &output.phases {
+        Some(p) => p.place + p.schedule,
+        None => output.compile_time,
+    };
+    let micros = u64::try_from(recompute.as_micros()).unwrap_or(u64::MAX).max(1);
+    BONUS_PER_DOUBLING * u64::from(micros.ilog2())
 }
 
 #[derive(Default)]
@@ -88,22 +113,28 @@ impl ShardedLru {
         Some(entry.output.clone())
     }
 
-    /// Inserts (or refreshes) `key`, evicting the shard's least-recently
-    /// used entry when full. Returns the number of evictions (0 or 1).
+    /// Inserts (or refreshes) `key`, evicting the shard's lowest-value
+    /// entry (recency + recompute-cost bonus; see module docs) when full.
+    /// Returns the number of evictions (0 or 1).
     pub fn insert(&self, key: CacheKey, output: CompileOutput) -> u64 {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         let tick = shard.touch();
         let mut evicted = 0;
         let is_new = !shard.map.contains_key(&key);
         if is_new && shard.map.len() >= self.per_shard_capacity {
-            let victim = shard.map.iter().min_by_key(|(_, e)| e.tick).map(|(&k, _)| k);
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.tick.saturating_add(e.bonus), e.tick))
+                .map(|(&k, _)| k);
             if let Some(lru) = victim {
                 shard.map.remove(&lru);
                 evicted = 1;
                 metrics::CACHE_SHARD_EVICTIONS.add(Self::shard_index(key), 1);
             }
         }
-        shard.map.insert(key, Entry { output, tick });
+        let bonus = cost_bonus(&output);
+        shard.map.insert(key, Entry { output, tick, bonus });
         if is_new && evicted == 0 {
             metrics::CACHE_RESIDENT.add(1);
         }
@@ -157,6 +188,15 @@ mod tests {
         CacheKey { circuit: i * SHARDS as u64, compiler: 0 }
     }
 
+    /// An output whose recorded recompute cost (place + schedule) is
+    /// `micros` microseconds.
+    fn output_with_cost(tag: usize, micros: u64) -> CompileOutput {
+        output(tag).with_phases(
+            Duration::from_micros(micros / 2),
+            Duration::from_micros(micros - micros / 2),
+        )
+    }
+
     #[test]
     fn get_refreshes_recency() {
         let lru = ShardedLru::new(3 * SHARDS); // 3 slots in the target shard
@@ -194,6 +234,47 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         ShardedLru::new(0);
+    }
+
+    /// Cost-aware eviction: at comparable recency, the cheap-to-recompute
+    /// entry is the victim even though the expensive one is older.
+    #[test]
+    fn expensive_entry_outlives_cheaper_newer_one() {
+        let lru = ShardedLru::new(2 * SHARDS); // 2 slots in the target shard
+        lru.insert(same_shard_key(0), output_with_cost(0, 1_000_000)); // ~10 ms phases
+        lru.insert(same_shard_key(1), output_with_cost(1, 1)); // trivially cheap
+        assert_eq!(lru.insert(same_shard_key(2), output_with_cost(2, 1)), 1);
+        assert!(lru.get(same_shard_key(0)).is_some(), "expensive entry survives");
+        assert!(lru.get(same_shard_key(1)).is_none(), "cheap newer entry was the victim");
+    }
+
+    /// At equal cost the policy degenerates to classic LRU: recency alone
+    /// picks the victim.
+    #[test]
+    fn recency_decides_at_equal_cost() {
+        let lru = ShardedLru::new(2 * SHARDS);
+        lru.insert(same_shard_key(0), output_with_cost(0, 500));
+        lru.insert(same_shard_key(1), output_with_cost(1, 500));
+        assert!(lru.get(same_shard_key(0)).is_some(), "refresh key 0; key 1 becomes LRU");
+        lru.insert(same_shard_key(2), output_with_cost(2, 500));
+        assert!(lru.get(same_shard_key(0)).is_some());
+        assert!(lru.get(same_shard_key(1)).is_none(), "least-recent equal-cost entry evicted");
+    }
+
+    /// The bonus is finite: a stale expensive entry cannot pin its slot
+    /// forever once cheaper entries accumulate enough recency.
+    #[test]
+    fn stale_expensive_entry_is_eventually_outrun() {
+        let lru = ShardedLru::new(2 * SHARDS);
+        lru.insert(same_shard_key(0), output_with_cost(0, 1 << 30)); // bonus 8 × 30 = 240 ticks
+        lru.insert(same_shard_key(1), output_with_cost(1, 1));
+        // Touch the cheap entry until its recency outruns the bonus.
+        for _ in 0..300 {
+            assert!(lru.get(same_shard_key(1)).is_some());
+        }
+        assert_eq!(lru.insert(same_shard_key(2), output_with_cost(2, 1)), 1);
+        assert!(lru.get(same_shard_key(0)).is_none(), "stale expensive entry finally evicted");
+        assert!(lru.get(same_shard_key(1)).is_some());
     }
 
     /// Per-shard occupancy is observable, and empty shards report zero

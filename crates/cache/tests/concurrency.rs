@@ -8,7 +8,9 @@
 //!   disk hit, or miss, no matter how the threads interleave;
 //! * the atomic write-then-rename path never publishes a torn disk
 //!   envelope, even with many writers racing on one directory;
-//! * a warm second wave over a populated cache is 100% hits.
+//! * a warm second wave over a populated cache is 100% hits;
+//! * two segment stores sharing one directory (the multi-service
+//!   topology) serve each other's writes without torn reads.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -162,6 +164,86 @@ fn concurrent_disk_cache_is_consistent_and_untorn() {
     assert!((stats.hit_rate() - 1.0).abs() < f64::EPSILON, "{stats:?}");
     assert_eq!(stats.lookups() as usize, THREADS * KEYS, "{stats:?}");
     assert!(stats.disk_hits >= KEYS as u64, "first touch of each key comes from disk: {stats:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Eight threads hammering two segment stores that share one directory —
+/// the shape of two `zac-serve` processes on one `ZAC_CACHE_DIR`, run
+/// in-process so the thread interleaving is as hostile as the scheduler
+/// allows. Each store only sees half the puts firsthand; the warm wave
+/// proves the other half arrives through the shared log, untorn.
+#[test]
+fn concurrent_segment_stores_share_one_directory() {
+    let dir = temp_cache_dir("segment-shared");
+    // Memory capacity below the key count forces evictions mid-hammer, so
+    // cross-store reads exercise the log, not just each store's LRU.
+    let stores = [
+        CompileCache::with_segment_store(KEYS / 3, &dir).unwrap(),
+        CompileCache::with_segment_store(KEYS / 3, &dir).unwrap(),
+    ];
+    let observed_misses = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = stores[t % stores.len()].clone();
+            let observed_misses = Arc::clone(&observed_misses);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    for j in 0..KEYS {
+                        let i = (j + t * 3 + round) % KEYS;
+                        match cache.get(key(i)) {
+                            Some(out) => {
+                                assert_eq!(out.summary.name, format!("conc-{i}"));
+                                assert_eq!(out.counts.g1, i);
+                            }
+                            None => {
+                                observed_misses.fetch_add(1, Ordering::Relaxed);
+                                cache.put(key(i), &output(i));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut lookups = 0;
+    let mut misses = 0;
+    for store in &stores {
+        let stats = store.stats();
+        assert_eq!(
+            stats.lookups(),
+            stats.hits + stats.disk_hits + stats.misses,
+            "per-store counter identity: {stats:?}"
+        );
+        assert_eq!(stats.disk_errors, 0, "{stats:?}");
+        assert_eq!(stats.quarantined, 0, "shared appends never tear: {stats:?}");
+        lookups += stats.lookups() as usize;
+        misses += stats.misses as usize;
+    }
+    assert_eq!(lookups, THREADS * ROUNDS * KEYS, "no lookup lost or double-counted");
+    assert_eq!(misses, observed_misses.load(Ordering::Relaxed));
+    drop(stores); // clean close seals both stores' active segments
+
+    // A third "process" over the same directory starts fully warm: every
+    // key serves from the shared log regardless of which store wrote it.
+    let warm = CompileCache::with_segment_store(KEYS, &dir).unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let warm = warm.clone();
+            scope.spawn(move || {
+                for i in 0..KEYS {
+                    let out = warm.get(key(i)).expect("warm wave never misses");
+                    assert_eq!(out.summary.name, format!("conc-{i}"));
+                    assert!(out.from_cache);
+                }
+            });
+        }
+    });
+    let stats = warm.stats();
+    assert_eq!(stats.misses, 0, "{stats:?}");
+    assert!((stats.hit_rate() - 1.0).abs() < f64::EPSILON, "{stats:?}");
+    let seg = warm.segment_stats().expect("segment-backed cache reports stats");
+    assert_eq!(seg.index_entries, KEYS, "one live record per key after supersession: {seg:?}");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -83,3 +83,57 @@ fn disk_round_trip_reproduces_outputs_cold_and_warm() {
     );
     assert_eq!(stats.disk_errors, 0);
 }
+
+/// Upgrade path: a directory populated by the legacy per-file layer opens
+/// *warm* under the segment tier — every legacy entry serves without
+/// recompilation (migrate-on-read appends it to the log), and once
+/// migrated, the entry survives on the log alone.
+#[test]
+fn legacy_per_file_store_opens_warm_under_segment_tier() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("zac-cache-legacy-upgrade");
+    std::fs::remove_dir_all(&dir).ok();
+    let zac = || Zac::new(Architecture::reference());
+    let circuits = [bench_circuits::ghz(9), bench_circuits::bv(8, 7)];
+
+    // An "old deployment": the per-file JSON layer writes the entries.
+    let mut keys = Vec::new();
+    {
+        let old = CompileCache::with_disk(64, &dir).expect("cache dir creates");
+        let cached = CachedCompiler::new(zac(), old);
+        for circuit in &circuits {
+            let staged = preprocess(circuit);
+            cached.compile(&staged).expect("compiles");
+            keys.push((CacheKey::compute(&zac(), &staged), staged));
+        }
+    }
+
+    // The upgraded service opens the same directory with the segment tier:
+    // every legacy cell is a warm hit, nothing recompiles.
+    {
+        let upgraded = CompileCache::with_segment_store(64, &dir).expect("segment tier opens");
+        for (key, staged) in &keys {
+            let served = upgraded.get(*key).expect("legacy entry serves under the segment tier");
+            let fresh = Compiler::compile(&zac(), staged).expect("compiles");
+            assert_eq!(served.summary, fresh.summary, "{}", staged.name);
+            assert_eq!(served.report, fresh.report, "{}", staged.name);
+            assert!(served.from_cache, "{}: served, not recompiled", staged.name);
+        }
+        let seg = upgraded.segment_stats().expect("segment stats");
+        assert_eq!(seg.migrated as usize, keys.len(), "every legacy entry migrated: {seg:?}");
+    } // clean close seals the migrated records into the log
+
+    // The migrated records now live on the log: remove the legacy files
+    // and the entries still serve.
+    for entry in std::fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
+        if entry.file_name().to_string_lossy().ends_with(".json") {
+            std::fs::remove_file(entry.path()).unwrap();
+        }
+    }
+    let log_only = CompileCache::with_segment_store(64, &dir).expect("segment tier reopens");
+    for (key, staged) in &keys {
+        assert!(log_only.get(*key).is_some(), "{}: survives on the log alone", staged.name);
+    }
+    assert_eq!(log_only.segment_stats().expect("stats").migrated, 0, "nothing left to migrate");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -33,6 +33,8 @@ pub mod admission;
 pub mod compiler;
 pub mod ideal;
 pub mod interface;
+pub mod manifest;
+pub mod output_bin;
 pub mod output_json;
 
 pub use admission::{AdmissionLimits, Outcome, RejectReason};
@@ -42,5 +44,7 @@ pub use interface::{
     write_arch_tokens, write_params_tokens, CompileError, CompileOutput, Compiler, GateCounts,
     Labeled, PhaseTimings,
 };
+pub use manifest::{CorpusManifest, ManifestEntry, CORPUS_MANIFEST_VERSION};
+pub use output_bin::{decode_output, encode_output, BinError, OUTPUT_BIN_FORMAT_VERSION};
 pub use output_json::COMPILE_OUTPUT_FORMAT_VERSION;
 pub use zac_circuit::Fingerprint;

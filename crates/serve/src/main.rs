@@ -11,6 +11,11 @@
 //!
 //! * `ZAC_SERVE_WORKERS`  — worker threads (default: CPUs, capped at 8);
 //! * `ZAC_SERVE_QUEUE`    — queue capacity in jobs (default 1024);
+//! * `ZAC_CACHE_DIR`      — back the compile cache with the segment-log
+//!   store in this directory; N services pointed at the same directory
+//!   share one store (see DESIGN.md §4);
+//! * `ZAC_WARM_MANIFEST`  — corpus manifest (JSON) whose cells are
+//!   preloaded from disk into the memory tier before serving;
 //! * `ZAC_SERVE_LOG`      — per-request stderr logging (names redacted
 //!   when `ZAC_REDACT=1`);
 //! * `ZAC_TELEMETRY`      — attach metrics deltas (and traces on request)
@@ -65,6 +70,34 @@ fn main() {
     let mut config = ServiceConfig::default();
     config.workers = env_usize("ZAC_SERVE_WORKERS", config.workers);
     config.queue_capacity = env_usize("ZAC_SERVE_QUEUE", config.queue_capacity);
+    if let Ok(dir) = std::env::var("ZAC_CACHE_DIR") {
+        if !dir.is_empty() {
+            match zac_cache::CompileCache::with_segment_store(4096, &dir) {
+                Ok(cache) => config.cache = cache,
+                Err(e) => {
+                    // A broken cache directory must not take the service
+                    // down; degrade to the in-memory default and say so.
+                    eprintln!("zac-serve: cache dir {dir:?} unusable ({e}); running memory-only");
+                }
+            }
+        }
+    }
+    if let Ok(path) = std::env::var("ZAC_WARM_MANIFEST") {
+        if !path.is_empty() {
+            match zac_core::CorpusManifest::load(&path) {
+                Ok(manifest) => {
+                    let report = config.cache.warm_from_manifest(&manifest);
+                    eprintln!(
+                        "zac-serve: warmed {}/{} manifest cells from {path}",
+                        report.warmed, report.requested
+                    );
+                }
+                Err(e) => {
+                    eprintln!("zac-serve: warm manifest {path} unusable ({e}); starting cold")
+                }
+            }
+        }
+    }
     let service = Service::new(config);
 
     // One writer thread serializes all responses; per-request forwarders

@@ -225,7 +225,10 @@ fn request_deadline_cancellations_do_not_open_the_breaker() {
         request.deadline_ms = Some(5);
         let responses = drain(&service, request);
         assert!(
-            matches!(&outcomes(&responses)[0].1, EntryOutcome::Failed(EntryError::Cancelled { .. })),
+            matches!(
+                &outcomes(&responses)[0].1,
+                EntryOutcome::Failed(EntryError::Cancelled { .. })
+            ),
             "{responses:?}"
         );
     }

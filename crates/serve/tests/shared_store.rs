@@ -1,0 +1,128 @@
+//! Multi-process shared-store test: two real `zac-serve` processes pointed
+//! at one `ZAC_CACHE_DIR` (the segment-log store). The first process
+//! compiles the bundled corpus and exits; the second serves the *same*
+//! requests entirely from the shared store — recompiling nothing — and its
+//! outputs are semantically bit-identical to direct compiles.
+//!
+//! This is the fleet topology the segment tier exists for: N workers, one
+//! store, cross-process hits with no coordination beyond the directory.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::process::{Command, Stdio};
+use zac_arch::Architecture;
+use zac_circuit::preprocess;
+use zac_circuit::qasm::parse_qasm;
+use zac_core::{CompileOutput, Compiler, Zac};
+use zac_serve::{CircuitEntry, Request, Response};
+
+/// The bundled corpus: (file stem, QASM source) in sorted file-name order.
+fn bundled_corpus() -> Vec<(String, String)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("bundled corpus directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x.eq_ignore_ascii_case("qasm")))
+        .collect();
+    files.sort_by(|a, b| a.file_name().cmp(&b.file_name()));
+    files
+        .into_iter()
+        .map(|path| {
+            let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+            let source = std::fs::read_to_string(&path).expect("corpus file readable");
+            (stem, source)
+        })
+        .collect()
+}
+
+/// Runs one `zac-serve` process over `cache_dir`, submits the corpus as one
+/// request, and returns each entry's output keyed by corpus index.
+fn serve_wave(
+    cache_dir: &Path,
+    corpus: &[(String, String)],
+    id: &str,
+) -> HashMap<usize, CompileOutput> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_zac-serve"))
+        .env("ZAC_SERVE_WORKERS", "2")
+        .env("ZAC_CACHE_DIR", cache_dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn zac-serve");
+
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        let request = Request::new(
+            id,
+            "Zoned-ZAC",
+            corpus
+                .iter()
+                .map(|(name, qasm)| CircuitEntry { name: name.clone(), qasm: qasm.clone() })
+                .collect(),
+        );
+        writeln!(stdin, "{}", serde_json::to_string(&request).unwrap()).unwrap();
+        // stdin drops: the binary drains, seals its active segment, exits.
+    }
+
+    let mut outputs = HashMap::new();
+    for line in BufReader::new(child.stdout.take().unwrap()).lines() {
+        let line = line.expect("read response line");
+        match serde_json::from_str::<Response>(&line)
+            .unwrap_or_else(|e| panic!("bad line `{line}`: {e}"))
+        {
+            Response::Result { entry, name, outcome, .. } => {
+                let out = outcome.output().unwrap_or_else(|| panic!("{name} compiles"));
+                assert!(outputs.insert(entry, out.clone()).is_none(), "{name} reported once");
+            }
+            Response::Done(done) => {
+                assert_eq!((done.ok, done.rejected, done.failed), (corpus.len(), 0, 0), "{id}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(child.wait().expect("binary exits").success(), "{id} exits 0");
+    assert_eq!(outputs.len(), corpus.len(), "{id}: every entry answered");
+    outputs
+}
+
+#[test]
+fn two_services_share_one_store_and_the_second_wave_recompiles_nothing() {
+    let corpus = bundled_corpus();
+    assert!(corpus.len() >= 10, "the bundled corpus is non-trivial");
+    let cache_dir =
+        Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("shared-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    // Wave 1 — a fresh service over an empty store compiles everything.
+    let first = serve_wave(&cache_dir, &corpus, "wave-1");
+    for (name, _) in &corpus {
+        let i = corpus.iter().position(|(n, _)| n == name).unwrap();
+        assert!(!first[&i].from_cache, "{name}: the first wave compiles cold");
+    }
+
+    // Wave 2 — a *different process* over the same directory serves every
+    // entry from the shared segment store: nothing recompiles.
+    let second = serve_wave(&cache_dir, &corpus, "wave-2");
+    let zac = Zac::with_config(Architecture::reference(), zac_bench::zac_config());
+    for (i, (name, qasm)) in corpus.iter().enumerate() {
+        let served = &second[&i];
+        assert!(served.from_cache, "{name}: second wave must hit the shared store");
+
+        // Semantic payloads are byte-stable across the processes and
+        // identical to a direct compile — the store round trip (binary
+        // record codec included) cannot drift results.
+        let circuit = parse_qasm(qasm, name).expect("corpus QASM parses");
+        let direct = Compiler::compile(&zac, &preprocess(&circuit)).expect("direct compile");
+        let served_json = served.semantic_json().expect("serialize");
+        assert_eq!(served_json, direct.semantic_json().expect("serialize"), "{name}");
+        assert_eq!(served_json, first[&i].semantic_json().expect("serialize"), "{name}");
+        // Original compile times survive the store; the hit never reports
+        // its lookup time as a compile time.
+        assert_eq!(served.compile_time, first[&i].compile_time, "{name}");
+    }
+
+    std::fs::remove_dir_all(&cache_dir).ok();
+}

@@ -263,6 +263,17 @@ pub static CACHE_DISK_QUARANTINED: Counter = Counter::new("cache.disk.quarantine
 pub static CACHE_DISK_RETRIES: Counter = Counter::new("cache.disk.retries");
 pub static CACHE_DISK_READ_ERRORS: Counter = Counter::new("cache.disk.read_errors");
 
+/// `zac-cache`: the segment-log disk tier — records appended, active
+/// segments sealed, garbage records dropped by compaction, and bytes of
+/// torn tails / damaged spans recovered past at open or refresh. The gauge
+/// tracks live index entries across every open store in the process.
+pub static CACHE_SEGMENT_APPENDS: Counter = Counter::new("cache.segment.appends");
+pub static CACHE_SEGMENT_SEALS: Counter = Counter::new("cache.segment.seals");
+pub static CACHE_SEGMENT_COMPACTED_RECORDS: Counter =
+    Counter::new("cache.segment.compacted_records");
+pub static CACHE_SEGMENT_RECOVERED_BYTES: Counter = Counter::new("cache.segment.recovered_bytes");
+pub static CACHE_SEGMENT_INDEX_ENTRIES: Gauge = Gauge::new("cache.segment.index_entries");
+
 /// `zac-telemetry`: faults actually injected by an armed [`crate::fault`]
 /// plan (the always-on mirror is [`crate::fault::injected`]).
 pub static FAULT_INJECTED: Counter = Counter::new("fault.injected");
@@ -297,9 +308,13 @@ static COUNTERS: &[&Counter] = &[
     &CACHE_DISK_QUARANTINED,
     &CACHE_DISK_RETRIES,
     &CACHE_DISK_READ_ERRORS,
+    &CACHE_SEGMENT_APPENDS,
+    &CACHE_SEGMENT_SEALS,
+    &CACHE_SEGMENT_COMPACTED_RECORDS,
+    &CACHE_SEGMENT_RECOVERED_BYTES,
     &FAULT_INJECTED,
 ];
-static GAUGES: &[&Gauge] = &[&CACHE_RESIDENT, &SERVE_QUEUE_DEPTH];
+static GAUGES: &[&Gauge] = &[&CACHE_RESIDENT, &SERVE_QUEUE_DEPTH, &CACHE_SEGMENT_INDEX_ENTRIES];
 static HISTOGRAMS: &[&Histogram] = &[&PLACE_ASSIGNMENT_MOVERS, &SERVE_REQUEST_LATENCY_MS];
 static FAMILIES: &[&CounterFamily<CACHE_SHARDS>] =
     &[&CACHE_SHARD_HITS, &CACHE_SHARD_MISSES, &CACHE_SHARD_EVICTIONS];
@@ -603,6 +618,17 @@ mod tests {
         assert!(a.starts_with("{\"version\":1,\"counters\":{"));
         assert!(a.contains("\"histograms\""));
         assert!(a.contains("\"families\""));
+        // The segment-tier metrics are part of the registered schema: every
+        // snapshot carries them even at zero.
+        for name in [
+            "cache.segment.appends",
+            "cache.segment.seals",
+            "cache.segment.compacted_records",
+            "cache.segment.recovered_bytes",
+            "cache.segment.index_entries",
+        ] {
+            assert!(a.contains(&format!("\"{name}\"")), "snapshot lacks {name}: {a}");
+        }
         let mut s = String::new();
         push_json_str(&mut s, "a\"b\\c\nd");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
